@@ -1,0 +1,61 @@
+//! Criterion benches: end-to-end throughput of the compiler and the three
+//! simulators on representative kernels. These measure the *reproduction's*
+//! own performance (cycles simulated per second), complementing the
+//! `fig*`/`table*` binaries that regenerate the paper's results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regless_compiler::{compile, RegionConfig};
+use regless_core::{RegLessConfig, RegLessSim};
+use regless_sim::{run_baseline, GpuConfig};
+use regless_workloads::rodinia;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A reduced machine so each iteration stays in the millisecond range.
+fn bench_gpu() -> GpuConfig {
+    GpuConfig { num_sms: 1, warps_per_sm: 16, ..GpuConfig::gtx980() }
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for name in ["nn", "hotspot", "lud"] {
+        let kernel = rodinia::kernel(name);
+        group.bench_function(name, |b| {
+            b.iter(|| compile(black_box(&kernel), &RegionConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_sim");
+    group.sample_size(10);
+    for name in ["nn", "pathfinder"] {
+        let kernel = rodinia::kernel(name);
+        let compiled = Arc::new(compile(&kernel, &RegionConfig::default()).unwrap());
+        group.bench_function(name, |b| {
+            b.iter(|| run_baseline(bench_gpu(), Arc::clone(&compiled)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_regless(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regless_sim");
+    group.sample_size(10);
+    let gpu = bench_gpu();
+    let cfg = RegLessConfig::paper_default();
+    for name in ["nn", "pathfinder"] {
+        let kernel = rodinia::kernel(name);
+        let compiled = compile(&kernel, &cfg.region_config(&gpu)).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                RegLessSim::new(gpu, cfg, compiled.clone()).run().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_baseline, bench_regless);
+criterion_main!(benches);

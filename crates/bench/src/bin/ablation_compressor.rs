@@ -1,0 +1,4 @@
+//! Ablation bench: compressor.
+fn main() {
+    print!("{}", regless_bench::figs::ablations::compressor());
+}

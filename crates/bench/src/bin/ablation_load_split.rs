@@ -1,0 +1,4 @@
+//! Ablation bench: load_split.
+fn main() {
+    print!("{}", regless_bench::figs::ablations::load_split());
+}

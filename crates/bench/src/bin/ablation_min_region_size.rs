@@ -1,0 +1,4 @@
+//! Ablation bench: min_region_size.
+fn main() {
+    print!("{}", regless_bench::figs::ablations::min_region_size());
+}

@@ -1,0 +1,4 @@
+//! Ablation bench: bank-aware register renumbering.
+fn main() {
+    print!("{}", regless_bench::figs::ablations::renumbering());
+}

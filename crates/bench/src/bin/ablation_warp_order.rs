@@ -1,0 +1,4 @@
+//! Ablation bench: warp_order.
+fn main() {
+    print!("{}", regless_bench::figs::ablations::warp_order());
+}

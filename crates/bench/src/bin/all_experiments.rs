@@ -1,0 +1,59 @@
+//! Runs every reproduced table, figure, and ablation, writing each to
+//! `results/<id>.txt` and echoing to stdout.
+
+use regless_bench::figs;
+use std::fs;
+
+/// One experiment: its results-file id and the function regenerating it.
+type Experiment = (&'static str, fn() -> String);
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("results")?;
+    let experiments: Vec<Experiment> = vec![
+        ("table1_config", figs::table1::report),
+        ("table2_region_sizes", figs::table2::report),
+        ("fig02_working_set", figs::fig02::report),
+        ("fig03_backing_store", figs::fig03::report),
+        ("fig05_liveness_seams", figs::fig05::report),
+        ("fig11_area", figs::fig11::report),
+        ("fig12_power", figs::fig12::report),
+        ("fig13_pareto", figs::fig13::report),
+        ("fig14_rf_energy", figs::fig14::report),
+        ("fig15_gpu_energy", figs::fig15::report),
+        ("fig16_runtime", figs::fig16::report),
+        ("fig17_preload_location", figs::fig17::report),
+        ("fig18_l1_bandwidth", figs::fig18::report),
+        ("fig19_region_registers", figs::fig19::report),
+        ("ablation_compressor", figs::ablations::compressor),
+        ("ablation_warp_order", figs::ablations::warp_order),
+        ("ablation_load_split", figs::ablations::load_split),
+        ("ablation_min_region_size", figs::ablations::min_region_size),
+        ("ablation_renumbering", figs::ablations::renumbering),
+        ("ext_oversubscription", figs::extensions::oversubscription),
+        ("ext_compressor_patterns", figs::extensions::compressor_patterns),
+        ("ext_schedulers", figs::extensions::schedulers),
+        ("ext_microbench", figs::extensions::microbench),
+        ("ext_dual_issue", figs::extensions::dual_issue),
+        ("ext_osu_occupancy", figs::extensions::osu_occupancy),
+    ];
+    // Experiments are independent; run them across available cores.
+    let results: Vec<(String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = experiments
+            .into_iter()
+            .map(|(id, run)| {
+                scope.spawn(move || {
+                    eprintln!("== {id} ==");
+                    (id.to_string(), run())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("experiment panicked")).collect()
+    });
+    for (id, text) in &results {
+        fs::write(format!("results/{id}.txt"), text)?;
+        println!("==== {id} ====\n{text}");
+    }
+    eprintln!("== summary.json ==");
+    fs::write("results/summary.json", figs::summary::report())?;
+    Ok(())
+}

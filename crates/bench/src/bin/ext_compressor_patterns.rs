@@ -1,0 +1,4 @@
+//! Extension study: compressor pattern-set sweep.
+fn main() {
+    print!("{}", regless_bench::figs::extensions::compressor_patterns());
+}

@@ -1,0 +1,4 @@
+//! Extension study: scheduler issue width.
+fn main() {
+    print!("{}", regless_bench::figs::extensions::dual_issue());
+}

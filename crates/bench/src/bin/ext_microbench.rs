@@ -1,0 +1,4 @@
+//! Extension study: hand-written microbenchmarks.
+fn main() {
+    print!("{}", regless_bench::figs::extensions::microbench());
+}

@@ -1,0 +1,4 @@
+//! Extension study: OSU occupancy over time.
+fn main() {
+    print!("{}", regless_bench::figs::extensions::osu_occupancy());
+}

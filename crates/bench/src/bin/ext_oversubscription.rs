@@ -1,0 +1,4 @@
+//! Extension study: register-file oversubscription (paper §7).
+fn main() {
+    print!("{}", regless_bench::figs::extensions::oversubscription());
+}

@@ -1,0 +1,4 @@
+//! Extension study: warp-scheduler comparison.
+fn main() {
+    print!("{}", regless_bench::figs::extensions::schedulers());
+}

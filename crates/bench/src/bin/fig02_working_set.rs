@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 02.
+fn main() {
+    print!("{}", regless_bench::figs::fig02::report());
+}

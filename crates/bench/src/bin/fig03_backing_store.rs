@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 03.
+fn main() {
+    print!("{}", regless_bench::figs::fig03::report());
+}

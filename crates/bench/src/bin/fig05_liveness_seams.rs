@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 05.
+fn main() {
+    print!("{}", regless_bench::figs::fig05::report());
+}

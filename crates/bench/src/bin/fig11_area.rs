@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 11.
+fn main() {
+    print!("{}", regless_bench::figs::fig11::report());
+}

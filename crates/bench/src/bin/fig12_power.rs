@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 12.
+fn main() {
+    print!("{}", regless_bench::figs::fig12::report());
+}

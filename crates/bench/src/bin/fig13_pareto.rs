@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 13.
+fn main() {
+    print!("{}", regless_bench::figs::fig13::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 14.
+fn main() {
+    print!("{}", regless_bench::figs::fig14::report());
+}

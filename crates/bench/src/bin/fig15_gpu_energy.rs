@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 15.
+fn main() {
+    print!("{}", regless_bench::figs::fig15::report());
+}

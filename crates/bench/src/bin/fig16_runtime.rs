@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 16.
+fn main() {
+    print!("{}", regless_bench::figs::fig16::report());
+}

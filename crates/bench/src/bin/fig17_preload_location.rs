@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 17.
+fn main() {
+    print!("{}", regless_bench::figs::fig17::report());
+}

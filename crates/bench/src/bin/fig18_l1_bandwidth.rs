@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 18.
+fn main() {
+    print!("{}", regless_bench::figs::fig18::report());
+}

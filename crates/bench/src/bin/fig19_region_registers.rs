@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 19.
+fn main() {
+    print!("{}", regless_bench::figs::fig19::report());
+}

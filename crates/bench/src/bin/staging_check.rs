@@ -1,0 +1,20 @@
+//! Correctness sweep: run every benchmark under RegLess and assert the
+//! staged-operand oracle saw no value divergence between the OSU and the
+//! architectural register state.
+use regless_bench::{run_design, DesignKind};
+use regless_workloads::rodinia;
+
+fn main() {
+    let mut total = 0u64;
+    for name in rodinia::NAMES {
+        let k = rodinia::kernel(name);
+        let r = run_design(&k, DesignKind::regless_512());
+        let m = r.total().staging_mismatches;
+        if m > 0 {
+            println!("{name}: {m} MISMATCHES");
+        }
+        total += m;
+    }
+    println!("total staging mismatches across all benchmarks: {total}");
+    assert_eq!(total, 0, "staging-path value bug detected");
+}

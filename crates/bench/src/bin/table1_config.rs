@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1.
+fn main() {
+    print!("{}", regless_bench::figs::table1::report());
+}

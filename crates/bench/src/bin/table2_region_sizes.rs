@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2.
+fn main() {
+    print!("{}", regless_bench::figs::table2::report());
+}

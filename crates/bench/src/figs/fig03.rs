@@ -1,0 +1,48 @@
+//! Figure 3: backing-store accesses per 100 cycles during hotspot's steady
+//! state — baseline RF vs RF hierarchy vs RegLess.
+
+use crate::{format_table, run_design, DesignKind};
+use regless_workloads::rodinia;
+
+/// Number of steady-state windows shown.
+const WINDOWS: usize = 30;
+
+/// Regenerate the figure as a text table (one row per 100-cycle window).
+pub fn report() -> String {
+    let kernel = rodinia::hotspot();
+    let series = |d: DesignKind| -> Vec<u64> {
+        let r = run_design(&kernel, d);
+        r.sm_stats[0].backing_series.samples().to_vec()
+    };
+    let base = series(DesignKind::Baseline);
+    let rfh = series(DesignKind::Rfh);
+    let rl = series(DesignKind::regless_512());
+    // Steady state: skip the first quarter of each run.
+    let pick = |s: &[u64]| -> Vec<u64> {
+        let start = s.len() / 4;
+        s[start..].iter().copied().take(WINDOWS).collect()
+    };
+    let (b, h, r) = (pick(&base), pick(&rfh), pick(&rl));
+    let mut rows = Vec::new();
+    for i in 0..WINDOWS.min(b.len()).min(h.len()).min(r.len()) {
+        rows.push(vec![
+            format!("{}", i * 100),
+            b[i].to_string(),
+            h[i].to_string(),
+            r[i].to_string(),
+        ]);
+    }
+    let mean = |s: &[u64]| s.iter().sum::<u64>() as f64 / s.len().max(1) as f64;
+    let mut out = String::from(
+        "Figure 3: backing-store accesses per 100 cycles, hotspot steady state\n\
+         (baseline: RF accesses; RFH: main-RF accesses; RegLess: L1 register requests)\n\n",
+    );
+    out.push_str(&format_table(&["cycle", "Baseline", "RF Hierarchy", "RegLess"], &rows));
+    out.push_str(&format!(
+        "\nmeans: baseline {:.0}, RFH {:.0}, RegLess {:.1}\n",
+        mean(&b),
+        mean(&h),
+        mean(&r)
+    ));
+    out
+}

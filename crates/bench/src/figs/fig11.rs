@@ -1,0 +1,32 @@
+//! Figure 11: area of RegLess configurations, normalized to the
+//! 2048-entry baseline register file.
+
+use crate::format_table;
+use regless_energy::{baseline_rf_area, regless_area};
+
+/// The paper's capacity sweep.
+pub const CAPACITIES: [usize; 7] = [128, 192, 256, 384, 512, 1024, 2048];
+
+/// Regenerate the figure as a text table.
+pub fn report() -> String {
+    let base = baseline_rf_area();
+    let mut rows = Vec::new();
+    for entries in CAPACITIES {
+        let a = regless_area(entries);
+        rows.push(vec![
+            entries.to_string(),
+            format!("{:.3}", a.logic / base),
+            format!("{:.3}", a.storage / base),
+            format!("{:.3}", a.compressor / base),
+            format!("{:.3}", a.total() / base),
+        ]);
+    }
+    let mut out = String::from(
+        "Figure 11: area by OSU capacity, normalized to 2048-entry baseline RF\n\n",
+    );
+    out.push_str(&format_table(
+        &["entries/SM", "logic", "storage", "compressor", "total"],
+        &rows,
+    ));
+    out
+}

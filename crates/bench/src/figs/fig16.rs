@@ -1,0 +1,46 @@
+//! Figure 16: run time of the 512-register RegLess design, normalized to
+//! the baseline, per benchmark; geomean compared against no-compressor,
+//! RFV, and RFH.
+
+use crate::{bar_chart, format_table, geomean, run_design, DesignKind};
+use regless_workloads::rodinia;
+
+/// Regenerate the figure as a text table.
+pub fn report() -> String {
+    let mut rows = Vec::new();
+    let mut bars = Vec::new();
+    let mut rl = Vec::new();
+    let mut nc = Vec::new();
+    let mut rfv = Vec::new();
+    let mut rfh = Vec::new();
+    for name in rodinia::NAMES {
+        let kernel = rodinia::kernel(name);
+        let base = run_design(&kernel, DesignKind::Baseline).cycles as f64;
+        let r = run_design(&kernel, DesignKind::regless_512()).cycles as f64 / base;
+        rl.push(r);
+        nc.push(
+            run_design(&kernel, DesignKind::RegLessNoCompressor { entries: 512 }).cycles
+                as f64
+                / base,
+        );
+        rfv.push(run_design(&kernel, DesignKind::Rfv).cycles as f64 / base);
+        rfh.push(run_design(&kernel, DesignKind::Rfh).cycles as f64 / base);
+        rows.push(vec![name.to_string(), format!("{r:.3}")]);
+        bars.push((name.to_string(), r));
+    }
+    rows.push(vec!["geomean".into(), format!("{:.3}", geomean(&rl))]);
+    let mut out = String::from(
+        "Figure 16: run time normalized to baseline (lower is better)\n\n",
+    );
+    out.push_str(&format_table(&["benchmark", "RegLess 512"], &rows));
+    out.push_str(&format!(
+        "\ngeomean comparison: RegLess {:.3} | no compressor {:.3} | RFV {:.3} | RFH {:.3}\n",
+        geomean(&rl),
+        geomean(&nc),
+        geomean(&rfv),
+        geomean(&rfh)
+    ));
+    out.push('\n');
+    out.push_str(&bar_chart(&bars, 48));
+    out
+}

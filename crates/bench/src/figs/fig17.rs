@@ -1,0 +1,47 @@
+//! Figure 17: where preloaded registers were found — OSU, compressor, L1,
+//! or L2/DRAM.
+
+use crate::{format_table, run_design, DesignKind};
+use regless_workloads::rodinia;
+
+/// Regenerate the figure as a text table (percent of preloads).
+pub fn report() -> String {
+    let mut rows = Vec::new();
+    let mut tot = [0u64; 4];
+    for name in rodinia::NAMES {
+        let kernel = rodinia::kernel(name);
+        let r = run_design(&kernel, DesignKind::regless_512());
+        let t = r.total();
+        let parts = [
+            t.preloads_osu,
+            t.preloads_compressor,
+            t.preloads_l1,
+            t.preloads_l2_dram,
+        ];
+        for (a, p) in tot.iter_mut().zip(parts) {
+            *a += p;
+        }
+        let sum = parts.iter().sum::<u64>().max(1) as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", 100.0 * parts[0] as f64 / sum),
+            format!("{:.1}", 100.0 * parts[1] as f64 / sum),
+            format!("{:.2}", 100.0 * parts[2] as f64 / sum),
+            format!("{:.3}", 100.0 * parts[3] as f64 / sum),
+        ]);
+    }
+    let sum = tot.iter().sum::<u64>().max(1) as f64;
+    rows.push(vec![
+        "mean".into(),
+        format!("{:.1}", 100.0 * tot[0] as f64 / sum),
+        format!("{:.1}", 100.0 * tot[1] as f64 / sum),
+        format!("{:.2}", 100.0 * tot[2] as f64 / sum),
+        format!("{:.3}", 100.0 * tot[3] as f64 / sum),
+    ]);
+    let mut out = String::from("Figure 17: preload source (% of preloads)\n\n");
+    out.push_str(&format_table(
+        &["benchmark", "OSU", "Compressor", "L1", "L2/DRAM"],
+        &rows,
+    ));
+    out
+}

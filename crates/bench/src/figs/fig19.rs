@@ -1,0 +1,28 @@
+//! Figure 19: per-region register statistics — average preloads, and the
+//! mean and standard deviation of concurrent live registers.
+
+use crate::{compile_default, format_table};
+use regless_workloads::rodinia;
+
+/// Regenerate the figure as a text table.
+pub fn report() -> String {
+    let mut rows = Vec::new();
+    for name in rodinia::NAMES {
+        let kernel = rodinia::kernel(name);
+        let stats = compile_default(&kernel).region_register_stats();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", stats.mean_preloads),
+            format!("{:.1}", stats.mean_live),
+            format!("{:.1}", stats.std_live),
+        ]);
+    }
+    let mut out = String::from(
+        "Figure 19: preloads and concurrent live registers per region\n\n",
+    );
+    out.push_str(&format_table(
+        &["benchmark", "preloads", "mean live", "std dev"],
+        &rows,
+    ));
+    out
+}

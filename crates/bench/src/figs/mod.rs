@@ -1,0 +1,24 @@
+//! One module per reproduced table/figure; each exposes `report()`
+//! returning the rendered text. The `fig*`/`table*` binaries are thin
+//! wrappers, and `all_experiments` runs everything.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig02;
+pub mod fig03;
+pub mod fig05;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod summary;
+
+#[cfg(test)]
+mod tests;
+pub mod table1;
+pub mod table2;

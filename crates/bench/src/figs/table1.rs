@@ -1,0 +1,23 @@
+//! Table 1: simulation parameters.
+
+use crate::{eval_gpu, format_table};
+use regless_sim::{table1_rows, GpuConfig};
+
+/// Regenerate the table.
+pub fn report() -> String {
+    let full = GpuConfig::gtx980();
+    let mut rows: Vec<Vec<String>> =
+        table1_rows(&full).into_iter().map(|(k, v)| vec![k, v]).collect();
+    rows.push(vec![
+        "Compressor".into(),
+        "one read or write per cycle, 12 lines per shard (48 per SM)".into(),
+    ]);
+    let mut out = String::from("Table 1: simulation parameters (GTX 980-class)\n\n");
+    out.push_str(&format_table(&["parameter", "value"], &rows));
+    out.push_str(&format!(
+        "\nexperiments run on {} SM(s) of this configuration (workloads are\n\
+         SM-homogeneous; normalized results are unchanged)\n",
+        eval_gpu().num_sms
+    ));
+    out
+}

@@ -1,0 +1,451 @@
+//! RegLess compiler analyses (paper §4).
+//!
+//! The compiler side of RegLess: it slices each kernel into **regions**
+//! (Algorithm 1), classifies every register reference as region *input*,
+//! *output*, or *interior*, tracks register lifetimes with GPU-aware
+//! **soft definitions** (Algorithm 2), and produces the annotations the
+//! hardware capacity manager follows at run time.
+//!
+//! The main entry point is [`compile`]:
+//!
+//! ```
+//! use regless_compiler::{compile, RegionConfig};
+//! use regless_isa::KernelBuilder;
+//!
+//! let mut b = KernelBuilder::new("axpy");
+//! let i = b.thread_idx();
+//! let x = b.ld_global(i);
+//! let a = b.movi(3);
+//! let y = b.imul(a, x);
+//! b.st_global(y, i);
+//! b.exit();
+//! let kernel = b.finish()?;
+//!
+//! let compiled = compile(&kernel, &RegionConfig::default())?;
+//! // The global load and its first use never share a region.
+//! assert!(compiled.regions().len() >= 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annotate;
+mod dom;
+mod liveness;
+mod metadata;
+mod region;
+mod regset;
+mod renumber;
+
+pub use annotate::{annotate, Annotations, InsnNotes, LastUse};
+pub use dom::DomInfo;
+pub use liveness::Liveness;
+pub use metadata::MetadataStats;
+pub use region::{
+    bank_of, create_regions, regions_for, Preload, Region, RegionConfig, RegionId, NUM_BANKS,
+};
+pub use regset::RegSet;
+pub use renumber::{
+    positions_preserved, renumber_for_banks, static_src_conflicts, RenumberStats,
+};
+
+use regless_isa::{BlockId, InsnRef, Kernel};
+use std::fmt;
+
+/// Errors from [`compile`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// The region configuration cannot admit even a single instruction.
+    BadConfig {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::BadConfig { reason } => {
+                write!(f, "invalid region configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A kernel together with every compiler-derived artifact the RegLess
+/// hardware model consumes: regions, lifetime annotations, metadata
+/// overhead, and the analyses they came from.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    kernel: Kernel,
+    dom: DomInfo,
+    liveness: Liveness,
+    regions: Vec<Region>,
+    annotations: Annotations,
+    metadata: MetadataStats,
+    config: RegionConfig,
+    /// `region_index[block][insn_idx]` = id of the region containing that
+    /// instruction.
+    region_index: Vec<Vec<RegionId>>,
+}
+
+impl CompiledKernel {
+    /// The source kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Dominator/postdominator information (the simulator uses the
+    /// immediate postdominator as the SIMT reconvergence point).
+    pub fn dom(&self) -> &DomInfo {
+        &self.dom
+    }
+
+    /// Liveness facts, including soft definitions.
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
+    }
+
+    /// All regions, ordered by (block, start); ids equal indices.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Look up one region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// The region containing an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range.
+    pub fn region_at(&self, at: InsnRef) -> RegionId {
+        self.region_index[at.block.index()][at.idx]
+    }
+
+    /// The first region of a block (the region activated when control
+    /// enters the block).
+    pub fn first_region_of_block(&self, block: BlockId) -> RegionId {
+        self.region_index[block.index()][0]
+    }
+
+    /// Lifetime annotations.
+    pub fn annotations(&self) -> &Annotations {
+        &self.annotations
+    }
+
+    /// Metadata-instruction overhead model.
+    pub fn metadata(&self) -> &MetadataStats {
+        &self.metadata
+    }
+
+    /// The region configuration used.
+    pub fn config(&self) -> &RegionConfig {
+        &self.config
+    }
+
+    /// Mean static instructions per region (Table 2, first column).
+    pub fn mean_region_len(&self) -> f64 {
+        let total: usize = self.regions.iter().map(Region::len).sum();
+        total as f64 / self.regions.len() as f64
+    }
+
+    /// Mean, and standard deviation, of per-region peak concurrent live
+    /// registers, plus mean preload count (Figure 19's three series).
+    pub fn region_register_stats(&self) -> RegionRegisterStats {
+        let n = self.regions.len() as f64;
+        let mean_preloads =
+            self.regions.iter().map(|r| r.preloads().len()).sum::<usize>() as f64 / n;
+        let mean_live =
+            self.regions.iter().map(Region::max_concurrent).sum::<usize>() as f64 / n;
+        let var = self
+            .regions
+            .iter()
+            .map(|r| {
+                let d = r.max_concurrent() as f64 - mean_live;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        RegionRegisterStats { mean_preloads, mean_live, std_live: var.sqrt() }
+    }
+}
+
+/// Figure 19's per-benchmark summary: average preloads per region and the
+/// mean/standard deviation of concurrent live registers per region.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RegionRegisterStats {
+    /// Average preloads (input registers) per region.
+    pub mean_preloads: f64,
+    /// Average peak concurrent live registers per region.
+    pub mean_live: f64,
+    /// Standard deviation of the peak concurrent live registers.
+    pub std_live: f64,
+}
+
+/// Run the full RegLess compiler pipeline on a kernel.
+///
+/// # Errors
+///
+/// Returns [`CompileError::BadConfig`] if the configuration is too small to
+/// hold even one instruction's operands (`max_regs_per_region < 5` or
+/// `max_regs_per_bank < 4` or `min_region_insns == 0`).
+pub fn compile(kernel: &Kernel, config: &RegionConfig) -> Result<CompiledKernel, CompileError> {
+    if config.max_regs_per_region < 5 {
+        return Err(CompileError::BadConfig { reason: "max_regs_per_region must be >= 5" });
+    }
+    if config.max_regs_per_bank < 4 {
+        return Err(CompileError::BadConfig { reason: "max_regs_per_bank must be >= 4" });
+    }
+    if config.min_region_insns == 0 {
+        return Err(CompileError::BadConfig { reason: "min_region_insns must be >= 1" });
+    }
+    let dom = DomInfo::compute(kernel);
+    let liveness = Liveness::compute(kernel, &dom);
+    let regions = create_regions(kernel, &liveness, config);
+    let annotations = annotate(kernel, &dom, &liveness, &regions);
+    let metadata = MetadataStats::compute(&regions, &annotations);
+
+    let mut region_index: Vec<Vec<RegionId>> =
+        kernel.blocks().iter().map(|b| vec![RegionId(0); b.len()]).collect();
+    for region in &regions {
+        for slot in &mut region_index[region.block().index()][region.start()..region.end()] {
+            *slot = region.id();
+        }
+    }
+
+    Ok(CompiledKernel {
+        kernel: kernel.clone(),
+        dom,
+        liveness,
+        regions,
+        annotations,
+        metadata,
+        config: *config,
+        region_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regless_isa::KernelBuilder;
+
+    fn kernel() -> Kernel {
+        let mut b = KernelBuilder::new("pipeline");
+        let body = b.new_block();
+        let done = b.new_block();
+        let i = b.thread_idx();
+        let n = b.movi(64);
+        b.jmp(body);
+        b.select(body);
+        let v = b.ld_global(i);
+        let w = b.iadd(v, i);
+        b.st_global(w, i);
+        let one = b.movi(1);
+        b.emit_to(i, regless_isa::Opcode::IAdd, vec![i, one]);
+        let c = b.setlt(i, n);
+        b.bra(c, body, done);
+        b.select(done);
+        b.exit();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn compile_produces_consistent_region_index() {
+        let k = kernel();
+        let c = compile(&k, &RegionConfig::default()).unwrap();
+        for (at, _) in k.iter_insns() {
+            let rid = c.region_at(at);
+            let r = c.region(rid);
+            assert_eq!(r.block(), at.block);
+            assert!(r.contains(at.idx));
+        }
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let k = kernel();
+        for bad in [
+            RegionConfig { max_regs_per_region: 2, ..RegionConfig::default() },
+            RegionConfig { max_regs_per_bank: 1, ..RegionConfig::default() },
+            RegionConfig { min_region_insns: 0, ..RegionConfig::default() },
+        ] {
+            assert!(compile(&k, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn loop_kernel_splits_load_from_use() {
+        let k = kernel();
+        let c = compile(&k, &RegionConfig::default()).unwrap();
+        for r in c.regions() {
+            let insns = &k.block(r.block()).insns()[r.start()..r.end()];
+            for (i, insn) in insns.iter().enumerate() {
+                if insn.is_global_load() {
+                    let d = insn.dst().unwrap();
+                    assert!(
+                        !insns[i + 1..].iter().any(|u| u.srcs().contains(&d)),
+                        "load and use share a region"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_finite() {
+        let k = kernel();
+        let c = compile(&k, &RegionConfig::default()).unwrap();
+        let s = c.region_register_stats();
+        assert!(s.mean_preloads.is_finite() && s.mean_preloads >= 0.0);
+        assert!(s.mean_live >= 1.0);
+        assert!(s.std_live.is_finite());
+        assert!(c.mean_region_len() >= 1.0);
+        assert!(c.metadata().overhead_fraction() < 0.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use regless_isa::{Kernel, KernelBuilder, Reg};
+
+    /// Generate a random but well-formed kernel mixing ALU runs, loads, and
+    /// diamonds.
+    fn arb_kernel() -> impl Strategy<Value = Kernel> {
+        let seg = proptest::collection::vec(0u8..6, 1..12);
+        proptest::collection::vec(seg, 1..5).prop_map(|segments| {
+            let mut b = KernelBuilder::new("arb");
+            let mut live: Vec<Reg> = vec![b.movi(1), b.thread_idx()];
+            for (si, seg) in segments.iter().enumerate() {
+                for (i, &kind) in seg.iter().enumerate() {
+                    let a = live[i % live.len()];
+                    let c = live[(i * 7 + 1) % live.len()];
+                    let r = match kind {
+                        0 => b.iadd(a, c),
+                        1 => b.imul(a, c),
+                        2 => b.xor(a, c),
+                        3 => b.ld_global(a),
+                        4 => b.sfu(a),
+                        _ => b.movi(i as u32),
+                    };
+                    live.push(r);
+                    if live.len() > 8 {
+                        live.remove(0);
+                    }
+                }
+                if si % 2 == 0 {
+                    let t = b.new_block();
+                    let e = b.new_block();
+                    let j = b.new_block();
+                    let cond = live[si % live.len()];
+                    let v = live[0];
+                    b.bra(cond, t, e);
+                    b.select(t);
+                    let x = b.iadd(v, v);
+                    b.jmp(j);
+                    b.select(e);
+                    let y = b.imul(v, v);
+                    b.jmp(j);
+                    b.select(j);
+                    let z = b.iadd(x, y);
+                    live.push(z);
+                } else {
+                    let n = b.new_block();
+                    b.jmp(n);
+                    b.select(n);
+                }
+            }
+            let out = *live.last().unwrap();
+            b.st_global(out, out);
+            b.exit();
+            b.finish().unwrap()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every instruction belongs to exactly one region; regions tile
+        /// blocks; region demands respect the configuration.
+        #[test]
+        fn regions_partition_and_respect_limits(kernel in arb_kernel()) {
+            let config = RegionConfig::default();
+            let compiled = compile(&kernel, &config).unwrap();
+            for block in kernel.blocks() {
+                let mut covered = vec![0u8; block.len()];
+                for r in compiled.regions().iter().filter(|r| r.block() == block.id()) {
+                    for c in &mut covered[r.start()..r.end()] {
+                        *c += 1;
+                    }
+                }
+                prop_assert!(covered.iter().all(|&c| c == 1));
+            }
+            for r in compiled.regions() {
+                prop_assert!(r.max_concurrent() <= config.max_regs_per_region);
+                prop_assert!(r
+                    .bank_usage()
+                    .iter()
+                    .all(|&u| (u as usize) <= config.max_regs_per_bank));
+            }
+        }
+
+        /// Interior never overlaps inputs or outputs.
+        #[test]
+        fn interior_disjoint_from_io(kernel in arb_kernel()) {
+            let compiled = compile(&kernel, &RegionConfig::default()).unwrap();
+            for r in compiled.regions() {
+                prop_assert!(!r.interior().intersects(r.inputs()));
+                prop_assert!(!r.interior().intersects(r.outputs()));
+            }
+        }
+
+        /// No region contains a global load and its first use when the
+        /// constraint is enabled.
+        #[test]
+        fn no_load_use_pairs(kernel in arb_kernel()) {
+            let compiled = compile(&kernel, &RegionConfig::default()).unwrap();
+            for r in compiled.regions() {
+                let insns = &kernel.block(r.block()).insns()[r.start()..r.end()];
+                for (i, insn) in insns.iter().enumerate() {
+                    if insn.is_global_load() {
+                        let d = insn.dst().unwrap();
+                        let mut used = false;
+                        for u in &insns[i + 1..] {
+                            if u.srcs().contains(&d) {
+                                used = true;
+                                break;
+                            }
+                            if u.dst() == Some(d) {
+                                break;
+                            }
+                        }
+                        prop_assert!(!used, "load/use pair inside region");
+                    }
+                }
+            }
+        }
+
+        /// Preload lists equal the input sets exactly.
+        #[test]
+        fn preloads_match_inputs(kernel in arb_kernel()) {
+            let compiled = compile(&kernel, &RegionConfig::default()).unwrap();
+            for r in compiled.regions() {
+                let mut preload_regs: Vec<Reg> = r.preloads().iter().map(|p| p.reg).collect();
+                preload_regs.sort();
+                let inputs: Vec<Reg> = r.inputs().iter().collect();
+                prop_assert_eq!(preload_regs, inputs);
+            }
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! GPU-aware liveness analysis with soft definitions.
+//!
+//! On a GPU, a write executed under a divergent lane mask only replaces
+//! *some* lanes of a register, so it must not be treated as killing the whole
+//! value. The paper calls such writes **soft definitions** (§4.4,
+//! Algorithm 2). This module computes block- and instruction-level liveness
+//! where live ranges do not end at soft definitions, iterating the
+//! soft-definition detection and the dataflow solution to a fixed point.
+
+use crate::dom::DomInfo;
+use crate::regset::RegSet;
+use regless_isa::{InsnRef, Kernel, Reg};
+use std::collections::HashSet;
+
+/// Liveness facts for one kernel.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+    /// `live_before[b][i]` = registers live immediately before instruction
+    /// `i` of block `b`.
+    live_before: Vec<Vec<RegSet>>,
+    soft_defs: HashSet<InsnRef>,
+    /// `sibling_live[b]` = registers live into a *divergent sibling* path
+    /// of block `b`: lanes that did not take the branch into `b` may still
+    /// read them, so they must not be erased or invalidated from `b`
+    /// (the read-side analogue of the soft-definition rule, §4.4).
+    sibling_live: Vec<RegSet>,
+    num_regs: usize,
+}
+
+impl Liveness {
+    /// Compute liveness for `kernel`, using `dom` for soft-definition
+    /// detection.
+    pub fn compute(kernel: &Kernel, dom: &DomInfo) -> Self {
+        let num_regs = kernel.num_regs() as usize;
+        // Start from the conservative extreme where *no* definition kills
+        // (every def treated as soft), detect soft defs against that maximal
+        // liveness, and iterate downward. Both `solve` and `detect` are
+        // monotone in the soft set, so this decreasing chain converges to
+        // the greatest fixed point — the safe answer for partial-lane
+        // writes that mutually keep each other's incoming values alive.
+        let mut soft: HashSet<InsnRef> = kernel
+            .iter_insns()
+            .filter(|(_, insn)| insn.dst().is_some())
+            .map(|(at, _)| at)
+            .collect();
+        let mut state = solve(kernel, &soft, num_regs);
+        for _ in 0..kernel.num_insns() + 1 {
+            let next_soft = detect_soft_defs(kernel, dom, &state.0);
+            if next_soft == soft {
+                break;
+            }
+            soft = next_soft;
+            state = solve(kernel, &soft, num_regs);
+        }
+        let (live_in, live_out) = state;
+        let live_before = per_insn(kernel, &soft, &live_out, num_regs);
+        let sibling_live = divergent_sibling_live(kernel, dom, &live_in, num_regs);
+        Liveness { live_in, live_out, live_before, soft_defs: soft, sibling_live, num_regs }
+    }
+
+    /// Registers live at the entry of a block.
+    pub fn live_in(&self, b: regless_isa::BlockId) -> &RegSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live at the exit of a block.
+    pub fn live_out(&self, b: regless_isa::BlockId) -> &RegSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Registers live immediately before an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is out of range for the analyzed kernel.
+    pub fn live_before(&self, at: InsnRef) -> &RegSet {
+        &self.live_before[at.block.index()][at.idx]
+    }
+
+    /// Registers live immediately after an instruction.
+    pub fn live_after(&self, at: InsnRef) -> &RegSet {
+        let block = &self.live_before[at.block.index()];
+        if at.idx + 1 < block.len() {
+            &block[at.idx + 1]
+        } else {
+            &self.live_out[at.block.index()]
+        }
+    }
+
+    /// Whether the instruction at `at` is a soft definition: a write that
+    /// may leave other lanes' values live.
+    pub fn is_soft_def(&self, at: InsnRef) -> bool {
+        self.soft_defs.contains(&at)
+    }
+
+    /// All soft definitions in the kernel.
+    pub fn soft_defs(&self) -> impl Iterator<Item = InsnRef> + '_ {
+        self.soft_defs.iter().copied()
+    }
+
+    /// Whether lanes on a divergent sibling path of `block` may still read
+    /// `reg`. A death observed inside `block` is only safe to act on
+    /// (erase / invalidating read) when this is false: under SIMT
+    /// execution the warp's other lanes run the sibling path *after* this
+    /// block, even though no CFG path connects them.
+    pub fn live_on_divergent_sibling(&self, block: regless_isa::BlockId, reg: Reg) -> bool {
+        self.sibling_live[block.index()].contains(reg)
+    }
+
+    /// The size of the register universe.
+    pub fn num_regs(&self) -> usize {
+        self.num_regs
+    }
+
+    /// Count of live registers before each static instruction in linear
+    /// order — the series plotted in the paper's Figure 5.
+    pub fn live_counts(&self, kernel: &Kernel) -> Vec<(InsnRef, usize)> {
+        kernel
+            .iter_insns()
+            .map(|(at, _)| (at, self.live_before(at).len()))
+            .collect()
+    }
+}
+
+/// Backward block-level dataflow with the given soft-def set.
+fn solve(
+    kernel: &Kernel,
+    soft: &HashSet<InsnRef>,
+    num_regs: usize,
+) -> (Vec<RegSet>, Vec<RegSet>) {
+    let n = kernel.num_blocks();
+    // gen = upward-exposed uses; kill = hard defs not preceded by a use.
+    let mut gen = vec![RegSet::new(num_regs); n];
+    let mut kill = vec![RegSet::new(num_regs); n];
+    for block in kernel.blocks() {
+        let b = block.id().index();
+        for (idx, insn) in block.insns().iter().enumerate() {
+            for &s in insn.srcs() {
+                if !kill[b].contains(s) {
+                    gen[b].insert(s);
+                }
+            }
+            if let Some(d) = insn.dst() {
+                let at = InsnRef { block: block.id(), idx };
+                if !soft.contains(&at) {
+                    kill[b].insert(d);
+                } else {
+                    // A soft def *uses* the incoming value (inactive lanes
+                    // keep it), so it exposes the register upward.
+                    if !kill[b].contains(d) {
+                        gen[b].insert(d);
+                    }
+                }
+            }
+        }
+    }
+    let mut live_in = vec![RegSet::new(num_regs); n];
+    let mut live_out = vec![RegSet::new(num_regs); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for block in kernel.blocks().iter().rev() {
+            let b = block.id().index();
+            let mut out = RegSet::new(num_regs);
+            for succ in block.successors() {
+                out.union_with(&live_in[succ.index()]);
+            }
+            let mut inn = out.clone();
+            inn.subtract(&kill[b]);
+            inn.union_with(&gen[b]);
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    (live_in, live_out)
+}
+
+/// Per-instruction liveness inside each block, given block live-outs.
+fn per_insn(
+    kernel: &Kernel,
+    soft: &HashSet<InsnRef>,
+    live_out: &[RegSet],
+    num_regs: usize,
+) -> Vec<Vec<RegSet>> {
+    kernel
+        .blocks()
+        .iter()
+        .map(|block| {
+            let b = block.id().index();
+            let mut live = live_out[b].clone();
+            let mut rows = vec![RegSet::new(num_regs); block.len()];
+            for (idx, insn) in block.insns().iter().enumerate().rev() {
+                let at = InsnRef { block: block.id(), idx };
+                if let Some(d) = insn.dst() {
+                    if !soft.contains(&at) {
+                        live.remove(d);
+                    }
+                }
+                for &s in insn.srcs() {
+                    live.insert(s);
+                }
+                rows[idx] = live.clone();
+            }
+            rows
+        })
+        .collect()
+}
+
+/// For each block `B`, the union of `live_in(S)` over divergent siblings
+/// `S`: successors of a strict, unreconverged dominator of `B` that do not
+/// dominate `B` — the same dominator scan as Algorithm 2, applied to reads.
+fn divergent_sibling_live(
+    kernel: &Kernel,
+    dom: &DomInfo,
+    live_in: &[RegSet],
+    num_regs: usize,
+) -> Vec<RegSet> {
+    kernel
+        .blocks()
+        .iter()
+        .map(|block| {
+            let b = block.id();
+            let mut set = RegSet::new(num_regs);
+            let b_doms = dom.dominators(b);
+            for &dom_bb in b_doms.iter().filter(|&&d| d != b) {
+                let reconverged =
+                    b_doms.iter().any(|&d| d != dom_bb && dom.postdominates(d, dom_bb));
+                if reconverged {
+                    continue;
+                }
+                for succ in kernel.block(dom_bb).successors() {
+                    if !dom.dominates(succ, b) {
+                        set.union_with(&live_in[succ.index()]);
+                    }
+                }
+            }
+            set
+        })
+        .collect()
+}
+
+/// Algorithm 2 from the paper, applied to every defining instruction.
+///
+/// A definition of `reg` at `insn` is *soft* when some strict dominator
+/// `domBB` of `insn`'s block (with no reconvergence point in between) has a
+/// successor on a divergent path (one not dominating `insn`'s block) into
+/// which `reg` is live — i.e. another control path still needs lanes of the
+/// incoming value.
+fn detect_soft_defs(kernel: &Kernel, dom: &DomInfo, live_in: &[RegSet]) -> HashSet<InsnRef> {
+    let mut soft = HashSet::new();
+    for block in kernel.blocks() {
+        for (idx, insn) in block.insns().iter().enumerate() {
+            let Some(reg) = insn.dst() else { continue };
+            let at = InsnRef { block: block.id(), idx };
+            if is_soft_def(kernel, dom, live_in, block.id(), reg) {
+                soft.insert(at);
+            }
+        }
+    }
+    soft
+}
+
+fn is_soft_def(
+    kernel: &Kernel,
+    dom: &DomInfo,
+    live_in: &[RegSet],
+    insn_bb: regless_isa::BlockId,
+    reg: Reg,
+) -> bool {
+    let insn_doms = dom.dominators(insn_bb);
+    for &dom_bb in insn_doms.iter().filter(|&&d| d != insn_bb) {
+        // Skip dominators with a reconvergence point before the definition:
+        // a block that strictly postdominates domBB and dominates insnBB.
+        let reconverged = insn_doms.iter().any(|&d| d != dom_bb && dom.postdominates(d, dom_bb));
+        if reconverged {
+            continue;
+        }
+        for succ in kernel.block(dom_bb).successors() {
+            if dom.dominates(succ, insn_bb) {
+                continue;
+            }
+            if live_in[succ.index()].contains(reg) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regless_isa::{BlockId, KernelBuilder, Opcode};
+
+    fn analyze(kernel: &Kernel) -> Liveness {
+        let dom = DomInfo::compute(kernel);
+        Liveness::compute(kernel, &dom)
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = KernelBuilder::new("straight");
+        let x = b.movi(1); // r0
+        let y = b.movi(2); // r1
+        let z = b.iadd(x, y); // r2
+        let _w = b.imul(z, z); // r3
+        b.exit();
+        let k = b.finish().unwrap();
+        let l = analyze(&k);
+        let bb = BlockId(0);
+        assert!(l.live_in(bb).is_empty());
+        assert!(l.live_out(bb).is_empty());
+        // Before the iadd, r0 and r1 are live.
+        let before_add = l.live_before(InsnRef { block: bb, idx: 2 });
+        assert!(before_add.contains(x) && before_add.contains(y));
+        assert!(!before_add.contains(z));
+        // After the imul nothing is live.
+        assert!(l.live_after(InsnRef { block: bb, idx: 3 }).is_empty());
+    }
+
+    #[test]
+    fn value_live_across_blocks() {
+        let mut b = KernelBuilder::new("cross");
+        let next = b.new_block();
+        let x = b.movi(5);
+        b.jmp(next);
+        b.select(next);
+        let _ = b.iadd(x, x);
+        b.exit();
+        let k = b.finish().unwrap();
+        let l = analyze(&k);
+        assert!(l.live_out(BlockId(0)).contains(x));
+        assert!(l.live_in(next).contains(x));
+    }
+
+    /// The Figure 7 pattern: r written before a branch, rewritten on one
+    /// side, and read at the join. The rewrite is a soft definition.
+    #[test]
+    fn soft_definition_detected() {
+        let mut b = KernelBuilder::new("soft");
+        let then_bb = b.new_block();
+        let join = b.new_block();
+        let r = b.movi(1); // dominating definition of r
+        let c = b.thread_idx();
+        b.bra(c, then_bb, join);
+        b.select(then_bb);
+        b.emit_to(r, Opcode::MovImm(2), vec![]); // candidate soft def
+        b.jmp(join);
+        b.select(join);
+        let _use = b.iadd(r, r);
+        b.exit();
+        let k = b.finish().unwrap();
+        let l = analyze(&k);
+        let soft_at = InsnRef { block: then_bb, idx: 0 };
+        assert!(l.is_soft_def(soft_at), "redefinition under divergence must be soft");
+        // Because the def is soft, r stays live *into* the redefining block.
+        assert!(l.live_in(then_bb).contains(r));
+    }
+
+    /// If both sides of the diamond redefine the register, the value from
+    /// before the branch is dead on entry to each side only if no other path
+    /// uses it. With a use only at the join fed by both defs and full
+    /// redefinition on both paths, each def still counts as soft per the
+    /// paper's conservative rule (the other side's edge has r live).
+    #[test]
+    fn both_sides_redefining_are_soft() {
+        let mut b = KernelBuilder::new("both");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let r = b.movi(0);
+        let c = b.thread_idx();
+        b.bra(c, t, e);
+        b.select(t);
+        b.emit_to(r, Opcode::MovImm(1), vec![]);
+        b.jmp(j);
+        b.select(e);
+        b.emit_to(r, Opcode::MovImm(2), vec![]);
+        b.jmp(j);
+        b.select(j);
+        let _ = b.mov(r);
+        b.exit();
+        let k = b.finish().unwrap();
+        let l = analyze(&k);
+        assert!(l.is_soft_def(InsnRef { block: t, idx: 0 }));
+        assert!(l.is_soft_def(InsnRef { block: e, idx: 0 }));
+    }
+
+    /// A redefinition after the paths have reconverged is NOT soft.
+    #[test]
+    fn post_reconvergence_def_is_hard() {
+        let mut b = KernelBuilder::new("hard");
+        let t = b.new_block();
+        let j = b.new_block();
+        let r = b.movi(1);
+        let c = b.thread_idx();
+        b.bra(c, t, j);
+        b.select(t);
+        let _ = b.mov(r);
+        b.jmp(j);
+        b.select(j);
+        b.emit_to(r, Opcode::MovImm(9), vec![]); // rewrite at the join
+        let _ = b.mov(r);
+        b.exit();
+        let k = b.finish().unwrap();
+        let l = analyze(&k);
+        assert!(!l.is_soft_def(InsnRef { block: j, idx: 0 }));
+    }
+
+    #[test]
+    fn straight_line_defs_are_hard() {
+        let mut b = KernelBuilder::new("plain");
+        let r = b.movi(1);
+        b.emit_to(r, Opcode::MovImm(2), vec![]);
+        let _ = b.mov(r);
+        b.exit();
+        let k = b.finish().unwrap();
+        let l = analyze(&k);
+        assert_eq!(l.soft_defs().count(), 0);
+    }
+
+    #[test]
+    fn live_counts_matches_insn_count() {
+        let mut b = KernelBuilder::new("counts");
+        let x = b.movi(1);
+        let y = b.iadd(x, x);
+        let _ = b.iadd(y, x);
+        b.exit();
+        let k = b.finish().unwrap();
+        let l = analyze(&k);
+        let counts = l.live_counts(&k);
+        assert_eq!(counts.len(), k.num_insns());
+        // Before instruction 1 (iadd x,x), only x is live.
+        assert_eq!(counts[1].1, 1);
+        // Before instruction 2, x and y are live.
+        assert_eq!(counts[2].1, 2);
+    }
+
+    /// Liveness in a loop: the induction variable is live around the back
+    /// edge.
+    #[test]
+    fn loop_liveness() {
+        let mut b = KernelBuilder::new("loop");
+        let body = b.new_block();
+        let done = b.new_block();
+        let i = b.movi(0);
+        let n = b.movi(8);
+        b.jmp(body);
+        b.select(body);
+        let one = b.movi(1);
+        b.emit_to(i, Opcode::IAdd, vec![i, one]);
+        let c = b.setlt(i, n);
+        b.bra(c, body, done);
+        b.select(done);
+        b.exit();
+        let k = b.finish().unwrap();
+        let l = analyze(&k);
+        assert!(l.live_in(body).contains(i));
+        assert!(l.live_in(body).contains(n));
+        assert!(l.live_out(body).contains(i));
+        assert!(!l.live_in(done).contains(i));
+    }
+}

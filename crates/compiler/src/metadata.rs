@@ -1,0 +1,115 @@
+//! Metadata encoding overhead model (paper §5.4).
+//!
+//! RegLess passes its annotations to hardware as extra instructions in the
+//! instruction stream (54 usable metadata bits per 64-bit instruction). The
+//! encoding the paper describes:
+//!
+//! * every region starts with a **flag instruction** carrying the bank
+//!   usage and up to 3 preloads/cache invalidations;
+//! * additional metadata instructions carry further preloads and
+//!   invalidations as necessary;
+//! * one metadata instruction per 9 region instructions carries last-use
+//!   (erase/evict) flags;
+//! * small control-flow-heavy regions (≤ 4 instructions, ≤ 2 preloads or
+//!   invalidations) use a **compact single-instruction encoding**.
+//!
+//! The counts feed the simulator's fetch/issue overhead and the energy
+//! model's instruction-delivery cost.
+
+use crate::annotate::Annotations;
+use crate::region::Region;
+
+/// Preloads/invalidations carried by the leading flag instruction.
+const FLAG_INSN_SLOTS: usize = 3;
+/// Preloads/invalidations carried by each overflow metadata instruction.
+const EXTRA_INSN_SLOTS: usize = 6;
+/// Region instructions covered by one last-use metadata instruction.
+const LAST_USE_GROUP: usize = 9;
+/// Compact-encoding limits.
+const COMPACT_MAX_INSNS: usize = 4;
+const COMPACT_MAX_SLOTS: usize = 2;
+
+/// Metadata instruction counts for a compiled kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MetadataStats {
+    per_region: Vec<usize>,
+    total_region_insns: usize,
+}
+
+impl MetadataStats {
+    /// Compute metadata overhead for every region.
+    pub fn compute(regions: &[Region], annotations: &Annotations) -> Self {
+        let per_region = regions
+            .iter()
+            .map(|r| {
+                let slots =
+                    r.preloads().len() + annotations.cache_invalidates(r.id()).len();
+                metadata_insns(r.len(), slots)
+            })
+            .collect();
+        let total_region_insns = regions.iter().map(Region::len).sum();
+        MetadataStats { per_region, total_region_insns }
+    }
+
+    /// Metadata instructions prepended to one region.
+    pub fn for_region(&self, region: crate::region::RegionId) -> usize {
+        self.per_region[region.index()]
+    }
+
+    /// Total metadata instructions across the kernel.
+    pub fn total(&self) -> usize {
+        self.per_region.iter().sum()
+    }
+
+    /// Fraction of the delivered instruction stream that is metadata,
+    /// `metadata / (metadata + real)`.
+    pub fn overhead_fraction(&self) -> f64 {
+        let m = self.total() as f64;
+        m / (m + self.total_region_insns as f64)
+    }
+}
+
+/// Number of metadata instructions for a region of `len` instructions with
+/// `slots` preload + invalidation entries.
+fn metadata_insns(len: usize, slots: usize) -> usize {
+    if len <= COMPACT_MAX_INSNS && slots <= COMPACT_MAX_SLOTS {
+        return 1;
+    }
+    let mut n = 1; // flag instruction
+    if slots > FLAG_INSN_SLOTS {
+        n += (slots - FLAG_INSN_SLOTS).div_ceil(EXTRA_INSN_SLOTS);
+    }
+    n += len / LAST_USE_GROUP;
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_encoding_for_small_regions() {
+        assert_eq!(metadata_insns(3, 2), 1);
+        assert_eq!(metadata_insns(4, 0), 1);
+    }
+
+    #[test]
+    fn flag_instruction_covers_three_slots() {
+        assert_eq!(metadata_insns(8, 3), 1);
+        assert_eq!(metadata_insns(8, 4), 2);
+        assert_eq!(metadata_insns(8, 9), 2);
+        assert_eq!(metadata_insns(8, 10), 3);
+    }
+
+    #[test]
+    fn last_use_groups_every_nine() {
+        assert_eq!(metadata_insns(9, 0), 2);
+        assert_eq!(metadata_insns(18, 0), 3);
+        assert_eq!(metadata_insns(8, 0), 1);
+    }
+
+    #[test]
+    fn small_but_many_slots_not_compact() {
+        assert_eq!(metadata_insns(2, 5), 2);
+    }
+}

@@ -1,0 +1,677 @@
+//! Region creation (Algorithm 1 of the paper).
+//!
+//! A *region* is a contiguous range of instructions within one basic block,
+//! scheduled atomically by the RegLess hardware: before a warp may issue the
+//! region's first instruction, all of the region's *input* registers must be
+//! staged in the OSU and space reserved for its *interior* registers.
+//! Region boundaries are chosen at points with few live registers so that
+//! most values never cross a boundary (and therefore never touch memory).
+
+use crate::dom::DomInfo;
+use crate::liveness::Liveness;
+use crate::regset::RegSet;
+use regless_isa::{BlockId, InsnRef, Kernel, Reg};
+use std::fmt;
+
+/// Number of banks in each operand staging unit (paper §5.2).
+pub const NUM_BANKS: usize = 8;
+
+/// Identifier of a region within a compiled kernel.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// The region's index in the compiled kernel's region list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region{}", self.0)
+    }
+}
+
+/// Tuning knobs for region creation.
+///
+/// Defaults correspond to the paper's 512-register-per-SM configuration:
+/// each of the four scheduler shards owns a 128-entry OSU of 8 banks
+/// (16 lines per bank), one region may claim at most half an OSU, and no
+/// more than half of any single bank.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RegionConfig {
+    /// Maximum concurrently-live registers a region may require
+    /// (Algorithm 1 line 18).
+    pub max_regs_per_region: usize,
+    /// Maximum registers a region may map to one OSU bank (line 20).
+    pub max_regs_per_bank: usize,
+    /// Minimum region length in instructions, the paper's
+    /// `startPC + 48` bytes (six 8-byte instructions), used to avoid
+    /// degenerately small regions.
+    pub min_region_insns: usize,
+    /// Whether a global load and its first use may not share a region
+    /// (line 22). Disabling this is the `ablation_load_split` experiment.
+    pub split_load_use: bool,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig {
+            max_regs_per_region: 24,
+            max_regs_per_bank: 8,
+            min_region_insns: 6,
+            split_load_use: true,
+        }
+    }
+}
+
+/// One register to assemble in the OSU before a region activates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Preload {
+    /// The register to stage.
+    pub reg: Reg,
+    /// Whether this preload is the last read of the incoming value, letting
+    /// the memory-side copy be invalidated (an *invalidating read*).
+    pub invalidate: bool,
+}
+
+/// A compiled region with its register classification and OSU demand.
+#[derive(Clone, Debug)]
+pub struct Region {
+    id: RegionId,
+    block: BlockId,
+    start: usize,
+    end: usize,
+    inputs: RegSet,
+    outputs: RegSet,
+    interior: RegSet,
+    preloads: Vec<Preload>,
+    max_concurrent: usize,
+    bank_usage: [u16; NUM_BANKS],
+    contains_global_load: bool,
+}
+
+impl Region {
+    /// The region's identifier.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// The containing basic block.
+    pub fn block(&self) -> BlockId {
+        self.block
+    }
+
+    /// Index of the first instruction (inclusive).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Index one past the last instruction.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of instructions in the region.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Regions are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the instruction index `idx` of the region's block falls in
+    /// this region.
+    pub fn contains(&self, idx: usize) -> bool {
+        (self.start..self.end).contains(&idx)
+    }
+
+    /// Registers produced outside and read (or partially written) inside:
+    /// these must be staged before activation.
+    pub fn inputs(&self) -> &RegSet {
+        &self.inputs
+    }
+
+    /// Registers defined inside and live past the region's end.
+    pub fn outputs(&self) -> &RegSet {
+        &self.outputs
+    }
+
+    /// Registers whose entire lifetime lies inside the region; they never
+    /// move to memory.
+    pub fn interior(&self) -> &RegSet {
+        &self.interior
+    }
+
+    /// The preload list (the region's inputs with invalidation flags).
+    pub fn preloads(&self) -> &[Preload] {
+        &self.preloads
+    }
+
+    /// Peak number of concurrently-live region registers: the OSU
+    /// allocation the capacity manager reserves (Figure 19's "mean/std"
+    /// series is over this value).
+    pub fn max_concurrent(&self) -> usize {
+        self.max_concurrent
+    }
+
+    /// Peak concurrently-live registers per OSU bank (the "bank usage"
+    /// annotation of Figure 6).
+    pub fn bank_usage(&self) -> &[u16; NUM_BANKS] {
+        &self.bank_usage
+    }
+
+    /// Whether the region contains at least one global load.
+    pub fn contains_global_load(&self) -> bool {
+        self.contains_global_load
+    }
+}
+
+/// The OSU bank a register maps to. At run time the hardware adds the warp
+/// id before taking the low bits; the compiler's validity check uses the
+/// register number alone, which the warp offset merely rotates.
+#[inline]
+pub fn bank_of(reg: Reg) -> usize {
+    reg.index() % NUM_BANKS
+}
+
+/// Measurements of a candidate region used by `IsValid`.
+struct Demand {
+    max_concurrent: usize,
+    bank_peak: [u16; NUM_BANKS],
+    load_use_pairs: usize,
+}
+
+/// Context for analyzing candidate regions of one block.
+struct BlockCtx<'a> {
+    kernel: &'a Kernel,
+    liveness: &'a Liveness,
+    block: BlockId,
+}
+
+impl<'a> BlockCtx<'a> {
+    fn insns(&self) -> &'a [regless_isa::Instruction] {
+        self.kernel.block(self.block).insns()
+    }
+
+    /// Registers referenced (read or written) in `[start, end)`.
+    fn referenced(&self, start: usize, end: usize) -> RegSet {
+        let mut set = RegSet::new(self.liveness.num_regs());
+        for insn in &self.insns()[start..end] {
+            for &s in insn.srcs() {
+                set.insert(s);
+            }
+            if let Some(d) = insn.dst() {
+                set.insert(d);
+            }
+        }
+        set
+    }
+
+    /// Live registers *relevant to the candidate region* at each point, and
+    /// the resulting peak demands.
+    fn demand(&self, start: usize, end: usize) -> Demand {
+        let referenced = self.referenced(start, end);
+        let mut max_concurrent = 0;
+        let mut bank_peak = [0u16; NUM_BANKS];
+        for idx in start..end {
+            let at = InsnRef { block: self.block, idx };
+            let mut banks = [0u16; NUM_BANKS];
+            let mut count = 0;
+            for r in referenced.iter() {
+                if self.liveness.live_before(at).contains(r) {
+                    count += 1;
+                    banks[bank_of(r)] += 1;
+                }
+            }
+            // The destination occupies an OSU line from the write onward;
+            // include it at the defining instruction so single-point peaks
+            // are not undercounted.
+            if let Some(d) = self.insns()[idx].dst() {
+                if !self.liveness.live_before(at).contains(d) {
+                    count += 1;
+                    banks[bank_of(d)] += 1;
+                }
+            }
+            max_concurrent = max_concurrent.max(count);
+            for b in 0..NUM_BANKS {
+                bank_peak[b] = bank_peak[b].max(banks[b]);
+            }
+        }
+        Demand {
+            max_concurrent,
+            bank_peak,
+            load_use_pairs: self.load_use_pairs(start, end),
+        }
+    }
+
+    /// Number of (global load, first use) pairs fully contained in
+    /// `[start, end)`.
+    fn load_use_pairs(&self, start: usize, end: usize) -> usize {
+        let insns = self.insns();
+        let mut pairs = 0;
+        for li in start..end {
+            if !insns[li].is_global_load() {
+                continue;
+            }
+            let dst = insns[li].dst().expect("loads have destinations");
+            for insn in &insns[li + 1..end] {
+                if insn.srcs().contains(&dst) {
+                    pairs += 1;
+                    break;
+                }
+                if insn.dst() == Some(dst) {
+                    break; // redefined before any use
+                }
+            }
+        }
+        pairs
+    }
+
+    fn is_valid(&self, start: usize, end: usize, config: &RegionConfig) -> bool {
+        let d = self.demand(start, end);
+        if d.max_concurrent > config.max_regs_per_region {
+            return false;
+        }
+        if d.bank_peak.iter().any(|&b| b as usize > config.max_regs_per_bank) {
+            return false;
+        }
+        if config.split_load_use && d.load_use_pairs > 0 {
+            return false;
+        }
+        // A barrier must end its region: a warp parked at a barrier then
+        // holds no OSU reservation, so stalled warps can never starve the
+        // capacity manager of space (deadlock freedom).
+        if self.insns()[start..end.saturating_sub(1)]
+            .iter()
+            .any(|i| matches!(i.op(), regless_isa::Opcode::Bar))
+        {
+            return false;
+        }
+        true
+    }
+
+    /// `FindSplitPoint` (Algorithm 1 lines 28–33): returns the index the
+    /// region `[start, end)` should be split at, `start < split < end`.
+    fn find_split_point(&self, start: usize, end: usize, config: &RegionConfig) -> usize {
+        // upper_bound: the largest split index keeping the first region
+        // valid — i.e. the first instruction whose inclusion breaks it.
+        let mut upper = end - 1;
+        for idx in start + 1..=end {
+            if !self.is_valid(start, idx, config) {
+                upper = idx - 1;
+                break;
+            }
+        }
+        let upper = upper.max(start + 1); // always make progress
+        // lower_bound: split index in (start, upper] minimizing the number
+        // of load/use pairs kept within either new region.
+        let mut lower = start + 1;
+        let mut best_pairs = usize::MAX;
+        for split in start + 1..=upper {
+            let pairs = self.load_use_pairs(start, split) + self.load_use_pairs(split, end);
+            if pairs < best_pairs {
+                best_pairs = pairs;
+                lower = split;
+            }
+        }
+        // Avoid degenerately small regions when possible.
+        let lower = lower.max(start + config.min_region_insns).min(upper);
+        // Final choice: the split in [lower, upper] with the fewest combined
+        // input and output registers in the two new regions.
+        let mut best = lower;
+        let mut best_io = usize::MAX;
+        for split in lower..=upper {
+            let io = self.io_count(start, split) + self.io_count(split, end);
+            if io < best_io {
+                best_io = io;
+                best = split;
+            }
+        }
+        best
+    }
+
+    /// Combined input + output register count of candidate `[start, end)`.
+    fn io_count(&self, start: usize, end: usize) -> usize {
+        let (inputs, outputs, _) = self.classify(start, end);
+        inputs.len() + outputs.len()
+    }
+
+    /// Classify the candidate's referenced registers into
+    /// (inputs, outputs, interior).
+    #[allow(clippy::needless_range_loop)] // idx also forms `InsnRef`s
+    fn classify(&self, start: usize, end: usize) -> (RegSet, RegSet, RegSet) {
+        let num_regs = self.liveness.num_regs();
+        let insns = self.insns();
+        let mut inputs = RegSet::new(num_regs);
+        let mut defined = RegSet::new(num_regs);
+        for idx in start..end {
+            let at = InsnRef { block: self.block, idx };
+            let insn = &insns[idx];
+            for &s in insn.srcs() {
+                if !defined.contains(s) {
+                    inputs.insert(s);
+                }
+            }
+            if let Some(d) = insn.dst() {
+                // A soft definition merges with lanes of the incoming value,
+                // so the old value must be staged: it is an input (§4.4).
+                if self.liveness.is_soft_def(at) && !defined.contains(d) {
+                    inputs.insert(d);
+                }
+                defined.insert(d);
+            }
+        }
+        let live_end = if end < insns.len() {
+            self.liveness.live_before(InsnRef { block: self.block, idx: end }).clone()
+        } else {
+            self.liveness.live_out(self.block).clone()
+        };
+        let mut outputs = defined.clone();
+        outputs.intersect_with(&live_end);
+        let mut interior = self.referenced(start, end);
+        interior.subtract(&inputs);
+        interior.subtract(&outputs);
+        (inputs, outputs, interior)
+    }
+
+    /// Whether the incoming value of input `reg` dies within `[start, end)`:
+    /// either a hard definition replaces it, or the register is dead at the
+    /// region's end *and* no divergent sibling path can still read it.
+    /// When true, the preload is an invalidating read.
+    #[allow(clippy::needless_range_loop)] // idx also forms `InsnRef`s
+    fn incoming_value_dies(&self, reg: Reg, start: usize, end: usize) -> bool {
+        if self.liveness.live_on_divergent_sibling(self.block, reg) {
+            return false;
+        }
+        let insns = self.insns();
+        for idx in start..end {
+            let at = InsnRef { block: self.block, idx };
+            if insns[idx].dst() == Some(reg) && !self.liveness.is_soft_def(at) {
+                return true;
+            }
+        }
+        let live_end = if end < insns.len() {
+            self.liveness.live_before(InsnRef { block: self.block, idx: end })
+        } else {
+            self.liveness.live_out(self.block)
+        };
+        !live_end.contains(reg)
+    }
+
+    fn build(&self, id: RegionId, start: usize, end: usize) -> Region {
+        let (inputs, outputs, interior) = self.classify(start, end);
+        let d = self.demand(start, end);
+        let preloads = inputs
+            .iter()
+            .map(|reg| Preload { reg, invalidate: self.incoming_value_dies(reg, start, end) })
+            .collect();
+        let contains_global_load =
+            self.insns()[start..end].iter().any(|i| i.is_global_load());
+        Region {
+            id,
+            block: self.block,
+            start,
+            end,
+            inputs,
+            outputs,
+            interior,
+            preloads,
+            max_concurrent: d.max_concurrent,
+            bank_usage: d.bank_peak,
+            contains_global_load,
+        }
+    }
+}
+
+/// `CreateRegions` (Algorithm 1): slice every basic block of `kernel` into
+/// valid regions.
+///
+/// Returns regions sorted by (block, start); region ids are their indices
+/// in the returned vector.
+///
+/// # Panics
+///
+/// Panics if `config` is unsatisfiable for this kernel (a single
+/// instruction exceeding the per-region register limits).
+pub fn create_regions(
+    kernel: &Kernel,
+    liveness: &Liveness,
+    config: &RegionConfig,
+) -> Vec<Region> {
+    let mut ranges: Vec<(BlockId, usize, usize)> = Vec::new();
+    for block in kernel.blocks() {
+        let ctx = BlockCtx { kernel, liveness, block: block.id() };
+        let mut worklist = vec![(0usize, block.len())];
+        let mut done: Vec<(usize, usize)> = Vec::new();
+        while let Some((start, end)) = worklist.pop() {
+            if ctx.is_valid(start, end, config) {
+                done.push((start, end));
+            } else {
+                assert!(
+                    end - start > 1,
+                    "single instruction at {}:{start} violates region limits — \
+                     RegionConfig too small for kernel {}",
+                    block.id(),
+                    kernel.name()
+                );
+                let split = ctx.find_split_point(start, end, config);
+                // First half is valid by construction of the split window;
+                // the second half must be re-examined.
+                done.push((start, split));
+                worklist.push((split, end));
+            }
+        }
+        done.sort_unstable();
+        for (s, e) in done {
+            ranges.push((block.id(), s, e));
+        }
+    }
+    ranges
+        .into_iter()
+        .enumerate()
+        .map(|(i, (b, s, e))| {
+            let ctx = BlockCtx { kernel, liveness, block: b };
+            ctx.build(RegionId(i as u32), s, e)
+        })
+        .collect()
+}
+
+/// Convenience: compute liveness then regions.
+pub fn regions_for(kernel: &Kernel, config: &RegionConfig) -> (Liveness, Vec<Region>) {
+    let dom = DomInfo::compute(kernel);
+    let liveness = Liveness::compute(kernel, &dom);
+    let regions = create_regions(kernel, &liveness, config);
+    (liveness, regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regless_isa::KernelBuilder;
+
+    fn compile(k: &Kernel, config: &RegionConfig) -> (Liveness, Vec<Region>) {
+        regions_for(k, config)
+    }
+
+    /// A load and its use must land in different regions.
+    #[test]
+    fn load_use_split() {
+        let mut b = KernelBuilder::new("loaduse");
+        let i = b.thread_idx();
+        let v = b.ld_global(i);
+        let w = b.iadd(v, v);
+        b.st_global(w, i);
+        b.exit();
+        let k = b.finish().unwrap();
+        let (_, regions) = compile(&k, &RegionConfig::default());
+        assert!(regions.len() >= 2, "expected a split, got {regions:#?}");
+        for r in &regions {
+            let ctx_pairs = r.len(); // sanity: regions are non-empty
+            assert!(ctx_pairs > 0);
+        }
+        // The load's destination must be an input of a later region.
+        let user = regions
+            .iter()
+            .find(|r| r.inputs().contains(regless_isa::Reg(1)))
+            .expect("some region takes the loaded value as input");
+        assert!(user.start() >= 2);
+    }
+
+    #[test]
+    fn load_use_split_can_be_disabled() {
+        let mut b = KernelBuilder::new("loaduse2");
+        let i = b.thread_idx();
+        let v = b.ld_global(i);
+        let w = b.iadd(v, v);
+        b.st_global(w, i);
+        b.exit();
+        let k = b.finish().unwrap();
+        let config = RegionConfig { split_load_use: false, ..RegionConfig::default() };
+        let (_, regions) = compile(&k, &config);
+        assert_eq!(regions.len(), 1);
+    }
+
+    /// Interior registers never appear as inputs or outputs.
+    #[test]
+    fn classification_is_partition() {
+        let mut b = KernelBuilder::new("classify");
+        let x = b.movi(3);
+        let y = b.movi(4);
+        let t = b.iadd(x, y); // interior if consumed below
+        let u = b.imul(t, t);
+        b.st_global(u, x);
+        b.exit();
+        let k = b.finish().unwrap();
+        let (_, regions) = compile(&k, &RegionConfig::default());
+        assert_eq!(regions.len(), 1);
+        let r = &regions[0];
+        assert!(r.inputs().is_empty());
+        assert!(r.outputs().is_empty());
+        assert_eq!(r.interior().len(), 4);
+        assert!(!r.interior().intersects(r.inputs()));
+    }
+
+    /// Register pressure above the limit forces a split at a low-liveness
+    /// seam.
+    #[test]
+    fn pressure_split() {
+        let mut b = KernelBuilder::new("pressure");
+        // Build a deep expression: 10 independent values, then a reduction.
+        let vals: Vec<_> = (0..10).map(|i| b.movi(i)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.iadd(acc, v);
+        }
+        // Low-liveness seam here: only `acc` lives.
+        let vals2: Vec<_> = (0..10).map(|i| b.movi(100 + i)).collect();
+        let mut acc2 = vals2[0];
+        for &v in &vals2[1..] {
+            acc2 = b.iadd(acc2, v);
+        }
+        let out = b.iadd(acc, acc2);
+        b.st_global(out, out);
+        b.exit();
+        let k = b.finish().unwrap();
+        let config = RegionConfig { max_regs_per_region: 8, ..RegionConfig::default() };
+        let (_, regions) = compile(&k, &config);
+        assert!(regions.len() >= 2);
+        for r in &regions {
+            assert!(r.max_concurrent() <= 8, "region {:?} too big", r.id());
+        }
+    }
+
+    /// Regions tile each block exactly.
+    #[test]
+    fn regions_tile_blocks() {
+        let mut b = KernelBuilder::new("tile");
+        let next = b.new_block();
+        let i = b.thread_idx();
+        let v = b.ld_global(i);
+        b.jmp(next);
+        b.select(next);
+        let w = b.iadd(v, v);
+        b.st_global(w, i);
+        b.exit();
+        let k = b.finish().unwrap();
+        let (_, regions) = compile(&k, &RegionConfig::default());
+        for block in k.blocks() {
+            let mut covered = vec![false; block.len()];
+            for r in regions.iter().filter(|r| r.block() == block.id()) {
+                for (i, c) in covered.iter_mut().enumerate().take(r.end()).skip(r.start()) {
+                    assert!(!*c, "overlap at {}:{}", block.id(), i);
+                    *c = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "gap in {}", block.id());
+        }
+    }
+
+    /// Preloads whose value dies in the region are invalidating reads.
+    #[test]
+    fn invalidating_preloads() {
+        let mut b = KernelBuilder::new("inval");
+        let next = b.new_block();
+        let x = b.movi(1);
+        let y = b.movi(2);
+        b.jmp(next);
+        b.select(next);
+        let _ = b.iadd(x, y); // last use of both x and y
+        b.exit();
+        let k = b.finish().unwrap();
+        let (_, regions) = compile(&k, &RegionConfig::default());
+        let second = regions.iter().find(|r| r.block() == next).unwrap();
+        assert_eq!(second.preloads().len(), 2);
+        assert!(second.preloads().iter().all(|p| p.invalidate));
+    }
+
+    /// A value still live after the region gets a non-invalidating preload.
+    #[test]
+    fn persistent_preload_not_invalidating() {
+        let mut b = KernelBuilder::new("persist");
+        let mid = b.new_block();
+        let last = b.new_block();
+        let x = b.movi(1);
+        b.jmp(mid);
+        b.select(mid);
+        let _ = b.iadd(x, x);
+        b.jmp(last);
+        b.select(last);
+        let _ = b.imul(x, x);
+        b.exit();
+        let k = b.finish().unwrap();
+        let (_, regions) = compile(&k, &RegionConfig::default());
+        let mid_region = regions.iter().find(|r| r.block() == mid).unwrap();
+        let p = mid_region.preloads().iter().find(|p| p.reg == x).unwrap();
+        assert!(!p.invalidate, "x is used again later");
+        let last_region = regions.iter().find(|r| r.block() == last).unwrap();
+        let p = last_region.preloads().iter().find(|p| p.reg == x).unwrap();
+        assert!(p.invalidate, "final use invalidates");
+    }
+
+    #[test]
+    fn bank_usage_respects_limit() {
+        let mut b = KernelBuilder::new("banks");
+        let vals: Vec<_> = (0..32).map(|i| b.movi(i)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.iadd(acc, v);
+        }
+        b.st_global(acc, acc);
+        b.exit();
+        let k = b.finish().unwrap();
+        let config = RegionConfig {
+            max_regs_per_region: 64,
+            max_regs_per_bank: 3,
+            ..RegionConfig::default()
+        };
+        let (_, regions) = compile(&k, &config);
+        for r in &regions {
+            assert!(r.bank_usage().iter().all(|&u| u <= 3));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Dense bit-sets over architectural registers.
+
+use regless_isa::Reg;
+use std::fmt;
+
+/// A set of registers, stored as a dense bitmap.
+///
+/// All dataflow analyses in this crate (liveness, region input/output
+/// computation) operate on register sets; a bitmap keeps the fixed-point
+/// iterations cheap and allocation-free in the inner loop.
+///
+/// ```
+/// use regless_compiler::RegSet;
+/// use regless_isa::Reg;
+/// let mut s = RegSet::new(64);
+/// s.insert(Reg(3));
+/// s.insert(Reg(40));
+/// assert!(s.contains(Reg(3)));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![Reg(3), Reg(40)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RegSet {
+    words: Vec<u64>,
+    num_regs: usize,
+}
+
+impl RegSet {
+    /// Empty set over a register space of `num_regs` registers.
+    pub fn new(num_regs: usize) -> Self {
+        RegSet { words: vec![0; num_regs.div_ceil(64)], num_regs }
+    }
+
+    /// The size of the register space (not the cardinality).
+    pub fn universe(&self) -> usize {
+        self.num_regs
+    }
+
+    #[inline]
+    fn index(&self, reg: Reg) -> (usize, u64) {
+        let i = reg.index();
+        assert!(i < self.num_regs, "register {reg} outside universe {}", self.num_regs);
+        (i / 64, 1u64 << (i % 64))
+    }
+
+    /// Insert a register; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is outside the set's universe.
+    pub fn insert(&mut self, reg: Reg) -> bool {
+        let (w, bit) = self.index(reg);
+        let newly = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        newly
+    }
+
+    /// Remove a register; returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is outside the set's universe.
+    pub fn remove(&mut self, reg: Reg) -> bool {
+        let (w, bit) = self.index(reg);
+        let present = self.words[w] & bit != 0;
+        self.words[w] &= !bit;
+        present
+    }
+
+    /// Membership test. Registers outside the universe are never members.
+    pub fn contains(&self, reg: Reg) -> bool {
+        let i = reg.index();
+        i < self.num_regs && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∪= other`; returns whether `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        assert_eq!(self.num_regs, other.num_regs, "universe mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn subtract(&mut self, other: &RegSet) {
+        assert_eq!(self.num_regs, other.num_regs, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `self ∩= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &RegSet) {
+        assert_eq!(self.num_regs, other.num_regs, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Whether `self ∩ other` is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersects(&self, other: &RegSet) -> bool {
+        assert_eq!(self.num_regs, other.num_regs, "universe mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterate over members in increasing register order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(Reg((wi * 64 + b) as u16))
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    /// Collect registers into a set whose universe is just large enough.
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> Self {
+        let regs: Vec<Reg> = iter.into_iter().collect();
+        let max = regs.iter().map(|r| r.index() + 1).max().unwrap_or(0);
+        let mut set = RegSet::new(max.max(1));
+        for r in regs {
+            set.insert(r);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RegSet::new(130);
+        assert!(s.insert(Reg(129)));
+        assert!(!s.insert(Reg(129)));
+        assert!(s.contains(Reg(129)));
+        assert!(s.remove(Reg(129)));
+        assert!(!s.remove(Reg(129)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = RegSet::new(16);
+        let mut b = RegSet::new(16);
+        a.insert(Reg(1));
+        a.insert(Reg(2));
+        b.insert(Reg(2));
+        b.insert(Reg(3));
+        assert!(a.intersects(&b));
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.len(), 3);
+        assert!(!u.union_with(&b)); // idempotent
+        let mut d = u.clone();
+        d.subtract(&a);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![Reg(3)]);
+        let mut i = u.clone();
+        i.intersect_with(&a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn iter_order_and_from_iter() {
+        let s: RegSet = [Reg(9), Reg(0), Reg(63), Reg(64)].into_iter().collect();
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![Reg(0), Reg(9), Reg(63), Reg(64)]
+        );
+    }
+
+    #[test]
+    fn out_of_universe_contains_is_false() {
+        let s = RegSet::new(4);
+        assert!(!s.contains(Reg(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_insert_panics() {
+        RegSet::new(4).insert(Reg(4));
+    }
+}

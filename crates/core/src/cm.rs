@@ -1,0 +1,357 @@
+//! The capacity manager (paper §5.1, Figure 9).
+//!
+//! One CM fronts each warp scheduler. It tracks a per-warp state machine
+//! (inactive → preloading → active → draining → inactive), keeps inactive
+//! warps on a LIFO **warp stack** (the top warp ran most recently, so its
+//! outputs are most likely still staged), and maintains per-bank budget
+//! counters so that the regions it admits never need more OSU lines than
+//! exist.
+
+use regless_compiler::{RegionId, NUM_BANKS};
+
+/// Order in which drained warps re-enter the activation queue.
+///
+/// The paper's design is LIFO (a warp stack): the most recently drained
+/// warp activates next, so its outputs are most likely still staged. FIFO
+/// is provided as the `ablation_warp_order` comparison point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub enum ActivationOrder {
+    /// Warp stack (paper §5.1).
+    #[default]
+    Lifo,
+    /// Round-robin queue.
+    Fifo,
+}
+
+/// Per-warp scheduling phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WarpPhase {
+    /// On the warp stack with no OSU allocation.
+    Inactive,
+    /// Registers being assembled for `region`.
+    Preloading(RegionId),
+    /// Eligible to issue instructions from `region`.
+    Active(RegionId),
+    /// Issued its last instruction of `region`; waiting for outstanding
+    /// writebacks before releasing the allocation.
+    Draining(RegionId),
+    /// Exited the kernel.
+    Finished,
+}
+
+/// The capacity manager for one scheduler shard.
+///
+/// ```
+/// use regless_core::{CapacityManager, WarpPhase};
+/// use regless_compiler::RegionId;
+///
+/// let mut cm = CapacityManager::new(&[0, 1], 2, 16);
+/// // Admit the top warp for a region needing one line per bank.
+/// let (w, region) = cm
+///     .try_start_preload(|_| Some((RegionId(0), [1; 8])))
+///     .expect("fits");
+/// assert_eq!(cm.phase(w), WarpPhase::Preloading(region));
+/// cm.activate(w);
+/// cm.begin_drain(w, [0; 8]);
+/// assert!(cm.try_finish_drain(w, false));
+/// assert_eq!(cm.phase(w), WarpPhase::Inactive);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CapacityManager {
+    phases: Vec<WarpPhase>,
+    /// LIFO stack of inactive warps (`last()` is the top).
+    stack: Vec<usize>,
+    /// Budgeted lines per bank across preloading + active + draining warps.
+    committed: [usize; NUM_BANKS],
+    /// Reservation of each warp's current region, for release.
+    reservation: Vec<[usize; NUM_BANKS]>,
+    /// Writebacks still in flight per warp.
+    outstanding: Vec<usize>,
+    lines_per_bank: usize,
+    order: ActivationOrder,
+}
+
+impl CapacityManager {
+    /// A CM supervising the given SM-local warp ids. The lowest id starts
+    /// on top of the stack.
+    pub fn new(warps: &[usize], num_warps_total: usize, lines_per_bank: usize) -> Self {
+        Self::with_order(warps, num_warps_total, lines_per_bank, ActivationOrder::Lifo)
+    }
+
+    /// As [`CapacityManager::new`], selecting the re-activation order.
+    pub fn with_order(
+        warps: &[usize],
+        num_warps_total: usize,
+        lines_per_bank: usize,
+        order: ActivationOrder,
+    ) -> Self {
+        let mut stack: Vec<usize> = warps.to_vec();
+        stack.sort_unstable();
+        stack.reverse(); // lowest id on top
+        CapacityManager {
+            phases: vec![WarpPhase::Inactive; num_warps_total],
+            stack,
+            committed: [0; NUM_BANKS],
+            reservation: vec![[0; NUM_BANKS]; num_warps_total],
+            outstanding: vec![0; num_warps_total],
+            lines_per_bank,
+            order,
+        }
+    }
+
+    /// The warp's current phase.
+    pub fn phase(&self, w: usize) -> WarpPhase {
+        self.phases[w]
+    }
+
+    /// Whether `usage` fits the remaining budget.
+    pub fn fits(&self, usage: &[usize; NUM_BANKS]) -> bool {
+        (0..NUM_BANKS).all(|b| self.committed[b] + usage[b] <= self.lines_per_bank)
+    }
+
+    /// Try to start preloading for the topmost stack warp that is not
+    /// blocked. Returns the chosen warp if one was admitted.
+    ///
+    /// `next` maps a warp to its next region's id and (rotated) bank usage;
+    /// `None` means the warp cannot run now (at a barrier). Warps for which
+    /// `next` reports `None` are skipped but stay stacked; a warp that
+    /// fits is popped and committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a region can never fit (its usage exceeds the bank
+    /// capacity outright) — a compiler/configuration mismatch.
+    pub fn try_start_preload(
+        &mut self,
+        mut next: impl FnMut(usize) -> Option<(RegionId, [usize; NUM_BANKS])>,
+    ) -> Option<(usize, RegionId)> {
+        // Scan from the top for the first admissible warp.
+        for pos in (0..self.stack.len()).rev() {
+            let w = self.stack[pos];
+            let Some((region, usage)) = next(w) else { continue };
+            if !self.fits(&usage) {
+                assert!(
+                    usage.iter().all(|&u| u <= self.lines_per_bank),
+                    "region {region:?} needs {usage:?} lines but banks hold only {}",
+                    self.lines_per_bank
+                );
+                // Capacity will free as active warps drain; do not bypass
+                // (preserves the stack's locality order).
+                return None;
+            }
+            self.stack.remove(pos);
+            for (c, &u) in self.committed.iter_mut().zip(usage.iter()) {
+                *c += u;
+            }
+            self.reservation[w] = usage;
+            self.phases[w] = WarpPhase::Preloading(region);
+            return Some((w, region));
+        }
+        None
+    }
+
+    /// All preloads for `w` completed: the warp becomes active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp is not preloading.
+    pub fn activate(&mut self, w: usize) -> RegionId {
+        match self.phases[w] {
+            WarpPhase::Preloading(r) => {
+                self.phases[w] = WarpPhase::Active(r);
+                r
+            }
+            other => panic!("activate on warp {w} in phase {other:?}"),
+        }
+    }
+
+    /// A real instruction issued from `w`; `has_dst` tracks outstanding
+    /// writebacks for draining.
+    pub fn note_issue(&mut self, w: usize, has_dst: bool) {
+        if has_dst {
+            self.outstanding[w] += 1;
+        }
+    }
+
+    /// A writeback for `w` landed.
+    pub fn note_writeback(&mut self, w: usize) {
+        self.outstanding[w] = self.outstanding[w].saturating_sub(1);
+    }
+
+    /// Writebacks still in flight for `w`.
+    pub fn outstanding(&self, w: usize) -> usize {
+        self.outstanding[w]
+    }
+
+    /// The warp left its region (PC moved on) — begin draining.
+    ///
+    /// Most of the region's reservation is released immediately; only
+    /// `still_pending` lines per bank (registers with writebacks in
+    /// flight) stay budgeted until they land (paper §5.1: "any other
+    /// registers that were allocated to that region can be freed for other
+    /// warps, but the pending register must stay allocated").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp is not active, or if `still_pending` exceeds the
+    /// region's reservation in some bank.
+    pub fn begin_drain(&mut self, w: usize, still_pending: [usize; NUM_BANKS]) {
+        match self.phases[w] {
+            WarpPhase::Active(r) => self.phases[w] = WarpPhase::Draining(r),
+            other => panic!("begin_drain on warp {w} in phase {other:?}"),
+        }
+        for (b, &pending) in still_pending.iter().enumerate() {
+            // Pending lines can exceed the per-bank reservation only if the
+            // reservation model was violated; clamp rather than underflow.
+            let keep = pending.min(self.reservation[w][b]);
+            self.committed[b] -= self.reservation[w][b] - keep;
+            self.reservation[w][b] = keep;
+        }
+    }
+
+    /// A pending writeback landed while `w` was draining: its line is now
+    /// released, shrinking the held reservation.
+    pub fn note_drain_release(&mut self, w: usize, bank: usize) {
+        if self.reservation[w][bank] > 0 {
+            self.reservation[w][bank] -= 1;
+            self.committed[bank] -= 1;
+        }
+    }
+
+    /// If `w` is draining with no outstanding writebacks, release its
+    /// reservation. `finished` tells the CM whether the warp exited (it is
+    /// then not restacked). Returns whether the drain completed now.
+    pub fn try_finish_drain(&mut self, w: usize, finished: bool) -> bool {
+        let WarpPhase::Draining(_) = self.phases[w] else { return false };
+        if self.outstanding[w] > 0 {
+            return false;
+        }
+        for b in 0..NUM_BANKS {
+            self.committed[b] -= self.reservation[w][b];
+        }
+        self.reservation[w] = [0; NUM_BANKS];
+        if finished {
+            self.phases[w] = WarpPhase::Finished;
+        } else {
+            self.phases[w] = WarpPhase::Inactive;
+            match self.order {
+                // Most recently run → top: its outputs are still staged.
+                ActivationOrder::Lifo => self.stack.push(w),
+                // Round-robin: go to the back of the line.
+                ActivationOrder::Fifo => self.stack.insert(0, w),
+            }
+        }
+        true
+    }
+
+    /// Lines committed in one bank (diagnostics).
+    pub fn committed(&self, bank: usize) -> usize {
+        self.committed[bank]
+    }
+
+    /// Warps currently stacked (top last).
+    pub fn stack(&self) -> &[usize] {
+        &self.stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(n: usize) -> [usize; NUM_BANKS] {
+        [n; NUM_BANKS]
+    }
+
+    fn cm() -> CapacityManager {
+        CapacityManager::new(&[0, 2, 4], 6, 8)
+    }
+
+    #[test]
+    fn lowest_warp_starts_on_top() {
+        let c = cm();
+        assert_eq!(c.stack(), &[4, 2, 0]);
+    }
+
+    #[test]
+    fn admission_and_budget() {
+        let mut c = cm();
+        let got = c.try_start_preload(|w| Some((RegionId(w as u32), usage(5))));
+        assert_eq!(got, Some((0, RegionId(0))));
+        assert_eq!(c.phase(0), WarpPhase::Preloading(RegionId(0)));
+        assert_eq!(c.committed(0), 5);
+        // Next warp needs 5 more but only 3 remain: denied, stack intact.
+        let got = c.try_start_preload(|w| Some((RegionId(w as u32), usage(5))));
+        assert_eq!(got, None);
+        assert_eq!(c.stack(), &[4, 2]);
+    }
+
+    #[test]
+    fn blocked_top_is_skipped() {
+        let mut c = cm();
+        // Warp 0 (top) is at a barrier: skip to warp 2.
+        let got = c.try_start_preload(|w| {
+            if w == 0 {
+                None
+            } else {
+                Some((RegionId(9), usage(1)))
+            }
+        });
+        assert_eq!(got, Some((2, RegionId(9))));
+        assert!(c.stack().contains(&0), "blocked warp stays stacked");
+    }
+
+    #[test]
+    fn full_lifecycle_releases_budget() {
+        let mut c = cm();
+        let (w, _) = c.try_start_preload(|_| Some((RegionId(1), usage(4)))).unwrap();
+        c.activate(w);
+        assert_eq!(c.phase(w), WarpPhase::Active(RegionId(1)));
+        c.note_issue(w, true);
+        c.note_issue(w, false);
+        // One register (in bank 0) still has a writeback in flight: the
+        // rest of the reservation is released at drain start.
+        let mut pending = [0; NUM_BANKS];
+        pending[0] = 1;
+        c.begin_drain(w, pending);
+        assert_eq!(c.committed(0), 1, "partial release keeps only pending lines");
+        assert_eq!(c.committed(1), 0);
+        assert!(!c.try_finish_drain(w, false), "writeback still pending");
+        c.note_writeback(w);
+        assert!(c.try_finish_drain(w, false));
+        assert_eq!(c.phase(w), WarpPhase::Inactive);
+        assert_eq!(c.committed(0), 0);
+        // The drained warp is back on top.
+        assert_eq!(*c.stack().last().unwrap(), w);
+    }
+
+    #[test]
+    fn finished_warp_not_restacked() {
+        let mut c = cm();
+        let (w, _) = c.try_start_preload(|_| Some((RegionId(1), usage(1)))).unwrap();
+        c.activate(w);
+        c.begin_drain(w, [0; NUM_BANKS]);
+        assert!(c.try_finish_drain(w, true));
+        assert_eq!(c.phase(w), WarpPhase::Finished);
+        assert!(!c.stack().contains(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn oversized_region_panics() {
+        let mut c = cm();
+        let _ = c.try_start_preload(|_| Some((RegionId(0), usage(99))));
+    }
+
+    #[test]
+    fn lifo_order_preserves_recency() {
+        let mut c = cm();
+        let (w0, _) = c.try_start_preload(|_| Some((RegionId(0), usage(1)))).unwrap();
+        c.activate(w0);
+        c.begin_drain(w0, [0; NUM_BANKS]);
+        c.try_finish_drain(w0, false);
+        // w0 drained last → top of stack again.
+        let (again, _) = c.try_start_preload(|_| Some((RegionId(1), usage(1)))).unwrap();
+        assert_eq!(again, w0);
+    }
+}

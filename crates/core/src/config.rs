@@ -1,0 +1,117 @@
+//! RegLess hardware configuration.
+
+use regless_compiler::{RegionConfig, NUM_BANKS};
+use regless_sim::GpuConfig;
+
+/// Sizing of the RegLess structures in one SM.
+///
+/// The paper's chosen design point is 512 OSU entries per SM — 25 % of the
+/// baseline 2048-entry register file — split across the four scheduler
+/// shards into 8-bank OSUs of 16 lines each.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RegLessConfig {
+    /// Total OSU registers (128-byte lines) per SM, across all shards.
+    pub osu_entries_per_sm: usize,
+    /// Compressed-line cache entries per shard compressor (Table 1 lists
+    /// 48 lines per SM).
+    pub compressor_lines_per_shard: usize,
+    /// Whether the compressor is present (the Figure 16 ablation removes
+    /// it).
+    pub compressor_enabled: bool,
+    /// Re-activation order of drained warps (LIFO in the paper; FIFO is
+    /// the `ablation_warp_order` comparison).
+    pub activation_order: crate::cm::ActivationOrder,
+    /// Pattern subset the compressor matches (ablation).
+    pub compressor_patterns: crate::compressor::PatternSet,
+}
+
+impl RegLessConfig {
+    /// The paper's 512-entry design point.
+    pub fn paper_default() -> Self {
+        RegLessConfig {
+            osu_entries_per_sm: 512,
+            compressor_lines_per_shard: 12,
+            compressor_enabled: true,
+            activation_order: crate::cm::ActivationOrder::Lifo,
+            compressor_patterns: crate::compressor::PatternSet::Full,
+        }
+    }
+
+    /// A design with `entries` OSU registers per SM (the Figure 11–13
+    /// capacity sweep uses 128…2048).
+    pub fn with_capacity(entries: usize) -> Self {
+        RegLessConfig { osu_entries_per_sm: entries, ..Self::paper_default() }
+    }
+
+    /// Lines per OSU bank for a given GPU shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity does not divide evenly into at least one
+    /// line per bank per shard.
+    pub fn lines_per_bank(&self, gpu: &GpuConfig) -> usize {
+        let per_shard = self.osu_entries_per_sm / gpu.schedulers_per_sm;
+        let lines = per_shard / NUM_BANKS;
+        assert!(
+            lines > 0,
+            "OSU capacity {} too small for {} shards of {} banks",
+            self.osu_entries_per_sm,
+            gpu.schedulers_per_sm,
+            NUM_BANKS
+        );
+        lines
+    }
+
+    /// The region-creation limits matched to this OSU shape: a region may
+    /// claim at most half a bank (minimum 4 registers, the widest single
+    /// instruction) and at most an eighth of the shard's lines, "so that
+    /// one region cannot take up too large a fraction of the OSU and limit
+    /// concurrency" (paper §4.2).
+    pub fn region_config(&self, gpu: &GpuConfig) -> RegionConfig {
+        let lines_per_bank = self.lines_per_bank(gpu);
+        let per_shard = lines_per_bank * NUM_BANKS;
+        RegionConfig {
+            max_regs_per_region: (per_shard / 8).clamp(5, 24),
+            max_regs_per_bank: (lines_per_bank / 2).clamp(4, lines_per_bank),
+            ..RegionConfig::default()
+        }
+    }
+}
+
+impl Default for RegLessConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point() {
+        let c = RegLessConfig::paper_default();
+        let gpu = GpuConfig::gtx980();
+        // 512 entries / 4 shards / 8 banks = 16 lines per bank.
+        assert_eq!(c.lines_per_bank(&gpu), 16);
+        let rc = c.region_config(&gpu);
+        assert_eq!(rc.max_regs_per_bank, 8);
+        assert_eq!(rc.max_regs_per_region, 16);
+    }
+
+    #[test]
+    fn small_capacity_tightens_regions() {
+        let c = RegLessConfig::with_capacity(128);
+        let gpu = GpuConfig::gtx980();
+        assert_eq!(c.lines_per_bank(&gpu), 4);
+        let rc = c.region_config(&gpu);
+        assert_eq!(rc.max_regs_per_bank, 4);
+        assert_eq!(rc.max_regs_per_region, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn degenerate_capacity_panics() {
+        RegLessConfig::with_capacity(16).lines_per_bank(&GpuConfig::gtx980());
+    }
+}

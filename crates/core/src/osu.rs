@@ -1,0 +1,460 @@
+//! The operand staging unit (paper §5.2).
+//!
+//! Each scheduler shard owns one OSU of [`NUM_BANKS`] banks. A bank holds
+//! 128-byte lines, each staging one (warp, register) value, with a tag
+//! store and three allocation lists: **free** (empty), **clean** (evictable,
+//! unchanged since last read from memory), and **dirty** (evictable,
+//! modified). Allocation takes free lines first, then clean (dropped
+//! silently — memory still has the value), then dirty (which must be
+//! spilled through the compressor/L1).
+
+use regless_compiler::NUM_BANKS;
+use regless_isa::{LaneVec, Reg};
+use std::collections::HashMap;
+
+/// Lifecycle state of one OSU line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LineState {
+    Free,
+    /// Held by an active or preloading region; not evictable.
+    Active,
+    /// Not referenced by any active region; reusable.
+    Evictable,
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    warp: usize,
+    reg: Reg,
+    value: LaneVec,
+    state: LineState,
+    dirty: bool,
+    /// Sequence number of the release that made this line evictable; the
+    /// clean and dirty lists are FIFO queues (paper Figure 10), so victims
+    /// are the *oldest* released lines — recently drained registers stay
+    /// staged for their warp's next region.
+    released_seq: u64,
+}
+
+impl Line {
+    fn free() -> Self {
+        Line {
+            warp: 0,
+            reg: Reg(0),
+            value: LaneVec::zero(),
+            state: LineState::Free,
+            dirty: false,
+            released_seq: 0,
+        }
+    }
+}
+
+/// A dirty line displaced by an allocation; the caller must spill it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Owning warp (SM-local index).
+    pub warp: usize,
+    /// Architectural register.
+    pub reg: Reg,
+    /// The value to spill.
+    pub value: LaneVec,
+}
+
+/// The bank a (warp, register) pair maps to: the low bits of their sum
+/// (paper §5.2). The warp offset rotates the compiler's per-bank usage
+/// vector without changing its shape.
+#[inline]
+pub fn runtime_bank(warp: usize, reg: Reg) -> usize {
+    (warp + reg.index()) % NUM_BANKS
+}
+
+#[derive(Clone, Debug)]
+struct Bank {
+    lines: Vec<Line>,
+    tags: HashMap<(usize, Reg), usize>,
+}
+
+impl Bank {
+    fn new(lines: usize) -> Self {
+        Bank { lines: vec![Line::free(); lines], tags: HashMap::new() }
+    }
+
+    fn find_victim(&self) -> Option<(usize, bool)> {
+        // free → oldest clean → oldest dirty.
+        if let Some(i) = self.lines.iter().position(|l| l.state == LineState::Free) {
+            return Some((i, false));
+        }
+        let oldest = |dirty: bool| {
+            self.lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.state == LineState::Evictable && l.dirty == dirty)
+                .min_by_key(|(_, l)| l.released_seq)
+                .map(|(i, _)| i)
+        };
+        if let Some(i) = oldest(false) {
+            return Some((i, false));
+        }
+        oldest(true).map(|i| (i, true))
+    }
+}
+
+/// One shard's operand staging unit.
+///
+/// ```
+/// use regless_core::Osu;
+/// use regless_isa::{LaneVec, Reg};
+///
+/// let mut osu = Osu::new(16);
+/// osu.write(0, Reg(3), LaneVec::splat(7));        // active line
+/// assert_eq!(osu.read(0, Reg(3)), Some(LaneVec::splat(7)));
+/// osu.release(0, Reg(3));                          // evictable (dirty)
+/// assert!(osu.promote(0, Reg(3)), "preload hit re-activates it");
+/// osu.erase(0, Reg(3));                            // dead: line freed
+/// assert!(!osu.contains(0, Reg(3)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Osu {
+    banks: Vec<Bank>,
+    lines_per_bank: usize,
+    release_seq: u64,
+}
+
+/// Outcome of installing a value (write or preload fill).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InstallResult {
+    /// Whether a fresh line had to be allocated (vs. updating in place).
+    pub allocated: bool,
+    /// A displaced dirty line that must be spilled, if any.
+    pub spilled: Option<EvictedLine>,
+    /// The allocation failed: every line in the bank is active. The caller
+    /// counts this against the reservation model (it should not happen when
+    /// budgets are respected).
+    pub failed: bool,
+}
+
+impl Osu {
+    /// An OSU with `lines_per_bank` lines in each of its banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines_per_bank` is zero.
+    pub fn new(lines_per_bank: usize) -> Self {
+        assert!(lines_per_bank > 0, "OSU banks need at least one line");
+        Osu {
+            banks: (0..NUM_BANKS).map(|_| Bank::new(lines_per_bank)).collect(),
+            lines_per_bank,
+            release_seq: 0,
+        }
+    }
+
+    /// Lines per bank.
+    pub fn lines_per_bank(&self) -> usize {
+        self.lines_per_bank
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.lines_per_bank * NUM_BANKS
+    }
+
+    /// Whether the register is resident (any state but free).
+    pub fn contains(&self, warp: usize, reg: Reg) -> bool {
+        let b = runtime_bank(warp, reg);
+        self.banks[b].tags.contains_key(&(warp, reg))
+    }
+
+    /// Read a staged value (does not change state).
+    pub fn read(&self, warp: usize, reg: Reg) -> Option<LaneVec> {
+        let b = runtime_bank(warp, reg);
+        let bank = &self.banks[b];
+        bank.tags.get(&(warp, reg)).map(|&i| bank.lines[i].value)
+    }
+
+    /// Write a value from an executing region: updates in place or
+    /// allocates a new **active** line; the line becomes dirty.
+    pub fn write(&mut self, warp: usize, reg: Reg, value: LaneVec) -> InstallResult {
+        self.install(warp, reg, value, true)
+    }
+
+    /// Install a preloaded value: allocates an **active** line marked clean
+    /// (the memory hierarchy holds the same value).
+    pub fn fill(&mut self, warp: usize, reg: Reg, value: LaneVec) -> InstallResult {
+        self.install(warp, reg, value, false)
+    }
+
+    fn install(&mut self, warp: usize, reg: Reg, value: LaneVec, dirty: bool) -> InstallResult {
+        let b = runtime_bank(warp, reg);
+        let bank = &mut self.banks[b];
+        if let Some(&i) = bank.tags.get(&(warp, reg)) {
+            let line = &mut bank.lines[i];
+            line.value = value;
+            line.dirty |= dirty;
+            line.state = LineState::Active;
+            return InstallResult { allocated: false, spilled: None, failed: false };
+        }
+        let Some((victim, victim_dirty)) = bank.find_victim() else {
+            return InstallResult { allocated: false, spilled: None, failed: true };
+        };
+        let spilled = if victim_dirty {
+            let v = &bank.lines[victim];
+            Some(EvictedLine { warp: v.warp, reg: v.reg, value: v.value })
+        } else {
+            None
+        };
+        if bank.lines[victim].state != LineState::Free {
+            let key = (bank.lines[victim].warp, bank.lines[victim].reg);
+            bank.tags.remove(&key);
+        }
+        bank.lines[victim] = Line {
+            warp,
+            reg,
+            value,
+            state: LineState::Active,
+            dirty,
+            released_seq: 0,
+        };
+        bank.tags.insert((warp, reg), victim);
+        InstallResult { allocated: true, spilled, failed: false }
+    }
+
+    /// Promote a resident (evictable) line back to active for a preload
+    /// hit. Returns `false` if the register is not resident.
+    pub fn promote(&mut self, warp: usize, reg: Reg) -> bool {
+        let b = runtime_bank(warp, reg);
+        let bank = &mut self.banks[b];
+        match bank.tags.get(&(warp, reg)) {
+            Some(&i) => {
+                bank.lines[i].state = LineState::Active;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Free a line outright (erase annotation / invalidating read).
+    pub fn erase(&mut self, warp: usize, reg: Reg) {
+        let b = runtime_bank(warp, reg);
+        let bank = &mut self.banks[b];
+        if let Some(i) = bank.tags.remove(&(warp, reg)) {
+            bank.lines[i] = Line::free();
+        }
+    }
+
+    /// Make a line evictable (region released it); keeps the dirty bit.
+    pub fn release(&mut self, warp: usize, reg: Reg) {
+        self.release_seq += 1;
+        let seq = self.release_seq;
+        let b = runtime_bank(warp, reg);
+        let bank = &mut self.banks[b];
+        if let Some(&i) = bank.tags.get(&(warp, reg)) {
+            bank.lines[i].state = LineState::Evictable;
+            bank.lines[i].released_seq = seq;
+        }
+    }
+
+    /// Release every active line of a warp (drain completion); returns the
+    /// released registers.
+    pub fn release_warp(&mut self, warp: usize) -> Vec<Reg> {
+        self.release_warp_except(warp, |_| false)
+    }
+
+    /// Release a warp's active lines except those for which `keep` returns
+    /// true (lines with writebacks still in flight stay allocated during a
+    /// drain). Returns the released registers.
+    pub fn release_warp_except(
+        &mut self,
+        warp: usize,
+        keep: impl Fn(Reg) -> bool,
+    ) -> Vec<Reg> {
+        self.release_seq += 1;
+        let seq = self.release_seq;
+        let mut released = Vec::new();
+        for bank in &mut self.banks {
+            for line in &mut bank.lines {
+                if line.state == LineState::Active && line.warp == warp && !keep(line.reg) {
+                    line.state = LineState::Evictable;
+                    line.released_seq = seq;
+                    released.push(line.reg);
+                }
+            }
+        }
+        released
+    }
+
+    /// Number of non-active (allocatable) lines in a bank.
+    pub fn allocatable(&self, bank: usize) -> usize {
+        self.banks[bank]
+            .lines
+            .iter()
+            .filter(|l| l.state != LineState::Active)
+            .count()
+    }
+
+    /// Number of active lines across the OSU (for tests/diagnostics).
+    pub fn active_lines(&self) -> usize {
+        self.banks
+            .iter()
+            .flat_map(|b| &b.lines)
+            .filter(|l| l.state == LineState::Active)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut osu = Osu::new(4);
+        let r = osu.write(0, Reg(3), LaneVec::splat(7));
+        assert!(r.allocated && r.spilled.is_none() && !r.failed);
+        assert_eq!(osu.read(0, Reg(3)), Some(LaneVec::splat(7)));
+        assert_eq!(osu.active_lines(), 1);
+    }
+
+    #[test]
+    fn fill_is_clean_write_is_dirty() {
+        let mut osu = Osu::new(1);
+        // Fill then displace: clean lines drop silently.
+        osu.fill(0, Reg(0), LaneVec::splat(1));
+        osu.release(0, Reg(0));
+        let r = osu.write(0, Reg(8), LaneVec::splat(2)); // same bank (0+8)%8
+        assert!(r.spilled.is_none(), "clean victim needs no spill");
+        // Dirty line displaced must be returned.
+        osu.release(0, Reg(8));
+        let r = osu.write(8, Reg(0), LaneVec::splat(3)); // bank (8+0)%8 = 0
+        assert_eq!(
+            r.spilled,
+            Some(EvictedLine { warp: 0, reg: Reg(8), value: LaneVec::splat(2) })
+        );
+    }
+
+    #[test]
+    fn allocation_fails_when_bank_full_of_active() {
+        let mut osu = Osu::new(1);
+        osu.write(0, Reg(0), LaneVec::zero());
+        let r = osu.write(0, Reg(8), LaneVec::zero()); // same bank, both active
+        assert!(r.failed);
+    }
+
+    #[test]
+    fn promote_reactivates() {
+        let mut osu = Osu::new(2);
+        osu.write(0, Reg(0), LaneVec::splat(5));
+        osu.release(0, Reg(0));
+        assert_eq!(osu.allocatable(0), 2);
+        assert!(osu.promote(0, Reg(0)));
+        assert_eq!(osu.allocatable(0), 1);
+        assert_eq!(osu.read(0, Reg(0)), Some(LaneVec::splat(5)));
+        assert!(!osu.promote(3, Reg(9)));
+    }
+
+    #[test]
+    fn erase_frees() {
+        let mut osu = Osu::new(2);
+        osu.write(0, Reg(0), LaneVec::zero());
+        osu.erase(0, Reg(0));
+        assert!(!osu.contains(0, Reg(0)));
+        assert_eq!(osu.active_lines(), 0);
+        assert_eq!(osu.allocatable(0), 2);
+    }
+
+    #[test]
+    fn release_warp_releases_only_that_warp() {
+        let mut osu = Osu::new(4);
+        osu.write(0, Reg(0), LaneVec::zero());
+        osu.write(0, Reg(1), LaneVec::zero());
+        osu.write(1, Reg(0), LaneVec::zero());
+        let released = osu.release_warp(0);
+        assert_eq!(released.len(), 2);
+        assert_eq!(osu.active_lines(), 1);
+    }
+
+    #[test]
+    fn free_then_clean_then_dirty_order() {
+        let mut osu = Osu::new(3);
+        // Bank 0: one clean evictable, one dirty evictable, one free.
+        osu.fill(0, Reg(0), LaneVec::splat(1));
+        osu.release(0, Reg(0));
+        osu.write(0, Reg(8), LaneVec::splat(2));
+        osu.release(0, Reg(8));
+        // First alloc takes the free line.
+        let r1 = osu.write(0, Reg(16), LaneVec::splat(3));
+        assert!(r1.spilled.is_none());
+        // Second alloc drops the clean line.
+        let r2 = osu.write(8, Reg(0), LaneVec::splat(4));
+        assert!(r2.spilled.is_none());
+        assert!(!osu.contains(0, Reg(0)), "clean line dropped");
+        // Third alloc spills the dirty line.
+        let r3 = osu.write(8, Reg(8), LaneVec::splat(5));
+        assert_eq!(r3.spilled.as_ref().map(|e| e.reg), Some(Reg(8)));
+    }
+
+    #[test]
+    fn rewrite_in_place_does_not_allocate() {
+        let mut osu = Osu::new(2);
+        osu.write(0, Reg(0), LaneVec::splat(1));
+        let r = osu.write(0, Reg(0), LaneVec::splat(2));
+        assert!(!r.allocated);
+        assert_eq!(osu.read(0, Reg(0)), Some(LaneVec::splat(2)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Write(usize, u16),
+        Fill(usize, u16),
+        Release(usize, u16),
+        Erase(usize, u16),
+        Promote(usize, u16),
+        ReleaseWarp(usize),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        (0usize..4, 0u16..16, 0u8..6).prop_map(|(w, r, k)| match k {
+            0 => Op::Write(w, r),
+            1 => Op::Fill(w, r),
+            2 => Op::Release(w, r),
+            3 => Op::Erase(w, r),
+            4 => Op::Promote(w, r),
+            _ => Op::ReleaseWarp(w),
+        })
+    }
+
+    proptest! {
+        /// The OSU never exceeds capacity and tags always match lines.
+        #[test]
+        fn invariants_hold(ops in proptest::collection::vec(arb_op(), 1..200)) {
+            let mut osu = Osu::new(2);
+            for op in ops {
+                match op {
+                    Op::Write(w, r) => { osu.write(w, Reg(r), LaneVec::splat(r as u32)); }
+                    Op::Fill(w, r) => { osu.fill(w, Reg(r), LaneVec::splat(r as u32)); }
+                    Op::Release(w, r) => osu.release(w, Reg(r)),
+                    Op::Erase(w, r) => osu.erase(w, Reg(r)),
+                    Op::Promote(w, r) => { osu.promote(w, Reg(r)); }
+                    Op::ReleaseWarp(w) => { osu.release_warp(w); }
+                }
+                prop_assert!(osu.active_lines() <= osu.capacity());
+                for b in 0..NUM_BANKS {
+                    prop_assert!(osu.allocatable(b) <= osu.lines_per_bank());
+                }
+            }
+        }
+
+        /// A value written and not displaced reads back exactly.
+        #[test]
+        fn written_values_read_back(w in 0usize..4, r in 0u16..8, v: u32) {
+            let mut osu = Osu::new(4);
+            osu.write(w, Reg(r), LaneVec::splat(v));
+            prop_assert_eq!(osu.read(w, Reg(r)), Some(LaneVec::splat(v)));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Area and nominal-power models for the Figure 11/12 capacity sweeps.
+
+use crate::constants::*;
+use regless_sim::GpuConfig;
+
+/// Area of one RegLess configuration, in arbitrary units comparable to
+/// [`baseline_rf_area`]. Components follow the paper's Figure 11 split.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AreaBreakdown {
+    /// Tag stores, allocation lists, capacity managers.
+    pub logic: f64,
+    /// OSU data arrays.
+    pub storage: f64,
+    /// Compressor (fixed).
+    pub compressor: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    pub fn total(&self) -> f64 {
+        self.logic + self.storage + self.compressor
+    }
+}
+
+/// Area units per byte of SRAM storage.
+const AREA_PER_BYTE: f64 = 1.0;
+/// Logic overhead as a fraction of the storage it manages (tags, lists,
+/// per-bank decoders).
+const LOGIC_FRACTION: f64 = 0.12;
+/// Fixed capacity-manager logic per SM.
+const CM_FIXED: f64 = 4.0 * 1024.0;
+/// Fixed compressor area per SM (pattern matchers + 48-line cache).
+const COMPRESSOR_FIXED: f64 = COMPRESSOR_BYTES_PER_SM as f64 * AREA_PER_BYTE + 2.0 * 1024.0;
+
+/// Area of the baseline register file (data arrays + operand collectors).
+pub fn baseline_rf_area() -> f64 {
+    let storage = RF_BYTES_PER_SM as f64 * AREA_PER_BYTE;
+    storage * (1.0 + 0.15) // collectors/arbitration ≈ 15 %
+}
+
+/// Area of a RegLess configuration with `osu_entries_per_sm` registers.
+pub fn regless_area(osu_entries_per_sm: usize) -> AreaBreakdown {
+    let storage = (osu_entries_per_sm * 128) as f64 * AREA_PER_BYTE;
+    AreaBreakdown {
+        logic: storage * LOGIC_FRACTION + CM_FIXED,
+        storage,
+        compressor: COMPRESSOR_FIXED,
+    }
+}
+
+/// Nominal average power (static + dynamic at a fixed activity factor) of
+/// a RegLess configuration, in pJ/cycle per SM — the Figure 12 sweep.
+///
+/// `accesses_per_cycle` is the assumed operand traffic (the paper's SMs
+/// sustain roughly 3 operand accesses per issued instruction across 4
+/// schedulers).
+pub fn regless_nominal_power(
+    osu_entries_per_sm: usize,
+    gpu: &GpuConfig,
+    accesses_per_cycle: f64,
+) -> f64 {
+    let per_shard = osu_entries_per_sm / gpu.schedulers_per_sm;
+    let bank_bytes = (per_shard / regless_compiler::NUM_BANKS).max(1) * 128;
+    let dynamic = accesses_per_cycle * (sram_access_pj(bank_bytes) + OSU_CROSSBAR_PJ + OSU_TAG_PJ)
+        + 0.2 * COMPRESSOR_MATCH_PJ;
+    let leak = LEAK_PJ_PER_CYCLE_PER_KB
+        * ((osu_entries_per_sm * 128 + COMPRESSOR_BYTES_PER_SM) as f64 / 1024.0);
+    dynamic + leak
+}
+
+/// Nominal average power of the baseline register file under the same
+/// activity.
+pub fn baseline_nominal_power(accesses_per_cycle: f64) -> f64 {
+    let dynamic = accesses_per_cycle * (sram_access_pj(RF_BANK_BYTES) + RF_CROSSBAR_PJ);
+    let leak = LEAK_PJ_PER_CYCLE_PER_KB * (RF_BYTES_PER_SM as f64 / 1024.0);
+    dynamic + leak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_monotone_in_capacity() {
+        let mut last = 0.0;
+        for entries in [128, 192, 256, 384, 512, 1024, 2048] {
+            let a = regless_area(entries).total();
+            assert!(a > last);
+            last = a;
+        }
+    }
+
+    #[test]
+    fn paper_design_point_is_much_smaller() {
+        // 512 entries ≈ 25 % of the 2048-entry RF; with logic and the
+        // compressor the paper's Figure 11 shows ~0.3x.
+        let ratio = regless_area(512).total() / baseline_rf_area();
+        assert!((0.2..0.4).contains(&ratio), "area ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn full_capacity_regless_near_baseline() {
+        let ratio = regless_area(2048).total() / baseline_rf_area();
+        assert!((0.85..1.15).contains(&ratio), "ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn power_monotone_and_below_baseline() {
+        let gpu = GpuConfig::gtx980();
+        let base = baseline_nominal_power(12.0);
+        let mut last = 0.0;
+        for entries in [128, 256, 512, 1024, 2048] {
+            let p = regless_nominal_power(entries, &gpu, 12.0);
+            assert!(p > last);
+            last = p;
+        }
+        let p512 = regless_nominal_power(512, &gpu, 12.0);
+        assert!(p512 < 0.6 * base, "512-entry power {p512:.1} vs baseline {base:.1}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Energy, power, and area models for the RegLess evaluation (paper §6.2–6.3).
+//!
+//! The paper measured power on a placed-and-routed 28 nm netlist driven by
+//! simulation traces, plus GPUWattch for the memory system. This crate
+//! substitutes an analytical event-based model: every simulator counter
+//! (register reads/writes, tag probes, compressor matches, cache and DRAM
+//! accesses, metadata instructions) is multiplied by a per-event energy
+//! whose scaling follows SRAM physics, calibrated so the baseline register
+//! file's share of total GPU energy matches the paper's bound (~16.7 %).
+//! All reported results are ratios, which the calibration preserves.
+//!
+//! ```
+//! use regless_energy::{energy, Design};
+//! use regless_compiler::{compile, RegionConfig};
+//! use regless_isa::KernelBuilder;
+//! use regless_sim::{run_baseline, GpuConfig};
+//! use std::sync::Arc;
+//!
+//! let mut b = KernelBuilder::new("e");
+//! let i = b.thread_idx();
+//! let v = b.iadd(i, i);
+//! b.st_global(v, i);
+//! b.exit();
+//! let compiled = Arc::new(compile(&b.finish()?, &RegionConfig::default())?);
+//! let report = run_baseline(GpuConfig::test_small(), compiled).expect("runs");
+//!
+//! let gpu = GpuConfig::test_small();
+//! let base = energy(&report, Design::Baseline, &gpu);
+//! let bound = energy(&report, Design::NoRf, &gpu);
+//! assert!(bound.total_pj() < base.total_pj());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+
+mod area;
+mod model;
+
+pub use area::{
+    baseline_nominal_power, baseline_rf_area, regless_area, regless_nominal_power,
+    AreaBreakdown,
+};
+pub use model::{baseline_rf_share, energy, Design, EnergyBreakdown};

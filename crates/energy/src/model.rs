@@ -1,0 +1,263 @@
+//! Event-based energy accounting over a [`RunReport`].
+
+use crate::constants::*;
+use regless_sim::{GpuConfig, RunReport};
+
+/// The register-storage design a run used.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Design {
+    /// Full 256 KB register file.
+    Baseline,
+    /// RegLess with the given OSU entries per SM.
+    RegLess {
+        /// Total OSU registers per SM.
+        osu_entries_per_sm: usize,
+    },
+    /// Register-file hierarchy (Gebhart et al.).
+    Rfh,
+    /// Register-file virtualization (Jeon et al.), half-size RF.
+    Rfv,
+    /// Upper bound: the baseline's performance with a register file that
+    /// consumes no energy (§6.3's "No RF" bar).
+    NoRf,
+}
+
+/// Energy totals in pJ, split by component.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct EnergyBreakdown {
+    /// Register storage structures (RF / OSU / LRF+RFC / renamed RF),
+    /// including their leakage, tags, compressors, rename tables.
+    pub register_structures_pj: f64,
+    /// Non-register core energy (fetch/decode/schedule/execute + static).
+    pub core_pj: f64,
+    /// L1 accesses (data + register traffic).
+    pub l1_pj: f64,
+    /// L2 accesses.
+    pub l2_pj: f64,
+    /// DRAM accesses.
+    pub dram_pj: f64,
+    /// Metadata-instruction delivery (RegLess only).
+    pub metadata_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Whole-GPU energy.
+    pub fn total_pj(&self) -> f64 {
+        self.register_structures_pj
+            + self.core_pj
+            + self.l1_pj
+            + self.l2_pj
+            + self.dram_pj
+            + self.metadata_pj
+    }
+}
+
+/// OSU bank size in bytes for a per-SM capacity (4 shards × 8 banks).
+fn osu_bank_bytes(osu_entries_per_sm: usize, gpu: &GpuConfig) -> usize {
+    let per_shard = osu_entries_per_sm / gpu.schedulers_per_sm;
+    (per_shard / regless_compiler::NUM_BANKS).max(1) * 128
+}
+
+/// Compute the energy of one run under `design`.
+pub fn energy(report: &RunReport, design: Design, gpu: &GpuConfig) -> EnergyBreakdown {
+    let t = report.total();
+    let cycles = report.cycles as f64;
+    let sms = gpu.num_sms as f64;
+    let leak = |bytes_per_sm: usize| {
+        cycles * sms * LEAK_PJ_PER_CYCLE_PER_KB * (bytes_per_sm as f64 / 1024.0)
+    };
+
+    let register_structures_pj = match design {
+        Design::Baseline => {
+            let e_access = sram_access_pj(RF_BANK_BYTES) + RF_CROSSBAR_PJ;
+            (t.rf_reads + t.rf_writes) as f64 * e_access + leak(RF_BYTES_PER_SM)
+        }
+        Design::RegLess { osu_entries_per_sm } => {
+            let e_access = sram_access_pj(osu_bank_bytes(osu_entries_per_sm, gpu))
+                + OSU_CROSSBAR_PJ;
+            (t.osu_reads + t.osu_writes) as f64 * e_access
+                + t.osu_tag_probes as f64 * OSU_TAG_PJ
+                + t.compressor_matches as f64 * COMPRESSOR_MATCH_PJ
+                + leak(osu_entries_per_sm * 128 + COMPRESSOR_BYTES_PER_SM)
+        }
+        Design::Rfh => {
+            let e_mrf = sram_access_pj(RF_BANK_BYTES) + RF_CROSSBAR_PJ;
+            (t.rf_reads + t.rf_writes) as f64 * e_mrf
+                + (t.lrf_reads + t.lrf_writes) as f64 * LRF_ACCESS_PJ
+                + (t.rfc_reads + t.rfc_writes) as f64 * RFC_ACCESS_PJ
+                // MRF keeps full capacity; LRF/RFC add a little storage.
+                + leak(RF_BYTES_PER_SM + 8 * 1024)
+        }
+        Design::Rfv => {
+            let e_half =
+                (sram_access_pj(RF_BANK_BYTES) + RF_CROSSBAR_PJ) * RFV_ACCESS_SCALE;
+            (t.rf_reads + t.rf_writes) as f64 * e_half
+                + t.rename_lookups as f64 * RENAME_LOOKUP_PJ
+                + leak(RF_BYTES_PER_SM / 2)
+        }
+        Design::NoRf => 0.0,
+    };
+
+    let core_pj = t.insns as f64 * CORE_INSN_PJ + cycles * sms * CORE_STATIC_PJ_PER_CYCLE;
+    let m = report.mem;
+    EnergyBreakdown {
+        register_structures_pj,
+        core_pj,
+        l1_pj: (m.l1_data_accesses + m.l1_reg_accesses) as f64 * L1_ACCESS_PJ,
+        l2_pj: m.l2_accesses as f64 * L2_ACCESS_PJ,
+        dram_pj: m.dram_accesses as f64 * DRAM_ACCESS_PJ,
+        metadata_pj: t.meta_insns as f64 * METADATA_INSN_PJ,
+    }
+}
+
+/// The register-structure share of GPU energy for a baseline run — should
+/// sit near the paper's ~13–17 %.
+pub fn baseline_rf_share(report: &RunReport, gpu: &GpuConfig) -> f64 {
+    let e = energy(report, Design::Baseline, gpu);
+    e.register_structures_pj / e.total_pj()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regless_compiler::{compile, RegionConfig};
+    use regless_isa::{KernelBuilder, Opcode};
+    use regless_sim::{run_baseline, GpuConfig};
+    use std::sync::Arc;
+
+    fn report() -> RunReport {
+        let mut b = KernelBuilder::new("cal");
+        let body = b.new_block();
+        let done = b.new_block();
+        let i0 = b.movi(0);
+        let n = b.movi(64);
+        let tid = b.thread_idx();
+        b.jmp(body);
+        b.select(body);
+        let v = b.ld_global(tid);
+        let x = b.ffma(v, tid, i0);
+        b.st_global(x, tid);
+        let one = b.movi(1);
+        b.emit_to(i0, Opcode::IAdd, vec![i0, one]);
+        let c = b.setlt(i0, n);
+        b.bra(c, body, done);
+        b.select(done);
+        b.exit();
+        let compiled =
+            Arc::new(compile(&b.finish().unwrap(), &RegionConfig::default()).unwrap());
+        run_baseline(GpuConfig::test_small(), compiled).unwrap()
+    }
+
+    #[test]
+    fn baseline_rf_share_calibrated() {
+        let r = report();
+        let share = baseline_rf_share(&r, &GpuConfig::test_small());
+        assert!(
+            (0.10..=0.22).contains(&share),
+            "baseline RF share {share:.3} out of calibration band"
+        );
+    }
+
+    #[test]
+    fn no_rf_is_lower_bound() {
+        let r = report();
+        let gpu = GpuConfig::test_small();
+        let base = energy(&r, Design::Baseline, &gpu).total_pj();
+        let norf = energy(&r, Design::NoRf, &gpu).total_pj();
+        assert!(norf < base);
+        assert!(norf > 0.0);
+    }
+
+    #[test]
+    fn breakdown_components_nonnegative() {
+        let r = report();
+        let gpu = GpuConfig::test_small();
+        for d in [
+            Design::Baseline,
+            Design::RegLess { osu_entries_per_sm: 512 },
+            Design::Rfh,
+            Design::Rfv,
+            Design::NoRf,
+        ] {
+            let e = energy(&r, d, &gpu);
+            assert!(e.register_structures_pj >= 0.0);
+            assert!(e.core_pj > 0.0);
+            assert!(e.total_pj() >= e.core_pj);
+        }
+    }
+
+    #[test]
+    fn smaller_osu_means_cheaper_accesses() {
+        let r = report();
+        let gpu = GpuConfig::test_small();
+        let small = energy(&r, Design::RegLess { osu_entries_per_sm: 128 }, &gpu);
+        let large = energy(&r, Design::RegLess { osu_entries_per_sm: 2048 }, &gpu);
+        assert!(small.register_structures_pj < large.register_structures_pj);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use regless_sim::{MemStats, RunReport, SmStats};
+
+    fn synthetic_report(
+        cycles: u64,
+        rf_reads: u64,
+        rf_writes: u64,
+        l2: u64,
+        dram: u64,
+    ) -> RunReport {
+        let stats = SmStats { cycles, rf_reads, rf_writes, ..SmStats::default() };
+        RunReport {
+            cycles,
+            sm_stats: vec![stats],
+            mem: MemStats { l2_accesses: l2, dram_accesses: dram, ..MemStats::default() },
+            final_regs: Vec::new(),
+            warp_insns: Vec::new(),
+        }
+    }
+
+    proptest! {
+        /// Energy is monotone in every event count.
+        #[test]
+        fn monotone_in_events(
+            cycles in 1u64..1_000_000,
+            reads in 0u64..1_000_000,
+            writes in 0u64..1_000_000,
+            l2 in 0u64..100_000,
+            dram in 0u64..100_000,
+        ) {
+            let gpu = regless_sim::GpuConfig::test_small();
+            let base = energy(
+                &synthetic_report(cycles, reads, writes, l2, dram),
+                Design::Baseline,
+                &gpu,
+            );
+            let more_reads = energy(
+                &synthetic_report(cycles, reads + 1, writes, l2, dram),
+                Design::Baseline,
+                &gpu,
+            );
+            let more_dram = energy(
+                &synthetic_report(cycles, reads, writes, l2, dram + 1),
+                Design::Baseline,
+                &gpu,
+            );
+            prop_assert!(more_reads.total_pj() > base.total_pj());
+            prop_assert!(more_dram.total_pj() > base.total_pj());
+            prop_assert!(base.total_pj().is_finite());
+        }
+
+        /// Longer runs leak more.
+        #[test]
+        fn leakage_scales_with_cycles(cycles in 1u64..1_000_000) {
+            let gpu = regless_sim::GpuConfig::test_small();
+            let short = energy(&synthetic_report(cycles, 0, 0, 0, 0), Design::Baseline, &gpu);
+            let long =
+                energy(&synthetic_report(cycles * 2, 0, 0, 0, 0), Design::Baseline, &gpu);
+            prop_assert!(long.register_structures_pj > short.register_structures_pj);
+        }
+    }
+}

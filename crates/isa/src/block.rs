@@ -1,0 +1,141 @@
+//! Basic blocks and block identifiers.
+
+use crate::insn::Instruction;
+use std::fmt;
+
+/// Identifier of a basic block within a kernel.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index within the kernel's block list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: a straight-line instruction sequence ending in exactly one
+/// terminator ([`crate::Opcode::Bra`], [`crate::Opcode::Jmp`] or
+/// [`crate::Opcode::Exit`]).
+///
+/// RegLess regions never span basic-block boundaries (paper §4.1), so blocks
+/// are both the unit of control flow and the coarsest possible region.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BasicBlock {
+    id: BlockId,
+    insns: Vec<Instruction>,
+}
+
+impl BasicBlock {
+    /// Create a block from its instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty, if its last instruction is not a
+    /// terminator, or if a terminator appears before the last position.
+    pub fn new(id: BlockId, insns: Vec<Instruction>) -> Self {
+        assert!(!insns.is_empty(), "{id}: basic block must not be empty");
+        let last = insns.len() - 1;
+        for (i, insn) in insns.iter().enumerate() {
+            if i == last {
+                assert!(insn.is_terminator(), "{id}: block must end with a terminator");
+            } else {
+                assert!(!insn.is_terminator(), "{id}: terminator before end of block");
+            }
+        }
+        BasicBlock { id, insns }
+    }
+
+    /// The block's identifier.
+    #[inline]
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The block's instructions, terminator last.
+    #[inline]
+    pub fn insns(&self) -> &[Instruction] {
+        &self.insns
+    }
+
+    /// Number of instructions including the terminator.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Always false: blocks are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The terminator instruction.
+    pub fn terminator(&self) -> &Instruction {
+        self.insns.last().expect("blocks are non-empty")
+    }
+
+    /// Successor block ids (taken target first for branches).
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.terminator().op().successors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+    use crate::reg::Reg;
+
+    fn exit() -> Instruction {
+        Instruction::new(Opcode::Exit, None, vec![])
+    }
+
+    #[test]
+    fn block_accessors() {
+        let add = Instruction::new(Opcode::IAdd, Some(Reg(2)), vec![Reg(0), Reg(1)]);
+        let bb = BasicBlock::new(BlockId(0), vec![add.clone(), exit()]);
+        assert_eq!(bb.len(), 2);
+        assert_eq!(bb.insns()[0], add);
+        assert!(bb.terminator().is_terminator());
+        assert!(bb.successors().is_empty());
+        assert!(!bb.is_empty());
+    }
+
+    #[test]
+    fn branch_successors_ordered() {
+        let bra = Instruction::new(
+            Opcode::Bra { taken: BlockId(2), not_taken: BlockId(1) },
+            None,
+            vec![Reg(0)],
+        );
+        let bb = BasicBlock::new(BlockId(0), vec![bra]);
+        assert_eq!(bb.successors(), vec![BlockId(2), BlockId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must end with a terminator")]
+    fn missing_terminator_panics() {
+        let add = Instruction::new(Opcode::IAdd, Some(Reg(2)), vec![Reg(0), Reg(1)]);
+        BasicBlock::new(BlockId(0), vec![add]);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminator before end")]
+    fn early_terminator_panics() {
+        BasicBlock::new(BlockId(0), vec![exit(), exit()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_block_panics() {
+        BasicBlock::new(BlockId(0), vec![]);
+    }
+}

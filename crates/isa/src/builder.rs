@@ -1,0 +1,347 @@
+//! Convenient construction of kernels.
+
+use crate::block::{BasicBlock, BlockId};
+use crate::insn::Instruction;
+use crate::kernel::{Kernel, KernelError};
+use crate::op::{Opcode, Special};
+use crate::reg::Reg;
+
+/// A builder for [`Kernel`]s: allocates virtual registers, tracks the
+/// current block, and validates on [`KernelBuilder::finish`].
+///
+/// The entry block is created and selected automatically. Each value-
+/// producing helper allocates a fresh destination register and returns it;
+/// use [`KernelBuilder::emit_to`] to re-define an existing register (for
+/// example to construct the *soft definition* patterns the liveness analysis
+/// must handle).
+///
+/// ```
+/// use regless_isa::KernelBuilder;
+/// let mut b = KernelBuilder::new("saxpy-ish");
+/// let i = b.thread_idx();
+/// let x = b.ld_global(i);
+/// let a = b.movi(3);
+/// let ax = b.imul(a, x);
+/// b.st_global(ax, i);
+/// b.exit();
+/// let kernel = b.finish().expect("valid");
+/// assert_eq!(kernel.num_insns(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KernelBuilder {
+    name: String,
+    /// Instruction lists per block; a block is "open" until terminated.
+    blocks: Vec<Vec<Instruction>>,
+    current: usize,
+    next_reg: u16,
+}
+
+impl KernelBuilder {
+    /// Start a kernel with an empty, selected entry block.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder { name: name.into(), blocks: vec![Vec::new()], current: 0, next_reg: 0 }
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn fresh(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg = self.next_reg.checked_add(1).expect("register space exhausted");
+        r
+    }
+
+    /// Create a new (empty, unselected) block and return its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Vec::new());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Select the block that subsequent instructions are appended to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` does not exist or is already terminated.
+    pub fn select(&mut self, block: BlockId) {
+        assert!(block.index() < self.blocks.len(), "{block} does not exist");
+        assert!(
+            !self.is_terminated(block),
+            "{block} is already terminated"
+        );
+        self.current = block.index();
+    }
+
+    /// The currently selected block.
+    pub fn current(&self) -> BlockId {
+        BlockId(self.current as u32)
+    }
+
+    fn is_terminated(&self, block: BlockId) -> bool {
+        self.blocks[block.index()]
+            .last()
+            .is_some_and(Instruction::is_terminator)
+    }
+
+    /// Append a raw instruction to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn push(&mut self, insn: Instruction) {
+        assert!(
+            !self.is_terminated(self.current()),
+            "cannot append past a terminator"
+        );
+        self.blocks[self.current].push(insn);
+    }
+
+    /// Emit `op` into an explicit destination register.
+    pub fn emit_to(&mut self, dst: Reg, op: Opcode, srcs: Vec<Reg>) {
+        self.push(Instruction::new(op, Some(dst), srcs));
+    }
+
+    fn emit_fresh(&mut self, op: Opcode, srcs: Vec<Reg>) -> Reg {
+        let dst = self.fresh();
+        self.emit_to(dst, op, srcs);
+        dst
+    }
+
+    /// `dst = imm` (fresh destination).
+    pub fn movi(&mut self, imm: u32) -> Reg {
+        self.emit_fresh(Opcode::MovImm(imm), vec![])
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, src: Reg) -> Reg {
+        self.emit_fresh(Opcode::Mov, vec![src])
+    }
+
+    /// `dst = a + b`.
+    pub fn iadd(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::IAdd, vec![a, b])
+    }
+
+    /// `dst = a - b`.
+    pub fn isub(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::ISub, vec![a, b])
+    }
+
+    /// `dst = a * b`.
+    pub fn imul(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::IMul, vec![a, b])
+    }
+
+    /// `dst = a * b + c`.
+    pub fn imad(&mut self, a: Reg, b: Reg, c: Reg) -> Reg {
+        self.emit_fresh(Opcode::IMad, vec![a, b, c])
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::Xor, vec![a, b])
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::And, vec![a, b])
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::Shl, vec![a, b])
+    }
+
+    /// Floating add.
+    pub fn fadd(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::FAdd, vec![a, b])
+    }
+
+    /// Floating multiply.
+    pub fn fmul(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::FMul, vec![a, b])
+    }
+
+    /// Fused multiply-add.
+    pub fn ffma(&mut self, a: Reg, b: Reg, c: Reg) -> Reg {
+        self.emit_fresh(Opcode::FFma, vec![a, b, c])
+    }
+
+    /// Special-function-unit op.
+    pub fn sfu(&mut self, a: Reg) -> Reg {
+        self.emit_fresh(Opcode::Sfu, vec![a])
+    }
+
+    /// Read the global thread index.
+    pub fn thread_idx(&mut self) -> Reg {
+        self.emit_fresh(Opcode::ReadSpecial(Special::ThreadIdx), vec![])
+    }
+
+    /// Read the warp index.
+    pub fn warp_idx(&mut self) -> Reg {
+        self.emit_fresh(Opcode::ReadSpecial(Special::WarpIdx), vec![])
+    }
+
+    /// Read the lane index.
+    pub fn lane_idx(&mut self) -> Reg {
+        self.emit_fresh(Opcode::ReadSpecial(Special::LaneIdx), vec![])
+    }
+
+    /// `dst = (a < b)`.
+    pub fn setlt(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::SetLt, vec![a, b])
+    }
+
+    /// `dst = (a == b)`.
+    pub fn seteq(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit_fresh(Opcode::SetEq, vec![a, b])
+    }
+
+    /// Global load from the address in `addr`.
+    pub fn ld_global(&mut self, addr: Reg) -> Reg {
+        self.emit_fresh(Opcode::LdGlobal, vec![addr])
+    }
+
+    /// Global store of `value` to the address in `addr`.
+    pub fn st_global(&mut self, value: Reg, addr: Reg) {
+        self.push(Instruction::new(Opcode::StGlobal, None, vec![value, addr]));
+    }
+
+    /// Shared-memory load.
+    pub fn ld_shared(&mut self, addr: Reg) -> Reg {
+        self.emit_fresh(Opcode::LdShared, vec![addr])
+    }
+
+    /// Shared-memory store.
+    pub fn st_shared(&mut self, value: Reg, addr: Reg) {
+        self.push(Instruction::new(Opcode::StShared, None, vec![value, addr]));
+    }
+
+    /// Barrier.
+    pub fn bar(&mut self) {
+        self.push(Instruction::new(Opcode::Bar, None, vec![]));
+    }
+
+    /// Terminate the current block with a conditional branch on `cond`.
+    pub fn bra(&mut self, cond: Reg, taken: BlockId, not_taken: BlockId) {
+        self.push(Instruction::new(Opcode::Bra { taken, not_taken }, None, vec![cond]));
+    }
+
+    /// Terminate the current block with an unconditional jump.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.push(Instruction::new(Opcode::Jmp { target }, None, vec![]));
+    }
+
+    /// Terminate the current block with `Exit`.
+    pub fn exit(&mut self) {
+        self.push(Instruction::new(Opcode::Exit, None, vec![]));
+    }
+
+    /// Validate and produce the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for any CFG defect (see [`Kernel::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block was left unterminated — that is a builder-usage
+    /// bug, not a data error.
+    pub fn finish(self) -> Result<Kernel, KernelError> {
+        let blocks: Vec<BasicBlock> = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, insns)| {
+                assert!(
+                    insns.last().is_some_and(Instruction::is_terminator),
+                    "bb{i} was not terminated"
+                );
+                BasicBlock::new(BlockId(i as u32), insns)
+            })
+            .collect();
+        Kernel::new(self.name, blocks, self.next_reg.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_kernel() {
+        let mut b = KernelBuilder::new("straight");
+        let x = b.movi(1);
+        let y = b.movi(2);
+        let z = b.iadd(x, y);
+        let _ = b.imul(z, z);
+        b.exit();
+        let k = b.finish().unwrap();
+        assert_eq!(k.num_blocks(), 1);
+        assert_eq!(k.num_regs(), 4);
+        assert_eq!(k.num_insns(), 5);
+    }
+
+    #[test]
+    fn diamond_via_builder() {
+        let mut b = KernelBuilder::new("diamond");
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let join = b.new_block();
+        let c = b.movi(1);
+        b.bra(c, then_bb, else_bb);
+        b.select(then_bb);
+        let v = b.fresh();
+        b.emit_to(v, Opcode::MovImm(10), vec![]);
+        b.jmp(join);
+        b.select(else_bb);
+        b.emit_to(v, Opcode::MovImm(20), vec![]);
+        b.jmp(join);
+        b.select(join);
+        b.exit();
+        let k = b.finish().unwrap();
+        assert_eq!(k.num_blocks(), 4);
+        assert_eq!(k.predecessors()[join.index()].len(), 2);
+    }
+
+    #[test]
+    fn loop_via_builder() {
+        let mut b = KernelBuilder::new("loop");
+        let body = b.new_block();
+        let exit_bb = b.new_block();
+        let i0 = b.movi(0);
+        let n = b.movi(10);
+        b.jmp(body);
+        b.select(body);
+        let one = b.movi(1);
+        b.emit_to(i0, Opcode::IAdd, vec![i0, one]);
+        let c = b.setlt(i0, n);
+        b.bra(c, body, exit_bb);
+        b.select(exit_bb);
+        b.exit();
+        let k = b.finish().unwrap();
+        // body has itself as a predecessor (back edge).
+        assert!(k.predecessors()[body.index()].contains(&body));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not terminated")]
+    fn unterminated_block_panics() {
+        let mut b = KernelBuilder::new("bad");
+        let _ = b.movi(0);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn selecting_terminated_block_panics() {
+        let mut b = KernelBuilder::new("bad");
+        b.exit();
+        b.select(BlockId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append past a terminator")]
+    fn pushing_past_terminator_panics() {
+        let mut b = KernelBuilder::new("bad");
+        b.exit();
+        let _ = b.movi(0);
+    }
+}

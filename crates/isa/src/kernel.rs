@@ -1,0 +1,333 @@
+//! Kernels: validated control-flow graphs of basic blocks.
+
+use crate::block::{BasicBlock, BlockId};
+use crate::insn::Instruction;
+use std::fmt;
+
+/// A reference to one static instruction: a block and an index within it.
+///
+/// Ordered first by block, then by index, which matches the linear "static
+/// PC" order used by the region-creation algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InsnRef {
+    /// The containing block.
+    pub block: BlockId,
+    /// The instruction's index within the block.
+    pub idx: usize,
+}
+
+impl fmt::Display for InsnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.block, self.idx)
+    }
+}
+
+/// Errors detected when validating a kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum KernelError {
+    /// A terminator referenced a block id outside the kernel.
+    BadBlockTarget {
+        /// Block containing the bad terminator.
+        from: BlockId,
+        /// The out-of-range target.
+        target: BlockId,
+    },
+    /// An instruction referenced a register `>= num_regs`.
+    BadRegister {
+        /// Location of the offending instruction.
+        at: InsnRef,
+        /// The out-of-range register index.
+        reg: u16,
+    },
+    /// The kernel has no blocks.
+    Empty,
+    /// No `Exit` instruction is present.
+    NoExit,
+    /// Block ids are not dense `0..n` in list order.
+    NonDenseIds,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadBlockTarget { from, target } => {
+                write!(f, "{from} branches to nonexistent {target}")
+            }
+            KernelError::BadRegister { at, reg } => {
+                write!(f, "instruction at {at} uses out-of-range register r{reg}")
+            }
+            KernelError::Empty => write!(f, "kernel has no basic blocks"),
+            KernelError::NoExit => write!(f, "kernel has no exit instruction"),
+            KernelError::NonDenseIds => write!(f, "block ids are not dense and ordered"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A complete SIMT kernel: a named, validated CFG plus its architectural
+/// register count.
+///
+/// ```
+/// use regless_isa::{KernelBuilder, Opcode};
+/// let mut b = KernelBuilder::new("demo");
+/// let r = b.movi(7);
+/// let s = b.iadd(r, r);
+/// b.exit();
+/// let kernel = b.finish().expect("valid kernel");
+/// assert_eq!(kernel.name(), "demo");
+/// assert_eq!(kernel.num_blocks(), 1);
+/// assert!(kernel.num_regs() >= 2);
+/// # let _ = (s, Opcode::Exit);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Kernel {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    num_regs: u16,
+}
+
+impl Kernel {
+    /// Create and validate a kernel. The entry block is `BlockId(0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] if the CFG is malformed: empty, non-dense
+    /// block ids, dangling branch targets, out-of-range registers, or no
+    /// reachable `Exit`.
+    pub fn new(
+        name: impl Into<String>,
+        blocks: Vec<BasicBlock>,
+        num_regs: u16,
+    ) -> Result<Self, KernelError> {
+        if blocks.is_empty() {
+            return Err(KernelError::Empty);
+        }
+        if blocks.iter().enumerate().any(|(i, b)| b.id().index() != i) {
+            return Err(KernelError::NonDenseIds);
+        }
+        let n = blocks.len();
+        let mut has_exit = false;
+        for block in &blocks {
+            for target in block.successors() {
+                if target.index() >= n {
+                    return Err(KernelError::BadBlockTarget { from: block.id(), target });
+                }
+            }
+            for (idx, insn) in block.insns().iter().enumerate() {
+                if matches!(insn.op(), crate::Opcode::Exit) {
+                    has_exit = true;
+                }
+                let regs = insn.srcs().iter().copied().chain(insn.dst());
+                for r in regs {
+                    if r.0 >= num_regs {
+                        return Err(KernelError::BadRegister {
+                            at: InsnRef { block: block.id(), idx },
+                            reg: r.0,
+                        });
+                    }
+                }
+            }
+        }
+        if !has_exit {
+            return Err(KernelError::NoExit);
+        }
+        Ok(Kernel { name: name.into(), blocks, num_regs })
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block (always `BlockId(0)`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of architectural registers used.
+    pub fn num_regs(&self) -> u16 {
+        self.num_regs
+    }
+
+    /// All blocks, in id order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Look up one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Look up one instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range.
+    pub fn insn(&self, at: InsnRef) -> &Instruction {
+        &self.block(at.block).insns()[at.idx]
+    }
+
+    /// Total static instruction count.
+    pub fn num_insns(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::len).sum()
+    }
+
+    /// Iterate over every instruction in linear (block, index) order.
+    pub fn iter_insns(&self) -> impl Iterator<Item = (InsnRef, &Instruction)> {
+        self.blocks.iter().flat_map(|b| {
+            b.insns()
+                .iter()
+                .enumerate()
+                .map(move |(idx, insn)| (InsnRef { block: b.id(), idx }, insn))
+        })
+    }
+
+    /// Predecessor lists for every block, indexed by block id.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for block in &self.blocks {
+            for succ in block.successors() {
+                let list = &mut preds[succ.index()];
+                if !list.contains(&block.id()) {
+                    list.push(block.id());
+                }
+            }
+        }
+        preds
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {} ({} regs)", self.name, self.num_regs)?;
+        for block in &self.blocks {
+            writeln!(f, "{}:", block.id())?;
+            for insn in block.insns() {
+                writeln!(f, "  {insn}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+    use crate::reg::Reg;
+
+    fn insn(op: Opcode, dst: Option<u16>, srcs: &[u16]) -> Instruction {
+        Instruction::new(op, dst.map(Reg), srcs.iter().map(|&r| Reg(r)).collect())
+    }
+
+    fn diamond() -> Kernel {
+        // bb0 -> (bb1 | bb2) -> bb3
+        let b0 = BasicBlock::new(
+            BlockId(0),
+            vec![
+                insn(Opcode::MovImm(1), Some(0), &[]),
+                insn(Opcode::Bra { taken: BlockId(1), not_taken: BlockId(2) }, None, &[0]),
+            ],
+        );
+        let b1 = BasicBlock::new(
+            BlockId(1),
+            vec![
+                insn(Opcode::MovImm(2), Some(1), &[]),
+                insn(Opcode::Jmp { target: BlockId(3) }, None, &[]),
+            ],
+        );
+        let b2 = BasicBlock::new(
+            BlockId(2),
+            vec![
+                insn(Opcode::MovImm(3), Some(1), &[]),
+                insn(Opcode::Jmp { target: BlockId(3) }, None, &[]),
+            ],
+        );
+        let b3 = BasicBlock::new(BlockId(3), vec![insn(Opcode::Exit, None, &[])]);
+        Kernel::new("diamond", vec![b0, b1, b2, b3], 2).unwrap()
+    }
+
+    #[test]
+    fn valid_kernel_queries() {
+        let k = diamond();
+        assert_eq!(k.num_blocks(), 4);
+        assert_eq!(k.num_insns(), 7);
+        assert_eq!(k.entry(), BlockId(0));
+        assert_eq!(k.block(BlockId(1)).len(), 2);
+        let at = InsnRef { block: BlockId(0), idx: 0 };
+        assert_eq!(k.insn(at).dst(), Some(Reg(0)));
+    }
+
+    #[test]
+    fn predecessors_of_join() {
+        let k = diamond();
+        let preds = k.predecessors();
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+        assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn iter_insns_is_linear() {
+        let k = diamond();
+        let refs: Vec<InsnRef> = k.iter_insns().map(|(r, _)| r).collect();
+        let mut sorted = refs.clone();
+        sorted.sort();
+        assert_eq!(refs, sorted);
+        assert_eq!(refs.len(), k.num_insns());
+    }
+
+    #[test]
+    fn dangling_target_rejected() {
+        let b0 = BasicBlock::new(
+            BlockId(0),
+            vec![insn(Opcode::Jmp { target: BlockId(9) }, None, &[])],
+        );
+        let err = Kernel::new("bad", vec![b0], 1).unwrap_err();
+        assert!(matches!(err, KernelError::BadBlockTarget { .. }));
+    }
+
+    #[test]
+    fn out_of_range_register_rejected() {
+        let b0 = BasicBlock::new(
+            BlockId(0),
+            vec![insn(Opcode::MovImm(0), Some(5), &[]), insn(Opcode::Exit, None, &[])],
+        );
+        let err = Kernel::new("bad", vec![b0], 2).unwrap_err();
+        assert!(matches!(err, KernelError::BadRegister { reg: 5, .. }));
+    }
+
+    #[test]
+    fn missing_exit_rejected() {
+        let b0 = BasicBlock::new(
+            BlockId(0),
+            vec![insn(Opcode::Jmp { target: BlockId(0) }, None, &[])],
+        );
+        let err = Kernel::new("loop", vec![b0], 1).unwrap_err();
+        assert_eq!(err, KernelError::NoExit);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<KernelError> = vec![
+            KernelError::Empty,
+            KernelError::NoExit,
+            KernelError::NonDenseIds,
+            KernelError::BadBlockTarget { from: BlockId(0), target: BlockId(1) },
+            KernelError::BadRegister { at: InsnRef { block: BlockId(0), idx: 0 }, reg: 3 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

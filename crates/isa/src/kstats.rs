@@ -1,0 +1,169 @@
+//! Static kernel statistics: instruction mix, control-flow shape, and
+//! register usage. Used by the inspector tooling and the workload tests to
+//! characterize generated kernels.
+
+use crate::kernel::Kernel;
+use crate::op::OpClass;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Static statistics of one kernel.
+#[derive(Clone, PartialEq, Debug)]
+pub struct KernelStats {
+    /// Static instruction count.
+    pub insns: usize,
+    /// Basic-block count.
+    pub blocks: usize,
+    /// CFG edges.
+    pub edges: usize,
+    /// Conditional branches.
+    pub branches: usize,
+    /// Back edges (targets with a lower or equal block id — loops).
+    pub back_edges: usize,
+    /// Integer-ALU instructions.
+    pub int_alu: usize,
+    /// Floating-point instructions.
+    pub fp_alu: usize,
+    /// Special-function-unit instructions.
+    pub sfu: usize,
+    /// Global memory accesses.
+    pub mem_global: usize,
+    /// Shared memory accesses.
+    pub mem_shared: usize,
+    /// Barriers.
+    pub barriers: usize,
+    /// Distinct registers referenced.
+    pub regs_used: usize,
+    /// Mean source operands per instruction.
+    pub mean_srcs: f64,
+}
+
+impl KernelStats {
+    /// Compute the statistics for a kernel.
+    pub fn of(kernel: &Kernel) -> Self {
+        let mut s = KernelStats {
+            insns: kernel.num_insns(),
+            blocks: kernel.num_blocks(),
+            edges: 0,
+            branches: 0,
+            back_edges: 0,
+            int_alu: 0,
+            fp_alu: 0,
+            sfu: 0,
+            mem_global: 0,
+            mem_shared: 0,
+            barriers: 0,
+            regs_used: 0,
+            mean_srcs: 0.0,
+        };
+        let mut regs = HashSet::new();
+        let mut total_srcs = 0usize;
+        for block in kernel.blocks() {
+            let succs = block.successors();
+            s.edges += succs.len();
+            s.back_edges += succs.iter().filter(|t| t.0 <= block.id().0).count();
+            if succs.len() > 1 {
+                s.branches += 1;
+            }
+            for insn in block.insns() {
+                match insn.class() {
+                    OpClass::IntAlu => s.int_alu += 1,
+                    OpClass::FpAlu => s.fp_alu += 1,
+                    OpClass::Sfu => s.sfu += 1,
+                    OpClass::MemGlobal => s.mem_global += 1,
+                    OpClass::MemShared => s.mem_shared += 1,
+                    OpClass::Sync => s.barriers += 1,
+                    OpClass::Control => {}
+                }
+                total_srcs += insn.srcs().len();
+                regs.extend(insn.srcs().iter().copied());
+                regs.extend(insn.dst());
+            }
+        }
+        s.regs_used = regs.len();
+        s.mean_srcs = total_srcs as f64 / s.insns.max(1) as f64;
+        s
+    }
+
+    /// Fraction of instructions that access global memory — the
+    /// memory-intensity knob that separates `bfs` from `lud`.
+    pub fn memory_intensity(&self) -> f64 {
+        self.mem_global as f64 / self.insns.max(1) as f64
+    }
+
+    /// Whether the kernel contains any loop.
+    pub fn has_loop(&self) -> bool {
+        self.back_edges > 0
+    }
+}
+
+impl fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} insns in {} blocks ({} edges, {} branches, {} back edges)",
+            self.insns, self.blocks, self.edges, self.branches, self.back_edges
+        )?;
+        writeln!(
+            f,
+            "mix: {} int, {} fp, {} sfu, {} global, {} shared, {} barriers",
+            self.int_alu, self.fp_alu, self.sfu, self.mem_global, self.mem_shared, self.barriers
+        )?;
+        write!(
+            f,
+            "{} registers; {:.2} srcs/insn; memory intensity {:.2}",
+            self.regs_used,
+            self.mean_srcs,
+            self.memory_intensity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    #[test]
+    fn straight_line_stats() {
+        let mut b = KernelBuilder::new("s");
+        let i = b.thread_idx();
+        let v = b.ld_global(i);
+        let w = b.fadd(v, v);
+        b.st_global(w, i);
+        b.exit();
+        let k = b.finish().unwrap();
+        let s = KernelStats::of(&k);
+        assert_eq!(s.insns, 5);
+        assert_eq!(s.blocks, 1);
+        assert_eq!(s.mem_global, 2);
+        assert_eq!(s.fp_alu, 1);
+        assert_eq!(s.int_alu, 1); // thread_idx
+        assert_eq!(s.regs_used, 3);
+        assert!(!s.has_loop());
+        assert!((s.memory_intensity() - 0.4).abs() < 1e-9);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn loop_detected_as_back_edge() {
+        let mut b = KernelBuilder::new("l");
+        let body = b.new_block();
+        let done = b.new_block();
+        let i = b.movi(0);
+        let n = b.movi(4);
+        b.jmp(body);
+        b.select(body);
+        let one = b.movi(1);
+        b.emit_to(i, crate::Opcode::IAdd, vec![i, one]);
+        let c = b.setlt(i, n);
+        b.bra(c, body, done);
+        b.select(done);
+        b.exit();
+        let k = b.finish().unwrap();
+        let s = KernelStats::of(&k);
+        assert!(s.has_loop());
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.barriers, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Opcodes and operation classes.
+
+use crate::block::BlockId;
+use std::fmt;
+
+/// Special (hardware-provided) values readable by a kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Special {
+    /// The global thread index: `warp_id * WARP_WIDTH + lane`. Produces a
+    /// stride-1 lane pattern, the canonical compressible register value.
+    ThreadIdx,
+    /// The warp index, uniform across lanes.
+    WarpIdx,
+    /// The lane index within the warp, `0..32`, identical for all warps.
+    LaneIdx,
+}
+
+/// An instruction opcode.
+///
+/// The ISA is a deliberately small register-to-register SIMT instruction set
+/// capturing the behaviours the RegLess evaluation depends on: integer and
+/// floating-point arithmetic with distinct latencies, long-latency global
+/// memory accesses, low-latency shared-memory accesses, divergent control
+/// flow, and barriers. Every block must end (and may only end) with one of
+/// the three terminators [`Opcode::Bra`], [`Opcode::Jmp`], or
+/// [`Opcode::Exit`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Opcode {
+    /// `dst = src0 + src1` (wrapping).
+    IAdd,
+    /// `dst = src0 - src1` (wrapping).
+    ISub,
+    /// `dst = src0 * src1` (wrapping).
+    IMul,
+    /// `dst = src0 * src1 + src2` (wrapping multiply-add).
+    IMad,
+    /// `dst = src0 & src1`.
+    And,
+    /// `dst = src0 | src1`.
+    Or,
+    /// `dst = src0 ^ src1`.
+    Xor,
+    /// `dst = src0 << (src1 & 31)`.
+    Shl,
+    /// `dst = src0 >> (src1 & 31)`.
+    Shr,
+    /// Floating-point add (simulated over `u32` bit patterns).
+    FAdd,
+    /// Floating-point multiply.
+    FMul,
+    /// Floating-point fused multiply-add, `dst = src0 * src1 + src2`.
+    FFma,
+    /// Special-function-unit operation (reciprocal, sqrt, …): a long-latency
+    /// unary transform.
+    Sfu,
+    /// `dst = immediate` in every lane.
+    MovImm(u32),
+    /// `dst = src0`.
+    Mov,
+    /// Read a hardware special value.
+    ReadSpecial(Special),
+    /// `dst = (src0 < src1) ? 1 : 0` per lane; produces branch conditions.
+    SetLt,
+    /// `dst = (src0 == src1) ? 1 : 0` per lane.
+    SetEq,
+    /// Global-memory load: `dst = mem[src0]` per lane. Long latency; the
+    /// lanes' addresses are coalesced into 128-byte line requests.
+    LdGlobal,
+    /// Global-memory store: `mem[src1] = src0` per lane.
+    StGlobal,
+    /// Shared-memory load: low, fixed latency, no L1 traffic.
+    LdShared,
+    /// Shared-memory store.
+    StShared,
+    /// Conditional branch: lanes where `src0 != 0` go to `taken`, the rest
+    /// to `not_taken`. Divergence is handled by the SIMT reconvergence stack.
+    Bra {
+        /// Successor for lanes whose condition is non-zero.
+        taken: BlockId,
+        /// Successor for the remaining lanes.
+        not_taken: BlockId,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// The single successor block.
+        target: BlockId,
+    },
+    /// Terminate the warp.
+    Exit,
+    /// Block-wide barrier: the warp waits until every warp in its thread
+    /// block reaches the barrier.
+    Bar,
+}
+
+/// Functional-unit class of an opcode, used for latency and energy modelling.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// Single-cycle-issue integer ALU operation.
+    IntAlu,
+    /// Floating-point pipeline operation.
+    FpAlu,
+    /// Special function unit (longer latency, lower throughput).
+    Sfu,
+    /// Global memory access (variable latency through L1/L2/DRAM).
+    MemGlobal,
+    /// Shared memory access (fixed short latency).
+    MemShared,
+    /// Control-flow instruction.
+    Control,
+    /// Synchronization (barrier).
+    Sync,
+}
+
+impl Opcode {
+    /// The functional-unit class this opcode executes on.
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            IAdd | ISub | IMul | IMad | And | Or | Xor | Shl | Shr | MovImm(_) | Mov
+            | ReadSpecial(_) | SetLt | SetEq => OpClass::IntAlu,
+            FAdd | FMul | FFma => OpClass::FpAlu,
+            Sfu => OpClass::Sfu,
+            LdGlobal | StGlobal => OpClass::MemGlobal,
+            LdShared | StShared => OpClass::MemShared,
+            Bra { .. } | Jmp { .. } | Exit => OpClass::Control,
+            Bar => OpClass::Sync,
+        }
+    }
+
+    /// Whether this opcode ends a basic block.
+    pub fn is_terminator(self) -> bool {
+        matches!(self, Opcode::Bra { .. } | Opcode::Jmp { .. } | Opcode::Exit)
+    }
+
+    /// Successor blocks if this is a terminator (taken target first).
+    pub fn successors(self) -> Vec<BlockId> {
+        match self {
+            Opcode::Bra { taken, not_taken } => vec![taken, not_taken],
+            Opcode::Jmp { target } => vec![target],
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        match self {
+            MovImm(v) => write!(f, "movi {v:#x}"),
+            ReadSpecial(s) => write!(f, "s2r {s:?}"),
+            Bra { taken, not_taken } => write!(f, "bra {taken} {not_taken}"),
+            Jmp { target } => write!(f, "jmp {target}"),
+            other => write!(f, "{}", format!("{other:?}").to_lowercase()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_consistent() {
+        assert_eq!(Opcode::IAdd.class(), OpClass::IntAlu);
+        assert_eq!(Opcode::FFma.class(), OpClass::FpAlu);
+        assert_eq!(Opcode::LdGlobal.class(), OpClass::MemGlobal);
+        assert_eq!(Opcode::Bar.class(), OpClass::Sync);
+        assert_eq!(Opcode::Exit.class(), OpClass::Control);
+    }
+
+    #[test]
+    fn terminators_and_successors() {
+        let bra = Opcode::Bra { taken: BlockId(1), not_taken: BlockId(2) };
+        assert!(bra.is_terminator());
+        assert_eq!(bra.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Opcode::Exit.is_terminator());
+        assert!(Opcode::Exit.successors().is_empty());
+        assert!(!Opcode::IAdd.is_terminator());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for op in [Opcode::IAdd, Opcode::MovImm(3), Opcode::Exit] {
+            assert!(!op.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Architectural register, warp, and lane identifiers.
+
+use std::fmt;
+
+/// Width of a warp: the number of SIMD lanes that execute an instruction
+/// together. Matches NVIDIA's Maxwell-generation hardware (and the paper).
+pub const WARP_WIDTH: usize = 32;
+
+/// An architectural (virtual ISA) register identifier, `r0`, `r1`, ….
+///
+/// Each register names a *per-thread* 32-bit value; across the
+/// [`WARP_WIDTH`] lanes of a warp one `Reg` therefore denotes a 128-byte
+/// vector, which is the granularity at which the register file, the operand
+/// staging unit, and the memory system move operands.
+///
+/// ```
+/// use regless_isa::Reg;
+/// let r = Reg(5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert_eq!(r.index(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// The register's index within the kernel's architectural register space.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u16> for Reg {
+    fn from(value: u16) -> Self {
+        Reg(value)
+    }
+}
+
+/// A hardware warp identifier within one SM.
+///
+/// ```
+/// use regless_isa::WarpId;
+/// assert_eq!(WarpId(3).to_string(), "w3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct WarpId(pub u16);
+
+impl WarpId {
+    /// The warp's index within its SM.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A set of active lanes within a warp, one bit per lane.
+///
+/// The mask is the unit of SIMT control flow: a divergent branch splits the
+/// current mask into taken and not-taken subsets, and reconvergence merges
+/// them back. An all-zero mask is legal and denotes "no lanes".
+///
+/// ```
+/// use regless_isa::LaneMask;
+/// let all = LaneMask::all();
+/// let (t, nt) = all.split(0b1010);
+/// assert_eq!(t.count(), 2);
+/// assert_eq!(nt.count(), 30);
+/// assert_eq!(t.union(nt), all);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct LaneMask(pub u32);
+
+impl LaneMask {
+    /// Mask with every lane active.
+    #[inline]
+    pub fn all() -> Self {
+        LaneMask(u32::MAX)
+    }
+
+    /// Mask with no lanes active.
+    #[inline]
+    pub fn none() -> Self {
+        LaneMask(0)
+    }
+
+    /// Mask with exactly the given lane active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= WARP_WIDTH`.
+    #[inline]
+    pub fn single(lane: usize) -> Self {
+        assert!(lane < WARP_WIDTH, "lane {lane} out of range");
+        LaneMask(1 << lane)
+    }
+
+    /// Whether the given lane is active.
+    #[inline]
+    pub fn contains(self, lane: usize) -> bool {
+        lane < WARP_WIDTH && self.0 & (1 << lane) != 0
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether no lanes are active.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether every lane is active.
+    #[inline]
+    pub fn is_full(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Split this mask by a per-lane condition bitmap: lanes whose condition
+    /// bit is set go to the first (taken) mask, the rest to the second.
+    #[inline]
+    pub fn split(self, taken_bits: u32) -> (LaneMask, LaneMask) {
+        (LaneMask(self.0 & taken_bits), LaneMask(self.0 & !taken_bits))
+    }
+
+    /// Union of two masks.
+    #[inline]
+    pub fn union(self, other: LaneMask) -> LaneMask {
+        LaneMask(self.0 | other.0)
+    }
+
+    /// Intersection of two masks.
+    #[inline]
+    pub fn intersect(self, other: LaneMask) -> LaneMask {
+        LaneMask(self.0 & other.0)
+    }
+
+    /// Iterate over the indices of active lanes, in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..WARP_WIDTH).filter(move |&l| self.contains(l))
+    }
+}
+
+impl fmt::Display for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(Reg(255).index(), 255);
+        assert_eq!(Reg::from(7u16), Reg(7));
+    }
+
+    #[test]
+    fn lane_mask_split_partitions() {
+        let m = LaneMask::all();
+        let (t, nt) = m.split(0x0000_ffff);
+        assert_eq!(t.count(), 16);
+        assert_eq!(nt.count(), 16);
+        assert_eq!(t.union(nt), m);
+        assert!(t.intersect(nt).is_empty());
+    }
+
+    #[test]
+    fn lane_mask_single_and_contains() {
+        let m = LaneMask::single(31);
+        assert!(m.contains(31));
+        assert!(!m.contains(0));
+        assert_eq!(m.count(), 1);
+        assert!(!m.contains(64)); // out-of-range lanes are never contained
+    }
+
+    #[test]
+    fn lane_mask_iter_yields_active_lanes() {
+        let m = LaneMask(0b1011);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn empty_and_full() {
+        assert!(LaneMask::none().is_empty());
+        assert!(LaneMask::all().is_full());
+        assert!(!LaneMask::all().is_empty());
+    }
+}

@@ -1,0 +1,466 @@
+//! Textual kernel format: a small assembly syntax for writing kernels in
+//! files and dumping them for inspection.
+//!
+//! ```text
+//! kernel saxpy
+//! bb0:
+//!   r0 = s2r tid
+//!   r1 = movi 0x4
+//!   r2 = imul r0, r1
+//!   r3 = ld.global [r2]
+//!   r4 = movi 3
+//!   r5 = imad r4, r3, r1
+//!   st.global r5, [r2]
+//!   exit
+//! ```
+//!
+//! [`format_kernel`] and [`parse_kernel`] round-trip every valid kernel.
+
+use crate::block::{BasicBlock, BlockId};
+use crate::insn::Instruction;
+use crate::kernel::{Kernel, KernelError};
+use crate::op::{Opcode, Special};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Errors from [`parse_kernel`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<KernelError> for ParseError {
+    fn from(e: KernelError) -> Self {
+        ParseError { line: 0, message: format!("invalid kernel: {e}") }
+    }
+}
+
+/// Render a kernel in the textual format.
+pub fn format_kernel(kernel: &Kernel) -> String {
+    let mut out = format!("kernel {}\n", kernel.name());
+    for block in kernel.blocks() {
+        out.push_str(&format!("{}:\n", block.id()));
+        for insn in block.insns() {
+            out.push_str("  ");
+            out.push_str(&format_insn(insn));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn format_insn(insn: &Instruction) -> String {
+    let srcs = insn.srcs();
+    let dst = insn.dst().map(|d| format!("{d} = ")).unwrap_or_default();
+    match insn.op() {
+        Opcode::MovImm(v) => format!("{dst}movi {v:#x}"),
+        Opcode::ReadSpecial(s) => format!(
+            "{dst}s2r {}",
+            match s {
+                Special::ThreadIdx => "tid",
+                Special::WarpIdx => "warp",
+                Special::LaneIdx => "lane",
+            }
+        ),
+        Opcode::LdGlobal => format!("{dst}ld.global [{}]", srcs[0]),
+        Opcode::LdShared => format!("{dst}ld.shared [{}]", srcs[0]),
+        Opcode::StGlobal => format!("st.global {}, [{}]", srcs[0], srcs[1]),
+        Opcode::StShared => format!("st.shared {}, [{}]", srcs[0], srcs[1]),
+        Opcode::Bra { taken, not_taken } => {
+            format!("bra {}, {taken}, {not_taken}", srcs[0])
+        }
+        Opcode::Jmp { target } => format!("jmp {target}"),
+        Opcode::Exit => "exit".to_string(),
+        Opcode::Bar => "bar".to_string(),
+        op => {
+            let name = match op {
+                Opcode::IAdd => "iadd",
+                Opcode::ISub => "isub",
+                Opcode::IMul => "imul",
+                Opcode::IMad => "imad",
+                Opcode::And => "and",
+                Opcode::Or => "or",
+                Opcode::Xor => "xor",
+                Opcode::Shl => "shl",
+                Opcode::Shr => "shr",
+                Opcode::FAdd => "fadd",
+                Opcode::FMul => "fmul",
+                Opcode::FFma => "ffma",
+                Opcode::Sfu => "sfu",
+                Opcode::Mov => "mov",
+                Opcode::SetLt => "setlt",
+                Opcode::SetEq => "seteq",
+                _ => unreachable!("handled above"),
+            };
+            let args =
+                srcs.iter().map(Reg::to_string).collect::<Vec<_>>().join(", ");
+            format!("{dst}{name} {args}")
+        }
+    }
+}
+
+/// Parse the textual format back into a kernel.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for syntax errors, and a
+/// line-0 error when the assembled CFG fails [`Kernel::new`] validation.
+pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
+    let mut name: Option<String> = None;
+    let mut blocks: Vec<(BlockId, Vec<Instruction>)> = Vec::new();
+    let mut max_reg: u16 = 0;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("kernel ") {
+            if name.is_some() {
+                return Err(err(lineno, "duplicate kernel directive"));
+            }
+            name = Some(rest.trim().to_string());
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let id = parse_block_id(label, lineno)?;
+            if id.index() != blocks.len() {
+                return Err(err(
+                    lineno,
+                    format!("blocks must be declared in order; expected bb{}", blocks.len()),
+                ));
+            }
+            blocks.push((id, Vec::new()));
+            continue;
+        }
+        let Some((_, insns)) = blocks.last_mut() else {
+            return Err(err(lineno, "instruction before any block label"));
+        };
+        let insn = parse_insn(line, lineno)?;
+        for r in insn.srcs().iter().copied().chain(insn.dst()) {
+            max_reg = max_reg.max(r.0);
+        }
+        insns.push(insn);
+    }
+
+    let name = name.ok_or_else(|| err(1, "missing `kernel <name>` directive"))?;
+    let blocks: Vec<BasicBlock> = blocks
+        .into_iter()
+        .map(|(id, insns)| {
+            if insns.is_empty() || !insns.last().expect("nonempty").is_terminator() {
+                return Err(err(0, format!("{id} does not end with a terminator")));
+            }
+            Ok(BasicBlock::new(id, insns))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Kernel::new(name, blocks, max_reg + 1)?)
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_block_id(s: &str, line: usize) -> Result<BlockId, ParseError> {
+    s.strip_prefix("bb")
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(BlockId)
+        .ok_or_else(|| err(line, format!("bad block label {s:?}")))
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
+    s.trim()
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u16>().ok())
+        .map(Reg)
+        .ok_or_else(|| err(line, format!("bad register {s:?}")))
+}
+
+fn parse_addr(s: &str, line: usize) -> Result<Reg, ParseError> {
+    let inner = s
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [reg], got {s:?}")))?;
+    parse_reg(inner, line)
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<u32, ParseError> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse::<u32>().ok()
+    };
+    parsed.ok_or_else(|| err(line, format!("bad immediate {s:?}")))
+}
+
+fn parse_insn(line: &str, lineno: usize) -> Result<Instruction, ParseError> {
+    // Optional `rN = ` prefix.
+    let (dst, body) = match line.split_once('=') {
+        Some((lhs, rhs)) if lhs.trim().starts_with('r') && !lhs.trim().contains(' ') => {
+            (Some(parse_reg(lhs, lineno)?), rhs.trim())
+        }
+        _ => (None, line),
+    };
+    let (mnemonic, rest) = match body.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (body, ""),
+    };
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let nargs = args.len();
+    let wrong_args =
+        |want: usize| err(lineno, format!("{mnemonic} expects {want} operands, got {nargs}"));
+    let need_dst = || err(lineno, format!("{mnemonic} needs a destination"));
+
+    let two = |op: Opcode| -> Result<Instruction, ParseError> {
+        if args.len() != 2 {
+            return Err(wrong_args(2));
+        }
+        Ok(Instruction::new(
+            op,
+            Some(dst.ok_or_else(need_dst)?),
+            vec![parse_reg(args[0], lineno)?, parse_reg(args[1], lineno)?],
+        ))
+    };
+    let three = |op: Opcode| -> Result<Instruction, ParseError> {
+        if args.len() != 3 {
+            return Err(wrong_args(3));
+        }
+        Ok(Instruction::new(
+            op,
+            Some(dst.ok_or_else(need_dst)?),
+            args.iter().map(|a| parse_reg(a, lineno)).collect::<Result<_, _>>()?,
+        ))
+    };
+
+    match mnemonic {
+        "iadd" => two(Opcode::IAdd),
+        "isub" => two(Opcode::ISub),
+        "imul" => two(Opcode::IMul),
+        "and" => two(Opcode::And),
+        "or" => two(Opcode::Or),
+        "xor" => two(Opcode::Xor),
+        "shl" => two(Opcode::Shl),
+        "shr" => two(Opcode::Shr),
+        "fadd" => two(Opcode::FAdd),
+        "fmul" => two(Opcode::FMul),
+        "setlt" => two(Opcode::SetLt),
+        "seteq" => two(Opcode::SetEq),
+        "imad" => three(Opcode::IMad),
+        "ffma" => three(Opcode::FFma),
+        "sfu" | "mov" => {
+            if args.len() != 1 {
+                return Err(wrong_args(1));
+            }
+            let op = if mnemonic == "sfu" { Opcode::Sfu } else { Opcode::Mov };
+            Ok(Instruction::new(
+                op,
+                Some(dst.ok_or_else(need_dst)?),
+                vec![parse_reg(args[0], lineno)?],
+            ))
+        }
+        "movi" => {
+            if args.len() != 1 {
+                return Err(wrong_args(1));
+            }
+            Ok(Instruction::new(
+                Opcode::MovImm(parse_imm(args[0], lineno)?),
+                Some(dst.ok_or_else(need_dst)?),
+                vec![],
+            ))
+        }
+        "s2r" => {
+            if args.len() != 1 {
+                return Err(wrong_args(1));
+            }
+            let special = match args[0] {
+                "tid" => Special::ThreadIdx,
+                "warp" => Special::WarpIdx,
+                "lane" => Special::LaneIdx,
+                other => return Err(err(lineno, format!("unknown special {other:?}"))),
+            };
+            Ok(Instruction::new(
+                Opcode::ReadSpecial(special),
+                Some(dst.ok_or_else(need_dst)?),
+                vec![],
+            ))
+        }
+        "ld.global" | "ld.shared" => {
+            if args.len() != 1 {
+                return Err(wrong_args(1));
+            }
+            let op = if mnemonic == "ld.global" { Opcode::LdGlobal } else { Opcode::LdShared };
+            Ok(Instruction::new(
+                op,
+                Some(dst.ok_or_else(need_dst)?),
+                vec![parse_addr(args[0], lineno)?],
+            ))
+        }
+        "st.global" | "st.shared" => {
+            if args.len() != 2 {
+                return Err(wrong_args(2));
+            }
+            let op = if mnemonic == "st.global" { Opcode::StGlobal } else { Opcode::StShared };
+            Ok(Instruction::new(
+                op,
+                None,
+                vec![parse_reg(args[0], lineno)?, parse_addr(args[1], lineno)?],
+            ))
+        }
+        "bra" => {
+            if args.len() != 3 {
+                return Err(wrong_args(3));
+            }
+            Ok(Instruction::new(
+                Opcode::Bra {
+                    taken: parse_block_id(args[1], lineno)?,
+                    not_taken: parse_block_id(args[2], lineno)?,
+                },
+                None,
+                vec![parse_reg(args[0], lineno)?],
+            ))
+        }
+        "jmp" => {
+            if args.len() != 1 {
+                return Err(wrong_args(1));
+            }
+            Ok(Instruction::new(
+                Opcode::Jmp { target: parse_block_id(args[0], lineno)? },
+                None,
+                vec![],
+            ))
+        }
+        "exit" => {
+            if !args.is_empty() {
+                return Err(wrong_args(0));
+            }
+            Ok(Instruction::new(Opcode::Exit, None, vec![]))
+        }
+        "bar" => {
+            if !args.is_empty() {
+                return Err(wrong_args(0));
+            }
+            Ok(Instruction::new(Opcode::Bar, None, vec![]))
+        }
+        other => Err(err(lineno, format!("unknown mnemonic {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    const SAXPY: &str = "\
+kernel saxpy
+; comments survive parsing
+bb0:
+  r0 = s2r tid
+  r1 = movi 0x4
+  r2 = imul r0, r1
+  r3 = ld.global [r2]
+  r4 = movi 3
+  r5 = imad r4, r3, r1
+  st.global r5, [r2]
+  exit
+";
+
+    #[test]
+    fn parses_saxpy() {
+        let k = parse_kernel(SAXPY).unwrap();
+        assert_eq!(k.name(), "saxpy");
+        assert_eq!(k.num_blocks(), 1);
+        assert_eq!(k.num_insns(), 8);
+        assert_eq!(k.num_regs(), 6);
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        let mut b = KernelBuilder::new("cf");
+        let body = b.new_block();
+        let done = b.new_block();
+        let i = b.movi(0);
+        let n = b.movi(10);
+        b.jmp(body);
+        b.select(body);
+        let one = b.movi(1);
+        b.emit_to(i, Opcode::IAdd, vec![i, one]);
+        let c = b.setlt(i, n);
+        b.bra(c, body, done);
+        b.select(done);
+        b.bar();
+        b.st_shared(i, n);
+        let s = b.ld_shared(i);
+        b.st_global(s, i);
+        b.exit();
+        let k = b.finish().unwrap();
+        let text = format_kernel(&k);
+        let back = parse_kernel(&text).unwrap();
+        assert_eq!(back, k);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let bad = "kernel x\nbb0:\n  r0 = frobnicate r1\n  exit\n";
+        let e = parse_kernel(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let bad = "kernel x\nbb0:\n  r0 = movi 1\n";
+        let e = parse_kernel(bad).unwrap_err();
+        assert!(e.message.contains("terminator"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_blocks() {
+        let bad = "kernel x\nbb1:\n  exit\n";
+        assert!(parse_kernel(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_stray_instruction() {
+        let bad = "kernel x\n  exit\n";
+        let e = parse_kernel(bad).unwrap_err();
+        assert!(e.message.contains("before any block"));
+    }
+
+    #[test]
+    fn rejects_missing_name() {
+        assert!(parse_kernel("bb0:\n  exit\n").is_err());
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        let bad = "kernel x\nbb0:\n  r0 = iadd r1\n  exit\n";
+        let e = parse_kernel(bad).unwrap_err();
+        assert!(e.message.contains("expects 2 operands"));
+    }
+
+    #[test]
+    fn immediates_parse_dec_and_hex() {
+        let k = parse_kernel("kernel x\nbb0:\n  r0 = movi 255\n  r1 = movi 0xff\n  exit\n")
+            .unwrap();
+        let b0 = k.block(BlockId(0));
+        assert_eq!(b0.insns()[0].op(), Opcode::MovImm(255));
+        assert_eq!(b0.insns()[1].op(), Opcode::MovImm(255));
+    }
+}

@@ -1,0 +1,247 @@
+//! Set-associative cache tag model with LRU replacement.
+
+use crate::config::CacheConfig;
+
+/// One cache line's bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_used: u64,
+}
+
+impl Line {
+    fn empty() -> Self {
+        Line { tag: 0, valid: false, dirty: false, last_used: 0 }
+    }
+}
+
+/// Result of a cache access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Whether a dirty line was evicted to make room (write-back traffic).
+    pub evicted_dirty: bool,
+    /// Address of the displaced dirty line, when one was written back.
+    pub evicted_addr: Option<u64>,
+}
+
+/// A set-associative write-back cache tag array.
+///
+/// Only presence is modelled — data contents live with the caller. The
+/// RegLess L1 uses write-back, *no fetch on write* for register lines
+/// (paper §5.2.3): [`Cache::write_allocate_no_fetch`] installs a dirty line
+/// without a fill.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    line_bytes: usize,
+    tick: u64,
+}
+
+impl Cache {
+    /// Build an empty cache with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets.
+    pub fn new(config: &CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        assert!(num_sets > 0, "cache too small for associativity");
+        Cache {
+            sets: vec![vec![Line::empty(); config.assoc]; num_sets],
+            line_bytes: config.line_bytes,
+            tick: 0,
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes as u64;
+        ((line as usize) % self.sets.len(), line / self.sets.len() as u64)
+    }
+
+    /// Probe without modifying state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Access `addr`; on a miss, fill the line (evicting LRU). `write`
+    /// marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.set_and_tag(addr);
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_used = tick;
+            line.dirty |= write;
+            return AccessResult { hit: true, evicted_dirty: false, evicted_addr: None };
+        }
+        let num_sets = self.sets.len() as u64;
+        let lines = &mut self.sets[set];
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_used } else { 0 })
+            .expect("associativity > 0");
+        let evicted_dirty = victim.valid && victim.dirty;
+        let evicted_addr = evicted_dirty.then(|| {
+            (victim.tag * num_sets + set as u64) * self.line_bytes as u64
+        });
+        *victim = Line { tag, valid: true, dirty: write, last_used: tick };
+        AccessResult { hit: false, evicted_dirty, evicted_addr }
+    }
+
+    /// Install `addr` as a dirty line without fetching the old contents
+    /// (RegLess register stores overwrite whole lines, paper §5.2.3).
+    /// Returns whether a dirty victim was displaced.
+    pub fn write_allocate_no_fetch(&mut self, addr: u64) -> bool {
+        self.access(addr, true).evicted_dirty
+    }
+
+    /// Invalidate `addr` if present; returns whether a line was dropped.
+    /// The dropped line's dirty state is discarded (register invalidations
+    /// delete dead values, so no write-back is needed).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines (for occupancy checks in tests).
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 128B = 1 KB
+        Cache::new(&CacheConfig { bytes: 1024, assoc: 2, line_bytes: 128, hit_latency: 1 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false).hit);
+        assert!(c.access(0, false).hit);
+        assert!(c.access(64, false).hit, "same line");
+        assert!(!c.access(128, false).hit, "next line");
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets * line = 512).
+        c.access(0, false);
+        c.access(512, false);
+        c.access(0, false); // refresh 0
+        let r = c.access(1024, false); // evicts 512 (LRU)
+        assert!(!r.hit);
+        assert!(c.probe(0));
+        assert!(!c.probe(512));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(512, false);
+        let r = c.access(1024, false); // evicts dirty 0
+        assert!(r.evicted_dirty);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.access(0, true);
+        assert!(c.invalidate(0));
+        assert!(!c.probe(0));
+        assert!(!c.invalidate(0));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn write_allocate_no_fetch_installs_dirty() {
+        let mut c = tiny();
+        c.write_allocate_no_fetch(256);
+        assert!(c.probe(256));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// A reference model: per-set LRU lists.
+    #[derive(Default)]
+    struct RefCache {
+        sets: HashMap<usize, Vec<u64>>, // most-recent last
+    }
+
+    impl RefCache {
+        fn access(&mut self, sets: usize, assoc: usize, line: u64) -> bool {
+            let set = self.sets.entry((line as usize) % sets).or_default();
+            let hit = if let Some(pos) = set.iter().position(|&l| l == line) {
+                set.remove(pos);
+                true
+            } else {
+                false
+            };
+            set.push(line);
+            if set.len() > assoc {
+                set.remove(0);
+            }
+            hit
+        }
+    }
+
+    proptest! {
+        /// Hit/miss behaviour matches an LRU reference model exactly.
+        #[test]
+        fn matches_lru_reference(addrs in proptest::collection::vec(0u64..32, 1..200)) {
+            let config = CacheConfig { bytes: 1024, assoc: 2, line_bytes: 128, hit_latency: 1 };
+            let mut cache = Cache::new(&config);
+            let mut reference = RefCache::default();
+            for &line in &addrs {
+                let got = cache.access(line * 128, false).hit;
+                let want = reference.access(config.num_sets(), config.assoc, line);
+                prop_assert_eq!(got, want, "line {}", line);
+            }
+        }
+
+        /// Occupancy never exceeds capacity, and invalidation removes
+        /// exactly the named line.
+        #[test]
+        fn occupancy_bounded(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+            let config = CacheConfig { bytes: 2048, assoc: 4, line_bytes: 128, hit_latency: 1 };
+            let capacity = config.bytes / config.line_bytes;
+            let mut cache = Cache::new(&config);
+            for &(line, inval) in &ops {
+                if inval {
+                    cache.invalidate(line * 128);
+                    prop_assert!(!cache.probe(line * 128));
+                } else {
+                    cache.access(line * 128, true);
+                    prop_assert!(cache.probe(line * 128));
+                }
+                prop_assert!(cache.occupancy() <= capacity);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! A pure functional interpreter: the timing-free reference semantics.
+//!
+//! [`interpret`] executes one warp's view of a kernel — SIMT divergence,
+//! ALU semantics, and the deterministic memory contents of
+//! [`crate::load_value`] — with no pipeline, scheduler, or operand storage
+//! at all. Because every timing model in this workspace must leave
+//! architectural state untouched, the interpreter serves as the oracle the
+//! cycle-level simulators are checked against.
+
+use crate::sm::load_value;
+use crate::warp::WarpState;
+use regless_compiler::DomInfo;
+use regless_isa::{Kernel, LaneVec, Opcode};
+
+/// Result of interpreting one warp.
+#[derive(Clone, Debug)]
+pub struct InterpResult {
+    /// Final architectural register values.
+    pub regs: Vec<LaneVec>,
+    /// Dynamic instructions executed.
+    pub insns: u64,
+    /// Global stores performed, in order: `(address, value)` per active
+    /// lane.
+    pub stores: Vec<(u32, u32)>,
+}
+
+/// Errors from [`interpret`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// The warp exceeded the instruction budget — a non-terminating kernel.
+    Runaway {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::Runaway { budget } => {
+                write!(f, "kernel did not terminate within {budget} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Execute `kernel` functionally for the warp with global index
+/// `warp_index`, with an instruction `budget` guarding non-termination.
+///
+/// # Errors
+///
+/// Returns [`InterpError::Runaway`] if the budget is exhausted.
+pub fn interpret(
+    kernel: &Kernel,
+    warp_index: usize,
+    budget: u64,
+) -> Result<InterpResult, InterpError> {
+    let dom = DomInfo::compute(kernel);
+    let mut warp = WarpState::new(kernel);
+    let mut insns = 0u64;
+    let mut stores = Vec::new();
+    while !warp.finished() {
+        if insns >= budget {
+            return Err(InterpError::Runaway { budget });
+        }
+        let pc = warp.pc().expect("unfinished warp has a pc");
+        let insn = kernel.insn(pc).clone();
+        let mask = warp.mask();
+        let src_vals: Vec<LaneVec> =
+            insn.srcs().iter().map(|s| warp.regs[s.index()]).collect();
+        let taken_bits = if matches!(insn.op(), Opcode::Bra { .. }) {
+            src_vals[0].nonzero_bits()
+        } else {
+            0
+        };
+        // Memory + ALU semantics, matching the pipeline's issue path.
+        let value = match insn.op() {
+            Opcode::LdGlobal => {
+                let mut v = LaneVec::zero();
+                for l in mask.iter() {
+                    v.set_lane(l, load_value(src_vals[0].lane(l)));
+                }
+                Some(v)
+            }
+            Opcode::LdShared => {
+                let mut v = LaneVec::zero();
+                for l in mask.iter() {
+                    v.set_lane(l, load_value(src_vals[0].lane(l) ^ 0x5f5f_5f5f));
+                }
+                Some(v)
+            }
+            Opcode::StGlobal => {
+                for l in mask.iter() {
+                    stores.push((src_vals[1].lane(l), src_vals[0].lane(l)));
+                }
+                None
+            }
+            _ => insn.evaluate(&src_vals, warp_index),
+        };
+        if let Some(d) = insn.dst() {
+            let v = value.expect("destination implies a value");
+            let mut merged = warp.regs[d.index()];
+            for l in mask.iter() {
+                merged.set_lane(l, v.lane(l));
+            }
+            warp.regs[d.index()] = merged;
+        }
+        warp.advance(kernel, taken_bits, |b| dom.immediate_postdominator(b));
+        insns += 1;
+    }
+    Ok(InterpResult { regs: warp.regs, insns, stores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regless_isa::KernelBuilder;
+
+    #[test]
+    fn straight_line_values() {
+        let mut b = KernelBuilder::new("s");
+        let x = b.movi(6);
+        let y = b.movi(7);
+        let z = b.imul(x, y);
+        b.st_global(z, x);
+        b.exit();
+        let k = b.finish().unwrap();
+        let r = interpret(&k, 0, 100).unwrap();
+        assert_eq!(r.insns, 5);
+        assert_eq!(r.regs[z.index()], LaneVec::splat(42));
+        assert_eq!(r.stores.len(), 32);
+        assert!(r.stores.iter().all(|&(a, v)| a == 6 && v == 42));
+    }
+
+    #[test]
+    fn warp_index_affects_thread_ids() {
+        let mut b = KernelBuilder::new("tid");
+        let t = b.thread_idx();
+        b.st_global(t, t);
+        b.exit();
+        let k = b.finish().unwrap();
+        let w0 = interpret(&k, 0, 100).unwrap();
+        let w3 = interpret(&k, 3, 100).unwrap();
+        assert_eq!(w0.regs[t.index()].lane(0), 0);
+        assert_eq!(w3.regs[t.index()].lane(0), 96);
+    }
+
+    #[test]
+    fn divergent_stores_use_partial_masks() {
+        let mut bld = KernelBuilder::new("div");
+        let t = bld.new_block();
+        let j = bld.new_block();
+        let lane = bld.lane_idx();
+        let four = bld.movi(4);
+        let c = bld.setlt(lane, four);
+        bld.bra(c, t, j);
+        bld.select(t);
+        bld.st_global(lane, lane);
+        bld.jmp(j);
+        bld.select(j);
+        bld.exit();
+        let k = bld.finish().unwrap();
+        let r = interpret(&k, 0, 100).unwrap();
+        assert_eq!(r.stores.len(), 4, "only 4 lanes took the branch");
+    }
+
+    #[test]
+    fn runaway_detected() {
+        // An infinite loop: the branch condition is always true, so the
+        // exit block (required for validity) is never reached.
+        let mut b = KernelBuilder::new("inf");
+        let body = b.new_block();
+        let done = b.new_block();
+        b.jmp(body);
+        b.select(body);
+        let one = b.movi(1);
+        b.bra(one, body, done);
+        b.select(done);
+        b.exit();
+        let k = b.finish().unwrap();
+        let e = interpret(&k, 0, 1000).unwrap_err();
+        assert_eq!(e, InterpError::Runaway { budget: 1000 });
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Baseline register-file bank model.
+//!
+//! The paper's baseline Verilog includes "register banks, arbitration logic
+//! for register read and write back units, and operand collectors". This
+//! module models the timing effect that survives at our abstraction level:
+//! a banked register file serves one access per bank per cycle, and an
+//! instruction whose source operands collide in a bank pays extra collector
+//! cycles gathering them.
+
+use regless_isa::Reg;
+
+/// Number of banks in the baseline register file (GTX 980-class: 256 KB
+/// across 16 banks).
+pub const RF_BANKS: usize = 16;
+
+/// The bank a (warp, register) pair maps to in the baseline register file.
+/// Like the OSU, the warp id offsets the mapping so different warps' copies
+/// of the same register spread across banks.
+#[inline]
+pub fn rf_bank(warp: usize, reg: Reg) -> usize {
+    (warp + reg.index()) % RF_BANKS
+}
+
+/// Extra operand-collector cycles for one instruction's source reads: each
+/// bank serves one read per cycle, so `k` sources in one bank cost `k - 1`
+/// extra cycles, accumulated across banks.
+pub fn collector_conflict_cycles(warp: usize, srcs: &[Reg]) -> u64 {
+    let mut counts = [0u64; RF_BANKS];
+    for &s in srcs {
+        counts[rf_bank(warp, s)] += 1;
+    }
+    counts.iter().map(|&c| c.saturating_sub(1)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_banks_are_free() {
+        assert_eq!(collector_conflict_cycles(0, &[Reg(0), Reg(1), Reg(2)]), 0);
+    }
+
+    #[test]
+    fn same_bank_pairs_serialize() {
+        // Registers 16 apart share a bank for every warp.
+        assert_eq!(collector_conflict_cycles(0, &[Reg(0), Reg(16)]), 1);
+        assert_eq!(collector_conflict_cycles(5, &[Reg(0), Reg(16)]), 1);
+        assert_eq!(collector_conflict_cycles(0, &[Reg(0), Reg(16), Reg(32)]), 2);
+    }
+
+    #[test]
+    fn warp_offset_rotates_banks() {
+        let b0 = rf_bank(0, Reg(3));
+        let b1 = rf_bank(1, Reg(3));
+        assert_eq!((b0 + 1) % RF_BANKS, b1);
+    }
+
+    #[test]
+    fn duplicate_source_counts_once_per_read_port() {
+        // Reading the same register twice still needs two bank reads in
+        // this model (no operand forwarding between collector slots).
+        assert_eq!(collector_conflict_cycles(0, &[Reg(4), Reg(4)]), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Warp scheduling policies.
+
+use crate::config::SchedulerKind;
+
+/// A warp scheduler instance for one scheduling group. Warp indices are
+/// *local* to the group.
+///
+/// The interface is deliberately small: each cycle the pipeline presents
+/// the set of ready warps and the policy picks one.
+#[derive(Clone, Debug)]
+pub enum Scheduler {
+    /// Greedy-then-oldest: keep issuing the last warp while it stays ready,
+    /// otherwise the oldest (lowest-index) ready warp.
+    Gto {
+        /// Warp issued most recently.
+        last: Option<usize>,
+    },
+    /// Loose round-robin: pick the next ready warp after the last issued
+    /// one, wrapping around.
+    Lrr {
+        /// Warp issued most recently.
+        last: Option<usize>,
+    },
+    /// Two-level: only warps in the active set may issue; a warp that
+    /// performs a long-latency operation is demoted and a pending warp
+    /// promoted (Gebhart et al. / Narasiman et al.).
+    TwoLevel {
+        /// Current active set, in promotion order.
+        active: Vec<usize>,
+        /// Pending (inactive) warps, in demotion order.
+        pending: Vec<usize>,
+        /// Capacity of the active set.
+        capacity: usize,
+        /// Warp issued most recently.
+        last: Option<usize>,
+    },
+}
+
+impl Scheduler {
+    /// Create a scheduler of the configured kind over `num_warps` local
+    /// warps.
+    pub fn new(kind: SchedulerKind, num_warps: usize) -> Self {
+        match kind {
+            SchedulerKind::Gto => Scheduler::Gto { last: None },
+            SchedulerKind::Lrr => Scheduler::Lrr { last: None },
+            SchedulerKind::TwoLevel { active_per_scheduler } => {
+                let capacity = active_per_scheduler.max(1).min(num_warps.max(1));
+                Scheduler::TwoLevel {
+                    active: (0..capacity.min(num_warps)).collect(),
+                    pending: (capacity.min(num_warps)..num_warps).collect(),
+                    capacity,
+                    last: None,
+                }
+            }
+        }
+    }
+
+    /// Pick a warp to issue from `ready` (ascending local indices).
+    pub fn pick(&mut self, ready: &[usize]) -> Option<usize> {
+        match self {
+            Scheduler::Gto { last } => {
+                let choice = match *last {
+                    Some(w) if ready.contains(&w) => Some(w),
+                    _ => ready.first().copied(),
+                };
+                *last = choice.or(*last);
+                choice
+            }
+            Scheduler::Lrr { last } => {
+                let choice = match *last {
+                    Some(prev) => ready
+                        .iter()
+                        .copied()
+                        .find(|&w| w > prev)
+                        .or_else(|| ready.first().copied()),
+                    None => ready.first().copied(),
+                };
+                *last = choice.or(*last);
+                choice
+            }
+            Scheduler::TwoLevel { active, pending, last, .. } => {
+                let in_active = |w: &usize| active.contains(w);
+                let choice = match *last {
+                    Some(w) if ready.contains(&w) && active.contains(&w) => Some(w),
+                    _ => ready.iter().copied().find(|w| in_active(w)),
+                };
+                let choice = match choice {
+                    Some(c) => Some(c),
+                    None => {
+                        // No active warp is ready: swap in a ready pending
+                        // warp for the stalest active one. The swap itself
+                        // costs the issue slot — the promoted warp starts
+                        // issuing next cycle (the reactivation latency that
+                        // makes two-level scheduling lose to GTO, §6.4).
+                        let promote = ready.iter().copied().find(|w| pending.contains(w));
+                        if let Some(promote) = promote {
+                            pending.retain(|&w| w != promote);
+                            if let Some(demoted) = active.first().copied() {
+                                active.remove(0);
+                                pending.push(demoted);
+                            }
+                            active.push(promote);
+                        }
+                        None
+                    }
+                };
+                *last = choice.or(*last);
+                choice
+            }
+        }
+    }
+
+    /// Notify the policy that warp `w` began a long-latency operation
+    /// (global load): two-level demotes it.
+    pub fn on_long_latency(&mut self, w: usize) {
+        if let Scheduler::TwoLevel { active, pending, capacity, .. } = self {
+            if let Some(pos) = active.iter().position(|&a| a == w) {
+                active.remove(pos);
+                pending.push(w);
+                if active.len() < *capacity {
+                    if let Some(p) = pending.first().copied() {
+                        // Promote the longest-waiting pending warp.
+                        pending.remove(0);
+                        active.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Warps currently allowed to issue (the active set); `None` for GTO
+    /// (all warps).
+    pub fn active_set(&self) -> Option<&[usize]> {
+        match self {
+            Scheduler::Gto { .. } | Scheduler::Lrr { .. } => None,
+            Scheduler::TwoLevel { active, .. } => Some(active),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gto_is_greedy_then_oldest() {
+        let mut s = Scheduler::new(SchedulerKind::Gto, 4);
+        assert_eq!(s.pick(&[0, 1, 2]), Some(0));
+        assert_eq!(s.pick(&[0, 1, 2]), Some(0), "greedy on same warp");
+        assert_eq!(s.pick(&[1, 2]), Some(1), "oldest when last not ready");
+        assert_eq!(s.pick(&[1, 2]), Some(1));
+        assert_eq!(s.pick(&[]), None);
+    }
+
+    #[test]
+    fn lrr_rotates_through_ready_warps() {
+        let mut s = Scheduler::new(SchedulerKind::Lrr, 4);
+        assert_eq!(s.pick(&[0, 1, 3]), Some(0));
+        assert_eq!(s.pick(&[0, 1, 3]), Some(1));
+        assert_eq!(s.pick(&[0, 1, 3]), Some(3));
+        assert_eq!(s.pick(&[0, 1, 3]), Some(0), "wraps around");
+        assert_eq!(s.pick(&[]), None);
+    }
+
+    #[test]
+    fn two_level_restricts_to_active() {
+        let mut s = Scheduler::new(SchedulerKind::TwoLevel { active_per_scheduler: 2 }, 4);
+        // Active = {0, 1}. Warp 2 is ready but not active; 1 is ready.
+        assert_eq!(s.pick(&[1, 2]), Some(1));
+        // Only pending warps ready: the swap consumes this issue slot and
+        // the promoted warp issues on the next pick.
+        assert_eq!(s.pick(&[2, 3]), None);
+        let promoted = s.pick(&[2, 3]).unwrap();
+        assert!(promoted == 2 || promoted == 3);
+        assert!(s.active_set().unwrap().contains(&promoted));
+    }
+
+    #[test]
+    fn two_level_demotes_on_long_latency() {
+        let mut s = Scheduler::new(SchedulerKind::TwoLevel { active_per_scheduler: 2 }, 4);
+        s.on_long_latency(0);
+        let active = s.active_set().unwrap();
+        assert!(!active.contains(&0));
+        assert!(active.contains(&2), "pending warp promoted");
+    }
+
+    #[test]
+    fn two_level_caps_active_size() {
+        let s = Scheduler::new(SchedulerKind::TwoLevel { active_per_scheduler: 8 }, 4);
+        assert_eq!(s.active_set().unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,618 @@
+//! The streaming-multiprocessor pipeline and whole-GPU driver.
+//!
+//! Each SM steps one cycle at a time: retire due writebacks, let the
+//! operand backend run (RegLess's capacity manager lives there), release
+//! barriers, then let each warp scheduler issue at most one instruction.
+//! Functional execution happens at issue; timing is carried by scoreboard
+//! entries that clear at the instruction's writeback time, which for
+//! global accesses comes from the shared memory hierarchy.
+
+use crate::backend::{BackendCtx, OperandBackend};
+use crate::config::{Cycle, GpuConfig};
+use crate::mem::{MemSystem, Traffic};
+use crate::sched::Scheduler;
+use crate::stats::{MemStats, SmStats};
+use crate::warp::{WarpBlock, WarpState};
+use regless_compiler::CompiledKernel;
+use regless_isa::{InsnRef, LaneVec, OpClass, Opcode, Reg, WarpId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Deterministic per-address contents of simulated global memory.
+///
+/// Loads return a hash of the address: data-dependent but reproducible,
+/// and realistically incompressible (unlike index arithmetic, which stays
+/// compressible). Stores are sinks.
+pub fn load_value(addr: u32) -> u32 {
+    let mut x = addr.wrapping_mul(0x9e37_79b9) ^ 0x85eb_ca6b;
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xc2b2_ae35);
+    x ^ (x >> 16)
+}
+
+/// Simulation errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The cycle limit was reached before all warps finished — a hang or a
+    /// configuration far too small for the workload.
+    MaxCyclesExceeded {
+        /// The limit that was hit.
+        limit: Cycle,
+        /// Warps still unfinished, per SM.
+        unfinished: Vec<usize>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MaxCyclesExceeded { limit, unfinished } => write!(
+                f,
+                "simulation exceeded {limit} cycles with unfinished warps per SM {unfinished:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A pending register writeback.
+#[derive(Clone, Debug)]
+struct Event {
+    due: Cycle,
+    warp: usize,
+    at: InsnRef,
+    reg: Reg,
+    value: LaneVec,
+}
+
+/// Heap key ordering events by due cycle (earliest first via `Reverse`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey(Cycle, u64);
+
+/// One SM: warps, schedulers, in-flight writebacks, and the operand
+/// backend.
+pub struct Sm<B> {
+    id: usize,
+    config: GpuConfig,
+    compiled: Arc<CompiledKernel>,
+    /// Architectural state of each hardware warp.
+    pub warps: Vec<WarpState>,
+    scheds: Vec<Scheduler>,
+    events: BinaryHeap<Reverse<EventKey>>,
+    event_data: std::collections::HashMap<u64, Event>,
+    next_event_id: u64,
+    live_warps: usize,
+    /// This SM's statistics.
+    pub stats: SmStats,
+    /// The operand backend (baseline RF, RegLess, RFH, RFV…).
+    pub backend: B,
+}
+
+impl<B: OperandBackend> Sm<B> {
+    fn new(id: usize, config: &GpuConfig, compiled: Arc<CompiledKernel>, backend: B) -> Self {
+        let warps: Vec<WarpState> =
+            (0..config.warps_per_sm).map(|_| WarpState::new(compiled.kernel())).collect();
+        let scheds = (0..config.schedulers_per_sm)
+            .map(|_| Scheduler::new(config.scheduler, config.warps_per_scheduler()))
+            .collect();
+        let live_warps = warps.len();
+        Sm {
+            id,
+            config: *config,
+            compiled,
+            warps,
+            scheds,
+            events: BinaryHeap::new(),
+            event_data: std::collections::HashMap::new(),
+            next_event_id: 0,
+            live_warps,
+            stats: SmStats::default(),
+            backend,
+        }
+    }
+
+    fn push_event(&mut self, e: Event) {
+        let id = self.next_event_id;
+        self.next_event_id += 1;
+        self.events.push(Reverse(EventKey(e.due, id)));
+        self.event_data.insert(id, e);
+    }
+
+    fn all_done(&self) -> bool {
+        self.live_warps == 0 && self.events.is_empty() && self.backend.quiesced()
+    }
+
+    /// Advance one cycle.
+    fn tick(&mut self, now: Cycle, mem: &mut MemSystem) {
+        // 1. Retire writebacks due now.
+        while let Some(&Reverse(EventKey(due, id))) = self.events.peek() {
+            if due > now {
+                break;
+            }
+            self.events.pop();
+            let e = self.event_data.remove(&id).expect("event data present");
+            self.warps[e.warp].pending.remove(&e.reg);
+            self.stats
+                .trace_event(now, crate::TraceEvent::Writeback { warp: e.warp, reg: e.reg });
+            let mut ctx =
+                BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
+            self.backend.on_writeback(e.warp, e.at, e.reg, e.value, &mut ctx);
+        }
+
+        // 2. Backend housekeeping (CM activation, preload pipeline).
+        {
+            let mut ctx =
+                BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
+            self.backend.begin_cycle_with_warps(&self.warps, &mut ctx);
+        }
+
+        // 3. Barrier release, per thread block: a barrier synchronizes the
+        // warps of one block, not the whole SM.
+        if self.live_warps > 0 {
+            let bs = self.config.warps_per_block;
+            for (bi, block) in self.warps.chunks_mut(bs).enumerate() {
+                let any_waiting = block.iter().any(|w| w.at_barrier);
+                let all_at_barrier = block
+                    .iter()
+                    .filter(|w| !w.finished())
+                    .all(|w| w.at_barrier);
+                if any_waiting && all_at_barrier {
+                    for w in block.iter_mut() {
+                        w.at_barrier = false;
+                    }
+                    self.stats.trace_event(now, crate::TraceEvent::BarrierRelease { block: bi });
+                }
+            }
+        }
+
+        // 4. Issue: up to `issue_slots_per_scheduler` instructions per
+        // scheduler.
+        let num_scheds = self.scheds.len();
+        let per_sched = self.config.warps_per_scheduler();
+        for s in 0..num_scheds {
+            for _slot in 0..self.config.issue_slots_per_scheduler {
+                let mut ready: Vec<usize> = Vec::new();
+                for local in 0..per_sched {
+                    let w = local * num_scheds + s;
+                    if self.warps[w].block_reason(self.compiled.kernel()) != WarpBlock::Ready {
+                        continue;
+                    }
+                    let pc = self.warps[w].pc().expect("ready implies a pc");
+                    if self.backend.warp_eligible(w, pc) {
+                        ready.push(local);
+                    }
+                }
+                let Some(local) = self.scheds[s].pick(&ready) else {
+                    self.stats.idle_cycles += 1;
+                    continue;
+                };
+                let w = local * num_scheds + s;
+                let took_bubble = {
+                    let mut ctx =
+                        BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
+                    self.backend.take_bubble(w, &mut ctx)
+                };
+                if took_bubble {
+                    self.stats.meta_insns += 1;
+                    continue;
+                }
+                self.issue(w, s, local, now, mem);
+            }
+        }
+
+        // 5. Roll statistics windows.
+        self.stats.working_set.roll(now);
+        self.stats.backing_series.roll(now);
+        self.stats.osu_occupancy.roll(now);
+        self.stats.cycles = now + 1;
+    }
+
+    fn issue(&mut self, w: usize, sched: usize, local: usize, now: Cycle, mem: &mut MemSystem) {
+        let at = self.warps[w].pc().expect("issuing warp has a pc");
+        let insn = self.compiled.kernel().insn(at).clone();
+        let mask = self.warps[w].mask();
+
+        // Track the operand working set (Figure 2).
+        for &srcr in insn.srcs() {
+            self.stats.working_set.record(WarpId(w as u16), srcr, now);
+        }
+        if let Some(d) = insn.dst() {
+            self.stats.working_set.record(WarpId(w as u16), d, now);
+        }
+
+        self.stats.trace_event(now, crate::TraceEvent::Issue { warp: w, pc: at });
+
+        // Functional evaluation. Staged operand values are cross-checked
+        // against the architectural state *before* the backend applies its
+        // last-use annotations.
+        let src_vals: Vec<LaneVec> =
+            insn.srcs().iter().map(|s| self.warps[w].regs[s.index()]).collect();
+        {
+            let operands: Vec<(Reg, LaneVec)> =
+                insn.srcs().iter().copied().zip(src_vals.iter().copied()).collect();
+            self.backend.check_staged_operands(w, &operands, &mut self.stats);
+        }
+        let extra = {
+            let mut ctx = BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
+            self.backend.on_issue(w, at, &insn, &mut ctx)
+        };
+        let alu_value = insn.evaluate(&src_vals, self.global_warp_index(w));
+        let taken_bits = if matches!(insn.op(), Opcode::Bra { .. }) {
+            src_vals[0].nonzero_bits()
+        } else {
+            0
+        };
+
+        // Timing + memory traffic.
+        let mut writeback: Option<(Cycle, LaneVec)> = None;
+        match insn.op() {
+            Opcode::LdGlobal => {
+                let addrs = &src_vals[0];
+                let done = self.coalesced_access(addrs, mask, false, now, mem);
+                let mut v = LaneVec::zero();
+                for l in mask.iter() {
+                    v.set_lane(l, load_value(addrs.lane(l)));
+                }
+                writeback = Some((done + extra, v));
+                self.scheds[sched].on_long_latency(local);
+            }
+            Opcode::StGlobal => {
+                let addrs = &src_vals[1];
+                let _ = self.coalesced_access(addrs, mask, true, now, mem);
+            }
+            Opcode::LdShared => {
+                let addrs = &src_vals[0];
+                let mut v = LaneVec::zero();
+                for l in mask.iter() {
+                    v.set_lane(l, load_value(addrs.lane(l) ^ 0x5f5f_5f5f));
+                }
+                writeback = Some((now + self.config.latency.shared_mem + extra, v));
+            }
+            Opcode::StShared | Opcode::Bra { .. } | Opcode::Jmp { .. } | Opcode::Exit => {}
+            Opcode::Bar => {
+                self.warps[w].at_barrier = true;
+            }
+            _ => {
+                let lat = match insn.class() {
+                    OpClass::FpAlu => self.config.latency.fp_alu,
+                    OpClass::Sfu => self.config.latency.sfu,
+                    _ => self.config.latency.int_alu,
+                };
+                writeback =
+                    Some((now + lat + extra, alu_value.expect("ALU ops produce values")));
+            }
+        }
+
+        // Scoreboard + functional write.
+        if let Some(d) = insn.dst() {
+            let (due, value) = writeback.expect("dst implies a writeback");
+            // Soft definitions merge with inactive lanes' old values.
+            let mut merged = self.warps[w].regs[d.index()];
+            for l in mask.iter() {
+                merged.set_lane(l, value.lane(l));
+            }
+            self.warps[w].regs[d.index()] = merged;
+            self.warps[w].pending.insert(d);
+            self.push_event(Event { due, warp: w, at, reg: d, value: merged });
+        }
+
+        // Control state.
+        let dom = self.compiled.dom();
+        self.warps[w].advance(self.compiled.kernel(), taken_bits, |b| {
+            dom.immediate_postdominator(b)
+        });
+        self.warps[w].insns_issued += 1;
+        self.stats.insns += 1;
+
+        if self.warps[w].finished() {
+            self.warps[w].finished_at = Some(now);
+            self.live_warps -= 1;
+            self.stats.trace_event(now, crate::TraceEvent::WarpFinish { warp: w });
+            let mut ctx = BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
+            self.backend.on_warp_finish(w, &mut ctx);
+        }
+    }
+
+    /// Coalesce a warp's lane addresses into unique 128-byte lines and
+    /// issue them to the memory system; returns the completion cycle.
+    fn coalesced_access(
+        &mut self,
+        addrs: &LaneVec,
+        mask: regless_isa::LaneMask,
+        write: bool,
+        now: Cycle,
+        mem: &mut MemSystem,
+    ) -> Cycle {
+        let mut lines: Vec<u64> = mask
+            .iter()
+            .map(|l| addrs.lane(l) as u64 / 128)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut done = now + 1;
+        for line in lines {
+            let a = mem.access_line(self.id, line * 128, write, Traffic::Data, now);
+            done = done.max(a.done);
+        }
+        done
+    }
+
+    fn global_warp_index(&self, w: usize) -> usize {
+        self.id * self.config.warps_per_sm + w
+    }
+
+    /// The compiled kernel this SM runs.
+    pub fn compiled(&self) -> &CompiledKernel {
+        &self.compiled
+    }
+}
+
+/// Result of a whole-GPU run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Total cycles until the last SM finished.
+    pub cycles: Cycle,
+    /// Per-SM counters.
+    pub sm_stats: Vec<SmStats>,
+    /// Memory-hierarchy counters.
+    pub mem: MemStats,
+    /// Final architectural register values, `final_regs[sm][warp][reg]`,
+    /// for checking against the functional interpreter.
+    pub final_regs: Vec<Vec<Vec<LaneVec>>>,
+    /// Dynamic instructions per warp, `warp_insns[sm][warp]`.
+    pub warp_insns: Vec<Vec<u64>>,
+}
+
+impl RunReport {
+    /// Merged counters across SMs.
+    pub fn total(&self) -> SmStats {
+        let mut t = SmStats::default();
+        for s in &self.sm_stats {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Instructions per cycle across the GPU.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total().insns as f64 / self.cycles as f64
+    }
+}
+
+/// A whole GPU: SMs sharing one memory hierarchy, all running the same
+/// compiled kernel (the usual SPMD launch).
+pub struct Machine<B> {
+    mem: MemSystem,
+    sms: Vec<Sm<B>>,
+    config: GpuConfig,
+}
+
+impl<B: OperandBackend> Machine<B> {
+    /// Build a machine; `make_backend` constructs each SM's backend.
+    pub fn new(
+        config: GpuConfig,
+        compiled: Arc<CompiledKernel>,
+        mut make_backend: impl FnMut(usize) -> B,
+    ) -> Self {
+        config.validate();
+        let mem = MemSystem::new(&config);
+        let sms = (0..config.num_sms)
+            .map(|i| Sm::new(i, &config, Arc::clone(&compiled), make_backend(i)))
+            .collect();
+        Machine { mem, sms, config }
+    }
+
+    /// Run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MaxCyclesExceeded`] if the configured cycle
+    /// limit is hit first.
+    pub fn run(mut self) -> Result<RunReport, SimError> {
+        let mut now: Cycle = 0;
+        while !self.sms.iter().all(Sm::all_done) {
+            if now >= self.config.max_cycles {
+                return Err(SimError::MaxCyclesExceeded {
+                    limit: self.config.max_cycles,
+                    unfinished: self
+                        .sms
+                        .iter()
+                        .map(|sm| sm.warps.iter().filter(|w| !w.finished()).count())
+                        .collect(),
+                });
+            }
+            for sm in &mut self.sms {
+                sm.tick(now, &mut self.mem);
+            }
+            now += 1;
+        }
+        let final_regs = self
+            .sms
+            .iter()
+            .map(|sm| sm.warps.iter().map(|w| w.regs.clone()).collect())
+            .collect();
+        let warp_insns = self
+            .sms
+            .iter()
+            .map(|sm| sm.warps.iter().map(|w| w.insns_issued).collect())
+            .collect();
+        Ok(RunReport {
+            cycles: now,
+            sm_stats: self.sms.into_iter().map(|sm| sm.stats).collect(),
+            mem: self.mem.stats,
+            final_regs,
+            warp_insns,
+        })
+    }
+
+    /// The machine's SMs (inspection in tests).
+    pub fn sms(&self) -> &[Sm<B>] {
+        &self.sms
+    }
+
+    /// Enable event tracing on one SM, keeping up to `capacity` records;
+    /// the trace comes back in [`RunReport::sm_stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn enable_trace(&mut self, sm: usize, capacity: usize) {
+        self.sms[sm].stats.trace = Some(crate::TraceBuffer::new(capacity));
+    }
+}
+
+/// Convenience runner for the baseline register-file design.
+pub fn run_baseline(
+    config: GpuConfig,
+    compiled: Arc<CompiledKernel>,
+) -> Result<RunReport, SimError> {
+    Machine::new(config, compiled, |_| crate::backend::BaselineRf::new()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regless_compiler::{compile, RegionConfig};
+    use regless_isa::KernelBuilder;
+
+    fn compiled(kernel: regless_isa::Kernel) -> Arc<CompiledKernel> {
+        Arc::new(compile(&kernel, &RegionConfig::default()).unwrap())
+    }
+
+    fn straight_line() -> Arc<CompiledKernel> {
+        let mut b = KernelBuilder::new("s");
+        let i = b.thread_idx();
+        let x = b.iadd(i, i);
+        let y = b.imul(x, i);
+        b.st_global(y, i);
+        b.exit();
+        compiled(b.finish().unwrap())
+    }
+
+    #[test]
+    fn baseline_runs_to_completion() {
+        let report = run_baseline(GpuConfig::test_small(), straight_line()).unwrap();
+        let total = report.total();
+        // 8 warps x 5 instructions.
+        assert_eq!(total.insns, 8 * 5);
+        assert!(report.cycles > 0);
+        assert!(total.rf_reads > 0 && total.rf_writes > 0);
+    }
+
+    #[test]
+    fn load_latency_delays_dependents() {
+        // Dependent chain through a global load must take at least the
+        // L2 latency (data bypasses L1).
+        let mut b = KernelBuilder::new("lat");
+        let i = b.thread_idx();
+        let v = b.ld_global(i);
+        let x = b.iadd(v, v);
+        b.st_global(x, i);
+        b.exit();
+        let c = compiled(b.finish().unwrap());
+        let config = GpuConfig {
+            warps_per_sm: 2,
+            warps_per_block: 2,
+            schedulers_per_sm: 2,
+            ..GpuConfig::test_small()
+        };
+        let report = run_baseline(config, c).unwrap();
+        assert!(
+            report.cycles >= GpuConfig::test_small().l2.hit_latency,
+            "cycles {} should cover L2 latency",
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn divergent_kernel_executes_both_paths() {
+        let mut b = KernelBuilder::new("div");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let lane = b.lane_idx();
+        let half = b.movi(16);
+        let c = b.setlt(lane, half);
+        b.bra(c, t, e);
+        b.select(t);
+        let a1 = b.iadd(lane, lane);
+        b.st_global(a1, lane);
+        b.jmp(j);
+        b.select(e);
+        let a2 = b.imul(lane, lane);
+        b.st_global(a2, lane);
+        b.jmp(j);
+        b.select(j);
+        b.exit();
+        let report = run_baseline(GpuConfig::test_small(), compiled(b.finish().unwrap())).unwrap();
+        // Both sides execute: 4 + 3 + 3 + 1 instructions per warp.
+        assert_eq!(report.total().insns, 8 * 11);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_warps() {
+        let mut b = KernelBuilder::new("bar");
+        let i = b.thread_idx();
+        let x = b.iadd(i, i);
+        b.bar();
+        let y = b.imul(x, x);
+        b.st_global(y, i);
+        b.exit();
+        let report = run_baseline(GpuConfig::test_small(), compiled(b.finish().unwrap())).unwrap();
+        assert_eq!(report.total().insns, 8 * 6);
+    }
+
+    #[test]
+    fn loop_kernel_terminates() {
+        let mut b = KernelBuilder::new("loop");
+        let body = b.new_block();
+        let done = b.new_block();
+        let i0 = b.movi(0);
+        let n = b.movi(16);
+        b.jmp(body);
+        b.select(body);
+        let one = b.movi(1);
+        b.emit_to(i0, Opcode::IAdd, vec![i0, one]);
+        let c = b.setlt(i0, n);
+        b.bra(c, body, done);
+        b.select(done);
+        b.exit();
+        let report = run_baseline(GpuConfig::test_small(), compiled(b.finish().unwrap())).unwrap();
+        // 16 iterations x 4 body insns + 3 prologue + 1 exit per warp.
+        assert_eq!(report.total().insns, 8 * (16 * 4 + 4));
+    }
+
+    #[test]
+    fn ipc_bounded_by_schedulers() {
+        let report = run_baseline(GpuConfig::test_small(), straight_line()).unwrap();
+        assert!(report.ipc() <= GpuConfig::test_small().schedulers_per_sm as f64);
+    }
+
+    #[test]
+    fn working_set_tracked() {
+        let mut b = KernelBuilder::new("ws");
+        let body = b.new_block();
+        let done = b.new_block();
+        let i0 = b.movi(0);
+        let n = b.movi(200);
+        b.jmp(body);
+        b.select(body);
+        let one = b.movi(1);
+        b.emit_to(i0, Opcode::IAdd, vec![i0, one]);
+        let c = b.setlt(i0, n);
+        b.bra(c, body, done);
+        b.select(done);
+        b.exit();
+        let report = run_baseline(GpuConfig::test_small(), compiled(b.finish().unwrap())).unwrap();
+        assert!(!report.sm_stats[0].working_set.samples().is_empty());
+        assert!(report.sm_stats[0].working_set.mean_kb() > 0.0);
+    }
+
+    use regless_isa::Opcode;
+}

@@ -1,0 +1,324 @@
+//! Event counters and time-series trackers.
+
+use crate::config::Cycle;
+use regless_isa::{Reg, WarpId};
+use std::collections::HashSet;
+
+/// Length of the sampling window used by the paper's Figures 2 and 3.
+pub const WINDOW_CYCLES: Cycle = 100;
+
+/// Tracks the register working set per 100-cycle window (Figure 2): the
+/// number of distinct `(warp, register)` operands touched in each window,
+/// reported in kilobytes (128 bytes per register).
+#[derive(Clone, Debug, Default)]
+pub struct WorkingSetTracker {
+    current: HashSet<(WarpId, Reg)>,
+    window_start: Cycle,
+    samples: Vec<usize>,
+}
+
+impl WorkingSetTracker {
+    /// New tracker starting at cycle 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an operand access at `now`.
+    pub fn record(&mut self, warp: WarpId, reg: Reg, now: Cycle) {
+        self.roll(now);
+        self.current.insert((warp, reg));
+    }
+
+    /// Advance the window if `now` has moved past it.
+    pub fn roll(&mut self, now: Cycle) {
+        while now >= self.window_start + WINDOW_CYCLES {
+            self.samples.push(self.current.len());
+            self.current.clear();
+            self.window_start += WINDOW_CYCLES;
+        }
+    }
+
+    /// Mean working set over all complete windows, in KB.
+    pub fn mean_kb(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let regs: usize = self.samples.iter().sum();
+        (regs as f64 * 128.0 / 1024.0) / self.samples.len() as f64
+    }
+
+    /// Working-set samples (register count per window).
+    pub fn samples(&self) -> &[usize] {
+        &self.samples
+    }
+}
+
+/// Accumulates a per-window count time series (Figure 3's backing-store
+/// accesses per 100 cycles).
+#[derive(Clone, Debug, Default)]
+pub struct WindowSeries {
+    current: u64,
+    window_start: Cycle,
+    samples: Vec<u64>,
+}
+
+impl WindowSeries {
+    /// New series starting at cycle 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` events at `now`.
+    pub fn record(&mut self, now: Cycle, n: u64) {
+        self.roll(now);
+        self.current += n;
+    }
+
+    /// Advance the window if `now` has moved past it.
+    pub fn roll(&mut self, now: Cycle) {
+        while now >= self.window_start + WINDOW_CYCLES {
+            self.samples.push(self.current);
+            self.current = 0;
+            self.window_start += WINDOW_CYCLES;
+        }
+    }
+
+    /// Completed window samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Mean events per window.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+}
+
+/// Where a RegLess preload was satisfied from (Figure 17's categories).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PreloadSource {
+    /// The register was still resident in the OSU.
+    Osu,
+    /// The compressor reproduced the value from a compressed line.
+    Compressor,
+    /// Fetched from the L1 data cache.
+    L1,
+    /// Fetched from L2 or DRAM.
+    L2OrDram,
+}
+
+/// Counters produced by one SM's execution. Baseline runs leave the
+/// RegLess-specific counters at zero; the RegLess backend fills them in.
+#[derive(Clone, Debug, Default)]
+pub struct SmStats {
+    /// Cycles this SM ran.
+    pub cycles: Cycle,
+    /// Real (non-metadata) instructions issued.
+    pub insns: u64,
+    /// Metadata instructions issued (RegLess only).
+    pub meta_insns: u64,
+    /// Issue slots with no eligible warp.
+    pub idle_cycles: u64,
+
+    /// Baseline register-file reads (per 128-byte operand). For the RFH
+    /// baseline these are main-register-file (MRF) accesses; for RFV they
+    /// are accesses to the half-size renamed RF.
+    pub rf_reads: u64,
+    /// Baseline register-file writes.
+    pub rf_writes: u64,
+    /// RFH last-result-file reads.
+    pub lrf_reads: u64,
+    /// RFH last-result-file writes.
+    pub lrf_writes: u64,
+    /// RFH register-file-cache reads.
+    pub rfc_reads: u64,
+    /// RFH register-file-cache writes.
+    pub rfc_writes: u64,
+    /// RFV rename-table lookups.
+    pub rename_lookups: u64,
+    /// RFV cycles in which warps were throttled for physical registers.
+    pub rfv_throttled_warp_cycles: u64,
+    /// Extra operand-collector cycles from baseline RF bank conflicts.
+    pub rf_bank_conflicts: u64,
+
+    /// OSU data-array reads.
+    pub osu_reads: u64,
+    /// OSU data-array writes.
+    pub osu_writes: u64,
+    /// OSU tag probes (reads, preload checks).
+    pub osu_tag_probes: u64,
+    /// Extra cycles lost to OSU bank conflicts.
+    pub osu_bank_conflicts: u64,
+
+    /// Preloads by satisfying source.
+    pub preloads_osu: u64,
+    /// Preloads satisfied by the compressor.
+    pub preloads_compressor: u64,
+    /// Preloads that fetched from L1.
+    pub preloads_l1: u64,
+    /// Preloads that went to L2 or DRAM.
+    pub preloads_l2_dram: u64,
+    /// Dirty-register stores to the L1.
+    pub reg_stores_l1: u64,
+    /// Cache-invalidation requests sent to the L1.
+    pub reg_invalidate_l1: u64,
+    /// Compressor pattern-match attempts.
+    pub compressor_matches: u64,
+    /// Registers successfully compressed on eviction.
+    pub compressor_compressed: u64,
+    /// Regions activated.
+    pub regions_activated: u64,
+    /// Total cycles warps spent with an active region (activation to drain
+    /// completion); `/ regions_activated` gives Table 2's cycles-per-region.
+    pub region_active_cycles: u64,
+    /// OSU line allocations that exceeded a region's reservation
+    /// (model safety valve; should stay tiny).
+    pub reservation_overflows: u64,
+    /// Staged operand values that disagreed with the architectural register
+    /// state at issue — any nonzero count is a staging-path value bug.
+    pub staging_mismatches: u64,
+
+    /// Optional event trace (off by default; see [`crate::TraceBuffer`]).
+    pub trace: Option<crate::trace::TraceBuffer>,
+    /// Register working set per window (Figure 2).
+    pub working_set: WorkingSetTracker,
+    /// Backing-store accesses per window (Figure 3): baseline RF accesses,
+    /// RFH main-RF accesses, or RegLess L1 register traffic.
+    pub backing_series: WindowSeries,
+    /// Active OSU lines sampled once per window (occupancy over time).
+    pub osu_occupancy: WindowSeries,
+}
+
+impl SmStats {
+    /// Total preloads processed.
+    pub fn preloads_total(&self) -> u64 {
+        self.preloads_osu + self.preloads_compressor + self.preloads_l1 + self.preloads_l2_dram
+    }
+
+    /// Total L1 requests made on behalf of register traffic.
+    pub fn reg_l1_requests(&self) -> u64 {
+        self.preloads_l1 + self.preloads_l2_dram + self.reg_stores_l1 + self.reg_invalidate_l1
+    }
+
+    /// Record one trace event if tracing is enabled.
+    pub fn trace_event(&mut self, cycle: crate::config::Cycle, event: crate::trace::TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.record(cycle, event);
+        }
+    }
+
+    /// Record a preload outcome.
+    pub fn record_preload(&mut self, source: PreloadSource) {
+        match source {
+            PreloadSource::Osu => self.preloads_osu += 1,
+            PreloadSource::Compressor => self.preloads_compressor += 1,
+            PreloadSource::L1 => self.preloads_l1 += 1,
+            PreloadSource::L2OrDram => self.preloads_l2_dram += 1,
+        }
+    }
+
+    /// Merge another SM's counters into this one (for whole-GPU totals).
+    pub fn merge(&mut self, other: &SmStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.insns += other.insns;
+        self.meta_insns += other.meta_insns;
+        self.idle_cycles += other.idle_cycles;
+        self.rf_reads += other.rf_reads;
+        self.rf_writes += other.rf_writes;
+        self.lrf_reads += other.lrf_reads;
+        self.lrf_writes += other.lrf_writes;
+        self.rfc_reads += other.rfc_reads;
+        self.rfc_writes += other.rfc_writes;
+        self.rename_lookups += other.rename_lookups;
+        self.rfv_throttled_warp_cycles += other.rfv_throttled_warp_cycles;
+        self.rf_bank_conflicts += other.rf_bank_conflicts;
+        self.osu_reads += other.osu_reads;
+        self.osu_writes += other.osu_writes;
+        self.osu_tag_probes += other.osu_tag_probes;
+        self.osu_bank_conflicts += other.osu_bank_conflicts;
+        self.preloads_osu += other.preloads_osu;
+        self.preloads_compressor += other.preloads_compressor;
+        self.preloads_l1 += other.preloads_l1;
+        self.preloads_l2_dram += other.preloads_l2_dram;
+        self.reg_stores_l1 += other.reg_stores_l1;
+        self.reg_invalidate_l1 += other.reg_invalidate_l1;
+        self.compressor_matches += other.compressor_matches;
+        self.compressor_compressed += other.compressor_compressed;
+        self.regions_activated += other.regions_activated;
+        self.region_active_cycles += other.region_active_cycles;
+        self.reservation_overflows += other.reservation_overflows;
+        self.staging_mismatches += other.staging_mismatches;
+    }
+}
+
+/// Memory-hierarchy counters (shared across SMs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemStats {
+    /// L1 accesses for ordinary data.
+    pub l1_data_accesses: u64,
+    /// L1 accesses for register traffic (RegLess).
+    pub l1_reg_accesses: u64,
+    /// L1 hits (all kinds).
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// L2 accesses caused by register traffic only.
+    pub l2_reg_accesses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_windows() {
+        let mut t = WorkingSetTracker::new();
+        t.record(WarpId(0), Reg(0), 10);
+        t.record(WarpId(0), Reg(0), 20); // duplicate in window
+        t.record(WarpId(1), Reg(0), 30);
+        t.roll(250); // complete two windows
+        assert_eq!(t.samples(), &[2, 0]);
+        // 2 regs in one window, 0 in the next: mean = 1 reg = 0.125 KB
+        assert!((t.mean_kb() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_series_accumulates() {
+        let mut s = WindowSeries::new();
+        s.record(0, 5);
+        s.record(99, 3);
+        s.record(100, 7);
+        s.roll(300);
+        assert_eq!(s.samples(), &[8, 7, 0]);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preload_sources_counted() {
+        let mut s = SmStats::default();
+        s.record_preload(PreloadSource::Osu);
+        s.record_preload(PreloadSource::Osu);
+        s.record_preload(PreloadSource::L1);
+        assert_eq!(s.preloads_total(), 3);
+        assert_eq!(s.preloads_osu, 2);
+        assert_eq!(s.reg_l1_requests(), 1);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = SmStats { cycles: 10, insns: 5, ..Default::default() };
+        let b = SmStats { cycles: 20, insns: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.insns, 12);
+    }
+}

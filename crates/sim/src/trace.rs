@@ -1,0 +1,184 @@
+//! Optional execution tracing.
+//!
+//! A [`TraceBuffer`] can be attached to one SM's statistics
+//! ([`crate::SmStats::trace`]); the pipeline and the operand backend then
+//! record timestamped events — instruction issues, writebacks, barrier
+//! releases, and RegLess region lifecycle transitions — up to a fixed
+//! capacity. Tracing is off by default and costs nothing when disabled.
+
+use crate::config::Cycle;
+use crate::stats::PreloadSource;
+use regless_isa::{InsnRef, Reg};
+
+/// One traced event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A real instruction issued.
+    Issue {
+        /// Issuing warp (SM-local).
+        warp: usize,
+        /// Static location of the instruction.
+        pc: InsnRef,
+    },
+    /// A destination register's value landed.
+    Writeback {
+        /// Owning warp.
+        warp: usize,
+        /// The written register.
+        reg: Reg,
+    },
+    /// A thread block's barrier released.
+    BarrierRelease {
+        /// Index of the thread block (warps / warps_per_block).
+        block: usize,
+    },
+    /// A warp exited the kernel.
+    WarpFinish {
+        /// The finished warp.
+        warp: usize,
+    },
+    /// RegLess: a warp was admitted and began preloading a region.
+    RegionPreload {
+        /// The warp.
+        warp: usize,
+        /// Region index being staged.
+        region: u32,
+    },
+    /// RegLess: a warp's region became active (all operands staged).
+    RegionActivate {
+        /// The warp.
+        warp: usize,
+        /// The active region.
+        region: u32,
+    },
+    /// RegLess: a warp finished draining and released its allocation.
+    RegionRelease {
+        /// The warp.
+        warp: usize,
+    },
+    /// RegLess: one preload was satisfied.
+    Preload {
+        /// The warp.
+        warp: usize,
+        /// The staged register.
+        reg: Reg,
+        /// Where the value came from.
+        source: PreloadSource,
+    },
+}
+
+/// A timestamped trace record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// Cycle the event occurred.
+    pub cycle: Cycle,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A bounded event recorder.
+///
+/// ```
+/// use regless_sim::{TraceBuffer, TraceEvent};
+/// let mut t = TraceBuffer::new(2);
+/// t.record(1, TraceEvent::WarpFinish { warp: 0 });
+/// t.record(2, TraceEvent::WarpFinish { warp: 1 });
+/// t.record(3, TraceEvent::WarpFinish { warp: 2 }); // dropped: full
+/// assert_eq!(t.records().len(), 2);
+/// assert_eq!(t.dropped(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding up to `capacity` records; later events are counted
+    /// but dropped.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer { records: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Record one event.
+    pub fn record(&mut self, cycle: Cycle, event: TraceEvent) {
+        if self.records.len() < self.capacity {
+            self.records.push(TraceRecord { cycle, event });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All recorded events, in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Events dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the region lifecycle of one warp as a timeline.
+    pub fn warp_timeline(&self, warp: usize) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let line = match r.event {
+                TraceEvent::RegionPreload { warp: w, region } if w == warp => {
+                    Some(format!("{:>8}  preload region{region}", r.cycle))
+                }
+                TraceEvent::RegionActivate { warp: w, region } if w == warp => {
+                    Some(format!("{:>8}  activate region{region}", r.cycle))
+                }
+                TraceEvent::RegionRelease { warp: w } if w == warp => {
+                    Some(format!("{:>8}  release", r.cycle))
+                }
+                TraceEvent::Issue { warp: w, pc } if w == warp => {
+                    Some(format!("{:>8}    issue {pc}", r.cycle))
+                }
+                TraceEvent::Preload { warp: w, reg, source } if w == warp => {
+                    Some(format!("{:>8}    stage {reg} from {source:?}", r.cycle))
+                }
+                TraceEvent::WarpFinish { warp: w } if w == warp => {
+                    Some(format!("{:>8}  finish", r.cycle))
+                }
+                _ => None,
+            };
+            if let Some(l) = line {
+                out.push_str(&l);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_records() {
+        let mut t = TraceBuffer::new(3);
+        for c in 0..10 {
+            t.record(c, TraceEvent::WarpFinish { warp: c as usize });
+        }
+        assert_eq!(t.records().len(), 3);
+        assert_eq!(t.dropped(), 7);
+    }
+
+    #[test]
+    fn timeline_filters_by_warp() {
+        let mut t = TraceBuffer::new(16);
+        t.record(5, TraceEvent::RegionPreload { warp: 1, region: 0 });
+        t.record(6, TraceEvent::RegionActivate { warp: 1, region: 0 });
+        t.record(6, TraceEvent::RegionActivate { warp: 2, region: 0 });
+        t.record(9, TraceEvent::RegionRelease { warp: 1 });
+        let tl = t.warp_timeline(1);
+        assert!(tl.contains("preload region0"));
+        assert!(tl.contains("activate region0"));
+        assert!(tl.contains("release"));
+        assert_eq!(tl.lines().count(), 3, "warp 2's event excluded");
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic SIMT workloads for the RegLess evaluation.
+//!
+//! The paper evaluates on the Rodinia suite compiled through `ptxas`;
+//! without a CUDA toolchain this crate substitutes **synthetic kernels
+//! generated from per-benchmark profiles** ([`Profile`]) that reproduce
+//! the structural properties RegLess is sensitive to: register-lifetime
+//! shapes, live-range pressure, control divergence, memory intensity, and
+//! barrier placement. One kernel is provided per Rodinia benchmark (see
+//! [`rodinia`]), plus the generic generator for custom experiments.
+//!
+//! ```
+//! use regless_workloads::rodinia;
+//!
+//! let kernels = rodinia::all();
+//! assert_eq!(kernels.len(), 21);
+//! assert_eq!(rodinia::hotspot().name(), "hotspot");
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod micro;
+mod profile;
+pub mod rodinia;
+
+pub use profile::{generate, Divergence, Profile};
+
+/// A register-hungry kernel for the oversubscription study (paper §7):
+/// enough architectural registers per thread that a conventional register
+/// file must throttle occupancy, while RegLess — which stores only live
+/// values — keeps every warp resident.
+pub fn high_pressure_kernel() -> regless_isa::Kernel {
+    generate(&Profile {
+        name: "high_pressure",
+        trips: 12,
+        segments: 3,
+        alu_per_segment: 20,
+        width: 20,
+        loads_per_iter: 1,
+        fp: true,
+        sfu_ops: 2,
+        persistent: 14,
+        ..Profile::default()
+    })
+}

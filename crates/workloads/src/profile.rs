@@ -1,0 +1,340 @@
+//! Parametric kernel generation.
+//!
+//! Each benchmark is described by a [`Profile`] — register pressure,
+//! live-range shapes, memory intensity, control divergence, barriers —
+//! and [`generate`] lowers it to a concrete SIMT kernel. The profiles in
+//! [`crate::rodinia`] are calibrated to the per-benchmark characteristics
+//! the paper reports (working sets in Figure 2, region shapes in Figure 19
+//! and Table 2, divergence behaviour in §6.4).
+
+use regless_isa::{Kernel, KernelBuilder, Opcode, Reg};
+
+/// Control-divergence style of a kernel's inner loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Divergence {
+    /// No divergent branches.
+    None,
+    /// A diamond splitting the warp in half (structured divergence).
+    HalfWarp,
+    /// A diamond on loaded data — effectively random per lane, the
+    /// irregular pattern of `bfs`/`heartwall`/`hybridsort`.
+    Data,
+}
+
+/// A synthetic-benchmark description.
+#[derive(Clone, Copy, Debug)]
+pub struct Profile {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Main-loop trip count.
+    pub trips: u32,
+    /// Compute segments per loop iteration (each is a run of ALU ops).
+    pub segments: usize,
+    /// ALU operations per segment.
+    pub alu_per_segment: usize,
+    /// Target number of concurrently-live temporaries (register pressure).
+    pub width: usize,
+    /// Global loads per iteration.
+    pub loads_per_iter: usize,
+    /// Global stores per iteration.
+    pub stores_per_iter: usize,
+    /// Whether the loop uses shared memory.
+    pub shared: bool,
+    /// Special-function-unit ops per iteration.
+    pub sfu_ops: usize,
+    /// Use floating-point ops for the compute segments.
+    pub fp: bool,
+    /// Divergence style.
+    pub divergence: Divergence,
+    /// Whether iterations end with a block-wide barrier.
+    pub barrier: bool,
+    /// Long-lived values computed in the prologue and consumed every
+    /// iteration and after the loop (cross-region registers).
+    pub persistent: usize,
+    /// Scattered (uncoalesced) load addresses.
+    pub scattered: bool,
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Profile {
+            name: "synthetic",
+            trips: 16,
+            segments: 1,
+            alu_per_segment: 6,
+            width: 6,
+            loads_per_iter: 1,
+            stores_per_iter: 1,
+            shared: false,
+            sfu_ops: 0,
+            fp: false,
+            divergence: Divergence::None,
+            barrier: false,
+            persistent: 2,
+            scattered: false,
+        }
+    }
+}
+
+/// Size mask of the simulated data heap (4 MiB): keeps addresses in a
+/// cacheable range.
+const HEAP_MASK: u32 = 0x3f_ffff;
+
+/// State threaded through generation.
+struct Gen {
+    b: KernelBuilder,
+    tid: Reg,
+    base: Reg,
+    heap_mask: Reg,
+    persistent: Vec<Reg>,
+    acc: Reg,
+    /// Rotating pool of live temporaries (bounded by `width`).
+    live: Vec<Reg>,
+    /// Deterministic op-choice counter.
+    salt: u32,
+}
+
+impl Gen {
+    fn pick(&self, k: usize) -> Reg {
+        self.live[k % self.live.len()]
+    }
+
+    /// Emit one ALU op over the live pool, growing it toward `width`.
+    fn alu(&mut self, fp: bool, width: usize) {
+        self.salt = self.salt.wrapping_mul(1664525).wrapping_add(1013904223);
+        let a = self.pick(self.salt as usize % 7);
+        let c = self.pick((self.salt >> 8) as usize % 5 + 1);
+        let r = match (fp, self.salt >> 29) {
+            (true, 0 | 1) => self.b.fmul(a, c),
+            (true, 2 | 3) => {
+                let p = self.persistent[(self.salt as usize >> 3) % self.persistent.len().max(1)];
+                self.b.ffma(a, c, p)
+            }
+            (true, _) => self.b.fadd(a, c),
+            (false, 0 | 1) => self.b.imul(a, c),
+            (false, 2) => self.b.xor(a, c),
+            (false, _) => self.b.iadd(a, c),
+        };
+        self.live.push(r);
+        if self.live.len() > width {
+            self.live.remove(0);
+        }
+    }
+
+    /// Fold the live pool into the accumulator (creates liveness seams).
+    fn reduce(&mut self) {
+        let acc = self.acc;
+        for v in self.live.clone() {
+            self.b.emit_to(acc, Opcode::IAdd, vec![acc, v]);
+        }
+        self.live.clear();
+        self.live.push(acc);
+    }
+
+    /// A load address: coalesced (`base + offset`) or scattered (hashed).
+    fn address(&mut self, scattered: bool, offset: u32) -> Reg {
+        if scattered {
+            let o = self.b.movi(offset | 1);
+            let x = self.b.iadd(self.tid, o);
+            let h = self.b.sfu(x);
+            self.b.and(h, self.heap_mask)
+        } else {
+            let o = self.b.movi(offset);
+            self.b.iadd(self.base, o)
+        }
+    }
+}
+
+/// Lower a profile to a kernel.
+///
+/// The generated kernel always terminates: the loop index is compared
+/// against a constant trip count with a uniform branch.
+///
+/// # Panics
+///
+/// Panics if the profile is degenerate (zero trips or zero width) — these
+/// are programming errors in a profile table, not data errors.
+pub fn generate(p: &Profile) -> Kernel {
+    assert!(p.trips > 0 && p.width > 0, "degenerate profile {}", p.name);
+    let mut b = KernelBuilder::new(p.name);
+
+    // Prologue: thread id, address base, persistent (long-lived) values.
+    let tid = b.thread_idx();
+    let four = b.movi(4);
+    let base = b.imul(tid, four);
+    let heap_mask = b.movi(HEAP_MASK);
+    let persistent: Vec<Reg> = (0..p.persistent)
+        .map(|i| {
+            let c = b.movi(0x100 + i as u32 * 8);
+            b.iadd(tid, c) // stride-1 values: realistically compressible
+        })
+        .collect();
+    let i = b.movi(0);
+    let n = b.movi(p.trips);
+    let acc = b.movi(0);
+
+    let head = b.new_block();
+    let done = b.new_block();
+    b.jmp(head);
+    b.select(head);
+
+    let mut g = Gen { b, tid, base, heap_mask, persistent, acc, live: vec![acc], salt: 0x2545 };
+
+    // Loads feed the live pool.
+    let mut loaded = Vec::new();
+    for l in 0..p.loads_per_iter {
+        let addr = g.address(p.scattered, (l as u32) * 0x80);
+        let v = g.b.ld_global(addr);
+        loaded.push(v);
+        g.live.push(v);
+    }
+    if p.shared {
+        let sv = g.b.ld_shared(g.tid);
+        g.live.push(sv);
+    }
+    for _ in 0..p.sfu_ops {
+        let a = g.pick(1);
+        let s = g.b.sfu(a);
+        g.live.push(s);
+    }
+
+    // Compute segments with a reduction seam between them. Only the last
+    // segment runs at the profile's full width: real kernels hold a few
+    // values most of the time and spike occasionally (Figure 19's large
+    // standard deviations), so sustained maximal pressure would be
+    // unrepresentative.
+    for seg in 0..p.segments.max(1) {
+        let seg_width = if seg + 1 == p.segments.max(1) {
+            p.width
+        } else {
+            (p.width / 2).clamp(3, 8)
+        };
+        for _ in 0..p.alu_per_segment {
+            g.alu(p.fp, seg_width);
+        }
+        if seg + 1 < p.segments {
+            g.reduce();
+        }
+    }
+
+    // Optional divergence diamond.
+    match p.divergence {
+        Divergence::None => {}
+        Divergence::HalfWarp | Divergence::Data => {
+            let t_bb = g.b.new_block();
+            let e_bb = g.b.new_block();
+            let j_bb = g.b.new_block();
+            let cond = match p.divergence {
+                Divergence::HalfWarp => {
+                    let lane = g.b.lane_idx();
+                    let half = g.b.movi(16);
+                    g.b.setlt(lane, half)
+                }
+                _ => {
+                    let v = loaded.first().copied().unwrap_or(g.tid);
+                    let one = g.b.movi(1);
+                    g.b.and(v, one)
+                }
+            };
+            g.b.bra(cond, t_bb, e_bb);
+            let merged = g.acc;
+            g.b.select(t_bb);
+            let a = g.pick(0);
+            let x = g.b.iadd(a, a);
+            g.b.emit_to(merged, Opcode::IAdd, vec![merged, x]);
+            g.b.jmp(j_bb);
+            g.b.select(e_bb);
+            let c = g.pick(1);
+            let y = g.b.imul(c, c);
+            g.b.emit_to(merged, Opcode::IAdd, vec![merged, y]);
+            g.b.jmp(j_bb);
+            g.b.select(j_bb);
+        }
+    }
+
+    // Tail: reduce, store, advance, loop.
+    g.reduce();
+    for s in 0..p.stores_per_iter {
+        let addr = g.address(false, 0x40 + (s as u32) * 0x80);
+        g.b.st_global(g.acc, addr);
+    }
+    if p.shared {
+        g.b.st_shared(g.acc, g.tid);
+    }
+    if p.barrier {
+        g.b.bar();
+    }
+    let one = g.b.movi(1);
+    g.b.emit_to(i, Opcode::IAdd, vec![i, one]);
+    let c = g.b.setlt(i, n);
+    g.b.bra(c, head, done);
+
+    // Epilogue: fold the persistent values (they live across the loop).
+    g.b.select(done);
+    for pv in g.persistent.clone() {
+        g.b.emit_to(g.acc, Opcode::IAdd, vec![g.acc, pv]);
+    }
+    let out_addr = g.b.iadd(g.base, g.heap_mask);
+    g.b.st_global(g.acc, out_addr);
+    g.b.exit();
+
+    g.b.finish().unwrap_or_else(|e| panic!("profile {} generated invalid kernel: {e}", p.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regless_compiler::{compile, RegionConfig};
+
+    #[test]
+    fn default_profile_generates_valid_kernel() {
+        let k = generate(&Profile::default());
+        assert!(k.num_insns() > 20);
+        assert!(compile(&k, &RegionConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = Profile { width: 8, fp: true, ..Profile::default() };
+        assert_eq!(generate(&p), generate(&p));
+    }
+
+    #[test]
+    fn width_controls_pressure() {
+        let narrow = generate(&Profile { width: 3, alu_per_segment: 12, ..Profile::default() });
+        let wide = generate(&Profile { width: 20, alu_per_segment: 24, ..Profile::default() });
+        let max_live = |k: &Kernel| {
+            let c = compile(k, &RegionConfig { max_regs_per_region: 64, ..Default::default() })
+                .unwrap();
+            c.liveness()
+                .live_counts(k)
+                .into_iter()
+                .map(|(_, n)| n)
+                .max()
+                .unwrap()
+        };
+        assert!(max_live(&wide) > max_live(&narrow) + 5);
+    }
+
+    #[test]
+    fn divergent_profiles_have_diamonds() {
+        let k = generate(&Profile { divergence: Divergence::HalfWarp, ..Profile::default() });
+        // More blocks than the straight-line version.
+        let s = generate(&Profile::default());
+        assert!(k.num_blocks() > s.num_blocks());
+    }
+
+    #[test]
+    fn barrier_profile_emits_barriers() {
+        let k = generate(&Profile { barrier: true, ..Profile::default() });
+        let has_bar = k.iter_insns().any(|(_, i)| matches!(i.op(), Opcode::Bar));
+        assert!(has_bar);
+    }
+
+    #[test]
+    fn memory_profiles_emit_loads() {
+        let k = generate(&Profile { loads_per_iter: 3, ..Profile::default() });
+        let loads = k.iter_insns().filter(|(_, i)| i.is_global_load()).count();
+        assert!(loads >= 3);
+    }
+}

@@ -1,0 +1,490 @@
+//! Synthetic stand-ins for the 21 Rodinia benchmarks of the paper's
+//! evaluation.
+//!
+//! The real Rodinia kernels cannot be compiled here (no CUDA toolchain or
+//! `ptxas`); instead, each benchmark gets a [`Profile`] calibrated to the
+//! characteristics the paper reports for it — register working set
+//! (Figure 2), region sizes (Table 2), preloads and live registers per
+//! region (Figure 19), control-flow and memory behaviour (§6.4). RegLess's
+//! behaviour is driven by exactly these lifetime/divergence/memory
+//! structures, so matching them preserves each benchmark's *shape* in the
+//! reproduced figures.
+
+use crate::profile::{generate, Divergence, Profile};
+use regless_isa::Kernel;
+
+/// Names of all benchmarks, in the paper's (alphabetical) order.
+pub const NAMES: [&str; 21] = [
+    "b+tree",
+    "backprop",
+    "bfs",
+    "dwt2d",
+    "gaussian",
+    "heartwall",
+    "hotspot",
+    "hybridsort",
+    "kmeans",
+    "lavaMD",
+    "leukocyte",
+    "lud",
+    "mummergpu",
+    "myocyte",
+    "nn",
+    "nw",
+    "particle_filter",
+    "pathfinder",
+    "srad_v1",
+    "srad_v2",
+    "streamcluster",
+];
+
+/// The profile of one benchmark.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`NAMES`].
+pub fn profile(name: &str) -> Profile {
+    let d = Profile::default();
+    match name {
+        // Irregular tree search: tiny regions, scattered loads, data-
+        // dependent branching, small working set.
+        "b+tree" => Profile {
+            name: "b+tree",
+            trips: 24,
+            alu_per_segment: 4,
+            width: 4,
+            loads_per_iter: 2,
+            divergence: Divergence::Data,
+            scattered: true,
+            persistent: 2,
+            ..d
+        },
+        // Neural-net back propagation: shared memory, barrier, moderate fp.
+        "backprop" => Profile {
+            name: "backprop",
+            trips: 32,
+            alu_per_segment: 8,
+            width: 6,
+            shared: true,
+            fp: true,
+            barrier: true,
+            persistent: 2,
+            ..d
+        },
+        // Breadth-first search: the memory-bound extreme — 3-instruction
+        // regions, heavy divergence, almost no compute.
+        "bfs" => Profile {
+            name: "bfs",
+            trips: 24,
+            alu_per_segment: 2,
+            width: 3,
+            loads_per_iter: 2,
+            divergence: Divergence::Data,
+            scattered: true,
+            persistent: 1,
+            ..d
+        },
+        // Wavelet transform: deep fp expressions, 20+ live registers.
+        "dwt2d" => Profile {
+            name: "dwt2d",
+            trips: 16,
+            segments: 2,
+            alu_per_segment: 14,
+            width: 18,
+            loads_per_iter: 2,
+            stores_per_iter: 2,
+            fp: true,
+            persistent: 6,
+            ..d
+        },
+        // Gaussian elimination: many registers live across global loads.
+        "gaussian" => Profile {
+            name: "gaussian",
+            trips: 24,
+            alu_per_segment: 10,
+            width: 12,
+            loads_per_iter: 3,
+            fp: true,
+            persistent: 8,
+            ..d
+        },
+        // Heart-wall tracking: complex control flow over loaded data.
+        "heartwall" => Profile {
+            name: "heartwall",
+            trips: 24,
+            segments: 2,
+            alu_per_segment: 5,
+            width: 6,
+            loads_per_iter: 2,
+            sfu_ops: 1,
+            fp: true,
+            divergence: Divergence::Data,
+            persistent: 3,
+            ..d
+        },
+        // Thermal stencil: high pressure, shared memory, barrier.
+        "hotspot" => Profile {
+            name: "hotspot",
+            trips: 24,
+            segments: 2,
+            alu_per_segment: 12,
+            width: 20,
+            loads_per_iter: 2,
+            shared: true,
+            fp: true,
+            barrier: true,
+            persistent: 5,
+            ..d
+        },
+        // Bucket/merge sort: divergent, bursty memory, barriers.
+        "hybridsort" => Profile {
+            name: "hybridsort",
+            trips: 24,
+            segments: 2,
+            alu_per_segment: 5,
+            width: 6,
+            loads_per_iter: 2,
+            stores_per_iter: 2,
+            shared: true,
+            divergence: Divergence::Data,
+            barrier: true,
+            scattered: true,
+            persistent: 2,
+            ..d
+        },
+        // Clustering: streaming loads, light compute.
+        "kmeans" => Profile {
+            name: "kmeans",
+            trips: 32,
+            alu_per_segment: 4,
+            width: 5,
+            loads_per_iter: 2,
+            fp: true,
+            persistent: 2,
+            ..d
+        },
+        // Molecular dynamics: long compute regions, many registers, SFU.
+        "lavaMD" => Profile {
+            name: "lavaMD",
+            trips: 16,
+            segments: 2,
+            alu_per_segment: 10,
+            width: 14,
+            loads_per_iter: 2,
+            shared: true,
+            sfu_ops: 2,
+            fp: true,
+            barrier: true,
+            persistent: 6,
+            ..d
+        },
+        // Cell tracking: fp compute with SFU.
+        "leukocyte" => Profile {
+            name: "leukocyte",
+            trips: 24,
+            segments: 2,
+            alu_per_segment: 9,
+            width: 10,
+            sfu_ops: 2,
+            fp: true,
+            persistent: 4,
+            ..d
+        },
+        // LU decomposition: the compute-region extreme (16 insns/region).
+        "lud" => Profile {
+            name: "lud",
+            trips: 12,
+            segments: 2,
+            alu_per_segment: 18,
+            width: 12,
+            shared: true,
+            fp: true,
+            barrier: true,
+            persistent: 4,
+            ..d
+        },
+        // Sequence matching: divergent scattered lookups.
+        "mummergpu" => Profile {
+            name: "mummergpu",
+            trips: 24,
+            alu_per_segment: 5,
+            width: 5,
+            loads_per_iter: 2,
+            divergence: Divergence::Data,
+            scattered: true,
+            persistent: 2,
+            ..d
+        },
+        // ODE solver: the huge-expression extreme (20+ live, big regions).
+        "myocyte" => Profile {
+            name: "myocyte",
+            trips: 12,
+            segments: 3,
+            alu_per_segment: 16,
+            width: 18,
+            sfu_ops: 3,
+            fp: true,
+            persistent: 8,
+            ..d
+        },
+        // k-nearest neighbours: small kernel, a few fp ops per point.
+        "nn" => Profile {
+            name: "nn",
+            trips: 16,
+            alu_per_segment: 6,
+            width: 5,
+            sfu_ops: 1,
+            fp: true,
+            persistent: 2,
+            ..d
+        },
+        // Needleman-Wunsch: integer compute on shared tiles.
+        "nw" => Profile {
+            name: "nw",
+            trips: 16,
+            segments: 2,
+            alu_per_segment: 12,
+            width: 8,
+            shared: true,
+            barrier: true,
+            persistent: 3,
+            ..d
+        },
+        // Particle filter: the Figure 5 example — mixed expressions with
+        // clear liveness seams, structured divergence.
+        "particle_filter" => Profile {
+            name: "particle_filter",
+            trips: 16,
+            segments: 2,
+            alu_per_segment: 10,
+            width: 12,
+            loads_per_iter: 2,
+            sfu_ops: 1,
+            fp: true,
+            persistent: 4,
+            ..d
+        },
+        // Grid traversal: shared-memory stencil with barriers.
+        "pathfinder" => Profile {
+            name: "pathfinder",
+            trips: 24,
+            alu_per_segment: 5,
+            width: 6,
+            shared: true,
+            barrier: true,
+            persistent: 2,
+            ..d
+        },
+        // Diffusion (v1): fp stencil.
+        "srad_v1" => Profile {
+            name: "srad_v1",
+            trips: 24,
+            segments: 2,
+            alu_per_segment: 9,
+            width: 10,
+            loads_per_iter: 2,
+            sfu_ops: 1,
+            fp: true,
+            persistent: 4,
+            ..d
+        },
+        // Diffusion (v2): fp stencil, slightly lighter.
+        "srad_v2" => Profile {
+            name: "srad_v2",
+            trips: 24,
+            segments: 2,
+            alu_per_segment: 8,
+            width: 8,
+            loads_per_iter: 2,
+            sfu_ops: 1,
+            fp: true,
+            persistent: 3,
+            ..d
+        },
+        // Streaming clustering: small regions, streaming loads.
+        "streamcluster" => Profile {
+            name: "streamcluster",
+            trips: 32,
+            alu_per_segment: 3,
+            width: 4,
+            loads_per_iter: 2,
+            fp: true,
+            persistent: 1,
+            ..d
+        },
+        other => panic!("unknown benchmark {other:?}"),
+    }
+}
+
+/// Generate one benchmark kernel by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`NAMES`].
+pub fn kernel(name: &str) -> Kernel {
+    generate(&profile(name))
+}
+
+/// All 21 benchmark kernels, in [`NAMES`] order.
+pub fn all() -> Vec<Kernel> {
+    NAMES.iter().map(|n| kernel(n)).collect()
+}
+
+macro_rules! named_kernels {
+    ($($fn_name:ident => $bench:literal),* $(,)?) => {
+        $(
+            #[doc = concat!("The `", $bench, "` benchmark kernel.")]
+            pub fn $fn_name() -> Kernel {
+                kernel($bench)
+            }
+        )*
+    };
+}
+
+named_kernels! {
+    b_plus_tree => "b+tree",
+    backprop => "backprop",
+    bfs => "bfs",
+    dwt2d => "dwt2d",
+    gaussian => "gaussian",
+    heartwall => "heartwall",
+    hotspot => "hotspot",
+    hybridsort => "hybridsort",
+    kmeans => "kmeans",
+    lava_md => "lavaMD",
+    leukocyte => "leukocyte",
+    lud => "lud",
+    mummergpu => "mummergpu",
+    myocyte => "myocyte",
+    nn => "nn",
+    nw => "nw",
+    particle_filter => "particle_filter",
+    pathfinder => "pathfinder",
+    srad_v1 => "srad_v1",
+    srad_v2 => "srad_v2",
+    streamcluster => "streamcluster",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regless_compiler::{compile, RegionConfig};
+
+    #[test]
+    fn all_benchmarks_generate_and_compile() {
+        for name in NAMES {
+            let k = kernel(name);
+            assert_eq!(k.name(), name);
+            let compiled = compile(&k, &RegionConfig::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(compiled.regions().len() >= 2, "{name} should have regions");
+        }
+    }
+
+    #[test]
+    fn all_returns_21_kernels() {
+        let ks = all();
+        assert_eq!(ks.len(), 21);
+        let names: Vec<&str> = ks.iter().map(|k| k.name()).collect();
+        assert_eq!(names, NAMES.to_vec());
+    }
+
+    #[test]
+    fn named_helpers_match_table() {
+        assert_eq!(b_plus_tree().name(), "b+tree");
+        assert_eq!(lava_md().name(), "lavaMD");
+        assert_eq!(particle_filter().name(), "particle_filter");
+    }
+
+    #[test]
+    fn pressure_ordering_matches_paper() {
+        // dwt2d and myocyte are the paper's high-pressure benchmarks; bfs
+        // the low-pressure one (Figures 2 and 19).
+        let max_live = |name: &str| {
+            let k = kernel(name);
+            let c = compile(
+                &k,
+                &RegionConfig { max_regs_per_region: 64, ..RegionConfig::default() },
+            )
+            .unwrap();
+            c.liveness().live_counts(&k).into_iter().map(|(_, n)| n).max().unwrap()
+        };
+        let bfs = max_live("bfs");
+        let dwt = max_live("dwt2d");
+        let myo = max_live("myocyte");
+        assert!(dwt > bfs + 10, "dwt2d {dwt} vs bfs {bfs}");
+        assert!(myo > bfs + 10, "myocyte {myo} vs bfs {bfs}");
+    }
+
+    #[test]
+    fn region_size_ordering_matches_table2() {
+        // lud has the largest regions (16 insns avg); bfs the smallest
+        // (3.3).
+        let mean_len = |name: &str| {
+            let k = kernel(name);
+            compile(&k, &RegionConfig::default()).unwrap().mean_region_len()
+        };
+        assert!(mean_len("lud") > mean_len("bfs"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        let _ = profile("not-a-benchmark");
+    }
+}
+
+#[cfg(test)]
+mod characteristic_tests {
+    use super::*;
+    use regless_isa::KernelStats;
+
+    /// The profile table must actually produce the per-benchmark character
+    /// the paper describes (§6.4, Table 2).
+    #[test]
+    fn memory_intensity_ordering() {
+        let mi = |n: &str| KernelStats::of(&kernel(n)).memory_intensity();
+        // bfs is the memory-bound extreme; lud the compute extreme.
+        assert!(mi("bfs") > mi("lud") * 2.0, "bfs {} vs lud {}", mi("bfs"), mi("lud"));
+        assert!(mi("streamcluster") > mi("myocyte"));
+    }
+
+    #[test]
+    fn barrier_benchmarks_have_barriers() {
+        for name in ["backprop", "hotspot", "hybridsort", "lavaMD", "lud", "nw", "pathfinder"] {
+            assert!(
+                KernelStats::of(&kernel(name)).barriers > 0,
+                "{name} should use barriers"
+            );
+        }
+        for name in ["bfs", "gaussian", "nn"] {
+            assert_eq!(KernelStats::of(&kernel(name)).barriers, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn divergent_benchmarks_have_more_branches() {
+        let br = |n: &str| {
+            let s = KernelStats::of(&kernel(n));
+            s.branches
+        };
+        // Data-divergent benchmarks get the diamond: 2 conditional branches
+        // (diamond + loop) vs 1 (loop only).
+        assert!(br("heartwall") > br("kmeans"));
+        assert!(br("hybridsort") > br("nn"));
+    }
+
+    #[test]
+    fn fp_benchmarks_use_fp_units() {
+        for name in ["dwt2d", "leukocyte", "myocyte", "srad_v1"] {
+            assert!(KernelStats::of(&kernel(name)).fp_alu > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_loop() {
+        for name in NAMES {
+            assert!(KernelStats::of(&kernel(name)).has_loop(), "{name}");
+        }
+    }
+}

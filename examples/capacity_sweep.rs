@@ -1,0 +1,44 @@
+//! Sweep operand-staging-unit capacities on one benchmark, printing the
+//! run-time/energy trade-off (a single-benchmark slice of the paper's
+//! Figure 13 Pareto study).
+//!
+//! ```sh
+//! cargo run --release --example capacity_sweep [benchmark]
+//! ```
+
+use regless::compiler::compile;
+use regless::core::{RegLessConfig, RegLessSim};
+use regless::energy::{energy, Design};
+use regless::sim::{run_baseline, GpuConfig};
+use regless::workloads::rodinia;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "srad_v2".into());
+    let kernel = rodinia::kernel(&name);
+    let gpu = GpuConfig::gtx980_single_sm();
+
+    let compiled = compile(&kernel, &regless::compiler::RegionConfig::default())?;
+    let baseline = run_baseline(gpu, Arc::new(compiled))?;
+    let base_energy = energy(&baseline, Design::Baseline, &gpu).total_pj();
+    println!(
+        "benchmark `{name}`: baseline {} cycles; sweeping OSU capacity\n",
+        baseline.cycles
+    );
+    println!("{:>10} {:>12} {:>12} {:>14}", "entries", "% of RF", "run time", "GPU energy");
+
+    for entries in [128, 192, 256, 384, 512, 1024, 2048] {
+        let cfg = RegLessConfig::with_capacity(entries);
+        let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
+        let report = RegLessSim::new(gpu, cfg, compiled).run()?;
+        let e = energy(&report, Design::RegLess { osu_entries_per_sm: entries }, &gpu);
+        println!(
+            "{:>10} {:>11}% {:>11.3}x {:>13.3}x",
+            entries,
+            entries * 100 / 2048,
+            report.cycles as f64 / baseline.cycles as f64,
+            e.total_pj() / base_energy
+        );
+    }
+    Ok(())
+}

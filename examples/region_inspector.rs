@@ -1,0 +1,75 @@
+//! Inspect what the RegLess compiler does to a kernel: regions, register
+//! classification, lifetime annotations, soft definitions, and metadata
+//! overhead.
+//!
+//! ```sh
+//! cargo run --release --example region_inspector [benchmark]
+//! ```
+
+use regless::compiler::{compile, RegionConfig};
+use regless::workloads::rodinia;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "particle_filter".into());
+    let kernel = rodinia::kernel(&name);
+    let compiled = compile(&kernel, &RegionConfig::default())?;
+
+    println!(
+        "kernel `{}`: {} blocks, {} instructions, {} registers\n",
+        kernel.name(),
+        kernel.num_blocks(),
+        kernel.num_insns(),
+        kernel.num_regs()
+    );
+
+    for region in compiled.regions() {
+        let preloads: Vec<String> = region
+            .preloads()
+            .iter()
+            .map(|p| {
+                if p.invalidate {
+                    format!("{} (invalidate)", p.reg)
+                } else {
+                    p.reg.to_string()
+                }
+            })
+            .collect();
+        println!(
+            "{} [{} {}..{}] {} insns",
+            region.id(),
+            region.block(),
+            region.start(),
+            region.end(),
+            region.len()
+        );
+        println!("    inputs:   {:?}", region.inputs());
+        println!("    interior: {:?}", region.interior());
+        println!("    outputs:  {:?}", region.outputs());
+        println!("    preload:  [{}]", preloads.join(", "));
+        println!("    bank use: {:?}", region.bank_usage());
+        let invals = compiled.annotations().cache_invalidates(region.id());
+        if !invals.is_empty() {
+            println!("    cache invalidates: {invals:?}");
+        }
+    }
+
+    let soft: Vec<String> = compiled.liveness().soft_defs().map(|d| d.to_string()).collect();
+    if !soft.is_empty() {
+        println!("\nsoft definitions (divergence-partial writes): {}", soft.join(", "));
+    }
+    println!(
+        "\nmetadata: {} instructions ({:.1}% of the stream)",
+        compiled.metadata().total(),
+        100.0 * compiled.metadata().overhead_fraction()
+    );
+    let stats = compiled.region_register_stats();
+    println!(
+        "regions: {} total, {:.1} insns avg, {:.1} preloads avg, {:.1}±{:.1} live",
+        compiled.regions().len(),
+        compiled.mean_region_len(),
+        stats.mean_preloads,
+        stats.mean_live,
+        stats.std_live
+    );
+    Ok(())
+}

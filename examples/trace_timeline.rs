@@ -1,0 +1,45 @@
+//! Trace the RegLess region lifecycle of one warp: admission, preloads,
+//! activation, instruction issue, and release.
+//!
+//! ```sh
+//! cargo run --release --example trace_timeline [benchmark] [warp]
+//! ```
+
+use regless::compiler::compile;
+use regless::core::{RegLessBackend, RegLessConfig};
+use regless::sim::{GpuConfig, Machine};
+use regless::workloads::rodinia;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "kmeans".into());
+    let warp: usize = std::env::args().nth(2).and_then(|w| w.parse().ok()).unwrap_or(0);
+    let kernel = rodinia::kernel(&name);
+    let gpu = GpuConfig::gtx980_single_sm();
+    let cfg = RegLessConfig::paper_default();
+    let compiled = Arc::new(compile(&kernel, &cfg.region_config(&gpu))?);
+
+    let mut machine = Machine::new(gpu, Arc::clone(&compiled), |sm| {
+        RegLessBackend::new(sm, &gpu, &cfg, Arc::clone(&compiled))
+    });
+    machine.enable_trace(0, 200_000);
+    let report = machine.run()?;
+
+    let trace = report.sm_stats[0].trace.as_ref().expect("trace enabled");
+    println!(
+        "benchmark `{name}`, warp {warp} — region lifecycle ({} events total,\n{} dropped past buffer capacity)\n",
+        trace.records().len(),
+        trace.dropped()
+    );
+    let timeline = trace.warp_timeline(warp);
+    // Print the first chunk of the timeline; full kernels produce thousands
+    // of lines.
+    for line in timeline.lines().take(80) {
+        println!("{line}");
+    }
+    let total = timeline.lines().count();
+    if total > 80 {
+        println!("... ({} more lines)", total - 80);
+    }
+    Ok(())
+}

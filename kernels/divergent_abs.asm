@@ -1,0 +1,21 @@
+; Per-lane absolute difference: lanes diverge on the comparison.
+kernel divergent_abs
+bb0:
+  r0 = s2r tid
+  r1 = movi 0x4
+  r2 = imul r0, r1
+  r3 = ld.global [r2]
+  r4 = movi 0x80
+  r5 = iadd r2, r4
+  r6 = ld.global [r5]
+  r7 = setlt r3, r6
+  bra r7, bb1, bb2
+bb1:
+  r8 = isub r6, r3
+  jmp bb3
+bb2:
+  r8 = isub r3, r6
+  jmp bb3
+bb3:
+  st.global r8, [r2]
+  exit

@@ -1,0 +1,27 @@
+; Blocked dot product: each thread accumulates 8 strided pairs, then the
+; warp's lane 0 value stands in for the reduced result.
+kernel dot_product
+bb0:
+  r0 = s2r tid
+  r1 = movi 0x4
+  r2 = imul r0, r1
+  r3 = movi 0             ; acc
+  r4 = movi 0             ; i
+  r5 = movi 8             ; trips
+  jmp bb1
+bb1:
+  r6 = ld.global [r2]
+  r7 = movi 0x2000
+  r8 = iadd r2, r7
+  r9 = ld.global [r8]
+  r10 = imul r6, r9
+  r3 = iadd r3, r10
+  r11 = movi 0x100
+  r2 = iadd r2, r11
+  r12 = movi 1
+  r4 = iadd r4, r12
+  r13 = setlt r4, r5
+  bra r13, bb1, bb2
+bb2:
+  st.global r3, [r2]
+  exit

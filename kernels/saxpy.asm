@@ -1,0 +1,12 @@
+; y[i] = a * x[i] + y[i], one element per thread.
+kernel saxpy
+bb0:
+  r0 = s2r tid
+  r1 = movi 0x4
+  r2 = imul r0, r1        ; element byte address
+  r3 = ld.global [r2]     ; x[i]
+  r4 = movi 3             ; a
+  r5 = ld.global [r2]     ; y[i] (same array in this toy)
+  r6 = imad r4, r3, r5    ; a*x + y
+  st.global r6, [r2]
+  exit

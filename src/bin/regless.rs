@@ -1,0 +1,225 @@
+//! `regless` — command-line driver for the RegLess reproduction.
+//!
+//! ```text
+//! regless list                         all built-in benchmark kernels
+//! regless run <kernel> [options]      simulate a kernel
+//!     --design baseline|regless|rfh|rfv   storage design (default regless)
+//!     --capacity <entries>                OSU entries/SM (default 512)
+//!     --no-compressor                     disable the compressor
+//! regless inspect <kernel>            regions, annotations, metadata
+//! regless asm <kernel>                dump the kernel as assembly text
+//! regless sweep <kernel>              OSU capacity sweep
+//! ```
+//!
+//! `<kernel>` is a built-in benchmark name (see `regless list`) or a path
+//! to a `.asm` file in the textual format of [`regless::isa::text`].
+
+use regless::baselines::{run_rfh, run_rfv};
+use regless::compiler::{compile, RegionConfig};
+use regless::core::{RegLessConfig, RegLessSim};
+use regless::energy::{energy, Design};
+use regless::isa::text::{format_kernel, parse_kernel};
+use regless::isa::Kernel;
+use regless::sim::{run_baseline, GpuConfig, RunReport};
+use regless::workloads::rodinia;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `regless help`").into()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn print_usage() {
+    println!(
+        "regless — just-in-time operand staging for GPUs (MICRO 2017 reproduction)\n\n\
+         commands:\n\
+         \u{20}  list                      built-in benchmark kernels\n\
+         \u{20}  run <kernel> [options]    simulate (options: --design baseline|regless|rfh|rfv,\n\
+         \u{20}                            --capacity <entries>, --no-compressor)\n\
+         \u{20}  inspect <kernel>          regions, annotations, metadata\n\
+         \u{20}  asm <kernel>              dump assembly text\n\
+         \u{20}  sweep <kernel>            OSU capacity sweep\n\n\
+         <kernel> is a benchmark name or a path to a .asm file"
+    );
+}
+
+fn load_kernel(spec: &str) -> Result<Kernel, Box<dyn std::error::Error>> {
+    if rodinia::NAMES.contains(&spec) {
+        return Ok(rodinia::kernel(spec));
+    }
+    if std::path::Path::new(spec).exists() {
+        let text = std::fs::read_to_string(spec)?;
+        return Ok(parse_kernel(&text)?);
+    }
+    Err(format!("{spec:?} is neither a benchmark (see `regless list`) nor a file").into())
+}
+
+fn cmd_list() -> CmdResult {
+    println!("built-in benchmarks (synthetic Rodinia stand-ins):");
+    for name in rodinia::NAMES {
+        println!("  {name}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CmdResult {
+    let spec = args.first().ok_or("run: missing kernel")?;
+    let kernel = load_kernel(spec)?;
+    let mut design = "regless".to_string();
+    let mut capacity = 512usize;
+    let mut compressor = true;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--design" => design = it.next().ok_or("--design needs a value")?.clone(),
+            "--capacity" => {
+                capacity = it.next().ok_or("--capacity needs a value")?.parse()?;
+            }
+            "--no-compressor" => compressor = false,
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+
+    let gpu = GpuConfig::gtx980_single_sm();
+    let (report, edesign): (RunReport, Design) = match design.as_str() {
+        "baseline" => {
+            let compiled = compile(&kernel, &RegionConfig::default())?;
+            (run_baseline(gpu, Arc::new(compiled))?, Design::Baseline)
+        }
+        "rfh" => {
+            let compiled = compile(&kernel, &RegionConfig::default())?;
+            (run_rfh(gpu, compiled)?, Design::Rfh)
+        }
+        "rfv" => {
+            let compiled = compile(&kernel, &RegionConfig::default())?;
+            (run_rfv(gpu, compiled)?, Design::Rfv)
+        }
+        "regless" => {
+            let cfg = RegLessConfig {
+                compressor_enabled: compressor,
+                ..RegLessConfig::with_capacity(capacity)
+            };
+            let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
+            (
+                RegLessSim::new(gpu, cfg, compiled).run()?,
+                Design::RegLess { osu_entries_per_sm: capacity },
+            )
+        }
+        other => return Err(format!("unknown design {other:?}").into()),
+    };
+
+    let t = report.total();
+    let e = energy(&report, edesign, &gpu);
+    println!("kernel `{}` under {design}:", kernel.name());
+    println!("  cycles            {}", report.cycles);
+    println!("  instructions      {} (IPC {:.2})", t.insns, report.ipc());
+    if t.preloads_total() > 0 {
+        println!(
+            "  preloads          {} ({} OSU, {} compressor, {} L1, {} L2/DRAM)",
+            t.preloads_total(),
+            t.preloads_osu,
+            t.preloads_compressor,
+            t.preloads_l1,
+            t.preloads_l2_dram
+        );
+        println!("  regions activated {}", t.regions_activated);
+        println!("  metadata insns    {}", t.meta_insns);
+        println!("  staging oracle    {} mismatches", t.staging_mismatches);
+    }
+    println!(
+        "  energy            {:.1} nJ total ({:.1} nJ register structures)",
+        e.total_pj() / 1e3,
+        e.register_structures_pj / 1e3
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> CmdResult {
+    let spec = args.first().ok_or("inspect: missing kernel")?;
+    let kernel = load_kernel(spec)?;
+    let compiled = compile(&kernel, &RegionConfig::default())?;
+    println!(
+        "kernel `{}`: {} blocks, {} insns, {} regs, {} regions",
+        kernel.name(),
+        kernel.num_blocks(),
+        kernel.num_insns(),
+        kernel.num_regs(),
+        compiled.regions().len()
+    );
+    for r in compiled.regions() {
+        println!(
+            "  {} [{} {}..{}]: {} insns, in {:?}, out {:?}, {} interior",
+            r.id(),
+            r.block(),
+            r.start(),
+            r.end(),
+            r.len(),
+            r.inputs(),
+            r.outputs(),
+            r.interior().len()
+        );
+    }
+    let s = compiled.region_register_stats();
+    println!(
+        "region stats: {:.1} insns avg, {:.1} preloads avg, {:.1}±{:.1} live; metadata {:.1}%",
+        compiled.mean_region_len(),
+        s.mean_preloads,
+        s.mean_live,
+        s.std_live,
+        100.0 * compiled.metadata().overhead_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_asm(args: &[String]) -> CmdResult {
+    let spec = args.first().ok_or("asm: missing kernel")?;
+    let kernel = load_kernel(spec)?;
+    print!("{}", format_kernel(&kernel));
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> CmdResult {
+    let spec = args.first().ok_or("sweep: missing kernel")?;
+    let kernel = load_kernel(spec)?;
+    let gpu = GpuConfig::gtx980_single_sm();
+    let base = run_baseline(gpu, Arc::new(compile(&kernel, &RegionConfig::default())?))?;
+    println!(
+        "kernel `{}`: baseline {} cycles\n{:>10} {:>11} {:>12}",
+        kernel.name(),
+        base.cycles,
+        "entries",
+        "run time",
+        "GPU energy"
+    );
+    let base_e = energy(&base, Design::Baseline, &gpu).total_pj();
+    for entries in [128, 192, 256, 384, 512, 1024, 2048] {
+        let cfg = RegLessConfig::with_capacity(entries);
+        let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
+        let r = RegLessSim::new(gpu, cfg, compiled).run()?;
+        let e = energy(&r, Design::RegLess { osu_entries_per_sm: entries }, &gpu);
+        println!(
+            "{:>10} {:>10.3}x {:>11.3}x",
+            entries,
+            r.cycles as f64 / base.cycles as f64,
+            e.total_pj() / base_e
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Integration tests of the compiler ↔ hardware contract: everything the
+//! capacity manager assumes about regions must actually hold for the
+//! generated workloads.
+
+use regless::compiler::{compile, RegionConfig};
+use regless::core::{runtime_bank, RegLessConfig};
+use regless::isa::Opcode;
+use regless::sim::GpuConfig;
+use regless::workloads::rodinia;
+
+#[test]
+fn regions_fit_the_osu_for_every_benchmark() {
+    let gpu = GpuConfig::gtx980();
+    let cfg = RegLessConfig::paper_default();
+    let rc = cfg.region_config(&gpu);
+    let lines_per_bank = cfg.lines_per_bank(&gpu);
+    for name in rodinia::NAMES {
+        let kernel = rodinia::kernel(name);
+        let compiled = compile(&kernel, &rc).unwrap();
+        for region in compiled.regions() {
+            assert!(
+                region.max_concurrent() <= rc.max_regs_per_region,
+                "{name}/{:?} exceeds region limit",
+                region.id()
+            );
+            for &u in region.bank_usage() {
+                assert!(
+                    (u as usize) <= lines_per_bank,
+                    "{name}/{:?} exceeds bank capacity",
+                    region.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn barriers_always_end_regions() {
+    let rc = RegionConfig::default();
+    for name in ["backprop", "hotspot", "lud", "pathfinder", "hybridsort", "lavaMD", "nw"] {
+        let kernel = rodinia::kernel(name);
+        let compiled = compile(&kernel, &rc).unwrap();
+        for region in compiled.regions() {
+            let insns = &kernel.block(region.block()).insns()[region.start()..region.end()];
+            for (i, insn) in insns.iter().enumerate() {
+                if matches!(insn.op(), Opcode::Bar) {
+                    assert_eq!(
+                        i,
+                        insns.len() - 1,
+                        "{name}: barrier not at region end (deadlock hazard)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn preload_lists_cover_all_upward_exposed_reads() {
+    // Every register a region reads before writing must be in its preload
+    // list — the hardware guarantee that reads never miss the OSU.
+    let rc = RegionConfig::default();
+    for name in rodinia::NAMES {
+        let kernel = rodinia::kernel(name);
+        let compiled = compile(&kernel, &rc).unwrap();
+        for region in compiled.regions() {
+            let insns = &kernel.block(region.block()).insns()[region.start()..region.end()];
+            let mut written = std::collections::HashSet::new();
+            for insn in insns {
+                for &s in insn.srcs() {
+                    if !written.contains(&s) {
+                        assert!(
+                            region.inputs().contains(s),
+                            "{name}/{:?}: {s} read before write but not preloaded",
+                            region.id()
+                        );
+                    }
+                }
+                if let Some(d) = insn.dst() {
+                    written.insert(d);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bank_rotation_preserves_totals() {
+    // The runtime bank of (warp, reg) must stay consistent with the
+    // compiler's per-bank usage rotation for every warp id.
+    let rc = RegionConfig::default();
+    let kernel = rodinia::kernel("kmeans");
+    let compiled = compile(&kernel, &rc).unwrap();
+    for region in compiled.regions() {
+        let total: usize = region.bank_usage().iter().map(|&u| u as usize).sum();
+        assert!(total >= region.preloads().len().min(region.max_concurrent()));
+        for warp in [0usize, 1, 7, 13] {
+            for p in region.preloads() {
+                let b = runtime_bank(warp, p.reg);
+                assert!(b < 8);
+            }
+        }
+    }
+}
+
+#[test]
+fn metadata_overhead_is_bounded() {
+    // §5.4's encoding keeps metadata a modest fraction of the stream.
+    let rc = RegionConfig::default();
+    for name in rodinia::NAMES {
+        let kernel = rodinia::kernel(name);
+        let compiled = compile(&kernel, &rc).unwrap();
+        let f = compiled.metadata().overhead_fraction();
+        assert!(
+            f < 0.40,
+            "{name}: metadata fraction {f:.2} unreasonably high"
+        );
+    }
+}
+
+#[test]
+fn bank_renumbering_preserves_semantics() {
+    use regless::compiler::{renumber_for_banks, static_src_conflicts};
+    use regless::sim::interpret;
+    for name in ["kmeans", "heartwall", "lud"] {
+        let kernel = rodinia::kernel(name);
+        let (renumbered, stats) = renumber_for_banks(&kernel);
+        assert!(stats.conflicts_after <= stats.conflicts_before, "{name}");
+        assert!(
+            static_src_conflicts(&renumbered) <= static_src_conflicts(&kernel),
+            "{name}: renumbering must not add source-pair conflicts"
+        );
+        // Pure renaming: observable behaviour (global stores) is identical.
+        for w in [0usize, 3, 7] {
+            let a = interpret(&kernel, w, 10_000_000).unwrap();
+            let b = interpret(&renumbered, w, 10_000_000).unwrap();
+            assert_eq!(a.insns, b.insns, "{name}: warp {w}");
+            assert_eq!(a.stores, b.stores, "{name}: warp {w} store stream differs");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The strongest cross-crate check in the repository: every timing model —
+//! baseline, RFH, RFV, and RegLess with its staged operand values moving
+//! through OSU banks, the compressor, and the memory hierarchy — must leave
+//! architectural state **bit-identical** to the timing-free functional
+//! interpreter.
+
+use regless::baselines::{run_rfh, run_rfv};
+use regless::compiler::{compile, RegionConfig};
+use regless::core::{RegLessConfig, RegLessSim};
+use regless::sim::{interpret, run_baseline, GpuConfig, RunReport};
+use regless::workloads::rodinia;
+use std::sync::Arc;
+
+fn gpu() -> GpuConfig {
+    GpuConfig { num_sms: 1, warps_per_sm: 16, ..GpuConfig::gtx980() }
+}
+
+fn check_against_interpreter(name: &str, report: &RunReport, kernel: &regless::isa::Kernel) {
+    for (w, (regs, &insns)) in report.final_regs[0]
+        .iter()
+        .zip(&report.warp_insns[0])
+        .enumerate()
+    {
+        let reference = interpret(kernel, w, 10_000_000).expect("terminates");
+        assert_eq!(
+            insns, reference.insns,
+            "{name}: warp {w} executed a different dynamic instruction count"
+        );
+        for (r, (got, want)) in regs.iter().zip(&reference.regs).enumerate() {
+            assert_eq!(
+                got, want,
+                "{name}: warp {w} register r{r} diverged from the interpreter"
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_matches_interpreter() {
+    for name in ["nn", "bfs", "particle_filter", "lud"] {
+        let kernel = rodinia::kernel(name);
+        let compiled = Arc::new(compile(&kernel, &RegionConfig::default()).unwrap());
+        let report = run_baseline(gpu(), compiled).unwrap();
+        check_against_interpreter(name, &report, &kernel);
+    }
+}
+
+#[test]
+fn regless_matches_interpreter() {
+    for name in ["nn", "bfs", "hybridsort", "hotspot", "myocyte"] {
+        let kernel = rodinia::kernel(name);
+        let cfg = RegLessConfig::paper_default();
+        let compiled = compile(&kernel, &cfg.region_config(&gpu())).unwrap();
+        let report = RegLessSim::new(gpu(), cfg, compiled).run().unwrap();
+        check_against_interpreter(name, &report, &kernel);
+        // And the staged values the OSU handed out matched along the way.
+        assert_eq!(
+            report.total().staging_mismatches,
+            0,
+            "{name}: OSU served a stale or missing operand"
+        );
+    }
+}
+
+#[test]
+fn comparison_designs_match_interpreter() {
+    let kernel = rodinia::kernel("backprop");
+    let compiled = compile(&kernel, &RegionConfig::default()).unwrap();
+    let rfh = run_rfh(gpu(), compiled.clone()).unwrap();
+    check_against_interpreter("backprop/rfh", &rfh, &kernel);
+    let rfv = run_rfv(gpu(), compiled).unwrap();
+    check_against_interpreter("backprop/rfv", &rfv, &kernel);
+}
+
+#[test]
+fn microbenchmarks_match_interpreter() {
+    use regless::workloads::micro;
+    for kernel in micro::all() {
+        let cfg = RegLessConfig::paper_default();
+        let compiled = compile(&kernel, &cfg.region_config(&gpu())).unwrap();
+        let report = RegLessSim::new(gpu(), cfg, compiled).run().unwrap();
+        check_against_interpreter(kernel.name(), &report, &kernel);
+        assert_eq!(
+            report.total().staging_mismatches,
+            0,
+            "{}: staged-operand oracle",
+            kernel.name()
+        );
+    }
+}
