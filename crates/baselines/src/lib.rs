@@ -47,7 +47,10 @@ use std::sync::Arc;
 ///
 /// Returns [`SimError`] if the cycle limit is exceeded.
 pub fn run_rfh(gpu: GpuConfig, compiled: CompiledKernel) -> Result<RunReport, SimError> {
-    let gpu = GpuConfig { scheduler: RfhBackend::scheduler(), ..gpu };
+    let gpu = GpuConfig {
+        scheduler: RfhBackend::scheduler(),
+        ..gpu
+    };
     let compiled = Arc::new(compiled);
     Machine::new(gpu, Arc::clone(&compiled), |_| RfhBackend::new(&compiled)).run()
 }
@@ -59,7 +62,10 @@ pub fn run_rfh(gpu: GpuConfig, compiled: CompiledKernel) -> Result<RunReport, Si
 ///
 /// Returns [`SimError`] if the cycle limit is exceeded.
 pub fn run_rfv(gpu: GpuConfig, compiled: CompiledKernel) -> Result<RunReport, SimError> {
-    let gpu = GpuConfig { scheduler: RfvBackend::scheduler(), ..gpu };
+    let gpu = GpuConfig {
+        scheduler: RfvBackend::scheduler(),
+        ..gpu
+    };
     let compiled = Arc::new(compiled);
     Machine::new(gpu, Arc::clone(&compiled), |_| {
         RfvBackend::new(&gpu, Arc::clone(&compiled))
@@ -116,11 +122,8 @@ mod tests {
     #[test]
     fn all_designs_execute_same_instruction_count() {
         let compiled = loop_kernel();
-        let base = regless_sim::run_baseline(
-            GpuConfig::test_small(),
-            Arc::new(compiled.clone()),
-        )
-        .unwrap();
+        let base =
+            regless_sim::run_baseline(GpuConfig::test_small(), Arc::new(compiled.clone())).unwrap();
         let rfh = run_rfh(GpuConfig::test_small(), compiled.clone()).unwrap();
         let rfv = run_rfv(GpuConfig::test_small(), compiled).unwrap();
         assert_eq!(base.total().insns, rfh.total().insns);

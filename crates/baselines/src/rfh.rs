@@ -53,7 +53,10 @@ impl RfhPlacement {
             let insns = block.insns();
             for (i, insn) in insns.iter().enumerate() {
                 let Some(d) = insn.dst() else { continue };
-                let at = InsnRef { block: block.id(), idx: i };
+                let at = InsnRef {
+                    block: block.id(),
+                    idx: i,
+                };
                 // Find the uses of this definition within the block (up to
                 // a redefinition); any use beyond the block forces MRF.
                 let mut uses: Vec<usize> = Vec::new();
@@ -73,21 +76,30 @@ impl RfhPlacement {
                     RfhLevel::Mrf
                 } else if uses.len() == 1 && uses[0] - i <= LRF_DISTANCE {
                     RfhLevel::Lrf
-                } else if !uses.is_empty()
-                    && uses.iter().all(|&j| j - i <= RFC_WINDOW)
-                {
+                } else if !uses.is_empty() && uses.iter().all(|&j| j - i <= RFC_WINDOW) {
                     RfhLevel::Rfc
                 } else {
                     RfhLevel::Mrf
                 };
                 def_level.insert(at, level);
                 for &j in &uses {
-                    read_level
-                        .insert((InsnRef { block: block.id(), idx: j }, d), level);
+                    read_level.insert(
+                        (
+                            InsnRef {
+                                block: block.id(),
+                                idx: j,
+                            },
+                            d,
+                        ),
+                        level,
+                    );
                 }
             }
         }
-        RfhPlacement { def_level, read_level }
+        RfhPlacement {
+            def_level,
+            read_level,
+        }
     }
 
     /// Level a definition writes to.
@@ -97,7 +109,10 @@ impl RfhPlacement {
 
     /// Level a read comes from.
     pub fn read_level(&self, at: InsnRef, reg: Reg) -> RfhLevel {
-        self.read_level.get(&(at, reg)).copied().unwrap_or(RfhLevel::Mrf)
+        self.read_level
+            .get(&(at, reg))
+            .copied()
+            .unwrap_or(RfhLevel::Mrf)
     }
 
     /// Fraction of reads that avoid the MRF (for sanity checks).
@@ -130,7 +145,9 @@ impl RfhBackend {
 
     /// The scheduler RFH requires.
     pub fn scheduler() -> SchedulerKind {
-        SchedulerKind::TwoLevel { active_per_scheduler: 4 }
+        SchedulerKind::TwoLevel {
+            active_per_scheduler: 4,
+        }
     }
 }
 
@@ -194,7 +211,10 @@ mod tests {
         b.exit();
         let k = b.finish().unwrap();
         let p = placement(&k);
-        let def_x = InsnRef { block: regless_isa::BlockId(0), idx: 0 };
+        let def_x = InsnRef {
+            block: regless_isa::BlockId(0),
+            idx: 0,
+        };
         // x is read by one instruction at distance 1 and dead after.
         assert_eq!(p.def_level(def_x), RfhLevel::Lrf);
     }
@@ -211,9 +231,15 @@ mod tests {
         b.exit();
         let k = b.finish().unwrap();
         let p = placement(&k);
-        let def_x = InsnRef { block: regless_isa::BlockId(0), idx: 0 };
+        let def_x = InsnRef {
+            block: regless_isa::BlockId(0),
+            idx: 0,
+        };
         assert_eq!(p.def_level(def_x), RfhLevel::Mrf);
-        let use_x = InsnRef { block: next, idx: 0 };
+        let use_x = InsnRef {
+            block: next,
+            idx: 0,
+        };
         assert_eq!(p.read_level(use_x, x), RfhLevel::Mrf);
     }
 
@@ -227,7 +253,10 @@ mod tests {
         b.exit();
         let k = b.finish().unwrap();
         let p = placement(&k);
-        let def_x = InsnRef { block: regless_isa::BlockId(0), idx: 0 };
+        let def_x = InsnRef {
+            block: regless_isa::BlockId(0),
+            idx: 0,
+        };
         assert_eq!(p.def_level(def_x), RfhLevel::Rfc);
     }
 

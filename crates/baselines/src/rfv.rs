@@ -55,7 +55,9 @@ impl RfvBackend {
 
     /// The scheduler RFV runs under in the paper's comparison.
     pub fn scheduler() -> SchedulerKind {
-        SchedulerKind::TwoLevel { active_per_scheduler: 4 }
+        SchedulerKind::TwoLevel {
+            active_per_scheduler: 4,
+        }
     }
 
     /// How many warps can hold registers concurrently.
@@ -149,7 +151,10 @@ mod tests {
         b.exit();
         compile(
             &b.finish().unwrap(),
-            &RegionConfig { max_regs_per_region: 32, ..RegionConfig::default() },
+            &RegionConfig {
+                max_regs_per_region: 32,
+                ..RegionConfig::default()
+            },
         )
         .unwrap()
     }
@@ -183,8 +188,16 @@ mod tests {
             Some(Reg(2)),
             vec![Reg(0), Reg(1)],
         );
-        let at = InsnRef { block: regless_isa::BlockId(0), idx: 0 };
-        let mut ctx = BackendCtx { sm: 0, now: 0, mem: &mut mem, stats: &mut stats };
+        let at = InsnRef {
+            block: regless_isa::BlockId(0),
+            idx: 0,
+        };
+        let mut ctx = BackendCtx {
+            sm: 0,
+            now: 0,
+            mem: &mut mem,
+            stats: &mut stats,
+        };
         backend.begin_cycle(&mut ctx);
         assert!(backend.warp_eligible(0, at));
         backend.on_issue(0, at, &insn, &mut ctx);

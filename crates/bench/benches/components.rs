@@ -1,58 +1,49 @@
-//! Criterion micro-benches of the RegLess hardware components: the
-//! compressor's pattern matchers and the OSU's allocation path.
+//! Micro-benches of the RegLess hardware components — the compressor's
+//! pattern matchers and the OSU's allocation path — measured with the
+//! in-tree timing harness (the build environment cannot fetch criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use regless_bench::timing::bench;
 use regless_core::{Compressed, Compressor, Osu};
 use regless_isa::{LaneVec, Reg};
 use std::hint::black_box;
 
-fn bench_compressor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compressor");
+fn main() {
     let stride = LaneVec::stride(100, 1);
     let mut random = LaneVec::zero();
     for i in 0..32 {
         random.set_lane(i, (i as u32).wrapping_mul(0x9e37_79b9));
     }
-    group.bench_function("match_stride", |b| {
-        b.iter(|| Compressed::try_compress(black_box(&stride)))
+    bench("compressor/match_stride", || {
+        Compressed::try_compress(black_box(&stride))
     });
-    group.bench_function("match_incompressible", |b| {
-        b.iter(|| Compressed::try_compress(black_box(&random)))
+    bench("compressor/match_incompressible", || {
+        Compressed::try_compress(black_box(&random))
     });
-    group.bench_function("store_load_roundtrip", |b| {
+    {
         let mut comp = Compressor::new(12, 64, true);
-        b.iter(|| {
+        bench("compressor/store_load_roundtrip", || {
             comp.store(3, Reg(7), black_box(&stride));
             comp.load(3, Reg(7))
-        })
-    });
-    group.finish();
-}
-
-fn bench_osu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("osu");
-    group.bench_function("write_erase_cycle", |b| {
+        });
+    }
+    {
         let mut osu = Osu::new(16);
         let v = LaneVec::splat(1);
-        b.iter(|| {
+        bench("osu/write_erase_cycle", || {
             for w in 0..8usize {
                 osu.write(w, Reg(5), black_box(v));
                 osu.erase(w, Reg(5));
             }
-        })
-    });
-    group.bench_function("churn_with_eviction", |b| {
+        });
+    }
+    {
         let mut osu = Osu::new(4);
         let v = LaneVec::splat(2);
-        b.iter(|| {
+        bench("osu/churn_with_eviction", || {
             for w in 0..16usize {
                 osu.write(w, Reg((w % 8) as u16), black_box(v));
                 osu.release(w, Reg((w % 8) as u16));
             }
-        })
-    });
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_compressor, bench_osu);
-criterion_main!(benches);

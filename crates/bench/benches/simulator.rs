@@ -1,9 +1,11 @@
-//! Criterion benches: end-to-end throughput of the compiler and the three
-//! simulators on representative kernels. These measure the *reproduction's*
-//! own performance (cycles simulated per second), complementing the
-//! `fig*`/`table*` binaries that regenerate the paper's results.
+//! End-to-end throughput of the compiler and the simulators on
+//! representative kernels, measured with the in-tree timing harness (the
+//! build environment cannot fetch criterion). These measure the
+//! *reproduction's* own performance (cycles simulated per second),
+//! complementing the `fig*`/`table*` binaries that regenerate the paper's
+//! results.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use regless_bench::timing::bench;
 use regless_compiler::{compile, RegionConfig};
 use regless_core::{RegLessConfig, RegLessSim};
 use regless_sim::{run_baseline, GpuConfig};
@@ -13,49 +15,34 @@ use std::sync::Arc;
 
 /// A reduced machine so each iteration stays in the millisecond range.
 fn bench_gpu() -> GpuConfig {
-    GpuConfig { num_sms: 1, warps_per_sm: 16, ..GpuConfig::gtx980() }
+    GpuConfig {
+        num_sms: 1,
+        warps_per_sm: 16,
+        ..GpuConfig::gtx980()
+    }
 }
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
+fn main() {
     for name in ["nn", "hotspot", "lud"] {
         let kernel = rodinia::kernel(name);
-        group.bench_function(name, |b| {
-            b.iter(|| compile(black_box(&kernel), &RegionConfig::default()).unwrap())
+        bench(&format!("compile/{name}"), || {
+            compile(black_box(&kernel), &RegionConfig::default()).unwrap()
         });
     }
-    group.finish();
-}
-
-fn bench_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline_sim");
-    group.sample_size(10);
     for name in ["nn", "pathfinder"] {
         let kernel = rodinia::kernel(name);
         let compiled = Arc::new(compile(&kernel, &RegionConfig::default()).unwrap());
-        group.bench_function(name, |b| {
-            b.iter(|| run_baseline(bench_gpu(), Arc::clone(&compiled)).unwrap())
+        bench(&format!("baseline_sim/{name}"), || {
+            run_baseline(bench_gpu(), Arc::clone(&compiled)).unwrap()
         });
     }
-    group.finish();
-}
-
-fn bench_regless(c: &mut Criterion) {
-    let mut group = c.benchmark_group("regless_sim");
-    group.sample_size(10);
     let gpu = bench_gpu();
     let cfg = RegLessConfig::paper_default();
     for name in ["nn", "pathfinder"] {
         let kernel = rodinia::kernel(name);
         let compiled = compile(&kernel, &cfg.region_config(&gpu)).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                RegLessSim::new(gpu, cfg, compiled.clone()).run().unwrap()
-            })
+        bench(&format!("regless_sim/{name}"), || {
+            RegLessSim::new(gpu, cfg, compiled.clone()).run().unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_compile, bench_baseline, bench_regless);
-criterion_main!(benches);

@@ -1,59 +1,161 @@
 //! Runs every reproduced table, figure, and ablation, writing each to
 //! `results/<id>.txt` and echoing to stdout.
+//!
+//! Experiments run concurrently and share the sweep engine's memoized
+//! simulation cache, so common runs (the baseline over all benchmarks,
+//! the 512-entry design point, …) are simulated once no matter how many
+//! reports use them. A panicking experiment is reported and skipped — the
+//! rest still complete — and the process exits non-zero if any failed.
 
-use regless_bench::figs;
+use regless_bench::{format_table, sweep};
 use std::fs;
+use std::time::Instant;
 
 /// One experiment: its results-file id and the function regenerating it.
 type Experiment = (&'static str, fn() -> String);
 
+/// What one experiment produced: the rendered report or a panic message.
+type Outcome = Result<String, String>;
+
 fn main() -> std::io::Result<()> {
+    let started = Instant::now();
     fs::create_dir_all("results")?;
     let experiments: Vec<Experiment> = vec![
-        ("table1_config", figs::table1::report),
-        ("table2_region_sizes", figs::table2::report),
-        ("fig02_working_set", figs::fig02::report),
-        ("fig03_backing_store", figs::fig03::report),
-        ("fig05_liveness_seams", figs::fig05::report),
-        ("fig11_area", figs::fig11::report),
-        ("fig12_power", figs::fig12::report),
-        ("fig13_pareto", figs::fig13::report),
-        ("fig14_rf_energy", figs::fig14::report),
-        ("fig15_gpu_energy", figs::fig15::report),
-        ("fig16_runtime", figs::fig16::report),
-        ("fig17_preload_location", figs::fig17::report),
-        ("fig18_l1_bandwidth", figs::fig18::report),
-        ("fig19_region_registers", figs::fig19::report),
-        ("ablation_compressor", figs::ablations::compressor),
-        ("ablation_warp_order", figs::ablations::warp_order),
-        ("ablation_load_split", figs::ablations::load_split),
-        ("ablation_min_region_size", figs::ablations::min_region_size),
-        ("ablation_renumbering", figs::ablations::renumbering),
-        ("ext_oversubscription", figs::extensions::oversubscription),
-        ("ext_compressor_patterns", figs::extensions::compressor_patterns),
-        ("ext_schedulers", figs::extensions::schedulers),
-        ("ext_microbench", figs::extensions::microbench),
-        ("ext_dual_issue", figs::extensions::dual_issue),
-        ("ext_osu_occupancy", figs::extensions::osu_occupancy),
+        ("table1_config", regless_bench::figs::table1::report),
+        ("table2_region_sizes", regless_bench::figs::table2::report),
+        ("fig02_working_set", regless_bench::figs::fig02::report),
+        ("fig03_backing_store", regless_bench::figs::fig03::report),
+        ("fig05_liveness_seams", regless_bench::figs::fig05::report),
+        ("fig11_area", regless_bench::figs::fig11::report),
+        ("fig12_power", regless_bench::figs::fig12::report),
+        ("fig13_pareto", regless_bench::figs::fig13::report),
+        ("fig14_rf_energy", regless_bench::figs::fig14::report),
+        ("fig15_gpu_energy", regless_bench::figs::fig15::report),
+        ("fig16_runtime", regless_bench::figs::fig16::report),
+        ("fig17_preload_location", regless_bench::figs::fig17::report),
+        ("fig18_l1_bandwidth", regless_bench::figs::fig18::report),
+        ("fig19_region_registers", regless_bench::figs::fig19::report),
+        (
+            "ablation_compressor",
+            regless_bench::figs::ablations::compressor,
+        ),
+        (
+            "ablation_warp_order",
+            regless_bench::figs::ablations::warp_order,
+        ),
+        (
+            "ablation_load_split",
+            regless_bench::figs::ablations::load_split,
+        ),
+        (
+            "ablation_min_region_size",
+            regless_bench::figs::ablations::min_region_size,
+        ),
+        (
+            "ablation_renumbering",
+            regless_bench::figs::ablations::renumbering,
+        ),
+        (
+            "ext_oversubscription",
+            regless_bench::figs::extensions::oversubscription,
+        ),
+        (
+            "ext_compressor_patterns",
+            regless_bench::figs::extensions::compressor_patterns,
+        ),
+        (
+            "ext_schedulers",
+            regless_bench::figs::extensions::schedulers,
+        ),
+        (
+            "ext_microbench",
+            regless_bench::figs::extensions::microbench,
+        ),
+        (
+            "ext_dual_issue",
+            regless_bench::figs::extensions::dual_issue,
+        ),
+        (
+            "ext_osu_occupancy",
+            regless_bench::figs::extensions::osu_occupancy,
+        ),
+        ("summary.json", regless_bench::figs::summary::report),
     ];
-    // Experiments are independent; run them across available cores.
-    let results: Vec<(String, String)> = std::thread::scope(|scope| {
+    let total = experiments.len();
+    // Experiments are independent; run them across available cores. Each
+    // runs inside `catch_unwind` so one failure cannot abort the sweep.
+    let results: Vec<(String, f64, Outcome)> = std::thread::scope(|scope| {
         let handles: Vec<_> = experiments
             .into_iter()
-            .map(|(id, run)| {
+            .enumerate()
+            .map(|(i, (id, run))| {
                 scope.spawn(move || {
-                    eprintln!("== {id} ==");
-                    (id.to_string(), run())
+                    eprintln!("== [{}/{total}] {id} ==", i + 1);
+                    let t0 = Instant::now();
+                    let outcome = std::panic::catch_unwind(run)
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                    let secs = t0.elapsed().as_secs_f64();
+                    eprintln!(
+                        "== [{}/{total}] {id} {} in {secs:.1} s ==",
+                        i + 1,
+                        if outcome.is_ok() { "done" } else { "FAILED" },
+                    );
+                    (id.to_string(), secs, outcome)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("experiment panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread itself must not die"))
+            .collect()
     });
-    for (id, text) in &results {
-        fs::write(format!("results/{id}.txt"), text)?;
-        println!("==== {id} ====\n{text}");
+
+    let mut failures = Vec::new();
+    let mut timing_rows = Vec::new();
+    for (id, secs, outcome) in &results {
+        match outcome {
+            Ok(text) => {
+                if id.ends_with(".json") {
+                    fs::write(format!("results/{id}"), text)?;
+                } else {
+                    fs::write(format!("results/{id}.txt"), text)?;
+                    println!("==== {id} ====\n{text}");
+                }
+            }
+            Err(msg) => failures.push((id.clone(), msg.clone())),
+        }
+        timing_rows.push(vec![
+            id.clone(),
+            format!("{secs:.1}"),
+            if outcome.is_ok() { "ok" } else { "FAILED" }.to_string(),
+        ]);
     }
-    eprintln!("== summary.json ==");
-    fs::write("results/summary.json", figs::summary::report())?;
+
+    eprintln!("\n==== timing summary ====");
+    eprintln!(
+        "{}",
+        format_table(&["experiment", "seconds", "status"], &timing_rows)
+    );
+    eprintln!("{}", sweep::engine().stats().summary_line());
+    eprintln!("total wall time: {:.1} s", started.elapsed().as_secs_f64());
+
+    if !failures.is_empty() {
+        eprintln!("\n{} of {total} experiments FAILED:", failures.len());
+        for (id, msg) in &failures {
+            eprintln!("  {id}: {msg}");
+        }
+        std::process::exit(1);
+    }
     Ok(())
+}
+
+/// Extract a readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }

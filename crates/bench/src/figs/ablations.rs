@@ -1,9 +1,8 @@
 //! Ablation benches for the design decisions DESIGN.md calls out.
 
-use crate::{format_table, geomean, run_design, run_regless_opts, DesignKind, ReglessRunOpts};
+use crate::{format_table, geomean, sweep, DesignKind, ReglessRunOpts};
 use regless_compiler::RegionConfig;
 use regless_core::ActivationOrder;
-use regless_workloads::rodinia;
 
 /// Benchmarks used for ablations (a representative, cheap subset).
 const SUBSET: [&str; 6] = ["bfs", "hotspot", "kmeans", "lud", "pathfinder", "srad_v2"];
@@ -11,9 +10,9 @@ const SUBSET: [&str; 6] = ["bfs", "hotspot", "kmeans", "lud", "pathfinder", "sra
 fn geomean_ratio(opts: ReglessRunOpts) -> f64 {
     let mut ratios = Vec::new();
     for name in SUBSET {
-        let kernel = rodinia::kernel(name);
-        let base = run_design(&kernel, DesignKind::Baseline).cycles as f64;
-        ratios.push(run_regless_opts(&kernel, opts).cycles as f64 / base);
+        let bench = sweep::rodinia_id(name);
+        let base = sweep::design(&bench, DesignKind::Baseline).cycles as f64;
+        ratios.push(sweep::regless_opts(&bench, opts).cycles as f64 / base);
     }
     geomean(&ratios)
 }
@@ -22,14 +21,15 @@ fn geomean_ratio(opts: ReglessRunOpts) -> f64 {
 /// "no compressor" bar).
 pub fn compressor() -> String {
     let full = geomean_ratio(ReglessRunOpts::default());
-    let none = geomean_ratio(ReglessRunOpts { compressor: false, ..Default::default() });
+    let none = geomean_ratio(ReglessRunOpts {
+        compressor: false,
+        ..Default::default()
+    });
     let rows = vec![
         vec!["full pattern set".to_string(), format!("{full:.3}")],
         vec!["no compressor".to_string(), format!("{none:.3}")],
     ];
-    let mut out = String::from(
-        "Ablation: compressor (geomean normalized run time, subset)\n\n",
-    );
+    let mut out = String::from("Ablation: compressor (geomean normalized run time, subset)\n\n");
     out.push_str(&format_table(&["configuration", "norm. run time"], &rows));
     out
 }
@@ -45,9 +45,8 @@ pub fn warp_order() -> String {
         vec!["LIFO warp stack (paper)".to_string(), format!("{lifo:.3}")],
         vec!["FIFO queue".to_string(), format!("{fifo:.3}")],
     ];
-    let mut out = String::from(
-        "Ablation: warp re-activation order (geomean normalized run time)\n\n",
-    );
+    let mut out =
+        String::from("Ablation: warp re-activation order (geomean normalized run time)\n\n");
     out.push_str(&format_table(&["policy", "norm. run time"], &rows));
     out
 }
@@ -58,12 +57,18 @@ pub fn load_split() -> String {
     let base_rc = regless_core::RegLessConfig::paper_default().region_config(&gpu);
     let on = geomean_ratio(ReglessRunOpts::default());
     let off = geomean_ratio(ReglessRunOpts {
-        region_override: Some(RegionConfig { split_load_use: false, ..base_rc }),
+        region_override: Some(RegionConfig {
+            split_load_use: false,
+            ..base_rc
+        }),
         ..Default::default()
     });
     let rows = vec![
         vec!["split load/use (paper)".to_string(), format!("{on:.3}")],
-        vec!["loads and uses share regions".to_string(), format!("{off:.3}")],
+        vec![
+            "loads and uses share regions".to_string(),
+            format!("{off:.3}"),
+        ],
     ];
     let mut out = String::from(
         "Ablation: global-load/first-use region splitting (geomean\n\
@@ -81,9 +86,15 @@ pub fn renumbering() -> String {
         let mut ratios = Vec::new();
         let mut conflicts = 0u64;
         for name in SUBSET {
-            let kernel = rodinia::kernel(name);
-            let base = run_design(&kernel, DesignKind::Baseline).cycles as f64;
-            let r = run_regless_opts(&kernel, ReglessRunOpts { renumber, ..Default::default() });
+            let bench = sweep::rodinia_id(name);
+            let base = sweep::design(&bench, DesignKind::Baseline).cycles as f64;
+            let r = sweep::regless_opts(
+                &bench,
+                ReglessRunOpts {
+                    renumber,
+                    ..Default::default()
+                },
+            );
             ratios.push(r.cycles as f64 / base);
             conflicts += r.total().osu_bank_conflicts;
         }
@@ -93,9 +104,7 @@ pub fn renumbering() -> String {
             conflicts.to_string(),
         ]);
     }
-    let mut out = String::from(
-        "Ablation: bank-aware register renumbering (subset)\n\n",
-    );
+    let mut out = String::from("Ablation: bank-aware register renumbering (subset)\n\n");
     out.push_str(&format_table(
         &["register numbering", "norm. run time", "OSU bank conflicts"],
         &rows,
@@ -110,7 +119,10 @@ pub fn min_region_size() -> String {
     let mut rows = Vec::new();
     for min in [1usize, 3, 6, 9, 12] {
         let r = geomean_ratio(ReglessRunOpts {
-            region_override: Some(RegionConfig { min_region_insns: min, ..base_rc }),
+            region_override: Some(RegionConfig {
+                min_region_insns: min,
+                ..base_rc
+            }),
             ..Default::default()
         });
         rows.push(vec![min.to_string(), format!("{r:.3}")]);
@@ -119,6 +131,9 @@ pub fn min_region_size() -> String {
         "Ablation: minimum region size (geomean normalized run time;\n\
          the paper uses 6)\n\n",
     );
-    out.push_str(&format_table(&["min insns/region", "norm. run time"], &rows));
+    out.push_str(&format_table(
+        &["min insns/region", "norm. run time"],
+        &rows,
+    ));
     out
 }

@@ -1,14 +1,11 @@
 //! Extension studies beyond the paper's evaluation: the §7 forward-looking
 //! claims and finer-grained design sweeps.
 
-use crate::{
-    eval_gpu, format_table, geomean, run_baseline_with_scheduler, run_design,
-    run_regless_opts, DesignKind, ReglessRunOpts,
-};
+use crate::sweep::{self, RunVariant, HIGH_PRESSURE_ID};
+use crate::{eval_gpu, format_table, geomean, DesignKind, ReglessRunOpts};
 use regless_core::PatternSet;
-use regless_sim::{Machine, OccupancyLimitedRf, SchedulerKind};
+use regless_sim::SchedulerKind;
 use regless_workloads::{high_pressure_kernel, micro, rodinia};
-use std::sync::Arc;
 
 /// §7: "RegLess would be able to oversubscribe the register file without
 /// any design changes." A conventional register file must throttle
@@ -17,23 +14,15 @@ use std::sync::Arc;
 pub fn oversubscription() -> String {
     let kernel = high_pressure_kernel();
     let gpu = eval_gpu();
-    let compiled =
-        regless_compiler::compile(&kernel, &regless_compiler::RegionConfig::default())
-            .expect("compile");
     let regs = kernel.num_regs() as usize;
     let rf_entries = gpu.rf_bytes_per_sm / 128;
 
     // Conventional RF: occupancy capped by register allocation.
-    let compiled = Arc::new(compiled);
-    let limited = Machine::new(gpu, Arc::clone(&compiled), |_| {
-        OccupancyLimitedRf::new(rf_entries, regs, gpu.warps_per_sm)
-    })
-    .run()
-    .expect("occupancy-limited run");
+    let limited = sweep::engine().run(HIGH_PRESSURE_ID, RunVariant::OccupancyLimited);
     // Idealized RF with no occupancy limit (the paper's baseline).
-    let unlimited = run_design(&kernel, DesignKind::Baseline);
+    let unlimited = sweep::design(HIGH_PRESSURE_ID, DesignKind::Baseline);
     // RegLess at the paper's design point.
-    let regless = run_regless_opts(&kernel, ReglessRunOpts::default());
+    let regless = sweep::regless_opts(HIGH_PRESSURE_ID, ReglessRunOpts::default());
 
     let resident = (rf_entries / regs).min(gpu.warps_per_sm);
     let rows = vec![
@@ -84,11 +73,15 @@ pub fn compressor_patterns() -> String {
         let mut compressed = 0u64;
         let mut offered = 0u64;
         for name in SUBSET {
-            let kernel = rodinia::kernel(name);
-            let base = run_design(&kernel, DesignKind::Baseline).cycles as f64;
-            let r = run_regless_opts(
-                &kernel,
-                ReglessRunOpts { compressor: enabled, patterns, ..Default::default() },
+            let bench = sweep::rodinia_id(name);
+            let base = sweep::design(&bench, DesignKind::Baseline).cycles as f64;
+            let r = sweep::regless_opts(
+                &bench,
+                ReglessRunOpts {
+                    compressor: enabled,
+                    patterns,
+                    ..Default::default()
+                },
             );
             ratios.push(r.cycles as f64 / base);
             compressed += r.total().compressor_compressed;
@@ -100,9 +93,7 @@ pub fn compressor_patterns() -> String {
             format!("{:.1}%", 100.0 * compressed as f64 / offered.max(1) as f64),
         ]);
     }
-    let mut out = String::from(
-        "Extension: compressor pattern-set sweep (geomean over subset)\n\n",
-    );
+    let mut out = String::from("Extension: compressor pattern-set sweep (geomean over subset)\n\n");
     out.push_str(&format_table(
         &["pattern set", "norm. run time", "evictions compressed"],
         &rows,
@@ -117,18 +108,33 @@ pub fn schedulers() -> String {
     let kinds = [
         ("GTO (paper)", SchedulerKind::Gto),
         ("LRR", SchedulerKind::Lrr),
-        ("2-level, 2 active", SchedulerKind::TwoLevel { active_per_scheduler: 2 }),
-        ("2-level, 4 active", SchedulerKind::TwoLevel { active_per_scheduler: 4 }),
-        ("2-level, 8 active", SchedulerKind::TwoLevel { active_per_scheduler: 8 }),
+        (
+            "2-level, 2 active",
+            SchedulerKind::TwoLevel {
+                active_per_scheduler: 2,
+            },
+        ),
+        (
+            "2-level, 4 active",
+            SchedulerKind::TwoLevel {
+                active_per_scheduler: 4,
+            },
+        ),
+        (
+            "2-level, 8 active",
+            SchedulerKind::TwoLevel {
+                active_per_scheduler: 8,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (label, kind) in kinds {
         let mut ratios = Vec::new();
         let mut ws = Vec::new();
         for name in SUBSET {
-            let kernel = rodinia::kernel(name);
-            let gto = run_baseline_with_scheduler(&kernel, SchedulerKind::Gto);
-            let r = run_baseline_with_scheduler(&kernel, kind);
+            let bench = sweep::rodinia_id(name);
+            let gto = sweep::baseline_with_scheduler(&bench, SchedulerKind::Gto);
+            let r = sweep::baseline_with_scheduler(&bench, kind);
             ratios.push(r.cycles as f64 / gto.cycles as f64);
             ws.push(r.sm_stats[0].working_set.mean_kb());
         }
@@ -138,9 +144,7 @@ pub fn schedulers() -> String {
             format!("{:.1}", ws.iter().sum::<f64>() / ws.len() as f64),
         ]);
     }
-    let mut out = String::from(
-        "Extension: warp-scheduler study (baseline design, subset)\n\n",
-    );
+    let mut out = String::from("Extension: warp-scheduler study (baseline design, subset)\n\n");
     out.push_str(&format_table(
         &["scheduler", "run time vs GTO", "working set (KB)"],
         &rows,
@@ -153,8 +157,9 @@ pub fn schedulers() -> String {
 pub fn microbench() -> String {
     let mut rows = Vec::new();
     for kernel in micro::all() {
-        let base = run_design(&kernel, DesignKind::Baseline);
-        let rl = run_design(&kernel, DesignKind::regless_512());
+        let bench = sweep::micro_id(kernel.name());
+        let base = sweep::design(&bench, DesignKind::Baseline);
+        let rl = sweep::design(&bench, DesignKind::regless_512());
         let t = rl.total();
         let staged = t.preloads_osu + t.preloads_compressor;
         rows.push(vec![
@@ -162,14 +167,21 @@ pub fn microbench() -> String {
             base.cycles.to_string(),
             rl.cycles.to_string(),
             format!("{:.3}", rl.cycles as f64 / base.cycles as f64),
-            format!("{:.1}%", 100.0 * staged as f64 / t.preloads_total().max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * staged as f64 / t.preloads_total().max(1) as f64
+            ),
         ]);
     }
-    let mut out = String::from(
-        "Extension: microbenchmarks (one architectural behaviour each)\n\n",
-    );
+    let mut out = String::from("Extension: microbenchmarks (one architectural behaviour each)\n\n");
     out.push_str(&format_table(
-        &["kernel", "baseline cyc", "regless cyc", "ratio", "staged preloads"],
+        &[
+            "kernel",
+            "baseline cyc",
+            "regless cyc",
+            "ratio",
+            "staged preloads",
+        ],
         &rows,
     ));
     out
@@ -179,31 +191,28 @@ pub fn microbench() -> String {
 /// per cycle; the OSU was sized to serve that rate (§5.2). Does RegLess's
 /// story survive at issue width 2?
 pub fn dual_issue() -> String {
-    use regless_compiler::{compile, RegionConfig};
-    use regless_core::{RegLessConfig, RegLessSim};
-    use regless_sim::run_baseline;
     const SUBSET: [&str; 6] = ["bfs", "hotspot", "kmeans", "lud", "pathfinder", "srad_v2"];
     let mut rows = Vec::new();
     for width in [1usize, 2] {
-        let gpu = regless_sim::GpuConfig {
-            issue_slots_per_scheduler: width,
-            ..eval_gpu()
-        };
         let mut ratios = Vec::new();
         let mut speedups = Vec::new();
         for name in SUBSET {
-            let kernel = rodinia::kernel(name);
-            let compiled = compile(&kernel, &RegionConfig::default()).expect("compile");
-            let base = run_baseline(gpu, Arc::new(compiled)).expect("run");
-            let base1 = run_design(&kernel, DesignKind::Baseline);
-            let cfg = RegLessConfig::paper_default();
-            let rl = RegLessSim::new(
-                gpu,
-                cfg,
-                compile(&kernel, &cfg.region_config(&gpu)).expect("compile"),
-            )
-            .run()
-            .expect("run");
+            let bench = sweep::rodinia_id(name);
+            let base = sweep::engine().run(
+                &bench,
+                RunVariant::IssueWidth {
+                    width,
+                    regless: false,
+                },
+            );
+            let base1 = sweep::design(&bench, DesignKind::Baseline);
+            let rl = sweep::engine().run(
+                &bench,
+                RunVariant::IssueWidth {
+                    width,
+                    regless: true,
+                },
+            );
             ratios.push(rl.cycles as f64 / base.cycles as f64);
             speedups.push(base1.cycles as f64 / base.cycles as f64);
         }
@@ -218,7 +227,11 @@ pub fn dual_issue() -> String {
          RegLess run time vs the equal-width baseline)\n\n",
     );
     out.push_str(&format_table(
-        &["issue slots/scheduler", "baseline speedup", "RegLess vs baseline"],
+        &[
+            "issue slots/scheduler",
+            "baseline speedup",
+            "RegLess vs baseline",
+        ],
         &rows,
     ));
     out
@@ -229,8 +242,7 @@ pub fn dual_issue() -> String {
 pub fn osu_occupancy() -> String {
     let mut rows = Vec::new();
     for name in rodinia::NAMES {
-        let kernel = rodinia::kernel(name);
-        let r = run_design(&kernel, DesignKind::regless_512());
+        let r = sweep::design(&sweep::rodinia_id(name), DesignKind::regless_512());
         let samples = r.sm_stats[0].osu_occupancy.samples();
         let mean = r.sm_stats[0].osu_occupancy.mean();
         let peak = samples.iter().copied().max().unwrap_or(0);
@@ -246,7 +258,12 @@ pub fn osu_occupancy() -> String {
          100-cycle window)\n\n",
     );
     out.push_str(&format_table(
-        &["benchmark", "mean active", "peak active", "mean utilization"],
+        &[
+            "benchmark",
+            "mean active",
+            "peak active",
+            "mean utilization",
+        ],
         &rows,
     ));
     out

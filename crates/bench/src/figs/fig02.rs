@@ -1,7 +1,7 @@
 //! Figure 2: average register working set in 100-cycle windows, GTO vs
 //! two-level warp scheduling, per benchmark.
 
-use crate::{format_table, run_baseline_with_scheduler};
+use crate::{format_table, sweep};
 use regless_sim::SchedulerKind;
 use regless_workloads::rodinia;
 
@@ -9,11 +9,13 @@ use regless_workloads::rodinia;
 pub fn report() -> String {
     let mut rows = Vec::new();
     for name in rodinia::NAMES {
-        let kernel = rodinia::kernel(name);
-        let gto = run_baseline_with_scheduler(&kernel, SchedulerKind::Gto);
-        let two = run_baseline_with_scheduler(
-            &kernel,
-            SchedulerKind::TwoLevel { active_per_scheduler: 4 },
+        let bench = sweep::rodinia_id(name);
+        let gto = sweep::baseline_with_scheduler(&bench, SchedulerKind::Gto);
+        let two = sweep::baseline_with_scheduler(
+            &bench,
+            SchedulerKind::TwoLevel {
+                active_per_scheduler: 4,
+            },
         );
         rows.push(vec![
             name.to_string(),
@@ -21,9 +23,8 @@ pub fn report() -> String {
             format!("{:.1}", two.sm_stats[0].working_set.mean_kb()),
         ]);
     }
-    let mut out = String::from(
-        "Figure 2: register working set per 100-cycle window (KB per SM)\n\n",
-    );
+    let mut out =
+        String::from("Figure 2: register working set per 100-cycle window (KB per SM)\n\n");
     out.push_str(&format_table(&["benchmark", "GTO", "2-Level"], &rows));
     out
 }

@@ -1,17 +1,15 @@
 //! Figure 3: backing-store accesses per 100 cycles during hotspot's steady
 //! state — baseline RF vs RF hierarchy vs RegLess.
 
-use crate::{format_table, run_design, DesignKind};
-use regless_workloads::rodinia;
+use crate::{format_table, sweep, DesignKind};
 
 /// Number of steady-state windows shown.
 const WINDOWS: usize = 30;
 
 /// Regenerate the figure as a text table (one row per 100-cycle window).
 pub fn report() -> String {
-    let kernel = rodinia::hotspot();
     let series = |d: DesignKind| -> Vec<u64> {
-        let r = run_design(&kernel, d);
+        let r = sweep::design(&sweep::rodinia_id("hotspot"), d);
         r.sm_stats[0].backing_series.samples().to_vec()
     };
     let base = series(DesignKind::Baseline);
@@ -37,7 +35,10 @@ pub fn report() -> String {
         "Figure 3: backing-store accesses per 100 cycles, hotspot steady state\n\
          (baseline: RF accesses; RFH: main-RF accesses; RegLess: L1 register requests)\n\n",
     );
-    out.push_str(&format_table(&["cycle", "Baseline", "RF Hierarchy", "RegLess"], &rows));
+    out.push_str(&format_table(
+        &["cycle", "Baseline", "RF Hierarchy", "RegLess"],
+        &rows,
+    ));
     out.push_str(&format!(
         "\nmeans: baseline {:.0}, RFH {:.0}, RegLess {:.1}\n",
         mean(&b),

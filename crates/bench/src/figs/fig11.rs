@@ -21,9 +21,8 @@ pub fn report() -> String {
             format!("{:.3}", a.total() / base),
         ]);
     }
-    let mut out = String::from(
-        "Figure 11: area by OSU capacity, normalized to 2048-entry baseline RF\n\n",
-    );
+    let mut out =
+        String::from("Figure 11: area by OSU capacity, normalized to 2048-entry baseline RF\n\n");
     out.push_str(&format_table(
         &["entries/SM", "logic", "storage", "compressor", "total"],
         &rows,

@@ -2,7 +2,7 @@
 //! configurations, normalized to the baseline register file.
 
 use crate::figs::fig11::CAPACITIES;
-use crate::{energy_of, format_table, geomean, run_design, DesignKind};
+use crate::{energy_of, format_table, geomean, sweep, DesignKind};
 use regless_workloads::rodinia;
 
 /// Regenerate the figure as a text table. Power is measured as register-
@@ -12,13 +12,12 @@ pub fn report() -> String {
     let mut baselines = Vec::new();
     let mut per_cap: Vec<Vec<f64>> = vec![Vec::new(); CAPACITIES.len()];
     for name in rodinia::NAMES {
-        let kernel = rodinia::kernel(name);
-        let base = run_design(&kernel, DesignKind::Baseline);
-        let pb = energy_of(&base, DesignKind::Baseline).register_structures_pj
-            / base.cycles as f64;
+        let bench = sweep::rodinia_id(name);
+        let base = sweep::design(&bench, DesignKind::Baseline);
+        let pb = energy_of(&base, DesignKind::Baseline).register_structures_pj / base.cycles as f64;
         baselines.push(pb);
         for (i, &entries) in CAPACITIES.iter().enumerate() {
-            let r = run_design(&kernel, DesignKind::RegLess { entries });
+            let r = sweep::design(&bench, DesignKind::RegLess { entries });
             let p = energy_of(&r, DesignKind::RegLess { entries }).register_structures_pj
                 / r.cycles as f64;
             per_cap[i].push(p / pb);
@@ -26,7 +25,10 @@ pub fn report() -> String {
     }
     let mut rows = Vec::new();
     for (i, &entries) in CAPACITIES.iter().enumerate() {
-        rows.push(vec![entries.to_string(), format!("{:.3}", geomean(&per_cap[i]))]);
+        rows.push(vec![
+            entries.to_string(),
+            format!("{:.3}", geomean(&per_cap[i])),
+        ]);
     }
     let mut out = String::from(
         "Figure 12: register-structure power by OSU capacity,\n\

@@ -1,7 +1,7 @@
 //! Figure 13: run time vs whole-GPU energy for RegLess capacities,
 //! normalized to baseline — the Pareto sweep.
 
-use crate::{energy_of, format_table, geomean, run_design, DesignKind};
+use crate::{energy_of, format_table, geomean, sweep, DesignKind};
 use regless_workloads::rodinia;
 
 /// Capacities in the paper's Pareto plot (2048 omitted there).
@@ -12,12 +12,12 @@ pub fn report() -> String {
     let mut time: Vec<Vec<f64>> = vec![Vec::new(); CAPACITIES.len()];
     let mut energy: Vec<Vec<f64>> = vec![Vec::new(); CAPACITIES.len()];
     for name in rodinia::NAMES {
-        let kernel = rodinia::kernel(name);
-        let base = run_design(&kernel, DesignKind::Baseline);
+        let bench = sweep::rodinia_id(name);
+        let base = sweep::design(&bench, DesignKind::Baseline);
         let eb = energy_of(&base, DesignKind::Baseline).total_pj();
         for (i, &entries) in CAPACITIES.iter().enumerate() {
             let d = DesignKind::RegLess { entries };
-            let r = run_design(&kernel, d);
+            let r = sweep::design(&bench, d);
             time[i].push(r.cycles as f64 / base.cycles as f64);
             energy[i].push(energy_of(&r, d).total_pj() / eb);
         }

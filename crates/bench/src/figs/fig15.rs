@@ -1,7 +1,7 @@
 //! Figure 15: total GPU energy for the No-RF bound, RFH, RFV, and RegLess,
 //! normalized to baseline, per benchmark.
 
-use crate::{energy_of, format_table, geomean, run_design, DesignKind};
+use crate::{energy_of, format_table, geomean, sweep, DesignKind};
 use regless_energy::{energy, Design};
 use regless_workloads::rodinia;
 
@@ -11,8 +11,8 @@ pub fn report() -> String {
     let mut rows = Vec::new();
     let mut geo = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     for name in rodinia::NAMES {
-        let kernel = rodinia::kernel(name);
-        let base = run_design(&kernel, DesignKind::Baseline);
+        let bench = sweep::rodinia_id(name);
+        let base = sweep::design(&bench, DesignKind::Baseline);
         let eb = energy_of(&base, DesignKind::Baseline).total_pj();
         // The No-RF bound: baseline performance with a free register file.
         let norf = energy(&base, Design::NoRf, &gpu).total_pj() / eb;
@@ -20,7 +20,7 @@ pub fn report() -> String {
         let mut row = vec![name.to_string(), format!("{norf:.3}")];
         let designs = [DesignKind::Rfh, DesignKind::Rfv, DesignKind::regless_512()];
         for (i, &d) in designs.iter().enumerate() {
-            let r = run_design(&kernel, d);
+            let r = sweep::design(&bench, d);
             let ratio = energy_of(&r, d).total_pj() / eb;
             geo[i + 1].push(ratio);
             row.push(format!("{ratio:.3}"));
@@ -38,6 +38,9 @@ pub fn report() -> String {
         "Figure 15: total GPU energy normalized to baseline (No RF = upper\n\
          bound on savings)\n\n",
     );
-    out.push_str(&format_table(&["benchmark", "No RF", "RFH", "RFV", "RegLess"], &rows));
+    out.push_str(&format_table(
+        &["benchmark", "No RF", "RFH", "RFV", "RegLess"],
+        &rows,
+    ));
     out
 }

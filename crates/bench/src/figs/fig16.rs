@@ -2,7 +2,7 @@
 //! the baseline, per benchmark; geomean compared against no-compressor,
 //! RFV, and RFH.
 
-use crate::{bar_chart, format_table, geomean, run_design, DesignKind};
+use crate::{bar_chart, format_table, geomean, sweep, DesignKind};
 use regless_workloads::rodinia;
 
 /// Regenerate the figure as a text table.
@@ -14,24 +14,21 @@ pub fn report() -> String {
     let mut rfv = Vec::new();
     let mut rfh = Vec::new();
     for name in rodinia::NAMES {
-        let kernel = rodinia::kernel(name);
-        let base = run_design(&kernel, DesignKind::Baseline).cycles as f64;
-        let r = run_design(&kernel, DesignKind::regless_512()).cycles as f64 / base;
+        let bench = sweep::rodinia_id(name);
+        let base = sweep::design(&bench, DesignKind::Baseline).cycles as f64;
+        let r = sweep::design(&bench, DesignKind::regless_512()).cycles as f64 / base;
         rl.push(r);
         nc.push(
-            run_design(&kernel, DesignKind::RegLessNoCompressor { entries: 512 }).cycles
-                as f64
+            sweep::design(&bench, DesignKind::RegLessNoCompressor { entries: 512 }).cycles as f64
                 / base,
         );
-        rfv.push(run_design(&kernel, DesignKind::Rfv).cycles as f64 / base);
-        rfh.push(run_design(&kernel, DesignKind::Rfh).cycles as f64 / base);
+        rfv.push(sweep::design(&bench, DesignKind::Rfv).cycles as f64 / base);
+        rfh.push(sweep::design(&bench, DesignKind::Rfh).cycles as f64 / base);
         rows.push(vec![name.to_string(), format!("{r:.3}")]);
         bars.push((name.to_string(), r));
     }
     rows.push(vec!["geomean".into(), format!("{:.3}", geomean(&rl))]);
-    let mut out = String::from(
-        "Figure 16: run time normalized to baseline (lower is better)\n\n",
-    );
+    let mut out = String::from("Figure 16: run time normalized to baseline (lower is better)\n\n");
     out.push_str(&format_table(&["benchmark", "RegLess 512"], &rows));
     out.push_str(&format!(
         "\ngeomean comparison: RegLess {:.3} | no compressor {:.3} | RFV {:.3} | RFH {:.3}\n",

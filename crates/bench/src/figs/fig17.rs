@@ -1,7 +1,7 @@
 //! Figure 17: where preloaded registers were found — OSU, compressor, L1,
 //! or L2/DRAM.
 
-use crate::{format_table, run_design, DesignKind};
+use crate::{format_table, sweep, DesignKind};
 use regless_workloads::rodinia;
 
 /// Regenerate the figure as a text table (percent of preloads).
@@ -9,8 +9,7 @@ pub fn report() -> String {
     let mut rows = Vec::new();
     let mut tot = [0u64; 4];
     for name in rodinia::NAMES {
-        let kernel = rodinia::kernel(name);
-        let r = run_design(&kernel, DesignKind::regless_512());
+        let r = sweep::design(&sweep::rodinia_id(name), DesignKind::regless_512());
         let t = r.total();
         let parts = [
             t.preloads_osu,

@@ -1,15 +1,14 @@
 //! Figure 18: average RegLess L1 requests per cycle, split into preloads,
 //! stores, and invalidations.
 
-use crate::{format_table, run_design, DesignKind};
+use crate::{format_table, sweep, DesignKind};
 use regless_workloads::rodinia;
 
 /// Regenerate the figure as a text table.
 pub fn report() -> String {
     let mut rows = Vec::new();
     for name in rodinia::NAMES {
-        let kernel = rodinia::kernel(name);
-        let r = run_design(&kernel, DesignKind::regless_512());
+        let r = sweep::design(&sweep::rodinia_id(name), DesignKind::regless_512());
         let t = r.total();
         let c = r.cycles.max(1) as f64;
         rows.push(vec![
@@ -20,9 +19,7 @@ pub fn report() -> String {
             format!("{:.4}", t.reg_l1_requests() as f64 / c),
         ]);
     }
-    let mut out = String::from(
-        "Figure 18: RegLess L1 requests per cycle (of 1.0 available)\n\n",
-    );
+    let mut out = String::from("Figure 18: RegLess L1 requests per cycle (of 1.0 available)\n\n");
     out.push_str(&format_table(
         &["benchmark", "preloads", "stores", "invalidations", "total"],
         &rows,

@@ -17,9 +17,7 @@ pub fn report() -> String {
             format!("{:.1}", stats.std_live),
         ]);
     }
-    let mut out = String::from(
-        "Figure 19: preloads and concurrent live registers per region\n\n",
-    );
+    let mut out = String::from("Figure 19: preloads and concurrent live registers per region\n\n");
     out.push_str(&format_table(
         &["benchmark", "preloads", "mean live", "std dev"],
         &rows,

@@ -18,7 +18,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod summary;
 
-#[cfg(test)]
-mod tests;
 pub mod table1;
 pub mod table2;
+#[cfg(test)]
+mod tests;

@@ -2,12 +2,12 @@
 //! written as `results/summary.json` by `all_experiments` so downstream
 //! tooling (plots, CI thresholds) need not parse the text tables.
 
-use crate::{energy_of, geomean, run_design, DesignKind};
+use crate::sweep::{self, RunVariant};
+use crate::{energy_of, geomean, DesignKind};
 use regless_workloads::rodinia;
-use serde::Serialize;
 
 /// Per-benchmark measurements at the paper's 512-entry design point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BenchmarkSummary {
     /// Benchmark name.
     pub name: String,
@@ -28,7 +28,7 @@ pub struct BenchmarkSummary {
 }
 
 /// The whole reproduction summary.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Summary {
     /// The design point (OSU entries per SM).
     pub osu_entries_per_sm: usize,
@@ -42,13 +42,43 @@ pub struct Summary {
     pub benchmarks: Vec<BenchmarkSummary>,
 }
 
+regless_json::impl_json_struct!(BenchmarkSummary {
+    name,
+    baseline_cycles,
+    regless_cycles,
+    runtime_ratio,
+    rf_energy_ratio,
+    gpu_energy_ratio,
+    preloads_staged_fraction,
+    reg_l1_requests_per_cycle,
+});
+regless_json::impl_json_struct!(Summary {
+    osu_entries_per_sm,
+    runtime_geomean,
+    rf_energy_geomean,
+    gpu_energy_geomean,
+    benchmarks,
+});
+
 /// Measure everything at the 512-entry design point.
 pub fn collect() -> Summary {
+    // Warm the cache across all cores before the sequential tabulation.
+    let jobs: Vec<(String, RunVariant)> = rodinia::NAMES
+        .iter()
+        .flat_map(|name| {
+            let bench = sweep::rodinia_id(name);
+            [
+                (bench.clone(), RunVariant::Design(DesignKind::Baseline)),
+                (bench, RunVariant::Design(DesignKind::regless_512())),
+            ]
+        })
+        .collect();
+    sweep::engine().prefetch(&jobs);
     let mut benchmarks = Vec::new();
     for name in rodinia::NAMES {
-        let kernel = rodinia::kernel(name);
-        let base = run_design(&kernel, DesignKind::Baseline);
-        let rl = run_design(&kernel, DesignKind::regless_512());
+        let bench = sweep::rodinia_id(name);
+        let base = sweep::design(&bench, DesignKind::Baseline);
+        let rl = sweep::design(&bench, DesignKind::regless_512());
         let eb = energy_of(&base, DesignKind::Baseline);
         let er = energy_of(&rl, DesignKind::regless_512());
         let t = rl.total();
@@ -64,9 +94,8 @@ pub fn collect() -> Summary {
             reg_l1_requests_per_cycle: t.reg_l1_requests() as f64 / rl.cycles.max(1) as f64,
         });
     }
-    let geo = |f: fn(&BenchmarkSummary) -> f64| {
-        geomean(&benchmarks.iter().map(f).collect::<Vec<_>>())
-    };
+    let geo =
+        |f: fn(&BenchmarkSummary) -> f64| geomean(&benchmarks.iter().map(f).collect::<Vec<_>>());
     Summary {
         osu_entries_per_sm: 512,
         runtime_geomean: geo(|b| b.runtime_ratio),
@@ -79,7 +108,7 @@ pub fn collect() -> Summary {
 /// The summary as pretty JSON.
 pub fn report() -> String {
     let summary = collect();
-    serde_json::to_string_pretty(&summary).expect("summary serializes") + "\n"
+    regless_json::to_string_pretty(&summary) + "\n"
 }
 
 #[cfg(test)]
@@ -106,8 +135,13 @@ mod tests {
                 reg_l1_requests_per_cycle: 0.05,
             }],
         };
-        let json = serde_json::to_string(&s).unwrap();
-        for key in ["osu_entries_per_sm", "runtime_geomean", "bfs", "rf_energy_ratio"] {
+        let json = regless_json::to_string(&s);
+        for key in [
+            "osu_entries_per_sm",
+            "runtime_geomean",
+            "bfs",
+            "rf_energy_ratio",
+        ] {
             assert!(json.contains(key), "missing {key}");
         }
     }

@@ -6,8 +6,10 @@ use regless_sim::{table1_rows, GpuConfig};
 /// Regenerate the table.
 pub fn report() -> String {
     let full = GpuConfig::gtx980();
-    let mut rows: Vec<Vec<String>> =
-        table1_rows(&full).into_iter().map(|(k, v)| vec![k, v]).collect();
+    let mut rows: Vec<Vec<String>> = table1_rows(&full)
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
     rows.push(vec![
         "Compressor".into(),
         "one read or write per cycle, 12 lines per shard (48 per SM)".into(),

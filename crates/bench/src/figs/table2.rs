@@ -23,6 +23,9 @@ pub fn report() -> String {
         "Table 2: static instructions per region and dynamic cycles per\n\
          region activation\n\n",
     );
-    out.push_str(&format_table(&["benchmark", "insns/region", "cycles/region"], &rows));
+    out.push_str(&format_table(
+        &["benchmark", "insns/region", "cycles/region"],
+        &rows,
+    ));
     out
 }

@@ -18,6 +18,8 @@ use regless_workloads::rodinia;
 use std::sync::Arc;
 
 pub mod figs;
+pub mod sweep;
+pub mod timing;
 
 /// The machine every experiment runs on: one GTX 980-class SM (the
 /// workloads are SM-homogeneous, so one SM yields the same normalized
@@ -27,7 +29,7 @@ pub fn eval_gpu() -> GpuConfig {
 }
 
 /// A storage design under evaluation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DesignKind {
     /// Full register file, GTO scheduler.
     Baseline,
@@ -58,7 +60,9 @@ impl DesignKind {
         match *self {
             DesignKind::Baseline => Design::Baseline,
             DesignKind::RegLess { entries } | DesignKind::RegLessNoCompressor { entries } => {
-                Design::RegLess { osu_entries_per_sm: entries }
+                Design::RegLess {
+                    osu_entries_per_sm: entries,
+                }
             }
             DesignKind::Rfh => Design::Rfh,
             DesignKind::Rfv => Design::Rfv,
@@ -82,7 +86,9 @@ pub fn run_design(kernel: &Kernel, design: DesignKind) -> RunReport {
         DesignKind::RegLess { entries } => {
             let cfg = RegLessConfig::with_capacity(entries);
             let compiled = compile(kernel, &cfg.region_config(&gpu)).expect("compile");
-            RegLessSim::new(gpu, cfg, compiled).run().expect("regless run")
+            RegLessSim::new(gpu, cfg, compiled)
+                .run()
+                .expect("regless run")
         }
         DesignKind::RegLessNoCompressor { entries } => {
             let cfg = RegLessConfig {
@@ -90,7 +96,9 @@ pub fn run_design(kernel: &Kernel, design: DesignKind) -> RunReport {
                 ..RegLessConfig::with_capacity(entries)
             };
             let compiled = compile(kernel, &cfg.region_config(&gpu)).expect("compile");
-            RegLessSim::new(gpu, cfg, compiled).run().expect("regless run")
+            RegLessSim::new(gpu, cfg, compiled)
+                .run()
+                .expect("regless run")
         }
         DesignKind::Rfh => {
             let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
@@ -118,13 +126,16 @@ pub fn run_baseline_with_scheduler(
     kernel: &Kernel,
     scheduler: regless_sim::SchedulerKind,
 ) -> RunReport {
-    let gpu = GpuConfig { scheduler, ..eval_gpu() };
+    let gpu = GpuConfig {
+        scheduler,
+        ..eval_gpu()
+    };
     let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
     run_baseline(gpu, Arc::new(compiled)).expect("baseline run")
 }
 
 /// Fine-grained RegLess run options for the ablation benches.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ReglessRunOpts {
     /// OSU entries per SM.
     pub entries: usize,
@@ -168,7 +179,9 @@ pub fn run_regless_opts(kernel: &Kernel, opts: ReglessRunOpts) -> RunReport {
         compressor_patterns: opts.patterns,
         ..RegLessConfig::with_capacity(opts.entries)
     };
-    let rc = opts.region_override.unwrap_or_else(|| cfg.region_config(&gpu));
+    let rc = opts
+        .region_override
+        .unwrap_or_else(|| cfg.region_config(&gpu));
     let renumbered;
     let kernel = if opts.renumber {
         renumbered = regless_compiler::renumber_for_banks(kernel).0;
@@ -177,7 +190,9 @@ pub fn run_regless_opts(kernel: &Kernel, opts: ReglessRunOpts) -> RunReport {
         kernel
     };
     let compiled = compile(kernel, &rc).expect("compile");
-    RegLessSim::new(gpu, cfg, compiled).run().expect("regless run")
+    RegLessSim::new(gpu, cfg, compiled)
+        .run()
+        .expect("regless run")
 }
 
 /// Compile a benchmark with the default (baseline-study) region config.
@@ -204,7 +219,11 @@ pub fn geomean(xs: &[f64]) -> f64 {
 /// the maximum value. Used to make the per-benchmark figures visually
 /// comparable to the paper's charts.
 pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
-    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-12);
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {

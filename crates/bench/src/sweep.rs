@@ -1,0 +1,599 @@
+//! Memoized, parallel sweep engine for the experiment harness.
+//!
+//! Every figure and table in this crate is built from a modest set of
+//! `(benchmark, run variant)` simulations, and many figures share runs:
+//! the baseline over all 21 Rodinia kernels alone is re-simulated by a
+//! dozen reports. The engine runs each distinct simulation **once**,
+//! memoizes the [`RunReport`] behind a thread-safe cache, and optionally
+//! persists results as JSON under `results/cache/` so a second invocation
+//! of a figure binary (or of `all_experiments`) replays from disk instead
+//! of re-simulating.
+//!
+//! # Cache key
+//!
+//! The in-memory key is `(benchmark id, canonical RunVariant)`. Benchmark
+//! ids are strings of the form `rodinia/<name>`, `micro/<name>`, or
+//! `special/high_pressure`. Variants are canonicalized before lookup so
+//! differently-phrased but identical runs share one entry (e.g. default
+//! [`ReglessRunOpts`] is the same run as `DesignKind::RegLess { 512 }`,
+//! and the GTO scheduler study point is the baseline design).
+//!
+//! # Invalidation
+//!
+//! On-disk entries live under `results/cache/<fingerprint>/`, where the
+//! fingerprint hashes [`regless_sim::SIM_MODEL_VERSION`], the on-disk
+//! format version, and the full evaluation [`GpuConfig`] as JSON. Any
+//! change to simulator semantics (bump `SIM_MODEL_VERSION`) or to the
+//! evaluation machine moves the directory, so stale entries are never
+//! read — they are simply orphaned and can be deleted at leisure.
+//!
+//! Environment knobs: `REGLESS_SWEEP=off` disables the engine entirely
+//! (every call simulates), `REGLESS_SWEEP=cold` ignores existing disk
+//! entries but still writes fresh ones (and memoizes in memory), and
+//! `REGLESS_SWEEP_DIR` overrides the `results/cache` location.
+
+use crate::{eval_gpu, run_design, run_regless_opts, DesignKind, ReglessRunOpts};
+use regless_sim::{run_baseline, GpuConfig, Machine, OccupancyLimitedRf, RunReport, SchedulerKind};
+use regless_workloads::{high_pressure_kernel, micro, rodinia};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bump when the on-disk JSON layout changes (part of the fingerprint).
+const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// One simulation the engine knows how to run and key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RunVariant {
+    /// A storage design on the evaluation machine ([`run_design`]).
+    Design(DesignKind),
+    /// RegLess with explicit options ([`run_regless_opts`]).
+    Opts(ReglessRunOpts),
+    /// Baseline under an explicit warp scheduler.
+    Scheduler(SchedulerKind),
+    /// Conventional RF with occupancy capped by register allocation
+    /// (the §7 oversubscription study).
+    OccupancyLimited,
+    /// Baseline or RegLess-512 at an explicit issue width (the dual-issue
+    /// extension study).
+    IssueWidth {
+        /// Issue slots per scheduler.
+        width: usize,
+        /// RegLess at the paper design point rather than the baseline.
+        regless: bool,
+    },
+}
+
+impl RunVariant {
+    /// Map equivalent phrasings of the same simulation onto one key, so
+    /// e.g. the ablations' default-options runs share cache entries with
+    /// the figures' `RegLess { 512 }` runs.
+    pub fn canonical(self) -> RunVariant {
+        let eval = eval_gpu();
+        match self {
+            RunVariant::Opts(o)
+                if o.region_override.is_none()
+                    && !o.renumber
+                    && o.order == regless_core::ActivationOrder::Lifo
+                    && o.patterns == regless_core::PatternSet::Full =>
+            {
+                RunVariant::Design(if o.compressor {
+                    DesignKind::RegLess { entries: o.entries }
+                } else {
+                    DesignKind::RegLessNoCompressor { entries: o.entries }
+                })
+            }
+            RunVariant::Scheduler(k) if k == eval.scheduler => {
+                RunVariant::Design(DesignKind::Baseline)
+            }
+            RunVariant::IssueWidth { width, regless }
+                if width == eval.issue_slots_per_scheduler =>
+            {
+                RunVariant::Design(if regless {
+                    DesignKind::regless_512()
+                } else {
+                    DesignKind::Baseline
+                })
+            }
+            v => v,
+        }
+    }
+}
+
+/// Benchmark id for a Rodinia kernel name.
+pub fn rodinia_id(name: &str) -> String {
+    format!("rodinia/{name}")
+}
+
+/// Benchmark id for a microbenchmark kernel name.
+pub fn micro_id(name: &str) -> String {
+    format!("micro/{name}")
+}
+
+/// Benchmark id of the §7 high-register-pressure kernel.
+pub const HIGH_PRESSURE_ID: &str = "special/high_pressure";
+
+/// Resolve a benchmark id to its kernel.
+///
+/// # Panics
+///
+/// Panics on an unknown id — experiment code constructs ids from the
+/// workload tables, so an unknown id is a harness bug.
+fn kernel_for(bench: &str) -> regless_isa::Kernel {
+    if let Some(name) = bench.strip_prefix("rodinia/") {
+        return rodinia::kernel(name);
+    }
+    if let Some(name) = bench.strip_prefix("micro/") {
+        return micro::all()
+            .into_iter()
+            .find(|k| k.name() == name)
+            .unwrap_or_else(|| panic!("unknown microbenchmark {name:?}"));
+    }
+    if bench == HIGH_PRESSURE_ID {
+        return high_pressure_kernel();
+    }
+    panic!("unknown benchmark id {bench:?}");
+}
+
+/// Actually run one simulation (a cache miss).
+fn simulate(bench: &str, variant: RunVariant) -> RunReport {
+    let kernel = kernel_for(bench);
+    match variant {
+        RunVariant::Design(d) => run_design(&kernel, d),
+        RunVariant::Opts(o) => run_regless_opts(&kernel, o),
+        RunVariant::Scheduler(k) => crate::run_baseline_with_scheduler(&kernel, k),
+        RunVariant::OccupancyLimited => {
+            // Conventional RF: occupancy capped by per-thread register
+            // allocation (ported from the §7 oversubscription study).
+            let gpu = eval_gpu();
+            let compiled = Arc::new(
+                regless_compiler::compile(&kernel, &regless_compiler::RegionConfig::default())
+                    .expect("compile"),
+            );
+            let regs = kernel.num_regs() as usize;
+            let rf_entries = gpu.rf_bytes_per_sm / 128;
+            Machine::new(gpu, compiled, |_| {
+                OccupancyLimitedRf::new(rf_entries, regs, gpu.warps_per_sm)
+            })
+            .run()
+            .expect("occupancy-limited run")
+        }
+        RunVariant::IssueWidth { width, regless } => {
+            let gpu = GpuConfig {
+                issue_slots_per_scheduler: width,
+                ..eval_gpu()
+            };
+            if regless {
+                let cfg = regless_core::RegLessConfig::paper_default();
+                let compiled =
+                    regless_compiler::compile(&kernel, &cfg.region_config(&gpu)).expect("compile");
+                regless_core::RegLessSim::new(gpu, cfg, compiled)
+                    .run()
+                    .expect("regless run")
+            } else {
+                let compiled =
+                    regless_compiler::compile(&kernel, &regless_compiler::RegionConfig::default())
+                        .expect("compile");
+                run_baseline(gpu, Arc::new(compiled)).expect("baseline run")
+            }
+        }
+    }
+}
+
+/// How the engine treats its caches (from `REGLESS_SWEEP`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SweepMode {
+    /// Memoize in memory and read/write the disk cache.
+    Normal,
+    /// Memoize in memory and write disk entries, but never read them —
+    /// forces fresh simulations once per process.
+    Cold,
+    /// No caching at all; every call simulates.
+    Off,
+}
+
+/// Counters the engine keeps (all monotone).
+#[derive(Default)]
+struct Counters {
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    sim_nanos: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`SweepEngine`] activity.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SweepStats {
+    /// Calls served from the in-memory memo table.
+    pub memory_hits: u64,
+    /// Calls served by deserializing a persisted report.
+    pub disk_hits: u64,
+    /// Calls that ran the simulator.
+    pub misses: u64,
+    /// Total wall-clock seconds spent inside the simulator.
+    pub sim_seconds: f64,
+}
+
+impl SweepStats {
+    /// One-line human summary for experiment footers.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "sweep cache: {} sims ({:.1} s simulated), {} memory hits, {} disk hits",
+            self.misses, self.sim_seconds, self.memory_hits, self.disk_hits
+        )
+    }
+}
+
+type Key = (String, RunVariant);
+
+/// The memoizing simulation runner. Use the process-wide [`engine`] in
+/// experiment code; construct directly only in tests.
+pub struct SweepEngine {
+    cache: Mutex<HashMap<Key, Arc<OnceLock<Arc<RunReport>>>>>,
+    counters: Counters,
+    /// Directory for persisted reports (`None` disables persistence).
+    disk_dir: Option<PathBuf>,
+    mode: SweepMode,
+}
+
+impl SweepEngine {
+    /// An engine with explicit cache directory and mode (tests; the
+    /// process-wide [`engine`] reads the environment instead).
+    pub fn with_config(disk_dir: Option<PathBuf>, mode: SweepMode) -> SweepEngine {
+        SweepEngine {
+            cache: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            disk_dir,
+            mode,
+        }
+    }
+
+    fn from_env() -> SweepEngine {
+        let mode = match std::env::var("REGLESS_SWEEP").as_deref() {
+            Ok("off") => SweepMode::Off,
+            Ok("cold") => SweepMode::Cold,
+            _ => SweepMode::Normal,
+        };
+        let dir = match (mode, std::env::var("REGLESS_SWEEP_DIR")) {
+            (SweepMode::Off, _) => None,
+            (_, Ok(d)) => Some(PathBuf::from(d)),
+            _ => Some(PathBuf::from("results/cache")),
+        };
+        SweepEngine::with_config(dir, mode)
+    }
+
+    /// Fingerprint naming the disk subdirectory: any simulator-semantics
+    /// or evaluation-machine change moves the directory, orphaning (not
+    /// corrupting) old entries.
+    pub fn fingerprint() -> String {
+        let basis = format!(
+            "fmt{}|sim{}|{}",
+            CACHE_FORMAT_VERSION,
+            regless_sim::SIM_MODEL_VERSION,
+            regless_json::to_string(&eval_gpu())
+        );
+        format!("{:016x}", fnv1a64(basis.as_bytes()))
+    }
+
+    /// Run (or recall) one simulation.
+    pub fn run(&self, bench: &str, variant: RunVariant) -> Arc<RunReport> {
+        let variant = variant.canonical();
+        if self.mode == SweepMode::Off {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            let report = simulate(bench, variant);
+            self.note_sim(&report);
+            eprintln!(
+                "[sweep] sim   {bench} {variant:?}: {} cycles in {:.2} s",
+                report.cycles, report.wall_seconds
+            );
+            return Arc::new(report);
+        }
+        let cell = {
+            let mut map = self.cache.lock().expect("sweep cache poisoned");
+            Arc::clone(
+                map.entry((bench.to_string(), variant))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        if let Some(hit) = cell.get() {
+            self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // `get_or_init` blocks concurrent initializers of the same key, so
+        // racing threads wait for the one in-flight simulation instead of
+        // duplicating it.
+        let mut initialized_here = false;
+        let report = cell.get_or_init(|| {
+            initialized_here = true;
+            Arc::new(self.load_or_simulate(bench, variant))
+        });
+        if !initialized_here {
+            self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(report)
+    }
+
+    fn load_or_simulate(&self, bench: &str, variant: RunVariant) -> RunReport {
+        let path = self.entry_path(bench, variant);
+        if self.mode == SweepMode::Normal {
+            if let Some(report) = path.as_deref().and_then(|p| load_entry(p, bench, variant)) {
+                self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                eprintln!("[sweep] disk  {bench} {variant:?}");
+                return report;
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let report = simulate(bench, variant);
+        self.note_sim(&report);
+        eprintln!(
+            "[sweep] sim   {bench} {variant:?}: {} cycles in {:.2} s",
+            report.cycles, report.wall_seconds
+        );
+        if let Some(p) = path {
+            store_entry(&p, bench, variant, &report);
+        }
+        report
+    }
+
+    fn note_sim(&self, report: &RunReport) {
+        let nanos = (report.wall_seconds * 1e9) as u64;
+        self.counters.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn entry_path(&self, bench: &str, variant: RunVariant) -> Option<PathBuf> {
+        let dir = self.disk_dir.as_ref()?;
+        Some(
+            dir.join(Self::fingerprint())
+                .join(entry_slug(bench, variant)),
+        )
+    }
+
+    /// Snapshot the hit/miss counters.
+    pub fn stats(&self) -> SweepStats {
+        SweepStats {
+            memory_hits: self.counters.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            sim_seconds: self.counters.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+
+    /// Warm the cache for `jobs` using every available core. Cache hits
+    /// cost nothing, so callers list everything a report needs without
+    /// worrying about overlap with earlier reports.
+    pub fn prefetch(&self, jobs: &[(String, RunVariant)]) {
+        let workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(jobs.len().max(1));
+        if workers <= 1 {
+            for (bench, variant) in jobs {
+                self.run(bench, *variant);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((bench, variant)) = jobs.get(i) else {
+                        break;
+                    };
+                    self.run(bench, *variant);
+                });
+            }
+        });
+    }
+}
+
+/// The process-wide engine (mode and cache directory from the
+/// environment; see the module docs).
+pub fn engine() -> &'static SweepEngine {
+    static ENGINE: OnceLock<SweepEngine> = OnceLock::new();
+    ENGINE.get_or_init(SweepEngine::from_env)
+}
+
+/// [`engine`]'s memoized [`run_design`].
+pub fn design(bench: &str, design: DesignKind) -> Arc<RunReport> {
+    engine().run(bench, RunVariant::Design(design))
+}
+
+/// [`engine`]'s memoized [`run_regless_opts`].
+pub fn regless_opts(bench: &str, opts: ReglessRunOpts) -> Arc<RunReport> {
+    engine().run(bench, RunVariant::Opts(opts))
+}
+
+/// [`engine`]'s memoized [`crate::run_baseline_with_scheduler`].
+pub fn baseline_with_scheduler(bench: &str, kind: SchedulerKind) -> Arc<RunReport> {
+    engine().run(bench, RunVariant::Scheduler(kind))
+}
+
+/// FNV-1a, used for the cache fingerprint and slug collision guards.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Filename for one cache entry: a readable sanitized prefix plus a hash
+/// of the exact key (the prefix alone could collide after sanitizing).
+fn entry_slug(bench: &str, variant: RunVariant) -> String {
+    let exact = format!("{bench}|{variant:?}");
+    let mut readable = String::new();
+    for c in exact.chars() {
+        if c.is_ascii_alphanumeric() {
+            readable.push(c);
+        } else if !readable.ends_with('-') {
+            readable.push('-');
+        }
+    }
+    let readable = readable.trim_matches('-');
+    format!(
+        "{}_{:016x}.json",
+        &readable[..readable.len().min(80)],
+        fnv1a64(exact.as_bytes())
+    )
+}
+
+/// Best-effort read of a persisted report; any failure (missing, corrupt,
+/// or a slug collision with a different key) falls back to simulating.
+fn load_entry(path: &Path, bench: &str, variant: RunVariant) -> Option<RunReport> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = regless_json::Json::parse(&text).ok()?;
+    let stored_bench: String = regless_json::FromJson::from_json(json.field("bench").ok()?).ok()?;
+    let stored_variant: String =
+        regless_json::FromJson::from_json(json.field("variant").ok()?).ok()?;
+    if stored_bench != bench || stored_variant != format!("{variant:?}") {
+        return None;
+    }
+    regless_json::FromJson::from_json(json.field("report").ok()?).ok()
+}
+
+/// Best-effort write of a report (cache persistence must never fail an
+/// experiment, so I/O errors only warn).
+fn store_entry(path: &Path, bench: &str, variant: RunVariant, report: &RunReport) {
+    let entry = regless_json::Json::Obj(vec![
+        (
+            "bench".into(),
+            regless_json::ToJson::to_json(&bench.to_string()),
+        ),
+        (
+            "variant".into(),
+            regless_json::ToJson::to_json(&format!("{variant:?}")),
+        ),
+        ("report".into(), regless_json::ToJson::to_json(report)),
+    ]);
+    let write = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        // Write-then-rename so a crash mid-write cannot leave a truncated
+        // entry under the final name.
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, entry.to_string_compact())?;
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(e) = write() {
+        eprintln!("[sweep] warn: could not persist {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_merges_equivalent_runs() {
+        assert_eq!(
+            RunVariant::Opts(ReglessRunOpts::default()).canonical(),
+            RunVariant::Design(DesignKind::regless_512())
+        );
+        assert_eq!(
+            RunVariant::Opts(ReglessRunOpts {
+                compressor: false,
+                ..Default::default()
+            })
+            .canonical(),
+            RunVariant::Design(DesignKind::RegLessNoCompressor { entries: 512 })
+        );
+        assert_eq!(
+            RunVariant::Scheduler(SchedulerKind::Gto).canonical(),
+            RunVariant::Design(DesignKind::Baseline)
+        );
+        assert_eq!(
+            RunVariant::IssueWidth {
+                width: 1,
+                regless: true
+            }
+            .canonical(),
+            RunVariant::Design(DesignKind::regless_512())
+        );
+        // Non-default options must keep their own key.
+        let fifo = RunVariant::Opts(ReglessRunOpts {
+            order: regless_core::ActivationOrder::Fifo,
+            ..Default::default()
+        });
+        assert_eq!(fifo.canonical(), fifo);
+        assert_eq!(
+            RunVariant::IssueWidth {
+                width: 2,
+                regless: false
+            }
+            .canonical(),
+            RunVariant::IssueWidth {
+                width: 2,
+                regless: false
+            }
+        );
+    }
+
+    #[test]
+    fn slug_is_filename_safe_and_key_exact() {
+        let a = entry_slug("rodinia/bfs", RunVariant::Design(DesignKind::regless_512()));
+        let b = entry_slug("rodinia/bfs", RunVariant::Design(DesignKind::Baseline));
+        assert_ne!(a, b);
+        assert!(a.ends_with(".json"));
+        assert!(
+            a.chars()
+                .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)),
+            "{a}"
+        );
+    }
+
+    #[test]
+    fn memoizes_and_persists_identical_reports() {
+        let dir = std::env::temp_dir().join(format!(
+            "regless-sweep-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bench = rodinia_id("nn");
+        let variant = RunVariant::Design(DesignKind::Baseline);
+
+        let cold = SweepEngine::with_config(Some(dir.clone()), SweepMode::Normal);
+        let first = cold.run(&bench, variant);
+        let again = cold.run(&bench, variant);
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "second call must be the memoized report"
+        );
+        let s = cold.stats();
+        assert_eq!((s.misses, s.memory_hits, s.disk_hits), (1, 1, 0));
+
+        // A fresh engine over the same directory must replay from disk and
+        // reproduce the simulated numbers exactly.
+        let warm = SweepEngine::with_config(Some(dir.clone()), SweepMode::Normal);
+        let replayed = warm.run(&bench, variant);
+        let s = warm.stats();
+        assert_eq!((s.misses, s.disk_hits), (0, 1));
+        assert_eq!(replayed.cycles, first.cycles);
+        assert_eq!(replayed.sm_stats[0].rf_reads, first.sm_stats[0].rf_reads);
+        assert_eq!(replayed.mem, first.mem);
+        assert_eq!(replayed.warp_insns, first.warp_insns);
+
+        // Cold mode ignores the entry and simulates again.
+        let forced = SweepEngine::with_config(Some(dir.clone()), SweepMode::Cold);
+        let re = forced.run(&bench, variant);
+        assert_eq!(forced.stats().misses, 1);
+        assert_eq!(re.cycles, first.cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefetch_covers_all_jobs() {
+        let engine = SweepEngine::with_config(None, SweepMode::Normal);
+        let jobs = vec![
+            (rodinia_id("nn"), RunVariant::Design(DesignKind::Baseline)),
+            (rodinia_id("nn"), RunVariant::Design(DesignKind::Baseline)),
+        ];
+        engine.prefetch(&jobs);
+        let s = engine.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.memory_hits + s.disk_hits + s.misses, 2);
+    }
+}

@@ -88,7 +88,10 @@ pub fn annotate(
         annotate_region(kernel, liveness, region, &mut notes);
     }
     let cache_invalidates = place_cache_invalidates(kernel, dom, liveness, regions);
-    Annotations { notes, cache_invalidates }
+    Annotations {
+        notes,
+        cache_invalidates,
+    }
 }
 
 /// Mark last uses within one region by a backward sweep.
@@ -108,7 +111,10 @@ fn annotate_region(
     let mut accessed_later = RegSet::new(kernel.num_regs() as usize);
     for idx in (region.start()..region.end()).rev() {
         let insn = &insns[idx];
-        let at = InsnRef { block: region.block(), idx };
+        let at = InsnRef {
+            block: region.block(),
+            idx,
+        };
         let mut note = InsnNotes::default();
         let safe_dead = |r| {
             !liveness.live_after(at).contains(r)
@@ -129,7 +135,11 @@ fn annotate_region(
             // keeps the line busy: the write, not the read, is the last
             // access, and it was handled above.
             if !accessed_later.contains(s) && insn.dst() != Some(s) {
-                let kind = if safe_dead(s) { LastUse::Erase } else { LastUse::Evict };
+                let kind = if safe_dead(s) {
+                    LastUse::Erase
+                } else {
+                    LastUse::Evict
+                };
                 note.last_uses.push((s, kind));
             }
             accessed_later.insert(s);
@@ -232,7 +242,11 @@ mod tests {
         let liveness = Liveness::compute(&kernel, &dom);
         let regions = create_regions(&kernel, &liveness, &RegionConfig::default());
         let ann = annotate(&kernel, &dom, &liveness, &regions);
-        Compiled { kernel, regions, ann }
+        Compiled {
+            kernel,
+            regions,
+            ann,
+        }
     }
 
     #[test]
@@ -245,7 +259,10 @@ mod tests {
         b.exit();
         let c = compile(b.finish().unwrap());
         assert_eq!(c.regions.len(), 1);
-        let add_at = InsnRef { block: BlockId(0), idx: 2 };
+        let add_at = InsnRef {
+            block: BlockId(0),
+            idx: 2,
+        };
         let note = c.ann.notes(add_at).expect("iadd has last uses");
         assert_eq!(note.last_uses.len(), 2);
         assert!(note.last_uses.iter().all(|&(_, k)| k == LastUse::Erase));
@@ -270,7 +287,10 @@ mod tests {
         // In the middle block, x is an input; its last use there is Evict.
         let mid_region = c.regions.iter().find(|r| r.block() == next).unwrap();
         assert!(mid_region.inputs().contains(x));
-        let add_at = InsnRef { block: next, idx: 0 };
+        let add_at = InsnRef {
+            block: next,
+            idx: 0,
+        };
         let note = c.ann.notes(add_at).expect("last use of x in region");
         assert!(note.last_uses.contains(&(x, LastUse::Evict)));
         let _ = &c.kernel;
@@ -287,7 +307,10 @@ mod tests {
         b.st_global(y, y);
         b.exit();
         let c = compile(b.finish().unwrap());
-        let def_at = InsnRef { block: BlockId(0), idx: 1 };
+        let def_at = InsnRef {
+            block: BlockId(0),
+            idx: 1,
+        };
         let note = c.ann.notes(def_at).expect("output def annotated");
         assert!(note.evict_on_write);
         assert!(!note.erase_on_write);
@@ -300,7 +323,10 @@ mod tests {
         let _unused = b.iadd(x, x);
         b.exit();
         let c = compile(b.finish().unwrap());
-        let def_at = InsnRef { block: BlockId(0), idx: 1 };
+        let def_at = InsnRef {
+            block: BlockId(0),
+            idx: 1,
+        };
         let note = c.ann.notes(def_at).expect("dead store annotated");
         assert!(note.erase_on_write);
     }
@@ -312,7 +338,10 @@ mod tests {
         b.emit_to(x, regless_isa::Opcode::IAdd, vec![x, x]); // x = x + x, then dead
         b.exit();
         let c = compile(b.finish().unwrap());
-        let at = InsnRef { block: BlockId(0), idx: 1 };
+        let at = InsnRef {
+            block: BlockId(0),
+            idx: 1,
+        };
         let note = c.ann.notes(at).expect("rmw annotated");
         // The write is the last access; the read must not erase first.
         assert!(note.erase_on_write);
@@ -349,9 +378,9 @@ mod tests {
             })
             .collect();
         assert!(
-            invals.iter().any(|&(rid, reg)| {
-                reg == x && comp.regions[rid.index()].block() == done
-            }),
+            invals
+                .iter()
+                .any(|&(rid, reg)| { reg == x && comp.regions[rid.index()].block() == done }),
             "expected invalidation of {x} at {done}, got {invals:?}"
         );
     }
@@ -421,13 +450,12 @@ mod divergence_death_tests {
                 );
             }
             for idx in region.start()..region.end() {
-                if let Some(notes) = ann.notes(InsnRef { block: region.block(), idx }) {
+                if let Some(notes) = ann.notes(InsnRef {
+                    block: region.block(),
+                    idx,
+                }) {
                     for &(reg, kind) in &notes.last_uses {
-                        assert_eq!(
-                            kind,
-                            LastUse::Evict,
-                            "{reg} erased on a divergent side"
-                        );
+                        assert_eq!(kind, LastUse::Evict, "{reg} erased on a divergent side");
                     }
                 }
             }

@@ -42,12 +42,7 @@ fn has(set: &[u64], b: usize) -> bool {
 
 /// Solves `out[b] = {b} ∪ ⋂_{p ∈ ins(b)} out[p]` with `out[root] = {root}`,
 /// the classic iterative dominance formulation.
-fn solve(
-    num_blocks: usize,
-    roots: &[usize],
-    ins: &[Vec<usize>],
-    order: &[usize],
-) -> Vec<Vec<u64>> {
+fn solve(num_blocks: usize, roots: &[usize], ins: &[Vec<usize>], order: &[usize]) -> Vec<Vec<u64>> {
     let mut out: Vec<Vec<u64>> = (0..num_blocks).map(|_| full(num_blocks)).collect();
     for &r in roots {
         out[r] = only(num_blocks, r);
@@ -112,7 +107,11 @@ impl DomInfo {
 
         let doms = solve(n, &[kernel.entry().index()], &preds, &forward_order);
         let pdoms = solve(n, &exits, &succs, &backward_order);
-        DomInfo { doms, pdoms, num_blocks: n }
+        DomInfo {
+            doms,
+            pdoms,
+            num_blocks: n,
+        }
     }
 
     /// Whether `a` dominates `b` (reflexively).
@@ -164,7 +163,7 @@ impl DomInfo {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
-    use regless_isa::{KernelBuilder, Kernel};
+    use regless_isa::{Kernel, KernelBuilder};
 
     /// Naive dominance: a dominates b iff removing a disconnects b from the
     /// entry (checked by reachability with a excluded).

@@ -45,9 +45,7 @@ pub use region::{
     bank_of, create_regions, regions_for, Preload, Region, RegionConfig, RegionId, NUM_BANKS,
 };
 pub use regset::RegSet;
-pub use renumber::{
-    positions_preserved, renumber_for_banks, static_src_conflicts, RenumberStats,
-};
+pub use renumber::{positions_preserved, renumber_for_banks, static_src_conflicts, RenumberStats};
 
 use regless_isa::{BlockId, InsnRef, Kernel};
 use std::fmt;
@@ -162,10 +160,18 @@ impl CompiledKernel {
     /// registers, plus mean preload count (Figure 19's three series).
     pub fn region_register_stats(&self) -> RegionRegisterStats {
         let n = self.regions.len() as f64;
-        let mean_preloads =
-            self.regions.iter().map(|r| r.preloads().len()).sum::<usize>() as f64 / n;
-        let mean_live =
-            self.regions.iter().map(Region::max_concurrent).sum::<usize>() as f64 / n;
+        let mean_preloads = self
+            .regions
+            .iter()
+            .map(|r| r.preloads().len())
+            .sum::<usize>() as f64
+            / n;
+        let mean_live = self
+            .regions
+            .iter()
+            .map(Region::max_concurrent)
+            .sum::<usize>() as f64
+            / n;
         let var = self
             .regions
             .iter()
@@ -175,7 +181,11 @@ impl CompiledKernel {
             })
             .sum::<f64>()
             / n;
-        RegionRegisterStats { mean_preloads, mean_live, std_live: var.sqrt() }
+        RegionRegisterStats {
+            mean_preloads,
+            mean_live,
+            std_live: var.sqrt(),
+        }
     }
 }
 
@@ -200,13 +210,19 @@ pub struct RegionRegisterStats {
 /// `max_regs_per_bank < 4` or `min_region_insns == 0`).
 pub fn compile(kernel: &Kernel, config: &RegionConfig) -> Result<CompiledKernel, CompileError> {
     if config.max_regs_per_region < 5 {
-        return Err(CompileError::BadConfig { reason: "max_regs_per_region must be >= 5" });
+        return Err(CompileError::BadConfig {
+            reason: "max_regs_per_region must be >= 5",
+        });
     }
     if config.max_regs_per_bank < 4 {
-        return Err(CompileError::BadConfig { reason: "max_regs_per_bank must be >= 4" });
+        return Err(CompileError::BadConfig {
+            reason: "max_regs_per_bank must be >= 4",
+        });
     }
     if config.min_region_insns == 0 {
-        return Err(CompileError::BadConfig { reason: "min_region_insns must be >= 1" });
+        return Err(CompileError::BadConfig {
+            reason: "min_region_insns must be >= 1",
+        });
     }
     let dom = DomInfo::compute(kernel);
     let liveness = Liveness::compute(kernel, &dom);
@@ -214,8 +230,11 @@ pub fn compile(kernel: &Kernel, config: &RegionConfig) -> Result<CompiledKernel,
     let annotations = annotate(kernel, &dom, &liveness, &regions);
     let metadata = MetadataStats::compute(&regions, &annotations);
 
-    let mut region_index: Vec<Vec<RegionId>> =
-        kernel.blocks().iter().map(|b| vec![RegionId(0); b.len()]).collect();
+    let mut region_index: Vec<Vec<RegionId>> = kernel
+        .blocks()
+        .iter()
+        .map(|b| vec![RegionId(0); b.len()])
+        .collect();
     for region in &regions {
         for slot in &mut region_index[region.block().index()][region.start()..region.end()] {
             *slot = region.id();
@@ -275,9 +294,18 @@ mod tests {
     fn bad_configs_rejected() {
         let k = kernel();
         for bad in [
-            RegionConfig { max_regs_per_region: 2, ..RegionConfig::default() },
-            RegionConfig { max_regs_per_bank: 1, ..RegionConfig::default() },
-            RegionConfig { min_region_insns: 0, ..RegionConfig::default() },
+            RegionConfig {
+                max_regs_per_region: 2,
+                ..RegionConfig::default()
+            },
+            RegionConfig {
+                max_regs_per_bank: 1,
+                ..RegionConfig::default()
+            },
+            RegionConfig {
+                min_region_insns: 0,
+                ..RegionConfig::default()
+            },
         ] {
             assert!(compile(&k, &bad).is_err());
         }

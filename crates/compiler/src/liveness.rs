@@ -57,7 +57,14 @@ impl Liveness {
         let (live_in, live_out) = state;
         let live_before = per_insn(kernel, &soft, &live_out, num_regs);
         let sibling_live = divergent_sibling_live(kernel, dom, &live_in, num_regs);
-        Liveness { live_in, live_out, live_before, soft_defs: soft, sibling_live, num_regs }
+        Liveness {
+            live_in,
+            live_out,
+            live_before,
+            soft_defs: soft,
+            sibling_live,
+            num_regs,
+        }
     }
 
     /// Registers live at the entry of a block.
@@ -125,11 +132,7 @@ impl Liveness {
 }
 
 /// Backward block-level dataflow with the given soft-def set.
-fn solve(
-    kernel: &Kernel,
-    soft: &HashSet<InsnRef>,
-    num_regs: usize,
-) -> (Vec<RegSet>, Vec<RegSet>) {
+fn solve(kernel: &Kernel, soft: &HashSet<InsnRef>, num_regs: usize) -> (Vec<RegSet>, Vec<RegSet>) {
     let n = kernel.num_blocks();
     // gen = upward-exposed uses; kill = hard defs not preceded by a use.
     let mut gen = vec![RegSet::new(num_regs); n];
@@ -143,7 +146,10 @@ fn solve(
                 }
             }
             if let Some(d) = insn.dst() {
-                let at = InsnRef { block: block.id(), idx };
+                let at = InsnRef {
+                    block: block.id(),
+                    idx,
+                };
                 if !soft.contains(&at) {
                     kill[b].insert(d);
                 } else {
@@ -195,7 +201,10 @@ fn per_insn(
             let mut live = live_out[b].clone();
             let mut rows = vec![RegSet::new(num_regs); block.len()];
             for (idx, insn) in block.insns().iter().enumerate().rev() {
-                let at = InsnRef { block: block.id(), idx };
+                let at = InsnRef {
+                    block: block.id(),
+                    idx,
+                };
                 if let Some(d) = insn.dst() {
                     if !soft.contains(&at) {
                         live.remove(d);
@@ -228,8 +237,9 @@ fn divergent_sibling_live(
             let mut set = RegSet::new(num_regs);
             let b_doms = dom.dominators(b);
             for &dom_bb in b_doms.iter().filter(|&&d| d != b) {
-                let reconverged =
-                    b_doms.iter().any(|&d| d != dom_bb && dom.postdominates(d, dom_bb));
+                let reconverged = b_doms
+                    .iter()
+                    .any(|&d| d != dom_bb && dom.postdominates(d, dom_bb));
                 if reconverged {
                     continue;
                 }
@@ -256,7 +266,10 @@ fn detect_soft_defs(kernel: &Kernel, dom: &DomInfo, live_in: &[RegSet]) -> HashS
     for block in kernel.blocks() {
         for (idx, insn) in block.insns().iter().enumerate() {
             let Some(reg) = insn.dst() else { continue };
-            let at = InsnRef { block: block.id(), idx };
+            let at = InsnRef {
+                block: block.id(),
+                idx,
+            };
             if is_soft_def(kernel, dom, live_in, block.id(), reg) {
                 soft.insert(at);
             }
@@ -276,7 +289,9 @@ fn is_soft_def(
     for &dom_bb in insn_doms.iter().filter(|&&d| d != insn_bb) {
         // Skip dominators with a reconvergence point before the definition:
         // a block that strictly postdominates domBB and dominates insnBB.
-        let reconverged = insn_doms.iter().any(|&d| d != dom_bb && dom.postdominates(d, dom_bb));
+        let reconverged = insn_doms
+            .iter()
+            .any(|&d| d != dom_bb && dom.postdominates(d, dom_bb));
         if reconverged {
             continue;
         }
@@ -356,8 +371,14 @@ mod tests {
         b.exit();
         let k = b.finish().unwrap();
         let l = analyze(&k);
-        let soft_at = InsnRef { block: then_bb, idx: 0 };
-        assert!(l.is_soft_def(soft_at), "redefinition under divergence must be soft");
+        let soft_at = InsnRef {
+            block: then_bb,
+            idx: 0,
+        };
+        assert!(
+            l.is_soft_def(soft_at),
+            "redefinition under divergence must be soft"
+        );
         // Because the def is soft, r stays live *into* the redefining block.
         assert!(l.live_in(then_bb).contains(r));
     }

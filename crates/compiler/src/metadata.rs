@@ -42,13 +42,15 @@ impl MetadataStats {
         let per_region = regions
             .iter()
             .map(|r| {
-                let slots =
-                    r.preloads().len() + annotations.cache_invalidates(r.id()).len();
+                let slots = r.preloads().len() + annotations.cache_invalidates(r.id()).len();
                 metadata_insns(r.len(), slots)
             })
             .collect();
         let total_region_insns = regions.iter().map(Region::len).sum();
-        MetadataStats { per_region, total_region_insns }
+        MetadataStats {
+            per_region,
+            total_region_insns,
+        }
     }
 
     /// Metadata instructions prepended to one region.

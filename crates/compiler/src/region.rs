@@ -40,7 +40,7 @@ impl fmt::Display for RegionId {
 /// each of the four scheduler shards owns a 128-entry OSU of 8 banks
 /// (16 lines per bank), one region may claim at most half an OSU, and no
 /// more than half of any single bank.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct RegionConfig {
     /// Maximum concurrently-live registers a region may require
     /// (Algorithm 1 line 18).
@@ -66,6 +66,13 @@ impl Default for RegionConfig {
         }
     }
 }
+
+regless_json::impl_json_struct!(RegionConfig {
+    max_regs_per_region,
+    max_regs_per_bank,
+    min_region_insns,
+    split_load_use,
+});
 
 /// One register to assemble in the OSU before a region activates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -219,7 +226,10 @@ impl<'a> BlockCtx<'a> {
         let mut max_concurrent = 0;
         let mut bank_peak = [0u16; NUM_BANKS];
         for idx in start..end {
-            let at = InsnRef { block: self.block, idx };
+            let at = InsnRef {
+                block: self.block,
+                idx,
+            };
             let mut banks = [0u16; NUM_BANKS];
             let mut count = 0;
             for r in referenced.iter() {
@@ -277,7 +287,10 @@ impl<'a> BlockCtx<'a> {
         if d.max_concurrent > config.max_regs_per_region {
             return false;
         }
-        if d.bank_peak.iter().any(|&b| b as usize > config.max_regs_per_bank) {
+        if d.bank_peak
+            .iter()
+            .any(|&b| b as usize > config.max_regs_per_bank)
+        {
             return false;
         }
         if config.split_load_use && d.load_use_pairs > 0 {
@@ -308,8 +321,8 @@ impl<'a> BlockCtx<'a> {
             }
         }
         let upper = upper.max(start + 1); // always make progress
-        // lower_bound: split index in (start, upper] minimizing the number
-        // of load/use pairs kept within either new region.
+                                          // lower_bound: split index in (start, upper] minimizing the number
+                                          // of load/use pairs kept within either new region.
         let mut lower = start + 1;
         let mut best_pairs = usize::MAX;
         for split in start + 1..=upper {
@@ -350,7 +363,10 @@ impl<'a> BlockCtx<'a> {
         let mut inputs = RegSet::new(num_regs);
         let mut defined = RegSet::new(num_regs);
         for idx in start..end {
-            let at = InsnRef { block: self.block, idx };
+            let at = InsnRef {
+                block: self.block,
+                idx,
+            };
             let insn = &insns[idx];
             for &s in insn.srcs() {
                 if !defined.contains(s) {
@@ -367,7 +383,12 @@ impl<'a> BlockCtx<'a> {
             }
         }
         let live_end = if end < insns.len() {
-            self.liveness.live_before(InsnRef { block: self.block, idx: end }).clone()
+            self.liveness
+                .live_before(InsnRef {
+                    block: self.block,
+                    idx: end,
+                })
+                .clone()
         } else {
             self.liveness.live_out(self.block).clone()
         };
@@ -390,13 +411,19 @@ impl<'a> BlockCtx<'a> {
         }
         let insns = self.insns();
         for idx in start..end {
-            let at = InsnRef { block: self.block, idx };
+            let at = InsnRef {
+                block: self.block,
+                idx,
+            };
             if insns[idx].dst() == Some(reg) && !self.liveness.is_soft_def(at) {
                 return true;
             }
         }
         let live_end = if end < insns.len() {
-            self.liveness.live_before(InsnRef { block: self.block, idx: end })
+            self.liveness.live_before(InsnRef {
+                block: self.block,
+                idx: end,
+            })
         } else {
             self.liveness.live_out(self.block)
         };
@@ -408,10 +435,12 @@ impl<'a> BlockCtx<'a> {
         let d = self.demand(start, end);
         let preloads = inputs
             .iter()
-            .map(|reg| Preload { reg, invalidate: self.incoming_value_dies(reg, start, end) })
+            .map(|reg| Preload {
+                reg,
+                invalidate: self.incoming_value_dies(reg, start, end),
+            })
             .collect();
-        let contains_global_load =
-            self.insns()[start..end].iter().any(|i| i.is_global_load());
+        let contains_global_load = self.insns()[start..end].iter().any(|i| i.is_global_load());
         Region {
             id,
             block: self.block,
@@ -438,14 +467,14 @@ impl<'a> BlockCtx<'a> {
 ///
 /// Panics if `config` is unsatisfiable for this kernel (a single
 /// instruction exceeding the per-region register limits).
-pub fn create_regions(
-    kernel: &Kernel,
-    liveness: &Liveness,
-    config: &RegionConfig,
-) -> Vec<Region> {
+pub fn create_regions(kernel: &Kernel, liveness: &Liveness, config: &RegionConfig) -> Vec<Region> {
     let mut ranges: Vec<(BlockId, usize, usize)> = Vec::new();
     for block in kernel.blocks() {
-        let ctx = BlockCtx { kernel, liveness, block: block.id() };
+        let ctx = BlockCtx {
+            kernel,
+            liveness,
+            block: block.id(),
+        };
         let mut worklist = vec![(0usize, block.len())];
         let mut done: Vec<(usize, usize)> = Vec::new();
         while let Some((start, end)) = worklist.pop() {
@@ -475,7 +504,11 @@ pub fn create_regions(
         .into_iter()
         .enumerate()
         .map(|(i, (b, s, e))| {
-            let ctx = BlockCtx { kernel, liveness, block: b };
+            let ctx = BlockCtx {
+                kernel,
+                liveness,
+                block: b,
+            };
             ctx.build(RegionId(i as u32), s, e)
         })
         .collect()
@@ -531,7 +564,10 @@ mod tests {
         b.st_global(w, i);
         b.exit();
         let k = b.finish().unwrap();
-        let config = RegionConfig { split_load_use: false, ..RegionConfig::default() };
+        let config = RegionConfig {
+            split_load_use: false,
+            ..RegionConfig::default()
+        };
         let (_, regions) = compile(&k, &config);
         assert_eq!(regions.len(), 1);
     }
@@ -577,7 +613,10 @@ mod tests {
         b.st_global(out, out);
         b.exit();
         let k = b.finish().unwrap();
-        let config = RegionConfig { max_regs_per_region: 8, ..RegionConfig::default() };
+        let config = RegionConfig {
+            max_regs_per_region: 8,
+            ..RegionConfig::default()
+        };
         let (_, regions) = compile(&k, &config);
         assert!(regions.len() >= 2);
         for r in &regions {

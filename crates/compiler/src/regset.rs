@@ -28,7 +28,10 @@ pub struct RegSet {
 impl RegSet {
     /// Empty set over a register space of `num_regs` registers.
     pub fn new(num_regs: usize) -> Self {
-        RegSet { words: vec![0; num_regs.div_ceil(64)], num_regs }
+        RegSet {
+            words: vec![0; num_regs.div_ceil(64)],
+            num_regs,
+        }
     }
 
     /// The size of the register space (not the cardinality).
@@ -39,7 +42,11 @@ impl RegSet {
     #[inline]
     fn index(&self, reg: Reg) -> (usize, u64) {
         let i = reg.index();
-        assert!(i < self.num_regs, "register {reg} outside universe {}", self.num_regs);
+        assert!(
+            i < self.num_regs,
+            "register {reg} outside universe {}",
+            self.num_regs
+        );
         (i / 64, 1u64 << (i % 64))
     }
 

@@ -14,7 +14,7 @@
 use crate::dom::DomInfo;
 use crate::liveness::Liveness;
 use crate::region::NUM_BANKS;
-use regless_isa::{BasicBlock, Instruction, InsnRef, Kernel, Reg};
+use regless_isa::{BasicBlock, InsnRef, Instruction, Kernel, Reg};
 
 /// Weight of a same-instruction source-pair conflict.
 const SAME_INSN_WEIGHT: u32 = 16;
@@ -66,9 +66,7 @@ pub fn renumber_for_banks(kernel: &Kernel) -> (Kernel, RenumberStats) {
 
     // Greedy bank-class assignment, heaviest registers first.
     let mut order: Vec<usize> = (0..num_regs).collect();
-    let total = |r: usize| -> u64 {
-        (0..num_regs).map(|o| weight[r * num_regs + o] as u64).sum()
-    };
+    let total = |r: usize| -> u64 { (0..num_regs).map(|o| weight[r * num_regs + o] as u64).sum() };
     order.sort_by_key(|&r| std::cmp::Reverse(total(r)));
     let mut bank_of = vec![usize::MAX; num_regs];
     for &r in &order {
@@ -78,7 +76,9 @@ pub fn renumber_for_banks(kernel: &Kernel) -> (Kernel, RenumberStats) {
                 cost[bank_of[o]] += weight[r * num_regs + o] as u64;
             }
         }
-        let best = (0..NUM_BANKS).min_by_key(|&b| (cost[b], b)).expect("8 banks");
+        let best = (0..NUM_BANKS)
+            .min_by_key(|&b| (cost[b], b))
+            .expect("8 banks");
         bank_of[r] = best;
     }
 
@@ -140,8 +140,7 @@ fn rewrite(kernel: &Kernel, mapping: &[Reg]) -> Kernel {
         })
         .collect();
     let max_reg = mapping.iter().map(|r| r.0).max().unwrap_or(0);
-    Kernel::new(kernel.name(), blocks, max_reg + 1)
-        .expect("renaming preserves validity")
+    Kernel::new(kernel.name(), blocks, max_reg + 1).expect("renaming preserves validity")
 }
 
 /// Count same-bank source pairs actually issued (the dynamic-cost proxy
@@ -152,8 +151,7 @@ pub fn static_src_conflicts(kernel: &Kernel) -> u64 {
         let srcs = insn.srcs();
         for i in 0..srcs.len() {
             for j in i + 1..srcs.len() {
-                if srcs[i] != srcs[j]
-                    && srcs[i].index() % NUM_BANKS == srcs[j].index() % NUM_BANKS
+                if srcs[i] != srcs[j] && srcs[i].index() % NUM_BANKS == srcs[j].index() % NUM_BANKS
                 {
                     n += 1;
                 }
@@ -170,9 +168,7 @@ pub fn positions_preserved(kernel: &Kernel, renumbered: &Kernel) -> bool {
         && kernel
             .iter_insns()
             .zip(renumbered.iter_insns())
-            .all(|((a, ia), (b, ib)): ((InsnRef, _), (InsnRef, _))| {
-                a == b && ia.op() == ib.op()
-            })
+            .all(|((a, ia), (b, ib)): ((InsnRef, _), (InsnRef, _))| a == b && ia.op() == ib.op())
 }
 
 #[cfg(test)]

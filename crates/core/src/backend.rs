@@ -102,8 +102,9 @@ impl RegLessBackend {
         let num_scheds = gpu.schedulers_per_sm;
         let shards = (0..num_scheds)
             .map(|s| {
-                let warps: Vec<usize> =
-                    (0..gpu.warps_per_sm).filter(|w| w % num_scheds == s).collect();
+                let warps: Vec<usize> = (0..gpu.warps_per_sm)
+                    .filter(|w| w % num_scheds == s)
+                    .collect();
                 Shard {
                     cm: CapacityManager::with_order(
                         &warps,
@@ -154,7 +155,9 @@ impl RegLessBackend {
             pending[runtime_bank(w, reg)] += 1;
         }
         shard.cm.begin_drain(w, pending);
-        shard.osu.release_warp_except(w, |reg| inflight.contains_key(&reg));
+        shard
+            .osu
+            .release_warp_except(w, |reg| inflight.contains_key(&reg));
     }
 
     /// Spill a displaced dirty line through the compressor (or to the L1
@@ -172,7 +175,8 @@ impl RegLessBackend {
                 ctx.stats.compressor_compressed += 1;
                 if line_miss {
                     let addr = regmap.compressed_line_addr(line.warp, line.reg);
-                    ctx.mem.access_line(ctx.sm, addr, true, Traffic::Register, ctx.now);
+                    ctx.mem
+                        .access_line(ctx.sm, addr, true, Traffic::Register, ctx.now);
                     ctx.stats.reg_stores_l1 += 1;
                     ctx.stats.backing_series.record(ctx.now, 1);
                 }
@@ -180,7 +184,8 @@ impl RegLessBackend {
             StoreOutcome::Incompressible => {
                 backing.store(line.warp, line.reg, line.value);
                 let addr = regmap.line_addr(line.warp, line.reg);
-                ctx.mem.access_line(ctx.sm, addr, true, Traffic::Register, ctx.now);
+                ctx.mem
+                    .access_line(ctx.sm, addr, true, Traffic::Register, ctx.now);
                 ctx.stats.reg_stores_l1 += 1;
                 ctx.stats.backing_series.record(ctx.now, 1);
             }
@@ -192,14 +197,20 @@ impl RegLessBackend {
     fn process_preloads(&mut self, shard_idx: usize, ctx: &mut BackendCtx<'_>) {
         let shard = &mut self.shards[shard_idx];
         for bank in 0..NUM_BANKS {
-            let Some(p) = shard.queues[bank].pop_front() else { continue };
+            let Some(p) = shard.queues[bank].pop_front() else {
+                continue;
+            };
             ctx.stats.osu_tag_probes += 1;
             let done;
             if shard.osu.promote(p.warp, p.reg) {
                 ctx.stats.record_preload(PreloadSource::Osu);
                 ctx.stats.trace_event(
                     ctx.now,
-                    TraceEvent::Preload { warp: p.warp, reg: p.reg, source: PreloadSource::Osu },
+                    TraceEvent::Preload {
+                        warp: p.warp,
+                        reg: p.reg,
+                        source: PreloadSource::Osu,
+                    },
                 );
                 // A tag hit completes within the probe cycle: retire the
                 // preload immediately so the warp can activate this cycle.
@@ -209,13 +220,19 @@ impl RegLessBackend {
                     // copies for free (the read carries the invalidation).
                     shard.compressor.invalidate(p.warp, p.reg);
                     self.backing.invalidate(p.warp, p.reg);
-                    ctx.mem.l1_drop_line(ctx.sm, self.regmap.line_addr(p.warp, p.reg));
+                    ctx.mem
+                        .l1_drop_line(ctx.sm, self.regmap.line_addr(p.warp, p.reg));
                 }
             } else if shard.compressor.is_compressed(p.warp, p.reg) {
-                let hit = shard.compressor.load(p.warp, p.reg).expect("bit vector said so");
+                let hit = shard
+                    .compressor
+                    .load(p.warp, p.reg)
+                    .expect("bit vector said so");
                 let (source, when) = if hit.line_miss {
                     let addr = self.regmap.compressed_line_addr(p.warp, p.reg);
-                    let a = ctx.mem.access_line(ctx.sm, addr, false, Traffic::Register, ctx.now);
+                    let a = ctx
+                        .mem
+                        .access_line(ctx.sm, addr, false, Traffic::Register, ctx.now);
                     ctx.stats.backing_series.record(ctx.now, 1);
                     let src = if a.serviced_by == Level::L1 {
                         PreloadSource::L1
@@ -246,7 +263,9 @@ impl RegLessBackend {
                 }
             } else {
                 let addr = self.regmap.line_addr(p.warp, p.reg);
-                let a = ctx.mem.access_line(ctx.sm, addr, false, Traffic::Register, ctx.now);
+                let a = ctx
+                    .mem
+                    .access_line(ctx.sm, addr, false, Traffic::Register, ctx.now);
                 ctx.stats.backing_series.record(ctx.now, 1);
                 ctx.stats.record_preload(if a.serviced_by == Level::L1 {
                     PreloadSource::L1
@@ -340,22 +359,27 @@ impl OperandBackend for RegLessBackend {
                         }
                     }
                     WarpPhase::Preloading(_)
-                        if !shard.pending.contains_key(&w) && ctx.now >= self.meta_ready_at[w] => {
-                            let region = shard.cm.activate(w);
-                            self.activated_at[w] = ctx.now;
-                            ctx.stats.regions_activated += 1;
-                            ctx.stats.trace_event(
-                                ctx.now,
-                                TraceEvent::RegionActivate { warp: w, region: region.0 },
-                            );
-                        }
+                        if !shard.pending.contains_key(&w) && ctx.now >= self.meta_ready_at[w] =>
+                    {
+                        let region = shard.cm.activate(w);
+                        self.activated_at[w] = ctx.now;
+                        ctx.stats.regions_activated += 1;
+                        ctx.stats.trace_event(
+                            ctx.now,
+                            TraceEvent::RegionActivate {
+                                warp: w,
+                                region: region.0,
+                            },
+                        );
+                    }
                     _ => {}
                 }
                 if let WarpPhase::Draining(_) = shard.cm.phase(w) {
                     if shard.cm.try_finish_drain(w, self.finishing[w]) {
                         ctx.stats.region_active_cycles +=
                             ctx.now.saturating_sub(self.activated_at[w]);
-                        ctx.stats.trace_event(ctx.now, TraceEvent::RegionRelease { warp: w });
+                        ctx.stats
+                            .trace_event(ctx.now, TraceEvent::RegionRelease { warp: w });
                     }
                 }
             }
@@ -375,7 +399,10 @@ impl OperandBackend for RegLessBackend {
             if let Some((w, region)) = started {
                 ctx.stats.trace_event(
                     ctx.now,
-                    TraceEvent::RegionPreload { warp: w, region: region.0 },
+                    TraceEvent::RegionPreload {
+                        warp: w,
+                        region: region.0,
+                    },
                 );
                 let r = compiled.region(region);
                 let preloads = r.preloads();
@@ -478,7 +505,11 @@ impl OperandBackend for RegLessBackend {
                 shard,
                 &mut self.backing,
                 &self.regmap,
-                EvictedLine { warp: w, reg, value },
+                EvictedLine {
+                    warp: w,
+                    reg,
+                    value,
+                },
                 ctx,
             );
         }
@@ -601,14 +632,20 @@ mod backend_tests {
         let mut backend = RegLessBackend::new(0, &gpu, &cfg, Arc::clone(&compiled));
         let mut mem = MemSystem::new(&gpu);
         let mut stats = SmStats::default();
-        let warps: Vec<regless_sim::WarpState> =
-            (0..gpu.warps_per_sm).map(|_| regless_sim::WarpState::new(compiled.kernel())).collect();
+        let warps: Vec<regless_sim::WarpState> = (0..gpu.warps_per_sm)
+            .map(|_| regless_sim::WarpState::new(compiled.kernel()))
+            .collect();
         let pc = warps[0].pc().unwrap();
         assert!(!backend.warp_eligible(0, pc), "inactive warp cannot issue");
         // Cycle 0: admission; the entry region has no inputs, so within a
         // couple of cycles the warp activates.
         for now in 0..4 {
-            let mut ctx = BackendCtx { sm: 0, now, mem: &mut mem, stats: &mut stats };
+            let mut ctx = BackendCtx {
+                sm: 0,
+                now,
+                mem: &mut mem,
+                stats: &mut stats,
+            };
             backend.begin_cycle_with_warps(&warps, &mut ctx);
         }
         assert!(backend.warp_eligible(0, pc), "warp should be active");
@@ -622,15 +659,29 @@ mod backend_tests {
         let mut backend = RegLessBackend::new(0, &gpu, &cfg, Arc::clone(&compiled));
         let mut mem = MemSystem::new(&gpu);
         let mut stats = SmStats::default();
-        let at = regless_isa::InsnRef { block: regless_isa::BlockId(0), idx: 0 };
+        let at = regless_isa::InsnRef {
+            block: regless_isa::BlockId(0),
+            idx: 0,
+        };
         // Activate warp 0 first so the write lands in an active region.
-        let warps: Vec<regless_sim::WarpState> =
-            (0..gpu.warps_per_sm).map(|_| regless_sim::WarpState::new(compiled.kernel())).collect();
+        let warps: Vec<regless_sim::WarpState> = (0..gpu.warps_per_sm)
+            .map(|_| regless_sim::WarpState::new(compiled.kernel()))
+            .collect();
         for now in 0..4 {
-            let mut ctx = BackendCtx { sm: 0, now, mem: &mut mem, stats: &mut stats };
+            let mut ctx = BackendCtx {
+                sm: 0,
+                now,
+                mem: &mut mem,
+                stats: &mut stats,
+            };
             backend.begin_cycle_with_warps(&warps, &mut ctx);
         }
-        let mut ctx = BackendCtx { sm: 0, now: 5, mem: &mut mem, stats: &mut stats };
+        let mut ctx = BackendCtx {
+            sm: 0,
+            now: 5,
+            mem: &mut mem,
+            stats: &mut stats,
+        };
         backend.on_writeback(0, at, Reg(0), LaneVec::splat(77), &mut ctx);
         assert_eq!(stats.osu_writes, 1);
         // The staged-operand oracle sees the value.

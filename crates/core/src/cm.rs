@@ -8,13 +8,14 @@
 //! exist.
 
 use regless_compiler::{RegionId, NUM_BANKS};
+use std::collections::VecDeque;
 
 /// Order in which drained warps re-enter the activation queue.
 ///
 /// The paper's design is LIFO (a warp stack): the most recently drained
 /// warp activates next, so its outputs are most likely still staged. FIFO
 /// is provided as the `ablation_warp_order` comparison point.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum ActivationOrder {
     /// Warp stack (paper §5.1).
     #[default]
@@ -22,6 +23,8 @@ pub enum ActivationOrder {
     /// Round-robin queue.
     Fifo,
 }
+
+regless_json::impl_json_enum!(ActivationOrder { Lifo, Fifo });
 
 /// Per-warp scheduling phase.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,8 +62,10 @@ pub enum WarpPhase {
 #[derive(Clone, Debug)]
 pub struct CapacityManager {
     phases: Vec<WarpPhase>,
-    /// LIFO stack of inactive warps (`last()` is the top).
-    stack: Vec<usize>,
+    /// Inactive warps, back = top of the stack. A deque so both ends are
+    /// O(1): LIFO re-activation pushes the drained warp on top
+    /// (`push_back`) and FIFO sends it to the bottom (`push_front`).
+    stack: VecDeque<usize>,
     /// Budgeted lines per bank across preloading + active + draining warps.
     committed: [usize; NUM_BANKS],
     /// Reservation of each warp's current region, for release.
@@ -75,7 +80,12 @@ impl CapacityManager {
     /// A CM supervising the given SM-local warp ids. The lowest id starts
     /// on top of the stack.
     pub fn new(warps: &[usize], num_warps_total: usize, lines_per_bank: usize) -> Self {
-        Self::with_order(warps, num_warps_total, lines_per_bank, ActivationOrder::Lifo)
+        Self::with_order(
+            warps,
+            num_warps_total,
+            lines_per_bank,
+            ActivationOrder::Lifo,
+        )
     }
 
     /// As [`CapacityManager::new`], selecting the re-activation order.
@@ -85,9 +95,10 @@ impl CapacityManager {
         lines_per_bank: usize,
         order: ActivationOrder,
     ) -> Self {
-        let mut stack: Vec<usize> = warps.to_vec();
-        stack.sort_unstable();
-        stack.reverse(); // lowest id on top
+        let mut ids: Vec<usize> = warps.to_vec();
+        ids.sort_unstable();
+        ids.reverse(); // lowest id on top
+        let stack: VecDeque<usize> = ids.into();
         CapacityManager {
             phases: vec![WarpPhase::Inactive; num_warps_total],
             stack,
@@ -128,7 +139,9 @@ impl CapacityManager {
         // Scan from the top for the first admissible warp.
         for pos in (0..self.stack.len()).rev() {
             let w = self.stack[pos];
-            let Some((region, usage)) = next(w) else { continue };
+            let Some((region, usage)) = next(w) else {
+                continue;
+            };
             if !self.fits(&usage) {
                 assert!(
                     usage.iter().all(|&u| u <= self.lines_per_bank),
@@ -222,7 +235,9 @@ impl CapacityManager {
     /// reservation. `finished` tells the CM whether the warp exited (it is
     /// then not restacked). Returns whether the drain completed now.
     pub fn try_finish_drain(&mut self, w: usize, finished: bool) -> bool {
-        let WarpPhase::Draining(_) = self.phases[w] else { return false };
+        let WarpPhase::Draining(_) = self.phases[w] else {
+            return false;
+        };
         if self.outstanding[w] > 0 {
             return false;
         }
@@ -236,9 +251,9 @@ impl CapacityManager {
             self.phases[w] = WarpPhase::Inactive;
             match self.order {
                 // Most recently run → top: its outputs are still staged.
-                ActivationOrder::Lifo => self.stack.push(w),
+                ActivationOrder::Lifo => self.stack.push_back(w),
                 // Round-robin: go to the back of the line.
-                ActivationOrder::Fifo => self.stack.insert(0, w),
+                ActivationOrder::Fifo => self.stack.push_front(w),
             }
         }
         true
@@ -249,9 +264,16 @@ impl CapacityManager {
         self.committed[bank]
     }
 
-    /// Warps currently stacked (top last).
-    pub fn stack(&self) -> &[usize] {
-        &self.stack
+    /// Lines of `bank` currently reserved by warp `w` (diagnostics): the
+    /// live remainder of the region reservation made at admission, after
+    /// any partial drain releases.
+    pub fn reserved(&self, w: usize, bank: usize) -> usize {
+        self.reservation[w][bank]
+    }
+
+    /// Snapshot of the warps currently stacked, bottom first (top last).
+    pub fn stack(&self) -> Vec<usize> {
+        self.stack.iter().copied().collect()
     }
 }
 
@@ -304,7 +326,9 @@ mod tests {
     #[test]
     fn full_lifecycle_releases_budget() {
         let mut c = cm();
-        let (w, _) = c.try_start_preload(|_| Some((RegionId(1), usage(4)))).unwrap();
+        let (w, _) = c
+            .try_start_preload(|_| Some((RegionId(1), usage(4))))
+            .unwrap();
         c.activate(w);
         assert_eq!(c.phase(w), WarpPhase::Active(RegionId(1)));
         c.note_issue(w, true);
@@ -314,7 +338,11 @@ mod tests {
         let mut pending = [0; NUM_BANKS];
         pending[0] = 1;
         c.begin_drain(w, pending);
-        assert_eq!(c.committed(0), 1, "partial release keeps only pending lines");
+        assert_eq!(
+            c.committed(0),
+            1,
+            "partial release keeps only pending lines"
+        );
         assert_eq!(c.committed(1), 0);
         assert!(!c.try_finish_drain(w, false), "writeback still pending");
         c.note_writeback(w);
@@ -328,7 +356,9 @@ mod tests {
     #[test]
     fn finished_warp_not_restacked() {
         let mut c = cm();
-        let (w, _) = c.try_start_preload(|_| Some((RegionId(1), usage(1)))).unwrap();
+        let (w, _) = c
+            .try_start_preload(|_| Some((RegionId(1), usage(1))))
+            .unwrap();
         c.activate(w);
         c.begin_drain(w, [0; NUM_BANKS]);
         assert!(c.try_finish_drain(w, true));
@@ -344,14 +374,143 @@ mod tests {
     }
 
     #[test]
+    fn fifo_restacks_at_the_bottom() {
+        let mut c = CapacityManager::with_order(&[0, 2, 4], 6, 8, ActivationOrder::Fifo);
+        let (w, _) = c
+            .try_start_preload(|_| Some((RegionId(0), usage(1))))
+            .unwrap();
+        c.activate(w);
+        c.begin_drain(w, [0; NUM_BANKS]);
+        assert!(c.try_finish_drain(w, false));
+        assert_eq!(c.stack(), &[0, 4, 2], "drained warp goes to the bottom");
+    }
+
+    #[test]
     fn lifo_order_preserves_recency() {
         let mut c = cm();
-        let (w0, _) = c.try_start_preload(|_| Some((RegionId(0), usage(1)))).unwrap();
+        let (w0, _) = c
+            .try_start_preload(|_| Some((RegionId(0), usage(1))))
+            .unwrap();
         c.activate(w0);
         c.begin_drain(w0, [0; NUM_BANKS]);
         c.try_finish_drain(w0, false);
         // w0 drained last → top of stack again.
-        let (again, _) = c.try_start_preload(|_| Some((RegionId(1), usage(1)))).unwrap();
+        let (again, _) = c
+            .try_start_preload(|_| Some((RegionId(1), usage(1))))
+            .unwrap();
         assert_eq!(again, w0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const WARPS: usize = 4;
+    const LINES_PER_BANK: usize = 8;
+
+    /// First warp in a phase matching `pred`, scanning from a rotating
+    /// start so the sequence exercises every warp.
+    fn pick(cm: &CapacityManager, start: usize, pred: impl Fn(WarpPhase) -> bool) -> Option<usize> {
+        (0..WARPS)
+            .map(|i| (start + i) % WARPS)
+            .find(|&w| pred(cm.phase(w)))
+    }
+
+    /// After every operation, the bank budget counters must equal the sum
+    /// of the live per-warp reservations — the accounting identity that
+    /// `begin_drain`'s clamped partial release and `note_drain_release`'s
+    /// underflow guard exist to preserve — and the warp stack must hold
+    /// exactly the inactive warps.
+    fn check(cm: &CapacityManager) {
+        for b in 0..NUM_BANKS {
+            let live: usize = (0..WARPS).map(|w| cm.reserved(w, b)).sum();
+            assert_eq!(
+                cm.committed(b),
+                live,
+                "bank {b}: committed != live reservations"
+            );
+            assert!(cm.committed(b) <= LINES_PER_BANK, "bank {b} over budget");
+        }
+        let mut stacked = cm.stack();
+        stacked.sort_unstable();
+        let inactive: Vec<usize> = (0..WARPS)
+            .filter(|&w| cm.phase(w) == WarpPhase::Inactive)
+            .collect();
+        assert_eq!(
+            stacked, inactive,
+            "stack must hold exactly the inactive warps"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn committed_always_sums_live_reservations(
+            fifo in any::<bool>(),
+            ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..250),
+        ) {
+            let order = if fifo { ActivationOrder::Fifo } else { ActivationOrder::Lifo };
+            let warps: Vec<usize> = (0..WARPS).collect();
+            let mut cm = CapacityManager::with_order(&warps, WARPS, LINES_PER_BANK, order);
+            for (op, p) in ops {
+                let p = p as usize;
+                match op % 7 {
+                    0 => {
+                        // Admission with a per-bank usage pattern that
+                        // varies by bank (including zero-usage banks).
+                        let mut usage = [0usize; NUM_BANKS];
+                        for (b, u) in usage.iter_mut().enumerate() {
+                            *u = (p + b) % 4;
+                        }
+                        let _ = cm.try_start_preload(|w| {
+                            if w % 3 == p % 3 { None } else { Some((RegionId(w as u32), usage)) }
+                        });
+                    }
+                    1 => {
+                        if let Some(w) = pick(&cm, p, |ph| matches!(ph, WarpPhase::Preloading(_))) {
+                            cm.activate(w);
+                        }
+                    }
+                    2 => {
+                        if let Some(w) = pick(&cm, p, |ph| matches!(ph, WarpPhase::Active(_))) {
+                            cm.note_issue(w, p.is_multiple_of(2));
+                        }
+                    }
+                    3 => {
+                        if let Some(w) = pick(&cm, p, |ph| {
+                            matches!(ph, WarpPhase::Active(_) | WarpPhase::Draining(_))
+                        }) {
+                            cm.note_writeback(w);
+                        }
+                    }
+                    4 => {
+                        if let Some(w) = pick(&cm, p, |ph| matches!(ph, WarpPhase::Active(_))) {
+                            // Pending counts may exceed the reservation in
+                            // some banks — begin_drain must clamp, not
+                            // underflow.
+                            let mut pending = [0usize; NUM_BANKS];
+                            for (b, q) in pending.iter_mut().enumerate() {
+                                *q = (p + b) % 3;
+                            }
+                            cm.begin_drain(w, pending);
+                        }
+                    }
+                    5 => {
+                        if let Some(w) = pick(&cm, p, |ph| matches!(ph, WarpPhase::Draining(_))) {
+                            // Also poke banks with no reservation left:
+                            // the release must be a no-op, not underflow.
+                            cm.note_drain_release(w, p % NUM_BANKS);
+                        }
+                    }
+                    _ => {
+                        if let Some(w) = pick(&cm, p, |ph| matches!(ph, WarpPhase::Draining(_))) {
+                            let _ = cm.try_finish_drain(w, p.is_multiple_of(5));
+                        }
+                    }
+                }
+                check(&cm);
+            }
+        }
     }
 }

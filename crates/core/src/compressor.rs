@@ -12,7 +12,7 @@ use regless_isa::{LaneVec, Reg, WARP_WIDTH};
 
 /// Which value patterns the compressor matches — the pattern-set ablation
 /// of DESIGN.md §4. The paper's design is [`PatternSet::Full`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum PatternSet {
     /// Only broadcast constants.
     ConstantOnly,
@@ -22,6 +22,12 @@ pub enum PatternSet {
     #[default]
     Full,
 }
+
+regless_json::impl_json_enum!(PatternSet {
+    ConstantOnly,
+    FullWarpStrides,
+    Full
+});
 
 /// A compressed register representation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -245,7 +251,10 @@ impl Compressor {
         let c = *self.table.get(&(warp, reg))?;
         let line = self.line_of(warp, reg);
         let line_miss = self.touch_line(line);
-        Some(CompressedHit { value: c.decompress(), line_miss })
+        Some(CompressedHit {
+            value: c.decompress(),
+            line_miss,
+        })
     }
 
     /// Drop a register (invalidating read or cache-invalidate annotation).
@@ -319,7 +328,10 @@ mod tests {
     fn store_and_load() {
         let mut c = Compressor::new(4, 8, true);
         let v = LaneVec::stride(0, 1);
-        assert!(matches!(c.store(0, Reg(0), &v), StoreOutcome::Compressed { .. }));
+        assert!(matches!(
+            c.store(0, Reg(0), &v),
+            StoreOutcome::Compressed { .. }
+        ));
         assert!(c.is_compressed(0, Reg(0)));
         let hit = c.load(0, Reg(0)).unwrap();
         assert_eq!(hit.value, v);
@@ -366,7 +378,10 @@ mod tests {
     #[test]
     fn disabled_compressor_rejects_everything() {
         let mut c = Compressor::new(4, 8, false);
-        assert_eq!(c.store(0, Reg(0), &LaneVec::splat(1)), StoreOutcome::Incompressible);
+        assert_eq!(
+            c.store(0, Reg(0), &LaneVec::splat(1)),
+            StoreOutcome::Incompressible
+        );
     }
 
     #[test]

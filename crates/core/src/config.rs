@@ -8,7 +8,7 @@ use regless_sim::GpuConfig;
 /// The paper's chosen design point is 512 OSU entries per SM — 25 % of the
 /// baseline 2048-entry register file — split across the four scheduler
 /// shards into 8-bank OSUs of 16 lines each.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RegLessConfig {
     /// Total OSU registers (128-byte lines) per SM, across all shards.
     pub osu_entries_per_sm: usize,
@@ -40,7 +40,10 @@ impl RegLessConfig {
     /// A design with `entries` OSU registers per SM (the Figure 11–13
     /// capacity sweep uses 128…2048).
     pub fn with_capacity(entries: usize) -> Self {
-        RegLessConfig { osu_entries_per_sm: entries, ..Self::paper_default() }
+        RegLessConfig {
+            osu_entries_per_sm: entries,
+            ..Self::paper_default()
+        }
     }
 
     /// Lines per OSU bank for a given GPU shape.
@@ -83,6 +86,14 @@ impl Default for RegLessConfig {
         Self::paper_default()
     }
 }
+
+regless_json::impl_json_struct!(RegLessConfig {
+    osu_entries_per_sm,
+    compressor_lines_per_shard,
+    compressor_enabled,
+    activation_order,
+    compressor_patterns,
+});
 
 #[cfg(test)]
 mod tests {

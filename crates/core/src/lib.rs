@@ -43,8 +43,7 @@ mod regmem;
 pub use backend::RegLessBackend;
 pub use cm::{ActivationOrder, CapacityManager, WarpPhase};
 pub use compressor::{
-    Compressed, CompressedHit, Compressor, PatternSet, StoreOutcome,
-    REGS_PER_COMPRESSED_LINE,
+    Compressed, CompressedHit, Compressor, PatternSet, StoreOutcome, REGS_PER_COMPRESSED_LINE,
 };
 pub use config::RegLessConfig;
 pub use osu::{runtime_bank, EvictedLine, InstallResult, Osu};
@@ -129,7 +128,10 @@ mod tests {
         let report = run(&k);
         let t = report.total();
         assert_eq!(t.insns, 8 * 5);
-        assert!(t.regions_activated >= 8, "each warp activates at least once");
+        assert!(
+            t.regions_activated >= 8,
+            "each warp activates at least once"
+        );
         assert!(t.meta_insns > 0, "metadata bubbles issued");
         assert!(t.osu_reads > 0 && t.osu_writes > 0);
         assert_eq!(t.rf_reads, 0, "no register file remains");

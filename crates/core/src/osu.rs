@@ -76,7 +76,10 @@ struct Bank {
 
 impl Bank {
     fn new(lines: usize) -> Self {
-        Bank { lines: vec![Line::free(); lines], tags: HashMap::new() }
+        Bank {
+            lines: vec![Line::free(); lines],
+            tags: HashMap::new(),
+        }
     }
 
     fn find_victim(&self) -> Option<(usize, bool)> {
@@ -191,14 +194,26 @@ impl Osu {
             line.value = value;
             line.dirty |= dirty;
             line.state = LineState::Active;
-            return InstallResult { allocated: false, spilled: None, failed: false };
+            return InstallResult {
+                allocated: false,
+                spilled: None,
+                failed: false,
+            };
         }
         let Some((victim, victim_dirty)) = bank.find_victim() else {
-            return InstallResult { allocated: false, spilled: None, failed: true };
+            return InstallResult {
+                allocated: false,
+                spilled: None,
+                failed: true,
+            };
         };
         let spilled = if victim_dirty {
             let v = &bank.lines[victim];
-            Some(EvictedLine { warp: v.warp, reg: v.reg, value: v.value })
+            Some(EvictedLine {
+                warp: v.warp,
+                reg: v.reg,
+                value: v.value,
+            })
         } else {
             None
         };
@@ -215,7 +230,11 @@ impl Osu {
             released_seq: 0,
         };
         bank.tags.insert((warp, reg), victim);
-        InstallResult { allocated: true, spilled, failed: false }
+        InstallResult {
+            allocated: true,
+            spilled,
+            failed: false,
+        }
     }
 
     /// Promote a resident (evictable) line back to active for a preload
@@ -262,11 +281,7 @@ impl Osu {
     /// Release a warp's active lines except those for which `keep` returns
     /// true (lines with writebacks still in flight stay allocated during a
     /// drain). Returns the released registers.
-    pub fn release_warp_except(
-        &mut self,
-        warp: usize,
-        keep: impl Fn(Reg) -> bool,
-    ) -> Vec<Reg> {
+    pub fn release_warp_except(&mut self, warp: usize, keep: impl Fn(Reg) -> bool) -> Vec<Reg> {
         self.release_seq += 1;
         let seq = self.release_seq;
         let mut released = Vec::new();
@@ -327,7 +342,11 @@ mod tests {
         let r = osu.write(8, Reg(0), LaneVec::splat(3)); // bank (8+0)%8 = 0
         assert_eq!(
             r.spilled,
-            Some(EvictedLine { warp: 0, reg: Reg(8), value: LaneVec::splat(2) })
+            Some(EvictedLine {
+                warp: 0,
+                reg: Reg(8),
+                value: LaneVec::splat(2)
+            })
         );
     }
 

@@ -26,7 +26,11 @@ impl RegisterMemoryMap {
     /// the compressed space sits immediately after the uncompressed one.
     pub fn new(base: u64, warps_per_sm: usize, num_regs: usize) -> Self {
         let uncompressed_bytes = (warps_per_sm * num_regs) as u64 * REG_LINE_BYTES;
-        RegisterMemoryMap { base, compressed_base: base + uncompressed_bytes, warps_per_sm }
+        RegisterMemoryMap {
+            base,
+            compressed_base: base + uncompressed_bytes,
+            warps_per_sm,
+        }
     }
 
     /// Default placement used by the simulator.
@@ -43,8 +47,8 @@ impl RegisterMemoryMap {
 
     /// Line address of the compressed line holding a (warp, register).
     pub fn compressed_line_addr(&self, warp: usize, reg: Reg) -> u64 {
-        let idx = (reg.index() * self.warps_per_sm + warp)
-            / crate::compressor::REGS_PER_COMPRESSED_LINE;
+        let idx =
+            (reg.index() * self.warps_per_sm + warp) / crate::compressor::REGS_PER_COMPRESSED_LINE;
         self.compressed_base + idx as u64 * REG_LINE_BYTES
     }
 }
@@ -71,7 +75,10 @@ impl RegisterBacking {
     /// Read a value back; registers never written spill as zero (reads of
     /// never-defined registers).
     pub fn load(&self, warp: usize, reg: Reg) -> LaneVec {
-        self.values.get(&(warp, reg)).copied().unwrap_or_else(LaneVec::zero)
+        self.values
+            .get(&(warp, reg))
+            .copied()
+            .unwrap_or_else(LaneVec::zero)
     }
 
     /// Drop a dead value.

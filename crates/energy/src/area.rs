@@ -115,6 +115,9 @@ mod tests {
             last = p;
         }
         let p512 = regless_nominal_power(512, &gpu, 12.0);
-        assert!(p512 < 0.6 * base, "512-entry power {p512:.1} vs baseline {base:.1}");
+        assert!(
+            p512 < 0.6 * base,
+            "512-entry power {p512:.1} vs baseline {base:.1}"
+        );
     }
 }

@@ -39,7 +39,6 @@ mod area;
 mod model;
 
 pub use area::{
-    baseline_nominal_power, baseline_rf_area, regless_area, regless_nominal_power,
-    AreaBreakdown,
+    baseline_nominal_power, baseline_rf_area, regless_area, regless_nominal_power, AreaBreakdown,
 };
 pub use model::{baseline_rf_share, energy, Design, EnergyBreakdown};

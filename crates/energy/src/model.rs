@@ -73,8 +73,8 @@ pub fn energy(report: &RunReport, design: Design, gpu: &GpuConfig) -> EnergyBrea
             (t.rf_reads + t.rf_writes) as f64 * e_access + leak(RF_BYTES_PER_SM)
         }
         Design::RegLess { osu_entries_per_sm } => {
-            let e_access = sram_access_pj(osu_bank_bytes(osu_entries_per_sm, gpu))
-                + OSU_CROSSBAR_PJ;
+            let e_access =
+                sram_access_pj(osu_bank_bytes(osu_entries_per_sm, gpu)) + OSU_CROSSBAR_PJ;
             (t.osu_reads + t.osu_writes) as f64 * e_access
                 + t.osu_tag_probes as f64 * OSU_TAG_PJ
                 + t.compressor_matches as f64 * COMPRESSOR_MATCH_PJ
@@ -89,8 +89,7 @@ pub fn energy(report: &RunReport, design: Design, gpu: &GpuConfig) -> EnergyBrea
                 + leak(RF_BYTES_PER_SM + 8 * 1024)
         }
         Design::Rfv => {
-            let e_half =
-                (sram_access_pj(RF_BANK_BYTES) + RF_CROSSBAR_PJ) * RFV_ACCESS_SCALE;
+            let e_half = (sram_access_pj(RF_BANK_BYTES) + RF_CROSSBAR_PJ) * RFV_ACCESS_SCALE;
             (t.rf_reads + t.rf_writes) as f64 * e_half
                 + t.rename_lookups as f64 * RENAME_LOOKUP_PJ
                 + leak(RF_BYTES_PER_SM / 2)
@@ -143,8 +142,7 @@ mod tests {
         b.bra(c, body, done);
         b.select(done);
         b.exit();
-        let compiled =
-            Arc::new(compile(&b.finish().unwrap(), &RegionConfig::default()).unwrap());
+        let compiled = Arc::new(compile(&b.finish().unwrap(), &RegionConfig::default()).unwrap());
         run_baseline(GpuConfig::test_small(), compiled).unwrap()
     }
 
@@ -174,7 +172,9 @@ mod tests {
         let gpu = GpuConfig::test_small();
         for d in [
             Design::Baseline,
-            Design::RegLess { osu_entries_per_sm: 512 },
+            Design::RegLess {
+                osu_entries_per_sm: 512,
+            },
             Design::Rfh,
             Design::Rfv,
             Design::NoRf,
@@ -190,8 +190,20 @@ mod tests {
     fn smaller_osu_means_cheaper_accesses() {
         let r = report();
         let gpu = GpuConfig::test_small();
-        let small = energy(&r, Design::RegLess { osu_entries_per_sm: 128 }, &gpu);
-        let large = energy(&r, Design::RegLess { osu_entries_per_sm: 2048 }, &gpu);
+        let small = energy(
+            &r,
+            Design::RegLess {
+                osu_entries_per_sm: 128,
+            },
+            &gpu,
+        );
+        let large = energy(
+            &r,
+            Design::RegLess {
+                osu_entries_per_sm: 2048,
+            },
+            &gpu,
+        );
         assert!(small.register_structures_pj < large.register_structures_pj);
     }
 }
@@ -209,13 +221,23 @@ mod proptests {
         l2: u64,
         dram: u64,
     ) -> RunReport {
-        let stats = SmStats { cycles, rf_reads, rf_writes, ..SmStats::default() };
+        let stats = SmStats {
+            cycles,
+            rf_reads,
+            rf_writes,
+            ..SmStats::default()
+        };
         RunReport {
             cycles,
             sm_stats: vec![stats],
-            mem: MemStats { l2_accesses: l2, dram_accesses: dram, ..MemStats::default() },
+            mem: MemStats {
+                l2_accesses: l2,
+                dram_accesses: dram,
+                ..MemStats::default()
+            },
             final_regs: Vec::new(),
             warp_insns: Vec::new(),
+            wall_seconds: 0.0,
         }
     }
 

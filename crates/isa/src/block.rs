@@ -45,9 +45,15 @@ impl BasicBlock {
         let last = insns.len() - 1;
         for (i, insn) in insns.iter().enumerate() {
             if i == last {
-                assert!(insn.is_terminator(), "{id}: block must end with a terminator");
+                assert!(
+                    insn.is_terminator(),
+                    "{id}: block must end with a terminator"
+                );
             } else {
-                assert!(!insn.is_terminator(), "{id}: terminator before end of block");
+                assert!(
+                    !insn.is_terminator(),
+                    "{id}: terminator before end of block"
+                );
             }
         }
         BasicBlock { id, insns }
@@ -112,7 +118,10 @@ mod tests {
     #[test]
     fn branch_successors_ordered() {
         let bra = Instruction::new(
-            Opcode::Bra { taken: BlockId(2), not_taken: BlockId(1) },
+            Opcode::Bra {
+                taken: BlockId(2),
+                not_taken: BlockId(1),
+            },
             None,
             vec![Reg(0)],
         );

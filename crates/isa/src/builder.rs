@@ -39,13 +39,21 @@ pub struct KernelBuilder {
 impl KernelBuilder {
     /// Start a kernel with an empty, selected entry block.
     pub fn new(name: impl Into<String>) -> Self {
-        KernelBuilder { name: name.into(), blocks: vec![Vec::new()], current: 0, next_reg: 0 }
+        KernelBuilder {
+            name: name.into(),
+            blocks: vec![Vec::new()],
+            current: 0,
+            next_reg: 0,
+        }
     }
 
     /// Allocate a fresh virtual register.
     pub fn fresh(&mut self) -> Reg {
         let r = Reg(self.next_reg);
-        self.next_reg = self.next_reg.checked_add(1).expect("register space exhausted");
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("register space exhausted");
         r
     }
 
@@ -62,10 +70,7 @@ impl KernelBuilder {
     /// Panics if `block` does not exist or is already terminated.
     pub fn select(&mut self, block: BlockId) {
         assert!(block.index() < self.blocks.len(), "{block} does not exist");
-        assert!(
-            !self.is_terminated(block),
-            "{block} is already terminated"
-        );
+        assert!(!self.is_terminated(block), "{block} is already terminated");
         self.current = block.index();
     }
 
@@ -221,7 +226,11 @@ impl KernelBuilder {
 
     /// Terminate the current block with a conditional branch on `cond`.
     pub fn bra(&mut self, cond: Reg, taken: BlockId, not_taken: BlockId) {
-        self.push(Instruction::new(Opcode::Bra { taken, not_taken }, None, vec![cond]));
+        self.push(Instruction::new(
+            Opcode::Bra { taken, not_taken },
+            None,
+            vec![cond],
+        ));
     }
 
     /// Terminate the current block with an unconditional jump.

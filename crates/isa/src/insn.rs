@@ -56,7 +56,12 @@ impl Instruction {
             "{:?}: destination presence mismatch",
             self.op
         );
-        assert_eq!(self.srcs.len(), want_srcs, "{:?}: source count mismatch", self.op);
+        assert_eq!(
+            self.srcs.len(),
+            want_srcs,
+            "{:?}: source count mismatch",
+            self.op
+        );
     }
 
     /// The opcode.
@@ -133,9 +138,7 @@ impl Instruction {
             Sfu => srcs[0].map(|a| (a ^ 0x9e37_79b9).wrapping_mul(0x85eb_ca6b).rotate_left(13)),
             MovImm(imm) => LaneVec::splat(imm),
             Mov => srcs[0],
-            ReadSpecial(Special::ThreadIdx) => {
-                LaneVec::stride((warp_index * WARP_WIDTH) as u32, 1)
-            }
+            ReadSpecial(Special::ThreadIdx) => LaneVec::stride((warp_index * WARP_WIDTH) as u32, 1),
             ReadSpecial(Special::WarpIdx) => LaneVec::splat(warp_index as u32),
             ReadSpecial(Special::LaneIdx) => LaneVec::stride(0, 1),
             SetLt => srcs[0].zip_map(&srcs[1], |a, b| u32::from(a < b)),
@@ -186,7 +189,11 @@ mod tests {
 
     #[test]
     fn evaluate_thread_idx_depends_on_warp() {
-        let insn = Instruction::new(Opcode::ReadSpecial(Special::ThreadIdx), Some(Reg(0)), vec![]);
+        let insn = Instruction::new(
+            Opcode::ReadSpecial(Special::ThreadIdx),
+            Some(Reg(0)),
+            vec![],
+        );
         let w0 = insn.evaluate(&[], 0).unwrap();
         let w2 = insn.evaluate(&[], 2).unwrap();
         assert_eq!(w0.lane(0), 0);

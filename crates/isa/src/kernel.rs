@@ -111,7 +111,10 @@ impl Kernel {
         for block in &blocks {
             for target in block.successors() {
                 if target.index() >= n {
-                    return Err(KernelError::BadBlockTarget { from: block.id(), target });
+                    return Err(KernelError::BadBlockTarget {
+                        from: block.id(),
+                        target,
+                    });
                 }
             }
             for (idx, insn) in block.insns().iter().enumerate() {
@@ -122,7 +125,10 @@ impl Kernel {
                 for r in regs {
                     if r.0 >= num_regs {
                         return Err(KernelError::BadRegister {
-                            at: InsnRef { block: block.id(), idx },
+                            at: InsnRef {
+                                block: block.id(),
+                                idx,
+                            },
                             reg: r.0,
                         });
                     }
@@ -132,7 +138,11 @@ impl Kernel {
         if !has_exit {
             return Err(KernelError::NoExit);
         }
-        Ok(Kernel { name: name.into(), blocks, num_regs })
+        Ok(Kernel {
+            name: name.into(),
+            blocks,
+            num_regs,
+        })
     }
 
     /// The kernel's name.
@@ -237,7 +247,14 @@ mod tests {
             BlockId(0),
             vec![
                 insn(Opcode::MovImm(1), Some(0), &[]),
-                insn(Opcode::Bra { taken: BlockId(1), not_taken: BlockId(2) }, None, &[0]),
+                insn(
+                    Opcode::Bra {
+                        taken: BlockId(1),
+                        not_taken: BlockId(2),
+                    },
+                    None,
+                    &[0],
+                ),
             ],
         );
         let b1 = BasicBlock::new(
@@ -265,7 +282,10 @@ mod tests {
         assert_eq!(k.num_insns(), 7);
         assert_eq!(k.entry(), BlockId(0));
         assert_eq!(k.block(BlockId(1)).len(), 2);
-        let at = InsnRef { block: BlockId(0), idx: 0 };
+        let at = InsnRef {
+            block: BlockId(0),
+            idx: 0,
+        };
         assert_eq!(k.insn(at).dst(), Some(Reg(0)));
     }
 
@@ -301,7 +321,10 @@ mod tests {
     fn out_of_range_register_rejected() {
         let b0 = BasicBlock::new(
             BlockId(0),
-            vec![insn(Opcode::MovImm(0), Some(5), &[]), insn(Opcode::Exit, None, &[])],
+            vec![
+                insn(Opcode::MovImm(0), Some(5), &[]),
+                insn(Opcode::Exit, None, &[]),
+            ],
         );
         let err = Kernel::new("bad", vec![b0], 2).unwrap_err();
         assert!(matches!(err, KernelError::BadRegister { reg: 5, .. }));
@@ -323,8 +346,17 @@ mod tests {
             KernelError::Empty,
             KernelError::NoExit,
             KernelError::NonDenseIds,
-            KernelError::BadBlockTarget { from: BlockId(0), target: BlockId(1) },
-            KernelError::BadRegister { at: InsnRef { block: BlockId(0), idx: 0 }, reg: 3 },
+            KernelError::BadBlockTarget {
+                from: BlockId(0),
+                target: BlockId(1),
+            },
+            KernelError::BadRegister {
+                at: InsnRef {
+                    block: BlockId(0),
+                    idx: 0,
+                },
+                reg: 3,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -170,7 +170,10 @@ mod tests {
 
     #[test]
     fn terminators_and_successors() {
-        let bra = Opcode::Bra { taken: BlockId(1), not_taken: BlockId(2) };
+        let bra = Opcode::Bra {
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        };
         assert!(bra.is_terminator());
         assert_eq!(bra.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Opcode::Exit.is_terminator());

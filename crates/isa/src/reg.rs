@@ -134,7 +134,10 @@ impl LaneMask {
     /// bit is set go to the first (taken) mask, the rest to the second.
     #[inline]
     pub fn split(self, taken_bits: u32) -> (LaneMask, LaneMask) {
-        (LaneMask(self.0 & taken_bits), LaneMask(self.0 & !taken_bits))
+        (
+            LaneMask(self.0 & taken_bits),
+            LaneMask(self.0 & !taken_bits),
+        )
     }
 
     /// Union of two masks.

@@ -42,7 +42,10 @@ impl std::error::Error for ParseError {}
 
 impl From<KernelError> for ParseError {
     fn from(e: KernelError) -> Self {
-        ParseError { line: 0, message: format!("invalid kernel: {e}") }
+        ParseError {
+            line: 0,
+            message: format!("invalid kernel: {e}"),
+        }
     }
 }
 
@@ -103,8 +106,11 @@ fn format_insn(insn: &Instruction) -> String {
                 Opcode::SetEq => "seteq",
                 _ => unreachable!("handled above"),
             };
-            let args =
-                srcs.iter().map(Reg::to_string).collect::<Vec<_>>().join(", ");
+            let args = srcs
+                .iter()
+                .map(Reg::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             format!("{dst}{name} {args}")
         }
     }
@@ -139,7 +145,10 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
             if id.index() != blocks.len() {
                 return Err(err(
                     lineno,
-                    format!("blocks must be declared in order; expected bb{}", blocks.len()),
+                    format!(
+                        "blocks must be declared in order; expected bb{}",
+                        blocks.len()
+                    ),
                 ));
             }
             blocks.push((id, Vec::new()));
@@ -169,7 +178,10 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_block_id(s: &str, line: usize) -> Result<BlockId, ParseError> {
@@ -224,8 +236,12 @@ fn parse_insn(line: &str, lineno: usize) -> Result<Instruction, ParseError> {
         rest.split(',').map(str::trim).collect()
     };
     let nargs = args.len();
-    let wrong_args =
-        |want: usize| err(lineno, format!("{mnemonic} expects {want} operands, got {nargs}"));
+    let wrong_args = |want: usize| {
+        err(
+            lineno,
+            format!("{mnemonic} expects {want} operands, got {nargs}"),
+        )
+    };
     let need_dst = || err(lineno, format!("{mnemonic} needs a destination"));
 
     let two = |op: Opcode| -> Result<Instruction, ParseError> {
@@ -245,7 +261,9 @@ fn parse_insn(line: &str, lineno: usize) -> Result<Instruction, ParseError> {
         Ok(Instruction::new(
             op,
             Some(dst.ok_or_else(need_dst)?),
-            args.iter().map(|a| parse_reg(a, lineno)).collect::<Result<_, _>>()?,
+            args.iter()
+                .map(|a| parse_reg(a, lineno))
+                .collect::<Result<_, _>>()?,
         ))
     };
 
@@ -268,7 +286,11 @@ fn parse_insn(line: &str, lineno: usize) -> Result<Instruction, ParseError> {
             if args.len() != 1 {
                 return Err(wrong_args(1));
             }
-            let op = if mnemonic == "sfu" { Opcode::Sfu } else { Opcode::Mov };
+            let op = if mnemonic == "sfu" {
+                Opcode::Sfu
+            } else {
+                Opcode::Mov
+            };
             Ok(Instruction::new(
                 op,
                 Some(dst.ok_or_else(need_dst)?),
@@ -305,7 +327,11 @@ fn parse_insn(line: &str, lineno: usize) -> Result<Instruction, ParseError> {
             if args.len() != 1 {
                 return Err(wrong_args(1));
             }
-            let op = if mnemonic == "ld.global" { Opcode::LdGlobal } else { Opcode::LdShared };
+            let op = if mnemonic == "ld.global" {
+                Opcode::LdGlobal
+            } else {
+                Opcode::LdShared
+            };
             Ok(Instruction::new(
                 op,
                 Some(dst.ok_or_else(need_dst)?),
@@ -316,7 +342,11 @@ fn parse_insn(line: &str, lineno: usize) -> Result<Instruction, ParseError> {
             if args.len() != 2 {
                 return Err(wrong_args(2));
             }
-            let op = if mnemonic == "st.global" { Opcode::StGlobal } else { Opcode::StShared };
+            let op = if mnemonic == "st.global" {
+                Opcode::StGlobal
+            } else {
+                Opcode::StShared
+            };
             Ok(Instruction::new(
                 op,
                 None,
@@ -341,7 +371,9 @@ fn parse_insn(line: &str, lineno: usize) -> Result<Instruction, ParseError> {
                 return Err(wrong_args(1));
             }
             Ok(Instruction::new(
-                Opcode::Jmp { target: parse_block_id(args[0], lineno)? },
+                Opcode::Jmp {
+                    target: parse_block_id(args[0], lineno)?,
+                },
                 None,
                 vec![],
             ))
@@ -457,8 +489,8 @@ bb0:
 
     #[test]
     fn immediates_parse_dec_and_hex() {
-        let k = parse_kernel("kernel x\nbb0:\n  r0 = movi 255\n  r1 = movi 0xff\n  exit\n")
-            .unwrap();
+        let k =
+            parse_kernel("kernel x\nbb0:\n  r0 = movi 255\n  r1 = movi 0xff\n  exit\n").unwrap();
         let b0 = k.block(BlockId(0));
         assert_eq!(b0.insns()[0].op(), Opcode::MovImm(255));
         assert_eq!(b0.insns()[1].op(), Opcode::MovImm(255));

@@ -111,7 +111,13 @@ impl fmt::Debug for LaneVec {
         if self.is_uniform() {
             write!(f, "LaneVec(splat {})", self.0[0])
         } else {
-            write!(f, "LaneVec({}, {}, …, {})", self.0[0], self.0[1], self.0[WARP_WIDTH - 1])
+            write!(
+                f,
+                "LaneVec({}, {}, …, {})",
+                self.0[0],
+                self.0[1],
+                self.0[WARP_WIDTH - 1]
+            )
         }
     }
 }

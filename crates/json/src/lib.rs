@@ -1,0 +1,859 @@
+//! Minimal JSON support for the workspace.
+//!
+//! The build environment has no network access, so `serde`/`serde_json`
+//! are unavailable; this crate provides the small surface the workspace
+//! needs instead: a JSON [`Json`] value model, a strict parser and a
+//! writer, [`ToJson`]/[`FromJson`] conversion traits, and declarative
+//! macros ([`impl_json_struct!`], [`impl_json_enum!`]) that generate
+//! field-by-field conversions for plain structs and C-like enums.
+//!
+//! It is used for two things:
+//!
+//! - round-tripping configuration structs (`GpuConfig`, `RegLessConfig`,
+//!   `RegionConfig`, …) through JSON, and
+//! - persisting simulation reports in the experiment harness's
+//!   `results/cache/` sweep cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Object keys keep their insertion order (serialization is deterministic);
+/// lookups are linear, which is fine for the small objects used here.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (also used for unsigned values up to `i64::MAX`).
+    Int(i64),
+    /// An unsigned integer above `i64::MAX`.
+    Uint(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced by parsing or by [`FromJson`] conversions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    /// A new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Look up a field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an object or lacks the field.
+    pub fn field(&self, name: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field `{name}`"))),
+            other => Err(JsonError::new(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Like [`Json::field`] but returns `None` for a missing field (still
+    /// failing on non-objects). Lets readers tolerate older cache entries.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an object.
+    pub fn field_opt(&self, name: &str) -> Result<Option<&Json>, JsonError> {
+        match self {
+            Json::Obj(pairs) => Ok(pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)),
+            other => Err(JsonError::new(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value's type name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::Uint(_) => "integer",
+            Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Serialize without whitespace.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let newline = |out: &mut String, depth: usize| {
+            if let Some(n) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(n * depth));
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Uint(u) => out.push_str(&u.to_string()),
+            Json::Float(x) => out.push_str(&format_f64(*x)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (must consume all non-whitespace input).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+}
+
+/// `f64` formatting that always round-trips and never loses the fact that
+/// the value is a float (integral floats get a `.0`).
+fn format_f64(x: f64) -> String {
+    if x.is_nan() || x.is_infinite() {
+        // JSON has no NaN/Inf; encode as null like serde_json's lossy mode
+        // would reject — our writers never produce these, but be safe.
+        return "null".to_string();
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(JsonError::new(format!(
+                "unexpected `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(JsonError::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(JsonError::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| JsonError::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our writers;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(JsonError::new(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                        .ok_or_else(|| JsonError::new("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits are utf-8");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::Uint(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstruct a value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value has the wrong shape.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serialize any [`ToJson`] value without whitespace (mirrors
+/// `serde_json::to_string`).
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_compact()
+}
+
+/// Serialize any [`ToJson`] value with indentation (mirrors
+/// `serde_json::to_string_pretty`).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+/// Parse and convert in one step (mirrors `serde_json::from_str`).
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! int_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            #[allow(clippy::cast_lossless, irrefutable_let_patterns)]
+            fn to_json(&self) -> Json {
+                let v = *self;
+                // Irrefutable for the narrow types; u64/usize values above
+                // `i64::MAX` keep full precision via the Uint arm.
+                if let Ok(i) = i64::try_from(v) {
+                    Json::Int(i)
+                } else {
+                    Json::Uint(v as u64)
+                }
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                match v {
+                    Json::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| JsonError::new(format!("{} out of range for {}", i, stringify!($t)))),
+                    Json::Uint(u) => <$t>::try_from(*u)
+                        .map_err(|_| JsonError::new(format!("{} out of range for {}", u, stringify!($t)))),
+                    other => Err(JsonError::new(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+int_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    #[allow(clippy::cast_precision_loss)]
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Float(x) => Ok(*x),
+            Json::Int(i) => Ok(*i as f64),
+            Json::Uint(u) => Ok(*u as f64),
+            other => Err(JsonError::new(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(JsonError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson + Default + Copy, const N: usize> FromJson for [T; N] {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items: Vec<T> = Vec::from_json(v)?;
+        if items.len() != N {
+            return Err(JsonError::new(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            other => Err(JsonError::new(format!(
+                "expected pair, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Generate [`ToJson`]/[`FromJson`] for a struct with named public fields,
+/// serialized as an object keyed by field name (serde's default layout).
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// struct Point { x: i64, y: i64 }
+/// regless_json::impl_json_struct!(Point { x, y });
+///
+/// let p = Point { x: 3, y: -1 };
+/// let text = regless_json::to_string(&p);
+/// assert_eq!(text, r#"{"x":3,"y":-1}"#);
+/// assert_eq!(regless_json::from_str::<Point>(&text).unwrap(), p);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $name {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok($name {
+                    $($field: $crate::FromJson::from_json(v.field(stringify!($field))?)?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Generate [`ToJson`]/[`FromJson`] for a C-like enum, serialized as the
+/// variant name string (serde's default layout for unit variants).
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// enum Mode { Fast, Slow }
+/// regless_json::impl_json_enum!(Mode { Fast, Slow });
+///
+/// assert_eq!(regless_json::to_string(&Mode::Fast), r#""Fast""#);
+/// assert_eq!(regless_json::from_str::<Mode>(r#""Slow""#).unwrap(), Mode::Slow);
+/// ```
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($name:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $($name::$variant => $crate::Json::Str(stringify!($variant).to_string()),)+
+                }
+            }
+        }
+        impl $crate::FromJson for $name {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                match v {
+                    $($crate::Json::Str(s) if s == stringify!($variant) => Ok($name::$variant),)+
+                    other => Err($crate::JsonError::new(format!(
+                        "unknown {} variant: {:?}", stringify!($name), other
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Int(-42),
+            Json::Uint(u64::MAX),
+        ] {
+            let text = v.to_string_compact();
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+        let f = Json::Float(1.5e-3);
+        assert_eq!(Json::parse(&f.to_string_compact()).unwrap(), f);
+        // Integral floats keep their floatness through a round trip.
+        assert_eq!(Json::Float(2.0).to_string_compact(), "2.0");
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = Json::Str("a \"quote\"\nnewline\ttab \\ slash ünïcøde".to_string());
+        assert_eq!(Json::parse(&s.to_string_compact()).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_values_round_trip() {
+        let v = Json::Obj(vec![
+            ("xs".into(), Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            (
+                "nested".into(),
+                Json::Obj(vec![("ok".into(), Json::Bool(true))]),
+            ),
+            ("none".into(), Json::Null),
+        ]);
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "nul", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn struct_macro_round_trips() {
+        #[derive(PartialEq, Debug)]
+        struct Demo {
+            count: usize,
+            scale: f64,
+            label: String,
+            flags: Vec<bool>,
+        }
+        impl_json_struct!(Demo {
+            count,
+            scale,
+            label,
+            flags
+        });
+
+        let d = Demo {
+            count: 7,
+            scale: 0.25,
+            label: "x".into(),
+            flags: vec![true, false],
+        };
+        let text = to_string(&d);
+        assert_eq!(from_str::<Demo>(&text).unwrap(), d);
+        // Missing fields are reported by name.
+        let err = from_str::<Demo>(r#"{"count":7}"#).unwrap_err();
+        assert!(err.message.contains("scale"), "{err}");
+    }
+
+    #[test]
+    fn enum_macro_round_trips() {
+        #[derive(PartialEq, Debug)]
+        enum Mode {
+            Fast,
+            Slow,
+        }
+        impl_json_enum!(Mode { Fast, Slow });
+        for m in [Mode::Fast, Mode::Slow] {
+            let text = to_string(&m);
+            assert_eq!(from_str::<Mode>(&text).unwrap(), m);
+        }
+        assert!(from_str::<Mode>(r#""Medium""#).is_err());
+    }
+
+    #[test]
+    fn u64_precision_is_preserved() {
+        let big = u64::MAX - 3;
+        let text = to_string(&big);
+        assert_eq!(from_str::<u64>(&text).unwrap(), big);
+    }
+}

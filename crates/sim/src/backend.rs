@@ -86,12 +86,7 @@ pub trait OperandBackend {
     /// calls this for every instruction; backends that hold value copies
     /// (RegLess's OSU) compare and count mismatches — a staging-path value
     /// bug is unacceptable, not just a performance artifact.
-    fn check_staged_operands(
-        &self,
-        w: usize,
-        operands: &[(Reg, LaneVec)],
-        stats: &mut SmStats,
-    ) {
+    fn check_staged_operands(&self, w: usize, operands: &[(Reg, LaneVec)], stats: &mut SmStats) {
         let _ = (w, operands, stats);
     }
 
@@ -237,16 +232,29 @@ mod tests {
         // 64 entries, 16 regs/warp -> at most 4 resident warps of 8.
         let mut b = OccupancyLimitedRf::new(64, 16, 8);
         assert_eq!(b.max_resident(), 4);
-        let at = InsnRef { block: regless_isa::BlockId(0), idx: 0 };
+        let at = InsnRef {
+            block: regless_isa::BlockId(0),
+            idx: 0,
+        };
         {
-            let mut ctx = BackendCtx { sm: 0, now: 0, mem: &mut mem, stats: &mut stats };
+            let mut ctx = BackendCtx {
+                sm: 0,
+                now: 0,
+                mem: &mut mem,
+                stats: &mut stats,
+            };
             b.begin_cycle(&mut ctx);
         }
         let eligible = (0..8).filter(|&w| b.warp_eligible(w, at)).count();
         assert_eq!(eligible, 4);
         // Finishing a warp admits the next one.
         {
-            let mut ctx = BackendCtx { sm: 0, now: 1, mem: &mut mem, stats: &mut stats };
+            let mut ctx = BackendCtx {
+                sm: 0,
+                now: 1,
+                mem: &mut mem,
+                stats: &mut stats,
+            };
             b.on_warp_finish(0, &mut ctx);
             b.begin_cycle(&mut ctx);
         }
@@ -261,9 +269,17 @@ mod tests {
         let mut stats = SmStats::default();
         let mut b = BaselineRf::new();
         let insn = Instruction::new(Opcode::IAdd, Some(Reg(2)), vec![Reg(0), Reg(1)]);
-        let at = InsnRef { block: regless_isa::BlockId(0), idx: 0 };
+        let at = InsnRef {
+            block: regless_isa::BlockId(0),
+            idx: 0,
+        };
         {
-            let mut ctx = BackendCtx { sm: 0, now: 0, mem: &mut mem, stats: &mut stats };
+            let mut ctx = BackendCtx {
+                sm: 0,
+                now: 0,
+                mem: &mut mem,
+                stats: &mut stats,
+            };
             assert!(b.warp_eligible(0, at));
             assert!(!b.take_bubble(0, &mut ctx));
             let extra = b.on_issue(0, at, &insn, &mut ctx);

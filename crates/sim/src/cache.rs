@@ -13,7 +13,12 @@ struct Line {
 
 impl Line {
     fn empty() -> Self {
-        Line { tag: 0, valid: false, dirty: false, last_used: 0 }
+        Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            last_used: 0,
+        }
     }
 }
 
@@ -59,7 +64,10 @@ impl Cache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.line_bytes as u64;
-        ((line as usize) % self.sets.len(), line / self.sets.len() as u64)
+        (
+            (line as usize) % self.sets.len(),
+            line / self.sets.len() as u64,
+        )
     }
 
     /// Probe without modifying state.
@@ -78,7 +86,11 @@ impl Cache {
         if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_used = tick;
             line.dirty |= write;
-            return AccessResult { hit: true, evicted_dirty: false, evicted_addr: None };
+            return AccessResult {
+                hit: true,
+                evicted_dirty: false,
+                evicted_addr: None,
+            };
         }
         let num_sets = self.sets.len() as u64;
         let lines = &mut self.sets[set];
@@ -87,11 +99,19 @@ impl Cache {
             .min_by_key(|l| if l.valid { l.last_used } else { 0 })
             .expect("associativity > 0");
         let evicted_dirty = victim.valid && victim.dirty;
-        let evicted_addr = evicted_dirty.then(|| {
-            (victim.tag * num_sets + set as u64) * self.line_bytes as u64
-        });
-        *victim = Line { tag, valid: true, dirty: write, last_used: tick };
-        AccessResult { hit: false, evicted_dirty, evicted_addr }
+        let evicted_addr =
+            evicted_dirty.then(|| (victim.tag * num_sets + set as u64) * self.line_bytes as u64);
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            last_used: tick,
+        };
+        AccessResult {
+            hit: false,
+            evicted_dirty,
+            evicted_addr,
+        }
     }
 
     /// Install `addr` as a dirty line without fetching the old contents
@@ -129,7 +149,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 128B = 1 KB
-        Cache::new(&CacheConfig { bytes: 1024, assoc: 2, line_bytes: 128, hit_latency: 1 })
+        Cache::new(&CacheConfig {
+            bytes: 1024,
+            assoc: 2,
+            line_bytes: 128,
+            hit_latency: 1,
+        })
     }
 
     #[test]

@@ -4,7 +4,7 @@
 pub type Cycle = u64;
 
 /// Parameters of one cache level.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub bytes: usize,
@@ -24,7 +24,7 @@ impl CacheConfig {
 }
 
 /// Warp-scheduler selection.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SchedulerKind {
     /// Greedy-then-oldest, the baseline policy (and the one RegLess keeps).
     Gto,
@@ -40,7 +40,7 @@ pub enum SchedulerKind {
 }
 
 /// Per-opcode-class issue-to-writeback latencies.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LatencyConfig {
     /// Integer ALU dependent latency.
     pub int_alu: Cycle,
@@ -54,7 +54,12 @@ pub struct LatencyConfig {
 
 impl Default for LatencyConfig {
     fn default() -> Self {
-        LatencyConfig { int_alu: 6, fp_alu: 6, sfu: 16, shared_mem: 24 }
+        LatencyConfig {
+            int_alu: 6,
+            fp_alu: 6,
+            sfu: 16,
+            shared_mem: 24,
+        }
     }
 }
 
@@ -62,7 +67,7 @@ impl Default for LatencyConfig {
 ///
 /// [`GpuConfig::gtx980`] reproduces the paper's Table 1; smaller
 /// configurations are provided for tests and quick experiments.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors.
     pub num_sms: usize,
@@ -119,7 +124,12 @@ impl GpuConfig {
             issue_slots_per_scheduler: 1,
             rf_bytes_per_sm: 256 * 1024,
             scheduler: SchedulerKind::Gto,
-            l1: CacheConfig { bytes: 48 * 1024, assoc: 6, line_bytes: 128, hit_latency: 28 },
+            l1: CacheConfig {
+                bytes: 48 * 1024,
+                assoc: 6,
+                line_bytes: 128,
+                hit_latency: 28,
+            },
             l1_bypass_data: true,
             l1_mshrs: 32,
             l2: CacheConfig {
@@ -143,7 +153,10 @@ impl GpuConfig {
     /// the wall-clock cost. The L2/DRAM ports are scaled down with the SM
     /// count so per-SM bandwidth pressure matches the full machine.
     pub fn gtx980_single_sm() -> Self {
-        GpuConfig { num_sms: 1, ..Self::gtx980() }
+        GpuConfig {
+            num_sms: 1,
+            ..Self::gtx980()
+        }
     }
 
     /// Tiny configuration for unit tests: one SM, 8 warps, 2 schedulers.
@@ -197,6 +210,79 @@ impl Default for GpuConfig {
     }
 }
 
+regless_json::impl_json_struct!(CacheConfig {
+    bytes,
+    assoc,
+    line_bytes,
+    hit_latency
+});
+regless_json::impl_json_struct!(LatencyConfig {
+    int_alu,
+    fp_alu,
+    sfu,
+    shared_mem
+});
+regless_json::impl_json_struct!(GpuConfig {
+    num_sms,
+    warps_per_sm,
+    warps_per_block,
+    schedulers_per_sm,
+    issue_slots_per_scheduler,
+    rf_bytes_per_sm,
+    scheduler,
+    l1,
+    l1_bypass_data,
+    l1_mshrs,
+    l2,
+    l2_partitions,
+    l2_ports,
+    dram_latency,
+    dram_ports,
+    latency,
+    max_cycles,
+});
+
+// SchedulerKind mixes unit and struct variants, so its JSON layout is
+// written out by hand (mirroring serde's externally-tagged default:
+// `"Gto"` / `{"TwoLevel":{"active_per_scheduler":4}}`).
+impl regless_json::ToJson for SchedulerKind {
+    fn to_json(&self) -> regless_json::Json {
+        use regless_json::Json;
+        match *self {
+            SchedulerKind::Gto => Json::Str("Gto".into()),
+            SchedulerKind::Lrr => Json::Str("Lrr".into()),
+            SchedulerKind::TwoLevel {
+                active_per_scheduler,
+            } => Json::Obj(vec![(
+                "TwoLevel".into(),
+                Json::Obj(vec![(
+                    "active_per_scheduler".into(),
+                    regless_json::ToJson::to_json(&active_per_scheduler),
+                )]),
+            )]),
+        }
+    }
+}
+
+impl regless_json::FromJson for SchedulerKind {
+    fn from_json(v: &regless_json::Json) -> Result<Self, regless_json::JsonError> {
+        use regless_json::{Json, JsonError};
+        match v {
+            Json::Str(s) if s == "Gto" => Ok(SchedulerKind::Gto),
+            Json::Str(s) if s == "Lrr" => Ok(SchedulerKind::Lrr),
+            Json::Obj(_) => {
+                let inner = v.field("TwoLevel")?;
+                Ok(SchedulerKind::TwoLevel {
+                    active_per_scheduler: regless_json::FromJson::from_json(
+                        inner.field("active_per_scheduler")?,
+                    )?,
+                })
+            }
+            other => Err(JsonError::new(format!("unknown SchedulerKind: {other:?}"))),
+        }
+    }
+}
+
 /// Rows of the paper's Table 1, for the `table1_config` harness.
 pub fn table1_rows(config: &GpuConfig) -> Vec<(String, String)> {
     vec![
@@ -212,7 +298,9 @@ pub fn table1_rows(config: &GpuConfig) -> Vec<(String, String)> {
             match config.scheduler {
                 SchedulerKind::Gto => "GTO".into(),
                 SchedulerKind::Lrr => "LRR".into(),
-                SchedulerKind::TwoLevel { active_per_scheduler } => {
+                SchedulerKind::TwoLevel {
+                    active_per_scheduler,
+                } => {
                     format!("2-level ({active_per_scheduler} active/scheduler)")
                 }
             },
@@ -223,7 +311,11 @@ pub fn table1_rows(config: &GpuConfig) -> Vec<(String, String)> {
                 "{}KB, {}MSHRs, data accesses {}",
                 config.l1.bytes / 1024,
                 config.l1_mshrs,
-                if config.l1_bypass_data { "bypassed" } else { "cached" }
+                if config.l1_bypass_data {
+                    "bypassed"
+                } else {
+                    "cached"
+                }
             ),
         ),
         ("L1 bandwidth".into(), "one request per cycle".into()),
@@ -287,7 +379,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "thread blocks")]
     fn invalid_block_split_panics() {
-        let c = GpuConfig { warps_per_sm: 10, warps_per_block: 4, ..GpuConfig::gtx980() };
+        let c = GpuConfig {
+            warps_per_sm: 10,
+            warps_per_block: 4,
+            ..GpuConfig::gtx980()
+        };
         c.validate();
     }
 }

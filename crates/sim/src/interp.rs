@@ -68,8 +68,7 @@ pub fn interpret(
         let pc = warp.pc().expect("unfinished warp has a pc");
         let insn = kernel.insn(pc).clone();
         let mask = warp.mask();
-        let src_vals: Vec<LaneVec> =
-            insn.srcs().iter().map(|s| warp.regs[s.index()]).collect();
+        let src_vals: Vec<LaneVec> = insn.srcs().iter().map(|s| warp.regs[s.index()]).collect();
         let taken_bits = if matches!(insn.op(), Opcode::Bra { .. }) {
             src_vals[0].nonzero_bits()
         } else {
@@ -110,7 +109,11 @@ pub fn interpret(
         warp.advance(kernel, taken_bits, |b| dom.immediate_postdominator(b));
         insns += 1;
     }
-    Ok(InterpResult { regs: warp.regs, insns, stores })
+    Ok(InterpResult {
+        regs: warp.regs,
+        insns,
+        stores,
+    })
 }
 
 #[cfg(test)]

@@ -31,6 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Version tag for the simulator's *timing model semantics*, folded into the
+/// sweep engine's on-disk cache fingerprint. Bump it whenever a change makes
+/// previously simulated numbers stale (pipeline timing, scheduler policy,
+/// memory-system behaviour, stat accounting) so cached `RunReport`s from
+/// older builds are ignored rather than silently reused.
+pub const SIM_MODEL_VERSION: u32 = 1;
+
 mod backend;
 mod cache;
 mod config;
@@ -45,16 +52,12 @@ mod warp;
 
 pub use backend::{BackendCtx, BaselineRf, OccupancyLimitedRf, OperandBackend};
 pub use cache::{AccessResult, Cache};
-pub use config::{
-    table1_rows, CacheConfig, Cycle, GpuConfig, LatencyConfig, SchedulerKind,
-};
+pub use config::{table1_rows, CacheConfig, Cycle, GpuConfig, LatencyConfig, SchedulerKind};
 pub use interp::{interpret, InterpError, InterpResult};
 pub use mem::{Level, MemAccess, MemSystem, Traffic};
 pub use rf::{collector_conflict_cycles, rf_bank, RF_BANKS};
 pub use sched::Scheduler;
 pub use sm::{load_value, run_baseline, Machine, RunReport, SimError, Sm};
-pub use stats::{
-    MemStats, PreloadSource, SmStats, WindowSeries, WorkingSetTracker, WINDOW_CYCLES,
-};
+pub use stats::{MemStats, PreloadSource, SmStats, WindowSeries, WorkingSetTracker, WINDOW_CYCLES};
 pub use trace::{TraceBuffer, TraceEvent, TraceRecord};
 pub use warp::{StackEntry, WarpBlock, WarpState};

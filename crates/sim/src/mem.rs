@@ -75,7 +75,10 @@ struct MshrFile {
 
 impl MshrFile {
     fn new(capacity: usize) -> Self {
-        MshrFile { completions: Vec::new(), capacity }
+        MshrFile {
+            completions: Vec::new(),
+            capacity,
+        }
     }
 
     /// Returns the earliest cycle a new miss may start, given `now`.
@@ -119,16 +122,22 @@ impl MemSystem {
         config.validate();
         MemSystem {
             config: *config,
-            l1: (0..config.num_sms).map(|_| Cache::new(&config.l1)).collect(),
+            l1: (0..config.num_sms)
+                .map(|_| Cache::new(&config.l1))
+                .collect(),
             l1_port: (0..config.num_sms).map(|_| PortSet::new(1)).collect(),
             inject_port: (0..config.num_sms).map(|_| PortSet::new(1)).collect(),
-            l1_mshrs: (0..config.num_sms).map(|_| MshrFile::new(config.l1_mshrs)).collect(),
+            l1_mshrs: (0..config.num_sms)
+                .map(|_| MshrFile::new(config.l1_mshrs))
+                .collect(),
             l2: {
                 let part = CacheConfig {
                     bytes: config.l2.bytes / config.l2_partitions,
                     ..config.l2
                 };
-                (0..config.l2_partitions).map(|_| Cache::new(&part)).collect()
+                (0..config.l2_partitions)
+                    .map(|_| Cache::new(&part))
+                    .collect()
             },
             l2_port: PortSet::new(config.l2_ports),
             dram_port: PortSet::new(config.dram_ports),
@@ -139,7 +148,13 @@ impl MemSystem {
     /// The cycle at which SM `sm`'s L1 port could accept a request issued
     /// now (used by the RegLess preload pipeline to prioritize).
     pub fn l1_port_backlog(&self, sm: usize, now: Cycle) -> Cycle {
-        self.l1_port[sm].ports.iter().copied().min().unwrap_or(0).saturating_sub(now)
+        self.l1_port[sm]
+            .ports
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0)
+            .saturating_sub(now)
     }
 
     /// Access one 128-byte line of global memory from SM `sm`.
@@ -182,13 +197,19 @@ impl MemSystem {
                 self.access_l2(sm, victim, true, traffic, l1_done);
             }
             self.stats.l1_hits += 1;
-            return MemAccess { done: l1_done, serviced_by: Level::L1 };
+            return MemAccess {
+                done: l1_done,
+                serviced_by: Level::L1,
+            };
         } else {
             self.l1[sm].access(line_addr, write)
         };
         if result.hit {
             self.stats.l1_hits += 1;
-            return MemAccess { done: l1_done, serviced_by: Level::L1 };
+            return MemAccess {
+                done: l1_done,
+                serviced_by: Level::L1,
+            };
         }
         self.stats.l1_misses += 1;
         if let Some(victim) = result.evicted_addr {
@@ -215,17 +236,22 @@ impl MemSystem {
         }
         let start = self.l2_port.reserve(now);
         // Partition by line address (interleaved across partitions).
-        let part = (line_addr / self.config.l2.line_bytes as u64) as usize
-            % self.l2.len();
+        let part = (line_addr / self.config.l2.line_bytes as u64) as usize % self.l2.len();
         let hit = self.l2[part].access(line_addr, write).hit;
         let l2_done = start + self.config.l2.hit_latency;
         if hit {
             self.stats.l2_hits += 1;
-            return MemAccess { done: l2_done, serviced_by: Level::L2 };
+            return MemAccess {
+                done: l2_done,
+                serviced_by: Level::L2,
+            };
         }
         self.stats.dram_accesses += 1;
         let dram_start = self.dram_port.reserve(l2_done);
-        MemAccess { done: dram_start + self.config.dram_latency, serviced_by: Level::Dram }
+        MemAccess {
+            done: dram_start + self.config.dram_latency,
+            serviced_by: Level::Dram,
+        }
     }
 
     /// Invalidate a register line in SM `sm`'s L1 (a cache-invalidate
@@ -318,7 +344,10 @@ mod tests {
     fn mshrs_throttle_misses() {
         // With a 2-MSHR config, a burst of register-line misses must
         // serialize beyond the first two.
-        let config = GpuConfig { l1_mshrs: 2, ..GpuConfig::test_small() };
+        let config = GpuConfig {
+            l1_mshrs: 2,
+            ..GpuConfig::test_small()
+        };
         let mut m = MemSystem::new(&config);
         let mut dones = Vec::new();
         for i in 0..6u64 {
@@ -336,7 +365,10 @@ mod tests {
 
     #[test]
     fn l2_ports_shared_across_sms() {
-        let config = GpuConfig { num_sms: 2, ..GpuConfig::test_small() };
+        let config = GpuConfig {
+            num_sms: 2,
+            ..GpuConfig::test_small()
+        };
         let mut m = MemSystem::new(&config);
         // Both SMs issue a data access at cycle 0: they contend for the
         // shared L2 ports but not for each other's injection port.

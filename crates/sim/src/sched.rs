@@ -43,7 +43,9 @@ impl Scheduler {
         match kind {
             SchedulerKind::Gto => Scheduler::Gto { last: None },
             SchedulerKind::Lrr => Scheduler::Lrr { last: None },
-            SchedulerKind::TwoLevel { active_per_scheduler } => {
+            SchedulerKind::TwoLevel {
+                active_per_scheduler,
+            } => {
                 let capacity = active_per_scheduler.max(1).min(num_warps.max(1));
                 Scheduler::TwoLevel {
                     active: (0..capacity.min(num_warps)).collect(),
@@ -78,7 +80,12 @@ impl Scheduler {
                 *last = choice.or(*last);
                 choice
             }
-            Scheduler::TwoLevel { active, pending, last, .. } => {
+            Scheduler::TwoLevel {
+                active,
+                pending,
+                last,
+                ..
+            } => {
                 let in_active = |w: &usize| active.contains(w);
                 let choice = match *last {
                     Some(w) if ready.contains(&w) && active.contains(&w) => Some(w),
@@ -113,7 +120,13 @@ impl Scheduler {
     /// Notify the policy that warp `w` began a long-latency operation
     /// (global load): two-level demotes it.
     pub fn on_long_latency(&mut self, w: usize) {
-        if let Scheduler::TwoLevel { active, pending, capacity, .. } = self {
+        if let Scheduler::TwoLevel {
+            active,
+            pending,
+            capacity,
+            ..
+        } = self
+        {
             if let Some(pos) = active.iter().position(|&a| a == w) {
                 active.remove(pos);
                 pending.push(w);
@@ -164,7 +177,12 @@ mod tests {
 
     #[test]
     fn two_level_restricts_to_active() {
-        let mut s = Scheduler::new(SchedulerKind::TwoLevel { active_per_scheduler: 2 }, 4);
+        let mut s = Scheduler::new(
+            SchedulerKind::TwoLevel {
+                active_per_scheduler: 2,
+            },
+            4,
+        );
         // Active = {0, 1}. Warp 2 is ready but not active; 1 is ready.
         assert_eq!(s.pick(&[1, 2]), Some(1));
         // Only pending warps ready: the swap consumes this issue slot and
@@ -177,7 +195,12 @@ mod tests {
 
     #[test]
     fn two_level_demotes_on_long_latency() {
-        let mut s = Scheduler::new(SchedulerKind::TwoLevel { active_per_scheduler: 2 }, 4);
+        let mut s = Scheduler::new(
+            SchedulerKind::TwoLevel {
+                active_per_scheduler: 2,
+            },
+            4,
+        );
         s.on_long_latency(0);
         let active = s.active_set().unwrap();
         assert!(!active.contains(&0));
@@ -186,7 +209,12 @@ mod tests {
 
     #[test]
     fn two_level_caps_active_size() {
-        let s = Scheduler::new(SchedulerKind::TwoLevel { active_per_scheduler: 8 }, 4);
+        let s = Scheduler::new(
+            SchedulerKind::TwoLevel {
+                active_per_scheduler: 8,
+            },
+            4,
+        );
         assert_eq!(s.active_set().unwrap().len(), 4);
     }
 }

@@ -93,8 +93,9 @@ pub struct Sm<B> {
 
 impl<B: OperandBackend> Sm<B> {
     fn new(id: usize, config: &GpuConfig, compiled: Arc<CompiledKernel>, backend: B) -> Self {
-        let warps: Vec<WarpState> =
-            (0..config.warps_per_sm).map(|_| WarpState::new(compiled.kernel())).collect();
+        let warps: Vec<WarpState> = (0..config.warps_per_sm)
+            .map(|_| WarpState::new(compiled.kernel()))
+            .collect();
         let scheds = (0..config.schedulers_per_sm)
             .map(|_| Scheduler::new(config.scheduler, config.warps_per_scheduler()))
             .collect();
@@ -135,17 +136,31 @@ impl<B: OperandBackend> Sm<B> {
             self.events.pop();
             let e = self.event_data.remove(&id).expect("event data present");
             self.warps[e.warp].pending.remove(&e.reg);
-            self.stats
-                .trace_event(now, crate::TraceEvent::Writeback { warp: e.warp, reg: e.reg });
-            let mut ctx =
-                BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
-            self.backend.on_writeback(e.warp, e.at, e.reg, e.value, &mut ctx);
+            self.stats.trace_event(
+                now,
+                crate::TraceEvent::Writeback {
+                    warp: e.warp,
+                    reg: e.reg,
+                },
+            );
+            let mut ctx = BackendCtx {
+                sm: self.id,
+                now,
+                mem,
+                stats: &mut self.stats,
+            };
+            self.backend
+                .on_writeback(e.warp, e.at, e.reg, e.value, &mut ctx);
         }
 
         // 2. Backend housekeeping (CM activation, preload pipeline).
         {
-            let mut ctx =
-                BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
+            let mut ctx = BackendCtx {
+                sm: self.id,
+                now,
+                mem,
+                stats: &mut self.stats,
+            };
             self.backend.begin_cycle_with_warps(&self.warps, &mut ctx);
         }
 
@@ -155,15 +170,13 @@ impl<B: OperandBackend> Sm<B> {
             let bs = self.config.warps_per_block;
             for (bi, block) in self.warps.chunks_mut(bs).enumerate() {
                 let any_waiting = block.iter().any(|w| w.at_barrier);
-                let all_at_barrier = block
-                    .iter()
-                    .filter(|w| !w.finished())
-                    .all(|w| w.at_barrier);
+                let all_at_barrier = block.iter().filter(|w| !w.finished()).all(|w| w.at_barrier);
                 if any_waiting && all_at_barrier {
                     for w in block.iter_mut() {
                         w.at_barrier = false;
                     }
-                    self.stats.trace_event(now, crate::TraceEvent::BarrierRelease { block: bi });
+                    self.stats
+                        .trace_event(now, crate::TraceEvent::BarrierRelease { block: bi });
                 }
             }
         }
@@ -191,8 +204,12 @@ impl<B: OperandBackend> Sm<B> {
                 };
                 let w = local * num_scheds + s;
                 let took_bubble = {
-                    let mut ctx =
-                        BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
+                    let mut ctx = BackendCtx {
+                        sm: self.id,
+                        now,
+                        mem,
+                        stats: &mut self.stats,
+                    };
                     self.backend.take_bubble(w, &mut ctx)
                 };
                 if took_bubble {
@@ -223,20 +240,34 @@ impl<B: OperandBackend> Sm<B> {
             self.stats.working_set.record(WarpId(w as u16), d, now);
         }
 
-        self.stats.trace_event(now, crate::TraceEvent::Issue { warp: w, pc: at });
+        self.stats
+            .trace_event(now, crate::TraceEvent::Issue { warp: w, pc: at });
 
         // Functional evaluation. Staged operand values are cross-checked
         // against the architectural state *before* the backend applies its
         // last-use annotations.
-        let src_vals: Vec<LaneVec> =
-            insn.srcs().iter().map(|s| self.warps[w].regs[s.index()]).collect();
+        let src_vals: Vec<LaneVec> = insn
+            .srcs()
+            .iter()
+            .map(|s| self.warps[w].regs[s.index()])
+            .collect();
         {
-            let operands: Vec<(Reg, LaneVec)> =
-                insn.srcs().iter().copied().zip(src_vals.iter().copied()).collect();
-            self.backend.check_staged_operands(w, &operands, &mut self.stats);
+            let operands: Vec<(Reg, LaneVec)> = insn
+                .srcs()
+                .iter()
+                .copied()
+                .zip(src_vals.iter().copied())
+                .collect();
+            self.backend
+                .check_staged_operands(w, &operands, &mut self.stats);
         }
         let extra = {
-            let mut ctx = BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
+            let mut ctx = BackendCtx {
+                sm: self.id,
+                now,
+                mem,
+                stats: &mut self.stats,
+            };
             self.backend.on_issue(w, at, &insn, &mut ctx)
         };
         let alu_value = insn.evaluate(&src_vals, self.global_warp_index(w));
@@ -281,8 +312,10 @@ impl<B: OperandBackend> Sm<B> {
                     OpClass::Sfu => self.config.latency.sfu,
                     _ => self.config.latency.int_alu,
                 };
-                writeback =
-                    Some((now + lat + extra, alu_value.expect("ALU ops produce values")));
+                writeback = Some((
+                    now + lat + extra,
+                    alu_value.expect("ALU ops produce values"),
+                ));
             }
         }
 
@@ -296,7 +329,13 @@ impl<B: OperandBackend> Sm<B> {
             }
             self.warps[w].regs[d.index()] = merged;
             self.warps[w].pending.insert(d);
-            self.push_event(Event { due, warp: w, at, reg: d, value: merged });
+            self.push_event(Event {
+                due,
+                warp: w,
+                at,
+                reg: d,
+                value: merged,
+            });
         }
 
         // Control state.
@@ -310,8 +349,14 @@ impl<B: OperandBackend> Sm<B> {
         if self.warps[w].finished() {
             self.warps[w].finished_at = Some(now);
             self.live_warps -= 1;
-            self.stats.trace_event(now, crate::TraceEvent::WarpFinish { warp: w });
-            let mut ctx = BackendCtx { sm: self.id, now, mem, stats: &mut self.stats };
+            self.stats
+                .trace_event(now, crate::TraceEvent::WarpFinish { warp: w });
+            let mut ctx = BackendCtx {
+                sm: self.id,
+                now,
+                mem,
+                stats: &mut self.stats,
+            };
             self.backend.on_warp_finish(w, &mut ctx);
         }
     }
@@ -326,10 +371,7 @@ impl<B: OperandBackend> Sm<B> {
         now: Cycle,
         mem: &mut MemSystem,
     ) -> Cycle {
-        let mut lines: Vec<u64> = mask
-            .iter()
-            .map(|l| addrs.lane(l) as u64 / 128)
-            .collect();
+        let mut lines: Vec<u64> = mask.iter().map(|l| addrs.lane(l) as u64 / 128).collect();
         lines.sort_unstable();
         lines.dedup();
         let mut done = now + 1;
@@ -364,6 +406,49 @@ pub struct RunReport {
     pub final_regs: Vec<Vec<Vec<LaneVec>>>,
     /// Dynamic instructions per warp, `warp_insns[sm][warp]`.
     pub warp_insns: Vec<Vec<u64>>,
+    /// Wall-clock seconds the simulation itself took, measured by
+    /// [`Machine::run`]. A report served from the sweep-engine cache keeps
+    /// the wall time of the run that originally produced it.
+    pub wall_seconds: f64,
+}
+
+// JSON layout for the sweep-engine result cache. `final_regs` is a
+// functional-correctness payload (large, and unused by every figure), so
+// it is deliberately *not* persisted: reports loaded from the cache carry
+// an empty `final_regs`. Consumers that need architectural state (the
+// oracle tests) always run the simulator directly.
+impl regless_json::ToJson for RunReport {
+    fn to_json(&self) -> regless_json::Json {
+        regless_json::Json::Obj(vec![
+            ("cycles".into(), regless_json::ToJson::to_json(&self.cycles)),
+            (
+                "sm_stats".into(),
+                regless_json::ToJson::to_json(&self.sm_stats),
+            ),
+            ("mem".into(), regless_json::ToJson::to_json(&self.mem)),
+            (
+                "warp_insns".into(),
+                regless_json::ToJson::to_json(&self.warp_insns),
+            ),
+            (
+                "wall_seconds".into(),
+                regless_json::ToJson::to_json(&self.wall_seconds),
+            ),
+        ])
+    }
+}
+
+impl regless_json::FromJson for RunReport {
+    fn from_json(v: &regless_json::Json) -> Result<Self, regless_json::JsonError> {
+        Ok(RunReport {
+            cycles: regless_json::FromJson::from_json(v.field("cycles")?)?,
+            sm_stats: regless_json::FromJson::from_json(v.field("sm_stats")?)?,
+            mem: regless_json::FromJson::from_json(v.field("mem")?)?,
+            final_regs: Vec::new(),
+            warp_insns: regless_json::FromJson::from_json(v.field("warp_insns")?)?,
+            wall_seconds: regless_json::FromJson::from_json(v.field("wall_seconds")?)?,
+        })
+    }
 }
 
 impl RunReport {
@@ -415,6 +500,7 @@ impl<B: OperandBackend> Machine<B> {
     /// Returns [`SimError::MaxCyclesExceeded`] if the configured cycle
     /// limit is hit first.
     pub fn run(mut self) -> Result<RunReport, SimError> {
+        let started = std::time::Instant::now();
         let mut now: Cycle = 0;
         while !self.sms.iter().all(Sm::all_done) {
             if now >= self.config.max_cycles {
@@ -448,6 +534,7 @@ impl<B: OperandBackend> Machine<B> {
             mem: self.mem.stats,
             final_regs,
             warp_insns,
+            wall_seconds: started.elapsed().as_secs_f64(),
         })
     }
 

@@ -254,8 +254,145 @@ impl SmStats {
     }
 }
 
+// JSON conversions for the sweep-engine result cache (`results/cache/`).
+// The trackers persist only their completed-window samples: the partially
+// filled current window is discarded by the mean/sample accessors anyway,
+// so a cached report reproduces every derived statistic exactly.
+
+impl regless_json::ToJson for WorkingSetTracker {
+    fn to_json(&self) -> regless_json::Json {
+        regless_json::Json::Obj(vec![
+            (
+                "window_start".into(),
+                regless_json::ToJson::to_json(&self.window_start),
+            ),
+            (
+                "samples".into(),
+                regless_json::ToJson::to_json(&self.samples),
+            ),
+        ])
+    }
+}
+
+impl regless_json::FromJson for WorkingSetTracker {
+    fn from_json(v: &regless_json::Json) -> Result<Self, regless_json::JsonError> {
+        Ok(WorkingSetTracker {
+            current: HashSet::new(),
+            window_start: regless_json::FromJson::from_json(v.field("window_start")?)?,
+            samples: regless_json::FromJson::from_json(v.field("samples")?)?,
+        })
+    }
+}
+
+impl regless_json::ToJson for WindowSeries {
+    fn to_json(&self) -> regless_json::Json {
+        regless_json::Json::Obj(vec![
+            (
+                "window_start".into(),
+                regless_json::ToJson::to_json(&self.window_start),
+            ),
+            (
+                "samples".into(),
+                regless_json::ToJson::to_json(&self.samples),
+            ),
+        ])
+    }
+}
+
+impl regless_json::FromJson for WindowSeries {
+    fn from_json(v: &regless_json::Json) -> Result<Self, regless_json::JsonError> {
+        Ok(WindowSeries {
+            current: 0,
+            window_start: regless_json::FromJson::from_json(v.field("window_start")?)?,
+            samples: regless_json::FromJson::from_json(v.field("samples")?)?,
+        })
+    }
+}
+
+/// Applies a macro to every plain counter field of [`SmStats`] (everything
+/// except the trace handle and the window trackers, which have their own
+/// serializers). Keep in sync with the struct definition.
+macro_rules! for_each_sm_counter {
+    ($m:ident) => {
+        $m!(
+            cycles,
+            insns,
+            meta_insns,
+            idle_cycles,
+            rf_reads,
+            rf_writes,
+            lrf_reads,
+            lrf_writes,
+            rfc_reads,
+            rfc_writes,
+            rename_lookups,
+            rfv_throttled_warp_cycles,
+            rf_bank_conflicts,
+            osu_reads,
+            osu_writes,
+            osu_tag_probes,
+            osu_bank_conflicts,
+            preloads_osu,
+            preloads_compressor,
+            preloads_l1,
+            preloads_l2_dram,
+            reg_stores_l1,
+            reg_invalidate_l1,
+            compressor_matches,
+            compressor_compressed,
+            regions_activated,
+            region_active_cycles,
+            reservation_overflows,
+            staging_mismatches
+        )
+    };
+}
+
+impl regless_json::ToJson for SmStats {
+    fn to_json(&self) -> regless_json::Json {
+        let mut pairs: Vec<(String, regless_json::Json)> = Vec::new();
+        macro_rules! put {
+            ($($f:ident),+) => {
+                $(pairs.push((stringify!($f).to_string(), regless_json::ToJson::to_json(&self.$f)));)+
+            };
+        }
+        for_each_sm_counter!(put);
+        // The optional event trace is a debugging aid, not a result; it is
+        // never persisted.
+        pairs.push((
+            "working_set".into(),
+            regless_json::ToJson::to_json(&self.working_set),
+        ));
+        pairs.push((
+            "backing_series".into(),
+            regless_json::ToJson::to_json(&self.backing_series),
+        ));
+        pairs.push((
+            "osu_occupancy".into(),
+            regless_json::ToJson::to_json(&self.osu_occupancy),
+        ));
+        regless_json::Json::Obj(pairs)
+    }
+}
+
+impl regless_json::FromJson for SmStats {
+    fn from_json(v: &regless_json::Json) -> Result<Self, regless_json::JsonError> {
+        let mut stats = SmStats::default();
+        macro_rules! get {
+            ($($f:ident),+) => {
+                $(stats.$f = regless_json::FromJson::from_json(v.field(stringify!($f))?)?;)+
+            };
+        }
+        for_each_sm_counter!(get);
+        stats.working_set = regless_json::FromJson::from_json(v.field("working_set")?)?;
+        stats.backing_series = regless_json::FromJson::from_json(v.field("backing_series")?)?;
+        stats.osu_occupancy = regless_json::FromJson::from_json(v.field("osu_occupancy")?)?;
+        Ok(stats)
+    }
+}
+
 /// Memory-hierarchy counters (shared across SMs).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct MemStats {
     /// L1 accesses for ordinary data.
     pub l1_data_accesses: u64,
@@ -274,6 +411,17 @@ pub struct MemStats {
     /// L2 accesses caused by register traffic only.
     pub l2_reg_accesses: u64,
 }
+
+regless_json::impl_json_struct!(MemStats {
+    l1_data_accesses,
+    l1_reg_accesses,
+    l1_hits,
+    l1_misses,
+    l2_accesses,
+    l2_hits,
+    dram_accesses,
+    l2_reg_accesses,
+});
 
 #[cfg(test)]
 mod tests {
@@ -315,8 +463,16 @@ mod tests {
 
     #[test]
     fn merge_sums_and_maxes() {
-        let mut a = SmStats { cycles: 10, insns: 5, ..Default::default() };
-        let b = SmStats { cycles: 20, insns: 7, ..Default::default() };
+        let mut a = SmStats {
+            cycles: 10,
+            insns: 5,
+            ..Default::default()
+        };
+        let b = SmStats {
+            cycles: 20,
+            insns: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 20);
         assert_eq!(a.insns, 12);

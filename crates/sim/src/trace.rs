@@ -98,7 +98,11 @@ impl TraceBuffer {
     /// A buffer holding up to `capacity` records; later events are counted
     /// but dropped.
     pub fn new(capacity: usize) -> Self {
-        TraceBuffer { records: Vec::new(), capacity, dropped: 0 }
+        TraceBuffer {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Record one event.
@@ -137,9 +141,11 @@ impl TraceBuffer {
                 TraceEvent::Issue { warp: w, pc } if w == warp => {
                     Some(format!("{:>8}    issue {pc}", r.cycle))
                 }
-                TraceEvent::Preload { warp: w, reg, source } if w == warp => {
-                    Some(format!("{:>8}    stage {reg} from {source:?}", r.cycle))
-                }
+                TraceEvent::Preload {
+                    warp: w,
+                    reg,
+                    source,
+                } if w == warp => Some(format!("{:>8}    stage {reg} from {source:?}", r.cycle)),
                 TraceEvent::WarpFinish { warp: w } if w == warp => {
                     Some(format!("{:>8}  finish", r.cycle))
                 }

@@ -52,7 +52,10 @@ impl WarpState {
     pub fn new(kernel: &Kernel) -> Self {
         WarpState {
             stack: vec![StackEntry {
-                pc: InsnRef { block: kernel.entry(), idx: 0 },
+                pc: InsnRef {
+                    block: kernel.entry(),
+                    idx: 0,
+                },
                 mask: LaneMask::all(),
                 reconv: None,
             }],
@@ -139,12 +142,18 @@ impl WarpState {
                             // above it.
                             e.pc = InsnRef { block: r, idx: 0 };
                             self.stack.push(StackEntry {
-                                pc: InsnRef { block: not_taken, idx: 0 },
+                                pc: InsnRef {
+                                    block: not_taken,
+                                    idx: 0,
+                                },
                                 mask: nt,
                                 reconv: Some(r),
                             });
                             self.stack.push(StackEntry {
-                                pc: InsnRef { block: taken, idx: 0 },
+                                pc: InsnRef {
+                                    block: taken,
+                                    idx: 0,
+                                },
                                 mask: t,
                                 reconv: Some(r),
                             });
@@ -154,12 +163,18 @@ impl WarpState {
                             // sides run to completion independently.
                             self.stack.pop();
                             self.stack.push(StackEntry {
-                                pc: InsnRef { block: not_taken, idx: 0 },
+                                pc: InsnRef {
+                                    block: not_taken,
+                                    idx: 0,
+                                },
                                 mask: nt,
                                 reconv: top.reconv,
                             });
                             self.stack.push(StackEntry {
-                                pc: InsnRef { block: taken, idx: 0 },
+                                pc: InsnRef {
+                                    block: taken,
+                                    idx: 0,
+                                },
                                 mask: t,
                                 reconv: top.reconv,
                             });
@@ -178,7 +193,10 @@ impl WarpState {
 
     fn jump_to(&mut self, target: BlockId) {
         let e = self.stack.last_mut().expect("top exists");
-        e.pc = InsnRef { block: target, idx: 0 };
+        e.pc = InsnRef {
+            block: target,
+            idx: 0,
+        };
     }
 
     /// Pop entries that have arrived at their reconvergence block.
@@ -216,7 +234,11 @@ mod tests {
                 0
             };
             if let Some(v) = insn.evaluate(
-                &insn.srcs().iter().map(|s| w.regs[s.index()]).collect::<Vec<_>>(),
+                &insn
+                    .srcs()
+                    .iter()
+                    .map(|s| w.regs[s.index()])
+                    .collect::<Vec<_>>(),
                 0,
             ) {
                 let d = insn.dst().unwrap();

@@ -108,7 +108,10 @@ pub fn reduction_tree() -> Kernel {
         })
         .collect();
     while level.len() > 1 {
-        level = level.chunks(2).map(|pair| b.iadd(pair[0], pair[1])).collect();
+        level = level
+            .chunks(2)
+            .map(|pair| b.iadd(pair[0], pair[1]))
+            .collect();
     }
     b.st_global(level[0], tid);
     b.exit();
@@ -247,7 +250,10 @@ mod tests {
         let k = reduction_tree();
         let c = compile(
             &k,
-            &RegionConfig { max_regs_per_region: 64, ..RegionConfig::default() },
+            &RegionConfig {
+                max_regs_per_region: 64,
+                ..RegionConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(c.regions().len(), 1);

@@ -178,7 +178,16 @@ pub fn generate(p: &Profile) -> Kernel {
     b.jmp(head);
     b.select(head);
 
-    let mut g = Gen { b, tid, base, heap_mask, persistent, acc, live: vec![acc], salt: 0x2545 };
+    let mut g = Gen {
+        b,
+        tid,
+        base,
+        heap_mask,
+        persistent,
+        acc,
+        live: vec![acc],
+        salt: 0x2545,
+    };
 
     // Loads feed the live pool.
     let mut loaded = Vec::new();
@@ -278,7 +287,8 @@ pub fn generate(p: &Profile) -> Kernel {
     g.b.st_global(g.acc, out_addr);
     g.b.exit();
 
-    g.b.finish().unwrap_or_else(|e| panic!("profile {} generated invalid kernel: {e}", p.name))
+    g.b.finish()
+        .unwrap_or_else(|e| panic!("profile {} generated invalid kernel: {e}", p.name))
 }
 
 #[cfg(test)]
@@ -295,17 +305,35 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let p = Profile { width: 8, fp: true, ..Profile::default() };
+        let p = Profile {
+            width: 8,
+            fp: true,
+            ..Profile::default()
+        };
         assert_eq!(generate(&p), generate(&p));
     }
 
     #[test]
     fn width_controls_pressure() {
-        let narrow = generate(&Profile { width: 3, alu_per_segment: 12, ..Profile::default() });
-        let wide = generate(&Profile { width: 20, alu_per_segment: 24, ..Profile::default() });
+        let narrow = generate(&Profile {
+            width: 3,
+            alu_per_segment: 12,
+            ..Profile::default()
+        });
+        let wide = generate(&Profile {
+            width: 20,
+            alu_per_segment: 24,
+            ..Profile::default()
+        });
         let max_live = |k: &Kernel| {
-            let c = compile(k, &RegionConfig { max_regs_per_region: 64, ..Default::default() })
-                .unwrap();
+            let c = compile(
+                k,
+                &RegionConfig {
+                    max_regs_per_region: 64,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             c.liveness()
                 .live_counts(k)
                 .into_iter()
@@ -318,7 +346,10 @@ mod tests {
 
     #[test]
     fn divergent_profiles_have_diamonds() {
-        let k = generate(&Profile { divergence: Divergence::HalfWarp, ..Profile::default() });
+        let k = generate(&Profile {
+            divergence: Divergence::HalfWarp,
+            ..Profile::default()
+        });
         // More blocks than the straight-line version.
         let s = generate(&Profile::default());
         assert!(k.num_blocks() > s.num_blocks());
@@ -326,14 +357,20 @@ mod tests {
 
     #[test]
     fn barrier_profile_emits_barriers() {
-        let k = generate(&Profile { barrier: true, ..Profile::default() });
+        let k = generate(&Profile {
+            barrier: true,
+            ..Profile::default()
+        });
         let has_bar = k.iter_insns().any(|(_, i)| matches!(i.op(), Opcode::Bar));
         assert!(has_bar);
     }
 
     #[test]
     fn memory_profiles_emit_loads() {
-        let k = generate(&Profile { loads_per_iter: 3, ..Profile::default() });
+        let k = generate(&Profile {
+            loads_per_iter: 3,
+            ..Profile::default()
+        });
         let loads = k.iter_insns().filter(|(_, i)| i.is_global_load()).count();
         assert!(loads >= 3);
     }

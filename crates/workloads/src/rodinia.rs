@@ -375,8 +375,8 @@ mod tests {
         for name in NAMES {
             let k = kernel(name);
             assert_eq!(k.name(), name);
-            let compiled = compile(&k, &RegionConfig::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let compiled =
+                compile(&k, &RegionConfig::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(compiled.regions().len() >= 2, "{name} should have regions");
         }
     }
@@ -404,10 +404,18 @@ mod tests {
             let k = kernel(name);
             let c = compile(
                 &k,
-                &RegionConfig { max_regs_per_region: 64, ..RegionConfig::default() },
+                &RegionConfig {
+                    max_regs_per_region: 64,
+                    ..RegionConfig::default()
+                },
             )
             .unwrap();
-            c.liveness().live_counts(&k).into_iter().map(|(_, n)| n).max().unwrap()
+            c.liveness()
+                .live_counts(&k)
+                .into_iter()
+                .map(|(_, n)| n)
+                .max()
+                .unwrap()
         };
         let bfs = max_live("bfs");
         let dwt = max_live("dwt2d");
@@ -422,7 +430,9 @@ mod tests {
         // (3.3).
         let mean_len = |name: &str| {
             let k = kernel(name);
-            compile(&k, &RegionConfig::default()).unwrap().mean_region_len()
+            compile(&k, &RegionConfig::default())
+                .unwrap()
+                .mean_region_len()
         };
         assert!(mean_len("lud") > mean_len("bfs"));
     }
@@ -445,13 +455,26 @@ mod characteristic_tests {
     fn memory_intensity_ordering() {
         let mi = |n: &str| KernelStats::of(&kernel(n)).memory_intensity();
         // bfs is the memory-bound extreme; lud the compute extreme.
-        assert!(mi("bfs") > mi("lud") * 2.0, "bfs {} vs lud {}", mi("bfs"), mi("lud"));
+        assert!(
+            mi("bfs") > mi("lud") * 2.0,
+            "bfs {} vs lud {}",
+            mi("bfs"),
+            mi("lud")
+        );
         assert!(mi("streamcluster") > mi("myocyte"));
     }
 
     #[test]
     fn barrier_benchmarks_have_barriers() {
-        for name in ["backprop", "hotspot", "hybridsort", "lavaMD", "lud", "nw", "pathfinder"] {
+        for name in [
+            "backprop",
+            "hotspot",
+            "hybridsort",
+            "lavaMD",
+            "lud",
+            "nw",
+            "pathfinder",
+        ] {
             assert!(
                 KernelStats::of(&kernel(name)).barriers > 0,
                 "{name} should use barriers"

@@ -25,13 +25,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "benchmark `{name}`: baseline {} cycles; sweeping OSU capacity\n",
         baseline.cycles
     );
-    println!("{:>10} {:>12} {:>12} {:>14}", "entries", "% of RF", "run time", "GPU energy");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "entries", "% of RF", "run time", "GPU energy"
+    );
 
     for entries in [128, 192, 256, 384, 512, 1024, 2048] {
         let cfg = RegLessConfig::with_capacity(entries);
         let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
         let report = RegLessSim::new(gpu, cfg, compiled).run()?;
-        let e = energy(&report, Design::RegLess { osu_entries_per_sm: entries }, &gpu);
+        let e = energy(
+            &report,
+            Design::RegLess {
+                osu_entries_per_sm: entries,
+            },
+            &gpu,
+        );
         println!(
             "{:>10} {:>11}% {:>11.3}x {:>13.3}x",
             entries,

@@ -24,8 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rfh = run_rfh(gpu, default_compiled.clone())?;
     let rfv = run_rfv(gpu, default_compiled)?;
     let rl_cfg = RegLessConfig::paper_default();
-    let regless = RegLessSim::new(gpu, rl_cfg, compile(&kernel, &rl_cfg.region_config(&gpu))?)
-        .run()?;
+    let regless =
+        RegLessSim::new(gpu, rl_cfg, compile(&kernel, &rl_cfg.region_config(&gpu))?).run()?;
 
     let base_energy = energy(&baseline, Design::Baseline, &gpu).total_pj();
     let row = |label: &str, report: &RunReport, design: Design| {
@@ -44,6 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     row("baseline", &baseline, Design::Baseline);
     row("RFH", &rfh, Design::Rfh);
     row("RFV", &rfv, Design::Rfv);
-    row("RegLess", &regless, Design::RegLess { osu_entries_per_sm: 512 });
+    row(
+        "RegLess",
+        &regless,
+        Design::RegLess {
+            osu_entries_per_sm: 512,
+        },
+    );
     Ok(())
 }

@@ -37,7 +37,11 @@ bb2:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = parse_kernel(SOURCE)?;
-    println!("parsed `{}` ({} instructions); canonical form:\n", kernel.name(), kernel.num_insns());
+    println!(
+        "parsed `{}` ({} instructions); canonical form:\n",
+        kernel.name(),
+        kernel.num_insns()
+    );
     print!("{}", format_kernel(&kernel));
 
     let gpu = GpuConfig::gtx980_single_sm();

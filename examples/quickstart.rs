@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run it.
     let report = RegLessSim::new(gpu, osu, compiled).run()?;
     let t = report.total();
-    println!("\nran {} instructions in {} cycles (IPC {:.2})", t.insns, report.cycles, report.ipc());
+    println!(
+        "\nran {} instructions in {} cycles (IPC {:.2})",
+        t.insns,
+        report.cycles,
+        report.ipc()
+    );
     println!(
         "preloads: {} from OSU, {} from compressor, {} from L1, {} from L2/DRAM",
         t.preloads_osu, t.preloads_compressor, t.preloads_l1, t.preloads_l2_dram

@@ -10,7 +10,9 @@ use regless::compiler::{compile, RegionConfig};
 use regless::workloads::rodinia;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "particle_filter".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "particle_filter".into());
     let kernel = rodinia::kernel(&name);
     let compiled = compile(&kernel, &RegionConfig::default())?;
 
@@ -53,9 +55,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let soft: Vec<String> = compiled.liveness().soft_defs().map(|d| d.to_string()).collect();
+    let soft: Vec<String> = compiled
+        .liveness()
+        .soft_defs()
+        .map(|d| d.to_string())
+        .collect();
     if !soft.is_empty() {
-        println!("\nsoft definitions (divergence-partial writes): {}", soft.join(", "));
+        println!(
+            "\nsoft definitions (divergence-partial writes): {}",
+            soft.join(", ")
+        );
     }
     println!(
         "\nmetadata: {} instructions ({:.1}% of the stream)",

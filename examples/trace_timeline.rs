@@ -13,7 +13,10 @@ use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "kmeans".into());
-    let warp: usize = std::env::args().nth(2).and_then(|w| w.parse().ok()).unwrap_or(0);
+    let warp: usize = std::env::args()
+        .nth(2)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(0);
     let kernel = rodinia::kernel(&name);
     let gpu = GpuConfig::gtx980_single_sm();
     let cfg = RegLessConfig::paper_default();

@@ -119,7 +119,9 @@ fn cmd_run(args: &[String]) -> CmdResult {
             let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
             (
                 RegLessSim::new(gpu, cfg, compiled).run()?,
-                Design::RegLess { osu_entries_per_sm: capacity },
+                Design::RegLess {
+                    osu_entries_per_sm: capacity,
+                },
             )
         }
         other => return Err(format!("unknown design {other:?}").into()),
@@ -213,7 +215,13 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
         let cfg = RegLessConfig::with_capacity(entries);
         let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
         let r = RegLessSim::new(gpu, cfg, compiled).run()?;
-        let e = energy(&r, Design::RegLess { osu_entries_per_sm: entries }, &gpu);
+        let e = energy(
+            &r,
+            Design::RegLess {
+                osu_entries_per_sm: entries,
+            },
+            &gpu,
+        );
         println!(
             "{:>10} {:>10.3}x {:>11.3}x",
             entries,

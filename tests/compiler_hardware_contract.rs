@@ -37,7 +37,15 @@ fn regions_fit_the_osu_for_every_benchmark() {
 #[test]
 fn barriers_always_end_regions() {
     let rc = RegionConfig::default();
-    for name in ["backprop", "hotspot", "lud", "pathfinder", "hybridsort", "lavaMD", "nw"] {
+    for name in [
+        "backprop",
+        "hotspot",
+        "lud",
+        "pathfinder",
+        "hybridsort",
+        "lavaMD",
+        "nw",
+    ] {
         let kernel = rodinia::kernel(name);
         let compiled = compile(&kernel, &rc).unwrap();
         for region in compiled.regions() {

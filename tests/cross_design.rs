@@ -10,7 +10,11 @@ use std::sync::Arc;
 
 /// A scaled-down machine so the whole matrix stays fast in debug builds.
 fn gpu() -> GpuConfig {
-    GpuConfig { num_sms: 1, warps_per_sm: 16, ..GpuConfig::gtx980() }
+    GpuConfig {
+        num_sms: 1,
+        warps_per_sm: 16,
+        ..GpuConfig::gtx980()
+    }
 }
 
 #[test]
@@ -31,9 +35,11 @@ fn all_designs_execute_identical_instruction_streams() {
         .unwrap();
         let expect = base.total().insns;
         assert!(expect > 0);
-        for (label, got) in
-            [("rfh", rfh.total().insns), ("rfv", rfv.total().insns), ("regless", rl.total().insns)]
-        {
+        for (label, got) in [
+            ("rfh", rfh.total().insns),
+            ("rfv", rfv.total().insns),
+            ("regless", rl.total().insns),
+        ] {
             assert_eq!(got, expect, "{name}/{label} diverged from baseline");
         }
     }
@@ -44,7 +50,9 @@ fn regless_replaces_rf_accesses_with_osu_accesses() {
     let kernel = rodinia::kernel("kmeans");
     let rl_cfg = RegLessConfig::paper_default();
     let compiled = compile(&kernel, &rl_cfg.region_config(&gpu())).unwrap();
-    let rl = RegLessSim::new(gpu(), rl_cfg, compiled.clone()).run().unwrap();
+    let rl = RegLessSim::new(gpu(), rl_cfg, compiled.clone())
+        .run()
+        .unwrap();
     let base = run_baseline(gpu(), Arc::new(compiled)).unwrap();
     let (b, r) = (base.total(), rl.total());
     assert_eq!(r.rf_reads, 0, "RegLess has no register file");
@@ -93,18 +101,18 @@ fn simulations_are_deterministic() {
 #[test]
 fn configs_round_trip_through_json() {
     let gpu = gpu();
-    let json = serde_json::to_string(&gpu).unwrap();
-    let back: GpuConfig = serde_json::from_str(&json).unwrap();
+    let json = regless_json::to_string(&gpu);
+    let back: GpuConfig = regless_json::from_str(&json).unwrap();
     assert_eq!(back, gpu);
 
     let rl = RegLessConfig::paper_default();
-    let json = serde_json::to_string(&rl).unwrap();
-    let back: RegLessConfig = serde_json::from_str(&json).unwrap();
+    let json = regless_json::to_string(&rl);
+    let back: RegLessConfig = regless_json::from_str(&json).unwrap();
     assert_eq!(back, rl);
 
     let rc = RegionConfig::default();
-    let json = serde_json::to_string(&rc).unwrap();
-    let back: RegionConfig = serde_json::from_str(&json).unwrap();
+    let json = regless_json::to_string(&rc);
+    let back: RegionConfig = regless_json::from_str(&json).unwrap();
     assert_eq!(back, rc);
 }
 
@@ -113,8 +121,14 @@ fn multiple_sms_share_the_l2() {
     // Two SMs run the same kernel concurrently: same per-warp work, shared
     // L2 — both must finish, and total instructions double.
     let kernel = rodinia::kernel("kmeans");
-    let one = GpuConfig { num_sms: 1, ..gpu() };
-    let two = GpuConfig { num_sms: 2, ..gpu() };
+    let one = GpuConfig {
+        num_sms: 1,
+        ..gpu()
+    };
+    let two = GpuConfig {
+        num_sms: 2,
+        ..gpu()
+    };
     let compiled = compile(&kernel, &RegionConfig::default()).unwrap();
     let r1 = run_baseline(one, Arc::new(compiled.clone())).unwrap();
     let r2 = run_baseline(two, Arc::new(compiled)).unwrap();
@@ -133,8 +147,7 @@ fn shipped_asm_kernels_load_compile_and_run() {
     for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/kernels")).unwrap() {
         let path = entry.unwrap().path();
         let text = std::fs::read_to_string(&path).unwrap();
-        let kernel = parse_kernel(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let kernel = parse_kernel(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let cfg = RegLessConfig::paper_default();
         let compiled = compile(&kernel, &cfg.region_config(&gpu())).unwrap();
         let report = RegLessSim::new(gpu(), cfg, compiled).run().unwrap();
@@ -155,6 +168,9 @@ fn small_capacities_run_correctly() {
         let report = RegLessSim::new(gpu(), cfg, compiled).run().unwrap();
         assert_eq!(report.total().staging_mismatches, 0, "{entries} entries");
         let reference = interpret(&kernel, 0, 10_000_000).unwrap();
-        assert_eq!(report.warp_insns[0][0], reference.insns, "{entries} entries");
+        assert_eq!(
+            report.warp_insns[0][0], reference.insns,
+            "{entries} entries"
+        );
     }
 }

@@ -10,7 +10,12 @@ use regless::isa::{Kernel, KernelBuilder, Opcode, Reg};
 use regless::sim::{interpret, GpuConfig};
 
 fn gpu() -> GpuConfig {
-    GpuConfig { num_sms: 1, warps_per_sm: 8, warps_per_block: 4, ..GpuConfig::gtx980() }
+    GpuConfig {
+        num_sms: 1,
+        warps_per_sm: 8,
+        warps_per_block: 4,
+        ..GpuConfig::gtx980()
+    }
 }
 
 /// Build a random but always-terminating kernel: a bounded loop whose body
@@ -82,7 +87,7 @@ fn build_kernel(ops: &[u8], trips: u32, diamond: bool) -> Kernel {
 
 proptest! {
     // Each case runs a full machine; keep the count modest.
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn regless_matches_interpreter_on_random_kernels(

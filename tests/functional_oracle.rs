@@ -12,7 +12,11 @@ use regless::workloads::rodinia;
 use std::sync::Arc;
 
 fn gpu() -> GpuConfig {
-    GpuConfig { num_sms: 1, warps_per_sm: 16, ..GpuConfig::gtx980() }
+    GpuConfig {
+        num_sms: 1,
+        warps_per_sm: 16,
+        ..GpuConfig::gtx980()
+    }
 }
 
 fn check_against_interpreter(name: &str, report: &RunReport, kernel: &regless::isa::Kernel) {

@@ -65,8 +65,11 @@ fn preload_invalidation_flags_are_stable() {
     let kernel = parse_kernel(KERNEL).unwrap();
     let compiled = compile(&kernel, &RegionConfig::default()).unwrap();
     let r = &compiled.regions()[2];
-    let mut flags: Vec<(u16, bool)> =
-        r.preloads().iter().map(|p| (p.reg.0, p.invalidate)).collect();
+    let mut flags: Vec<(u16, bool)> = r
+        .preloads()
+        .iter()
+        .map(|p| (p.reg.0, p.invalidate))
+        .collect();
     flags.sort_unstable();
     // r5 (the loaded value) dies inside the region; r3/r4 are accumulators
     // whose *incoming* values are consumed and replaced, so their stale

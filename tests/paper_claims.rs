@@ -4,13 +4,17 @@
 
 use regless::compiler::{compile, RegionConfig};
 use regless::core::{RegLessConfig, RegLessSim};
-use regless::energy::{baseline_rf_share, energy, regless_area, baseline_rf_area, Design};
+use regless::energy::{baseline_rf_area, baseline_rf_share, energy, regless_area, Design};
 use regless::sim::{run_baseline, GpuConfig, SchedulerKind};
 use regless::workloads::rodinia;
 use std::sync::Arc;
 
 fn gpu() -> GpuConfig {
-    GpuConfig { num_sms: 1, warps_per_sm: 16, ..GpuConfig::gtx980() }
+    GpuConfig {
+        num_sms: 1,
+        warps_per_sm: 16,
+        ..GpuConfig::gtx980()
+    }
 }
 
 const SUBSET: [&str; 4] = ["kmeans", "pathfinder", "srad_v2", "nn"];
@@ -27,9 +31,11 @@ fn claim_no_large_performance_loss() {
     let mut ratios = Vec::new();
     for name in SUBSET {
         let kernel = rodinia::kernel(name);
-        let base =
-            run_baseline(gpu(), Arc::new(compile(&kernel, &RegionConfig::default()).unwrap()))
-                .unwrap();
+        let base = run_baseline(
+            gpu(),
+            Arc::new(compile(&kernel, &RegionConfig::default()).unwrap()),
+        )
+        .unwrap();
         let cfg = RegLessConfig::paper_default();
         let rl = RegLessSim::new(
             gpu(),
@@ -41,7 +47,10 @@ fn claim_no_large_performance_loss() {
         ratios.push(rl.cycles as f64 / base.cycles as f64);
     }
     let geo = geomean(&ratios);
-    assert!(geo < 1.10, "geomean slowdown {geo:.3} too large: {ratios:?}");
+    assert!(
+        geo < 1.10,
+        "geomean slowdown {geo:.3} too large: {ratios:?}"
+    );
 }
 
 /// §6.3: RegLess reduces register-structure energy by ~75% and total GPU
@@ -52,9 +61,11 @@ fn claim_energy_savings() {
     let mut total = Vec::new();
     for name in SUBSET {
         let kernel = rodinia::kernel(name);
-        let base =
-            run_baseline(gpu(), Arc::new(compile(&kernel, &RegionConfig::default()).unwrap()))
-                .unwrap();
+        let base = run_baseline(
+            gpu(),
+            Arc::new(compile(&kernel, &RegionConfig::default()).unwrap()),
+        )
+        .unwrap();
         let cfg = RegLessConfig::paper_default();
         let rl = RegLessSim::new(
             gpu(),
@@ -64,7 +75,13 @@ fn claim_energy_savings() {
         .run()
         .unwrap();
         let eb = energy(&base, Design::Baseline, &gpu());
-        let er = energy(&rl, Design::RegLess { osu_entries_per_sm: 512 }, &gpu());
+        let er = energy(
+            &rl,
+            Design::RegLess {
+                osu_entries_per_sm: 512,
+            },
+            &gpu(),
+        );
         rf.push(er.register_structures_pj / eb.register_structures_pj);
         total.push(er.total_pj() / eb.total_pj());
     }
@@ -106,7 +123,9 @@ fn claim_two_level_shrinks_working_set() {
     let gto = run_baseline(full, Arc::clone(&compiled)).unwrap();
     let two = run_baseline(
         GpuConfig {
-            scheduler: SchedulerKind::TwoLevel { active_per_scheduler: 4 },
+            scheduler: SchedulerKind::TwoLevel {
+                active_per_scheduler: 4,
+            },
             ..full
         },
         compiled,
@@ -132,7 +151,10 @@ fn claim_compressor_matters() {
     )
     .run()
     .unwrap();
-    let without_cfg = RegLessConfig { compressor_enabled: false, ..with_cfg };
+    let without_cfg = RegLessConfig {
+        compressor_enabled: false,
+        ..with_cfg
+    };
     let without = RegLessSim::new(
         full,
         without_cfg,
@@ -177,5 +199,8 @@ fn claim_preloads_rarely_touch_memory() {
         total += t.preloads_total();
     }
     let frac = staged as f64 / total.max(1) as f64;
-    assert!(frac > 0.85, "only {frac:.3} of preloads staged without memory");
+    assert!(
+        frac > 0.85,
+        "only {frac:.3} of preloads staged without memory"
+    );
 }
