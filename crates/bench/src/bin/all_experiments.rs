@@ -136,7 +136,10 @@ fn main() -> std::io::Result<()> {
         "{}",
         format_table(&["experiment", "seconds", "status"], &timing_rows)
     );
+    eprintln!("\n==== sweep run log ====");
+    eprint!("{}", sweep::engine().timing_table());
     eprintln!("{}", sweep::engine().stats().summary_line());
+    eprintln!("{}", sweep::engine().sim_time_line());
     eprintln!("total wall time: {:.1} s", started.elapsed().as_secs_f64());
 
     if !failures.is_empty() {

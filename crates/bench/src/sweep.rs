@@ -34,6 +34,7 @@
 
 use crate::{eval_gpu, run_design, run_regless_opts, DesignKind, ReglessRunOpts};
 use regless_sim::{run_baseline, GpuConfig, Machine, OccupancyLimitedRf, RunReport, SchedulerKind};
+use regless_telemetry::Log2Histogram;
 use regless_workloads::{high_pressure_kernel, micro, rodinia};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -202,6 +203,41 @@ struct Counters {
     sim_nanos: AtomicU64,
 }
 
+/// Where one [`SweepEngine::run`] call was served from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunSource {
+    /// The simulator actually ran.
+    Simulated,
+    /// Replayed from a persisted JSON entry.
+    DiskCache,
+    /// Served from the in-memory memo table.
+    MemoryCache,
+}
+
+/// One entry of the engine's run log (see [`SweepEngine::timing_table`]).
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Benchmark id.
+    pub bench: String,
+    /// Canonical variant that was run.
+    pub variant: RunVariant,
+    /// Where the report came from.
+    pub source: RunSource,
+    /// Wall seconds of the simulation that originally produced the report
+    /// — for cached runs this is *historical*, not time spent now, which
+    /// is why the timing table prints `(cached)` instead.
+    pub wall_seconds: f64,
+}
+
+/// What [`SweepEngine::gc_orphans`] removed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Names of the fingerprint directories deleted, sorted.
+    pub removed: Vec<String>,
+    /// Bytes those directories held.
+    pub bytes_freed: u64,
+}
+
 /// A point-in-time snapshot of [`SweepEngine`] activity.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct SweepStats {
@@ -232,6 +268,10 @@ type Key = (String, RunVariant);
 pub struct SweepEngine {
     cache: Mutex<HashMap<Key, Arc<OnceLock<Arc<RunReport>>>>>,
     counters: Counters,
+    /// Every `run` call in order, for the timing table.
+    records: Mutex<Vec<RunRecord>>,
+    /// Wall time of actual simulations, in milliseconds.
+    sim_hist: Mutex<Log2Histogram>,
     /// Directory for persisted reports (`None` disables persistence).
     disk_dir: Option<PathBuf>,
     mode: SweepMode,
@@ -244,6 +284,8 @@ impl SweepEngine {
         SweepEngine {
             cache: Mutex::new(HashMap::new()),
             counters: Counters::default(),
+            records: Mutex::new(Vec::new()),
+            sim_hist: Mutex::new(Log2Histogram::new()),
             disk_dir,
             mode,
         }
@@ -283,6 +325,7 @@ impl SweepEngine {
             self.counters.misses.fetch_add(1, Ordering::Relaxed);
             let report = simulate(bench, variant);
             self.note_sim(&report);
+            self.note_run(bench, variant, RunSource::Simulated, report.wall_seconds);
             eprintln!(
                 "[sweep] sim   {bench} {variant:?}: {} cycles in {:.2} s",
                 report.cycles, report.wall_seconds
@@ -298,6 +341,7 @@ impl SweepEngine {
         };
         if let Some(hit) = cell.get() {
             self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+            self.note_run(bench, variant, RunSource::MemoryCache, hit.wall_seconds);
             return Arc::clone(hit);
         }
         // `get_or_init` blocks concurrent initializers of the same key, so
@@ -310,6 +354,7 @@ impl SweepEngine {
         });
         if !initialized_here {
             self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+            self.note_run(bench, variant, RunSource::MemoryCache, report.wall_seconds);
         }
         Arc::clone(report)
     }
@@ -319,6 +364,7 @@ impl SweepEngine {
         if self.mode == SweepMode::Normal {
             if let Some(report) = path.as_deref().and_then(|p| load_entry(p, bench, variant)) {
                 self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.note_run(bench, variant, RunSource::DiskCache, report.wall_seconds);
                 eprintln!("[sweep] disk  {bench} {variant:?}");
                 return report;
             }
@@ -326,6 +372,7 @@ impl SweepEngine {
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let report = simulate(bench, variant);
         self.note_sim(&report);
+        self.note_run(bench, variant, RunSource::Simulated, report.wall_seconds);
         eprintln!(
             "[sweep] sim   {bench} {variant:?}: {} cycles in {:.2} s",
             report.cycles, report.wall_seconds
@@ -339,6 +386,155 @@ impl SweepEngine {
     fn note_sim(&self, report: &RunReport) {
         let nanos = (report.wall_seconds * 1e9) as u64;
         self.counters.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.sim_hist
+            .lock()
+            .expect("sweep histogram poisoned")
+            .record((report.wall_seconds * 1e3) as u64);
+    }
+
+    fn note_run(&self, bench: &str, variant: RunVariant, source: RunSource, wall_seconds: f64) {
+        self.records
+            .lock()
+            .expect("sweep run log poisoned")
+            .push(RunRecord {
+                bench: bench.to_string(),
+                variant,
+                source,
+                wall_seconds,
+            });
+    }
+
+    /// Snapshot of the run log, in call order.
+    pub fn run_log(&self) -> Vec<RunRecord> {
+        self.records.lock().expect("sweep run log poisoned").clone()
+    }
+
+    /// Histogram of simulated wall times in milliseconds (cache hits are
+    /// excluded — no simulator ran).
+    pub fn sim_time_histogram(&self) -> Log2Histogram {
+        self.sim_hist
+            .lock()
+            .expect("sweep histogram poisoned")
+            .clone()
+    }
+
+    /// One-line distribution summary of simulated wall times.
+    pub fn sim_time_line(&self) -> String {
+        let h = self.sim_time_histogram();
+        if h.count() == 0 {
+            return "sim wall time: no simulations this process".to_string();
+        }
+        format!(
+            "sim wall time: {} sims, mean {:.0} ms, p50 <= {} ms, p99 <= {} ms, max {} ms",
+            h.count(),
+            h.mean(),
+            h.percentile(50.0),
+            h.percentile(99.0),
+            h.max()
+        )
+    }
+
+    /// Render the run log as an aligned two-column table. Rows that
+    /// actually simulated show the simulator's wall time; warm memory and
+    /// disk hits are labeled `(cached)` — their stored `wall_seconds` is
+    /// the *historical* cost of the run that first produced the report,
+    /// and printing it made warm reruns look as slow as cold ones.
+    pub fn timing_table(&self) -> String {
+        let records = self.records.lock().expect("sweep run log poisoned");
+        if records.is_empty() {
+            return "  (no runs recorded)\n".to_string();
+        }
+        let rows: Vec<(String, String)> = records
+            .iter()
+            .map(|r| {
+                let label = format!("{} {:?}", r.bench, r.variant);
+                let time = match r.source {
+                    RunSource::Simulated => crate::timing::format_duration(
+                        std::time::Duration::from_secs_f64(r.wall_seconds.max(0.0)),
+                    ),
+                    RunSource::DiskCache | RunSource::MemoryCache => "(cached)".to_string(),
+                };
+                (label, time)
+            })
+            .collect();
+        // Pad to the widest label, capped so one verbose Debug string
+        // cannot push the time column off-screen for every row.
+        let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).min(72);
+        let mut out = String::new();
+        for (label, time) in &rows {
+            out.push_str(&format!("  {label:<width$}  {time}\n"));
+        }
+        out
+    }
+
+    /// Delete fingerprint subdirectories of the cache dir that no longer
+    /// match the current [`SweepEngine::fingerprint`] — entries orphaned
+    /// by a simulator-semantics or evaluation-machine change. Only
+    /// 16-hex-digit directory names are candidates; anything else in the
+    /// cache dir is left alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered while scanning or removing.
+    pub fn gc_orphans(&self) -> std::io::Result<GcReport> {
+        let mut gc = GcReport::default();
+        let Some(dir) = self.disk_dir.as_ref() else {
+            return Ok(gc);
+        };
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(gc),
+            Err(e) => return Err(e),
+        };
+        let current = Self::fingerprint();
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !is_fingerprint_name(&name) || name == current || !entry.file_type()?.is_dir() {
+                continue;
+            }
+            gc.bytes_freed += dir_stats(&entry.path()).1;
+            std::fs::remove_dir_all(entry.path())?;
+            gc.removed.push(name);
+        }
+        gc.removed.sort();
+        Ok(gc)
+    }
+
+    /// Human-readable listing of the disk cache: one line per fingerprint
+    /// directory with its entry count and size; the current fingerprint is
+    /// marked with `*`, orphans with `-`.
+    pub fn cache_dir_report(&self) -> String {
+        let Some(dir) = self.disk_dir.as_ref() else {
+            return "  disk cache disabled\n".to_string();
+        };
+        let mut out = format!("  cache dir: {}\n", dir.display());
+        let current = Self::fingerprint();
+        let mut rows: Vec<(String, usize, u64)> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !is_fingerprint_name(&name) {
+                    continue;
+                }
+                let (files, bytes) = dir_stats(&entry.path());
+                rows.push((name, files, bytes));
+            }
+        }
+        if rows.is_empty() {
+            out.push_str("  (empty)\n");
+            return out;
+        }
+        rows.sort();
+        for (name, files, bytes) in rows {
+            let mark = if name == current { '*' } else { '-' };
+            out.push_str(&format!(
+                "  {mark} {name}  {files} entries, {}\n",
+                format_bytes(bytes)
+            ));
+        }
+        out.push_str("  (* = current fingerprint; - = orphan, prunable with --gc)\n");
+        out
     }
 
     fn entry_path(&self, bench: &str, variant: RunVariant) -> Option<PathBuf> {
@@ -407,6 +603,43 @@ pub fn regless_opts(bench: &str, opts: ReglessRunOpts) -> Arc<RunReport> {
 /// [`engine`]'s memoized [`crate::run_baseline_with_scheduler`].
 pub fn baseline_with_scheduler(bench: &str, kind: SchedulerKind) -> Arc<RunReport> {
     engine().run(bench, RunVariant::Scheduler(kind))
+}
+
+/// A cache-fingerprint directory name: exactly 16 lowercase hex digits
+/// (the `{:016x}` of [`SweepEngine::fingerprint`]).
+fn is_fingerprint_name(name: &str) -> bool {
+    name.len() == 16
+        && name
+            .chars()
+            .all(|c| c.is_ascii_digit() || ('a'..='f').contains(&c))
+}
+
+/// Entry count and total byte size of a directory's immediate files.
+fn dir_stats(path: &Path) -> (usize, u64) {
+    let mut files = 0usize;
+    let mut bytes = 0u64;
+    if let Ok(entries) = std::fs::read_dir(path) {
+        for entry in entries.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    files += 1;
+                    bytes += meta.len();
+                }
+            }
+        }
+    }
+    (files, bytes)
+}
+
+/// Render a byte count with a unit suited to its magnitude.
+fn format_bytes(bytes: u64) -> String {
+    if bytes < 1024 {
+        format!("{bytes} B")
+    } else if bytes < 1024 * 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    }
 }
 
 /// FNV-1a, used for the cache fingerprint and slug collision guards.
@@ -581,6 +814,86 @@ mod tests {
         let re = forced.run(&bench, variant);
         assert_eq!(forced.stats().misses, 1);
         assert_eq!(re.cycles, first.cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timing_table_marks_warm_hits_cached() {
+        let engine = SweepEngine::with_config(None, SweepMode::Normal);
+        let bench = rodinia_id("nn");
+        let variant = RunVariant::Design(DesignKind::Baseline);
+        engine.run(&bench, variant);
+        engine.run(&bench, variant);
+
+        let log = engine.run_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].source, RunSource::Simulated);
+        assert_eq!(log[1].source, RunSource::MemoryCache);
+
+        let table = engine.timing_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            !lines[0].contains("(cached)"),
+            "cold run shows a wall time: {}",
+            lines[0]
+        );
+        assert!(
+            lines[1].ends_with("(cached)"),
+            "warm hit is labeled: {}",
+            lines[1]
+        );
+
+        let hist = engine.sim_time_histogram();
+        assert_eq!(hist.count(), 1, "only the real simulation is recorded");
+        assert!(engine.sim_time_line().starts_with("sim wall time: 1 sims"));
+    }
+
+    #[test]
+    fn fingerprint_names_are_recognized() {
+        assert!(is_fingerprint_name(&SweepEngine::fingerprint()));
+        assert!(is_fingerprint_name("0123456789abcdef"));
+        assert!(!is_fingerprint_name("0123456789ABCDEF"));
+        assert!(!is_fingerprint_name("0123456789abcde"));
+        assert!(!is_fingerprint_name("0123456789abcdef0"));
+        assert!(!is_fingerprint_name("latest-notes.txt"));
+    }
+
+    #[test]
+    fn gc_removes_only_orphaned_fingerprint_dirs() {
+        let dir = std::env::temp_dir().join(format!(
+            "regless-sweep-gc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let current = dir.join(SweepEngine::fingerprint());
+        let orphan = dir.join("00000000deadbeef");
+        let keeper = dir.join("notes"); // not a fingerprint: untouched
+        for d in [&current, &orphan, &keeper] {
+            std::fs::create_dir_all(d).unwrap();
+        }
+        std::fs::write(current.join("a.json"), "{}").unwrap();
+        std::fs::write(orphan.join("b.json"), "stale").unwrap();
+
+        let engine = SweepEngine::with_config(Some(dir.clone()), SweepMode::Normal);
+        let report = engine.cache_dir_report();
+        assert!(report.contains("00000000deadbeef"), "{report}");
+        assert!(report.contains(&SweepEngine::fingerprint()), "{report}");
+
+        let gc = engine.gc_orphans().unwrap();
+        assert_eq!(gc.removed, vec!["00000000deadbeef".to_string()]);
+        assert_eq!(gc.bytes_freed, 5);
+        assert!(current.join("a.json").exists(), "current entries survive");
+        assert!(keeper.exists(), "non-fingerprint dirs survive");
+        assert!(!orphan.exists());
+
+        // Idempotent.
+        assert_eq!(engine.gc_orphans().unwrap(), GcReport::default());
+
+        // No disk dir: a no-op, not an error.
+        let off = SweepEngine::with_config(None, SweepMode::Normal);
+        assert_eq!(off.gc_orphans().unwrap(), GcReport::default());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

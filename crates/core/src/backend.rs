@@ -170,9 +170,24 @@ impl RegLessBackend {
         ctx: &mut BackendCtx<'_>,
     ) {
         ctx.stats.compressor_matches += 1;
+        ctx.stats.trace_event(
+            ctx.now,
+            TraceEvent::OsuEvict {
+                warp: line.warp,
+                reg: line.reg,
+            },
+        );
         match shard.compressor.store(line.warp, line.reg, &line.value) {
             StoreOutcome::Compressed { line_miss } => {
                 ctx.stats.compressor_compressed += 1;
+                ctx.stats.trace_event(
+                    ctx.now,
+                    TraceEvent::CompressorStore {
+                        warp: line.warp,
+                        reg: line.reg,
+                        compressed: true,
+                    },
+                );
                 if line_miss {
                     let addr = regmap.compressed_line_addr(line.warp, line.reg);
                     ctx.mem
@@ -182,6 +197,14 @@ impl RegLessBackend {
                 }
             }
             StoreOutcome::Incompressible => {
+                ctx.stats.trace_event(
+                    ctx.now,
+                    TraceEvent::CompressorStore {
+                        warp: line.warp,
+                        reg: line.reg,
+                        compressed: false,
+                    },
+                );
                 backing.store(line.warp, line.reg, line.value);
                 let addr = regmap.line_addr(line.warp, line.reg);
                 ctx.mem
@@ -230,6 +253,8 @@ impl RegLessBackend {
                     .expect("bit vector said so");
                 let (source, when) = if hit.line_miss {
                     let addr = self.regmap.compressed_line_addr(p.warp, p.reg);
+                    ctx.stats
+                        .observe("l1.port_backlog", ctx.mem.l1_port_backlog(ctx.sm, ctx.now));
                     let a = ctx
                         .mem
                         .access_line(ctx.sm, addr, false, Traffic::Register, ctx.now);
@@ -243,12 +268,28 @@ impl RegLessBackend {
                         PreloadSource::L1 => ctx.stats.preloads_l1 += 1,
                         _ => ctx.stats.preloads_l2_dram += 1,
                     }
+                    ctx.stats.trace_event(
+                        ctx.now,
+                        TraceEvent::Preload {
+                            warp: p.warp,
+                            reg: p.reg,
+                            source: src,
+                        },
+                    );
                     (None, a.done + 3)
                 } else {
                     (Some(PreloadSource::Compressor), ctx.now + 3)
                 };
                 if let Some(s) = source {
                     ctx.stats.record_preload(s);
+                    ctx.stats.trace_event(
+                        ctx.now,
+                        TraceEvent::Preload {
+                            warp: p.warp,
+                            reg: p.reg,
+                            source: s,
+                        },
+                    );
                 }
                 let result = shard.osu.fill(p.warp, p.reg, hit.value);
                 if let Some(victim) = result.spilled {
@@ -263,15 +304,26 @@ impl RegLessBackend {
                 }
             } else {
                 let addr = self.regmap.line_addr(p.warp, p.reg);
+                ctx.stats
+                    .observe("l1.port_backlog", ctx.mem.l1_port_backlog(ctx.sm, ctx.now));
                 let a = ctx
                     .mem
                     .access_line(ctx.sm, addr, false, Traffic::Register, ctx.now);
                 ctx.stats.backing_series.record(ctx.now, 1);
-                ctx.stats.record_preload(if a.serviced_by == Level::L1 {
+                let src = if a.serviced_by == Level::L1 {
                     PreloadSource::L1
                 } else {
                     PreloadSource::L2OrDram
-                });
+                };
+                ctx.stats.record_preload(src);
+                ctx.stats.trace_event(
+                    ctx.now,
+                    TraceEvent::Preload {
+                        warp: p.warp,
+                        reg: p.reg,
+                        source: src,
+                    },
+                );
                 let value = self.backing.load(p.warp, p.reg);
                 let result = shard.osu.fill(p.warp, p.reg, value);
                 if let Some(victim) = result.spilled {
@@ -288,6 +340,8 @@ impl RegLessBackend {
                     ctx.mem.l1_drop_line(ctx.sm, addr);
                 }
             }
+            ctx.stats
+                .observe("preload.latency", done.saturating_sub(ctx.now));
             if done <= ctx.now {
                 let e = shard.pending.get_mut(&p.warp).expect("pending entry");
                 *e -= 1;
@@ -307,6 +361,7 @@ impl OperandBackend for RegLessBackend {
         if ctx.now.is_multiple_of(regless_sim::WINDOW_CYCLES) {
             let active: usize = self.shards.iter().map(|s| s.osu.active_lines()).sum();
             ctx.stats.osu_occupancy.record(ctx.now, active as u64);
+            ctx.stats.sample("osu.occupancy", ctx.now, active as f64);
         }
         for s in 0..self.shards.len() {
             // 1. Complete in-flight preload fetches.
@@ -355,6 +410,8 @@ impl OperandBackend for RegLessBackend {
                             Some(pc) => self.compiled.region_at(pc) != region,
                         };
                         if left_region {
+                            ctx.stats
+                                .trace_event(ctx.now, TraceEvent::RegionDrain { warp: w });
                             Self::start_drain(shard, &self.inflight_regs[w], w);
                         }
                     }
@@ -376,8 +433,9 @@ impl OperandBackend for RegLessBackend {
                 }
                 if let WarpPhase::Draining(_) = shard.cm.phase(w) {
                     if shard.cm.try_finish_drain(w, self.finishing[w]) {
-                        ctx.stats.region_active_cycles +=
-                            ctx.now.saturating_sub(self.activated_at[w]);
+                        let resident = ctx.now.saturating_sub(self.activated_at[w]);
+                        ctx.stats.region_active_cycles += resident;
+                        ctx.stats.observe("region.active_cycles", resident);
                         ctx.stats
                             .trace_event(ctx.now, TraceEvent::RegionRelease { warp: w });
                     }
@@ -476,6 +534,8 @@ impl OperandBackend for RegLessBackend {
         // — the CM knows the boundary from the region metadata.
         if let WarpPhase::Active(region) = shard.cm.phase(w) {
             if at.idx + 1 == self.compiled.region(region).end() {
+                ctx.stats
+                    .trace_event(ctx.now, TraceEvent::RegionDrain { warp: w });
                 Self::start_drain(shard, &self.inflight_regs[w], w);
             }
         }
@@ -566,13 +626,15 @@ impl OperandBackend for RegLessBackend {
         }
     }
 
-    fn on_warp_finish(&mut self, w: usize, _ctx: &mut BackendCtx<'_>) {
+    fn on_warp_finish(&mut self, w: usize, ctx: &mut BackendCtx<'_>) {
         self.finishing[w] = true;
         let s = self.shard_of(w);
         let shard = &mut self.shards[s];
         // `Exit` is its region's last instruction, so on_issue usually
         // started the drain already; only start one if it did not.
         if let WarpPhase::Active(_) = shard.cm.phase(w) {
+            ctx.stats
+                .trace_event(ctx.now, TraceEvent::RegionDrain { warp: w });
             Self::start_drain(shard, &self.inflight_regs[w], w);
         }
     }

@@ -85,6 +85,13 @@ impl RegLessSim {
     pub fn run(self) -> Result<RunReport, SimError> {
         self.machine.run()
     }
+
+    /// Attach a telemetry recorder to every SM (see
+    /// [`Machine::attach_telemetry`]); the merged telemetry comes back in
+    /// [`RunReport::telemetry`].
+    pub fn attach_telemetry(&mut self, events_per_sm: usize) {
+        self.machine.attach_telemetry(events_per_sm);
+    }
 }
 
 /// Compile a kernel with limits matched to `config` and run it under

@@ -238,6 +238,7 @@ mod proptests {
             final_regs: Vec::new(),
             warp_insns: Vec::new(),
             wall_seconds: 0.0,
+            telemetry: None,
         }
     }
 

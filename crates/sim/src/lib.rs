@@ -59,5 +59,9 @@ pub use rf::{collector_conflict_cycles, rf_bank, RF_BANKS};
 pub use sched::Scheduler;
 pub use sm::{load_value, run_baseline, Machine, RunReport, SimError, Sm};
 pub use stats::{MemStats, PreloadSource, SmStats, WindowSeries, WorkingSetTracker, WINDOW_CYCLES};
-pub use trace::{TraceBuffer, TraceEvent, TraceRecord};
+pub use trace::TraceEvent;
+
+// The telemetry subsystem the structured events feed into; re-exported so
+// backend crates and binaries don't need a separate dependency line.
+pub use regless_telemetry as telemetry;
 pub use warp::{StackEntry, WarpBlock, WarpState};

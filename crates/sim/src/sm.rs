@@ -379,6 +379,8 @@ impl<B: OperandBackend> Sm<B> {
             let a = mem.access_line(self.id, line * 128, write, Traffic::Data, now);
             done = done.max(a.done);
         }
+        self.stats
+            .observe("mem.data_latency", done.saturating_sub(now));
         done
     }
 
@@ -410,6 +412,11 @@ pub struct RunReport {
     /// [`Machine::run`]. A report served from the sweep-engine cache keeps
     /// the wall time of the run that originally produced it.
     pub wall_seconds: f64,
+    /// Merged telemetry across SMs when a recorder was attached via
+    /// [`Machine::attach_telemetry`]; `None` otherwise. Like `final_regs`,
+    /// this is a debugging payload and is never persisted by the JSON
+    /// serializers.
+    pub telemetry: Option<Box<regless_telemetry::Telemetry>>,
 }
 
 // JSON layout for the sweep-engine result cache. `final_regs` is a
@@ -447,6 +454,7 @@ impl regless_json::FromJson for RunReport {
             final_regs: Vec::new(),
             warp_insns: regless_json::FromJson::from_json(v.field("warp_insns")?)?,
             wall_seconds: regless_json::FromJson::from_json(v.field("wall_seconds")?)?,
+            telemetry: None,
         })
     }
 }
@@ -528,13 +536,16 @@ impl<B: OperandBackend> Machine<B> {
             .iter()
             .map(|sm| sm.warps.iter().map(|w| w.insns_issued).collect())
             .collect();
+        let mut sm_stats: Vec<SmStats> = self.sms.into_iter().map(|sm| sm.stats).collect();
+        let telemetry = collect_telemetry(&mut sm_stats, &self.mem.stats, now);
         Ok(RunReport {
             cycles: now,
-            sm_stats: self.sms.into_iter().map(|sm| sm.stats).collect(),
+            sm_stats,
             mem: self.mem.stats,
             final_regs,
             warp_insns,
             wall_seconds: started.elapsed().as_secs_f64(),
+            telemetry,
         })
     }
 
@@ -543,15 +554,67 @@ impl<B: OperandBackend> Machine<B> {
         &self.sms
     }
 
-    /// Enable event tracing on one SM, keeping up to `capacity` records;
-    /// the trace comes back in [`RunReport::sm_stats`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sm` is out of range.
-    pub fn enable_trace(&mut self, sm: usize, capacity: usize) {
-        self.sms[sm].stats.trace = Some(crate::TraceBuffer::new(capacity));
+    /// Attach a telemetry recorder to every SM, each buffering up to
+    /// `events_per_sm` structured events (counters, histograms, and time
+    /// series are unbounded). The merged telemetry comes back in
+    /// [`RunReport::telemetry`].
+    pub fn attach_telemetry(&mut self, events_per_sm: usize) {
+        for (i, sm) in self.sms.iter_mut().enumerate() {
+            sm.stats.recorder = Some(Box::new(
+                regless_telemetry::MemoryRecorder::new(events_per_sm).with_group(i as u16),
+            ));
+        }
     }
+}
+
+/// Drain every SM's recorder, merge into one [`regless_telemetry::Telemetry`],
+/// and fold the headline run counters into the exported view so summaries
+/// are self-contained.
+fn collect_telemetry(
+    sm_stats: &mut [SmStats],
+    mem: &MemStats,
+    cycles: Cycle,
+) -> Option<Box<regless_telemetry::Telemetry>> {
+    let mut merged = regless_telemetry::Telemetry::new();
+    let mut any = false;
+    for s in sm_stats.iter_mut() {
+        if let Some(rec) = s.recorder.take() {
+            merged.merge(rec.into_telemetry());
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut total = SmStats::default();
+    for s in sm_stats.iter() {
+        total.merge(s);
+    }
+    merged.add_counter("cycles", cycles);
+    merged.add_counter("sm.insns", total.insns);
+    merged.add_counter("sm.meta_insns", total.meta_insns);
+    merged.add_counter("sm.idle_cycles", total.idle_cycles);
+    merged.add_counter("preload.osu", total.preloads_osu);
+    merged.add_counter("preload.compressor", total.preloads_compressor);
+    merged.add_counter("preload.l1", total.preloads_l1);
+    merged.add_counter("preload.l2_dram", total.preloads_l2_dram);
+    merged.add_counter("osu.reads", total.osu_reads);
+    merged.add_counter("osu.writes", total.osu_writes);
+    merged.add_counter("osu.tag_probes", total.osu_tag_probes);
+    merged.add_counter("osu.bank_conflicts", total.osu_bank_conflicts);
+    merged.add_counter("compressor.matches", total.compressor_matches);
+    merged.add_counter("compressor.compressed", total.compressor_compressed);
+    merged.add_counter("regions.activated", total.regions_activated);
+    merged.add_counter("regions.active_cycles", total.region_active_cycles);
+    merged.add_counter("reg.stores_l1", total.reg_stores_l1);
+    merged.add_counter("reg.invalidate_l1", total.reg_invalidate_l1);
+    merged.add_counter("mem.l1_data_accesses", mem.l1_data_accesses);
+    merged.add_counter("mem.l1_reg_accesses", mem.l1_reg_accesses);
+    merged.add_counter("mem.l1_hits", mem.l1_hits);
+    merged.add_counter("mem.l1_misses", mem.l1_misses);
+    merged.add_counter("mem.l2_accesses", mem.l2_accesses);
+    merged.add_counter("mem.dram_accesses", mem.dram_accesses);
+    Some(Box::new(merged))
 }
 
 /// Convenience runner for the baseline register-file design.

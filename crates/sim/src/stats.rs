@@ -181,8 +181,10 @@ pub struct SmStats {
     /// state at issue — any nonzero count is a staging-path value bug.
     pub staging_mismatches: u64,
 
-    /// Optional event trace (off by default; see [`crate::TraceBuffer`]).
-    pub trace: Option<crate::trace::TraceBuffer>,
+    /// Optional telemetry recorder (off by default; see
+    /// [`crate::Machine::attach_telemetry`]). When absent, every
+    /// instrumentation site reduces to one `Option` check.
+    pub recorder: Option<Box<regless_telemetry::MemoryRecorder>>,
     /// Register working set per window (Figure 2).
     pub working_set: WorkingSetTracker,
     /// Backing-store accesses per window (Figure 3): baseline RF accesses,
@@ -203,10 +205,30 @@ impl SmStats {
         self.preloads_l1 + self.preloads_l2_dram + self.reg_stores_l1 + self.reg_invalidate_l1
     }
 
-    /// Record one trace event if tracing is enabled.
+    /// Whether a telemetry recorder is attached; callers doing non-trivial
+    /// work to *construct* event data should check first.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Record one structured event if telemetry is enabled.
     pub fn trace_event(&mut self, cycle: crate::config::Cycle, event: crate::trace::TraceEvent) {
-        if let Some(t) = &mut self.trace {
-            t.record(cycle, event);
+        if let Some(r) = &mut self.recorder {
+            crate::trace::emit(r, cycle, &event);
+        }
+    }
+
+    /// Record a value into a named telemetry histogram if enabled.
+    pub fn observe(&mut self, hist: &'static str, value: u64) {
+        if let Some(r) = &mut self.recorder {
+            regless_telemetry::Recorder::observe(r.as_mut(), hist, value);
+        }
+    }
+
+    /// Append a point to a named telemetry time series if enabled.
+    pub fn sample(&mut self, series: &'static str, ts: crate::config::Cycle, value: f64) {
+        if let Some(r) = &mut self.recorder {
+            regless_telemetry::Recorder::sample(r.as_mut(), series, ts, value);
         }
     }
 
@@ -357,8 +379,8 @@ impl regless_json::ToJson for SmStats {
             };
         }
         for_each_sm_counter!(put);
-        // The optional event trace is a debugging aid, not a result; it is
-        // never persisted.
+        // The optional telemetry recorder is a debugging aid, not a
+        // result; it is never persisted.
         pairs.push((
             "working_set".into(),
             regless_json::ToJson::to_json(&self.working_set),

@@ -1,14 +1,21 @@
-//! Optional execution tracing.
+//! The simulator's structured-event vocabulary and its bridge onto the
+//! `regless-telemetry` recording subsystem.
 //!
-//! A [`TraceBuffer`] can be attached to one SM's statistics
-//! ([`crate::SmStats::trace`]); the pipeline and the operand backend then
-//! record timestamped events — instruction issues, writebacks, barrier
-//! releases, and RegLess region lifecycle transitions — up to a fixed
-//! capacity. Tracing is off by default and costs nothing when disabled.
+//! The pipeline and the operand backends describe what happened with the
+//! typed [`TraceEvent`] enum; [`emit`] translates each occurrence into the
+//! generic track/span/instant model of [`regless_telemetry`]. Warp tracks
+//! carry the region lifecycle as three back-to-back spans —
+//! `preload` (admission → activation), `active` (activation → drain
+//! start), and `drain` (drain start → release) — with issues, writebacks,
+//! and staged preloads as instants; shared structures (OSU, compressor,
+//! scheduler) get their own tracks. Recording is off unless a recorder is
+//! attached (see [`crate::Machine::attach_telemetry`]) and costs nothing
+//! when disabled.
 
 use crate::config::Cycle;
 use crate::stats::PreloadSource;
 use regless_isa::{InsnRef, Reg};
+use regless_telemetry::{Event, Recorder, Structure, Track};
 
 /// One traced event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,6 +58,12 @@ pub enum TraceEvent {
         /// The active region.
         region: u32,
     },
+    /// RegLess: a warp's region began draining (last instruction issued,
+    /// the warp left the region, or the warp finished).
+    RegionDrain {
+        /// The warp.
+        warp: usize,
+    },
     /// RegLess: a warp finished draining and released its allocation.
     RegionRelease {
         /// The warp.
@@ -65,126 +78,174 @@ pub enum TraceEvent {
         /// Where the value came from.
         source: PreloadSource,
     },
+    /// RegLess: a dirty OSU line was displaced.
+    OsuEvict {
+        /// Owning warp of the displaced line.
+        warp: usize,
+        /// The displaced register.
+        reg: Reg,
+    },
+    /// RegLess: the compressor handled a displaced line.
+    CompressorStore {
+        /// Owning warp of the line.
+        warp: usize,
+        /// The register.
+        reg: Reg,
+        /// Whether a pattern matched (false = spilled uncompressed).
+        compressed: bool,
+    },
 }
 
-/// A timestamped trace record.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct TraceRecord {
-    /// Cycle the event occurred.
-    pub cycle: Cycle,
-    /// The event.
-    pub event: TraceEvent,
+impl PreloadSource {
+    /// Short label for telemetry args.
+    pub fn label(self) -> &'static str {
+        match self {
+            PreloadSource::Osu => "osu",
+            PreloadSource::Compressor => "compressor",
+            PreloadSource::L1 => "l1",
+            PreloadSource::L2OrDram => "l2-dram",
+        }
+    }
 }
 
-/// A bounded event recorder.
+/// Translate one [`TraceEvent`] into telemetry events.
 ///
-/// ```
-/// use regless_sim::{TraceBuffer, TraceEvent};
-/// let mut t = TraceBuffer::new(2);
-/// t.record(1, TraceEvent::WarpFinish { warp: 0 });
-/// t.record(2, TraceEvent::WarpFinish { warp: 1 });
-/// t.record(3, TraceEvent::WarpFinish { warp: 2 }); // dropped: full
-/// assert_eq!(t.records().len(), 2);
-/// assert_eq!(t.dropped(), 1);
-/// ```
-#[derive(Clone, Debug)]
-pub struct TraceBuffer {
-    records: Vec<TraceRecord>,
-    capacity: usize,
-    dropped: u64,
-}
-
-impl TraceBuffer {
-    /// A buffer holding up to `capacity` records; later events are counted
-    /// but dropped.
-    pub fn new(capacity: usize) -> Self {
-        TraceBuffer {
-            records: Vec::new(),
-            capacity,
-            dropped: 0,
+/// Region lifecycle transitions close the previous span and open the next
+/// on the warp's track, so an exported Chrome trace shows the
+/// preload/active/drain phases as contiguous slices.
+pub(crate) fn emit(rec: &mut regless_telemetry::MemoryRecorder, cycle: Cycle, ev: &TraceEvent) {
+    match *ev {
+        TraceEvent::Issue { warp, pc } => {
+            rec.record(Event::instant(cycle, Track::warp(warp), "issue").arg("pc", pc.to_string()));
         }
-    }
-
-    /// Record one event.
-    pub fn record(&mut self, cycle: Cycle, event: TraceEvent) {
-        if self.records.len() < self.capacity {
-            self.records.push(TraceRecord { cycle, event });
-        } else {
-            self.dropped += 1;
+        TraceEvent::Writeback { warp, reg } => {
+            rec.record(
+                Event::instant(cycle, Track::warp(warp), "writeback").arg("reg", reg.to_string()),
+            );
         }
-    }
-
-    /// All recorded events, in order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
-    }
-
-    /// Events dropped after the buffer filled.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    /// Render the region lifecycle of one warp as a timeline.
-    pub fn warp_timeline(&self, warp: usize) -> String {
-        let mut out = String::new();
-        for r in &self.records {
-            let line = match r.event {
-                TraceEvent::RegionPreload { warp: w, region } if w == warp => {
-                    Some(format!("{:>8}  preload region{region}", r.cycle))
-                }
-                TraceEvent::RegionActivate { warp: w, region } if w == warp => {
-                    Some(format!("{:>8}  activate region{region}", r.cycle))
-                }
-                TraceEvent::RegionRelease { warp: w } if w == warp => {
-                    Some(format!("{:>8}  release", r.cycle))
-                }
-                TraceEvent::Issue { warp: w, pc } if w == warp => {
-                    Some(format!("{:>8}    issue {pc}", r.cycle))
-                }
-                TraceEvent::Preload {
-                    warp: w,
-                    reg,
-                    source,
-                } if w == warp => Some(format!("{:>8}    stage {reg} from {source:?}", r.cycle)),
-                TraceEvent::WarpFinish { warp: w } if w == warp => {
-                    Some(format!("{:>8}  finish", r.cycle))
-                }
-                _ => None,
-            };
-            if let Some(l) = line {
-                out.push_str(&l);
-                out.push('\n');
-            }
+        TraceEvent::BarrierRelease { block } => {
+            rec.record(
+                Event::instant(
+                    cycle,
+                    Track::structure(Structure::Scheduler),
+                    "barrier_release",
+                )
+                .arg("block", block),
+            );
         }
-        out
+        TraceEvent::WarpFinish { warp } => {
+            rec.record(Event::instant(cycle, Track::warp(warp), "finish"));
+        }
+        TraceEvent::RegionPreload { warp, region } => {
+            rec.record(Event::begin(cycle, Track::warp(warp), "preload").arg("region", region));
+        }
+        TraceEvent::RegionActivate { warp, region } => {
+            rec.record(Event::end(cycle, Track::warp(warp), "preload"));
+            rec.record(Event::begin(cycle, Track::warp(warp), "active").arg("region", region));
+        }
+        TraceEvent::RegionDrain { warp } => {
+            rec.record(Event::end(cycle, Track::warp(warp), "active"));
+            rec.record(Event::begin(cycle, Track::warp(warp), "drain"));
+        }
+        TraceEvent::RegionRelease { warp } => {
+            rec.record(Event::end(cycle, Track::warp(warp), "drain"));
+        }
+        TraceEvent::Preload { warp, reg, source } => {
+            rec.record(
+                Event::instant(cycle, Track::warp(warp), "stage")
+                    .arg("reg", reg.to_string())
+                    .arg("source", source.label()),
+            );
+        }
+        TraceEvent::OsuEvict { warp, reg } => {
+            rec.record(
+                Event::instant(cycle, Track::structure(Structure::Osu), "evict")
+                    .arg("warp", warp)
+                    .arg("reg", reg.to_string()),
+            );
+        }
+        TraceEvent::CompressorStore {
+            warp,
+            reg,
+            compressed,
+        } => {
+            rec.record(
+                Event::instant(cycle, Track::structure(Structure::Compressor), "store")
+                    .arg("warp", warp)
+                    .arg("reg", reg.to_string())
+                    .arg("compressed", compressed),
+            );
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use regless_telemetry::{Lane, MemoryRecorder, Phase};
 
     #[test]
-    fn capacity_bounds_records() {
-        let mut t = TraceBuffer::new(3);
-        for c in 0..10 {
-            t.record(c, TraceEvent::WarpFinish { warp: c as usize });
-        }
-        assert_eq!(t.records().len(), 3);
-        assert_eq!(t.dropped(), 7);
+    fn lifecycle_maps_to_contiguous_spans() {
+        let mut rec = MemoryRecorder::new(64);
+        emit(
+            &mut rec,
+            5,
+            &TraceEvent::RegionPreload { warp: 1, region: 0 },
+        );
+        emit(
+            &mut rec,
+            8,
+            &TraceEvent::RegionActivate { warp: 1, region: 0 },
+        );
+        emit(&mut rec, 20, &TraceEvent::RegionDrain { warp: 1 });
+        emit(&mut rec, 23, &TraceEvent::RegionRelease { warp: 1 });
+        let events = rec.events();
+        assert_eq!(events.len(), 6);
+        // Begin/end counts balance on the warp track.
+        let begins = events.iter().filter(|e| e.phase == Phase::Begin).count();
+        let ends = events.iter().filter(|e| e.phase == Phase::End).count();
+        assert_eq!(begins, 3);
+        assert_eq!(ends, 3);
+        assert!(events
+            .iter()
+            .all(|e| e.track.lane == Lane::Warp(1) && e.ts >= 5 && e.ts <= 23));
     }
 
     #[test]
-    fn timeline_filters_by_warp() {
-        let mut t = TraceBuffer::new(16);
-        t.record(5, TraceEvent::RegionPreload { warp: 1, region: 0 });
-        t.record(6, TraceEvent::RegionActivate { warp: 1, region: 0 });
-        t.record(6, TraceEvent::RegionActivate { warp: 2, region: 0 });
-        t.record(9, TraceEvent::RegionRelease { warp: 1 });
-        let tl = t.warp_timeline(1);
-        assert!(tl.contains("preload region0"));
-        assert!(tl.contains("activate region0"));
-        assert!(tl.contains("release"));
-        assert_eq!(tl.lines().count(), 3, "warp 2's event excluded");
+    fn structure_events_land_on_structure_tracks() {
+        let mut rec = MemoryRecorder::new(64);
+        emit(
+            &mut rec,
+            1,
+            &TraceEvent::OsuEvict {
+                warp: 0,
+                reg: Reg(3),
+            },
+        );
+        emit(
+            &mut rec,
+            2,
+            &TraceEvent::CompressorStore {
+                warp: 0,
+                reg: Reg(3),
+                compressed: true,
+            },
+        );
+        emit(&mut rec, 3, &TraceEvent::BarrierRelease { block: 0 });
+        let lanes: Vec<Lane> = rec.events().iter().map(|e| e.track.lane).collect();
+        assert_eq!(
+            lanes,
+            vec![
+                Lane::Structure(Structure::Osu),
+                Lane::Structure(Structure::Compressor),
+                Lane::Structure(Structure::Scheduler),
+            ]
+        );
+    }
+
+    #[test]
+    fn preload_sources_have_stable_labels() {
+        assert_eq!(PreloadSource::Osu.label(), "osu");
+        assert_eq!(PreloadSource::L2OrDram.label(), "l2-dram");
     }
 }

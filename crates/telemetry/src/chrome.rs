@@ -1,0 +1,157 @@
+//! Chrome trace-event export (loadable in `chrome://tracing` / Perfetto).
+//!
+//! The export follows the JSON-object form of the trace-event format:
+//! `{"traceEvents": [...]}` with one Chrome *process* per SM and one
+//! *thread* per lane (warps first, then the shared structures), so a run
+//! renders as one swim-lane per warp plus per-structure tracks. Cycles are
+//! written through as microsecond timestamps — 1 cycle = 1 µs keeps the
+//! viewer's zoom arithmetic intuitive.
+
+use crate::event::{ArgValue, Phase};
+use crate::recorder::Telemetry;
+use regless_json::Json;
+
+fn arg_json(v: &ArgValue) -> Json {
+    match v {
+        ArgValue::Int(i) => Json::Int(*i),
+        ArgValue::Float(f) => Json::Float(*f),
+        ArgValue::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+/// Build the trace-event JSON document for a run's telemetry.
+///
+/// Events are sorted by `(pid, tid, ts)` with begin-before-end stability at
+/// equal timestamps preserved from recording order, so each track's
+/// timestamps are monotone — a property the golden tests assert.
+pub fn chrome_trace(t: &Telemetry) -> Json {
+    let mut records: Vec<Json> = Vec::new();
+
+    // Metadata: name the processes (SMs) and threads (lanes) that appear.
+    let mut tracks: Vec<_> = t.events.iter().map(|e| e.track).collect();
+    tracks.sort();
+    tracks.dedup();
+    let mut groups: Vec<u16> = tracks.iter().map(|tr| tr.group).collect();
+    groups.dedup();
+    for g in groups {
+        records.push(Json::Obj(vec![
+            ("name".into(), Json::Str("process_name".into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::Int(i64::from(g))),
+            ("tid".into(), Json::Int(0)),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::Str(format!("SM {g}")))]),
+            ),
+        ]));
+    }
+    for tr in &tracks {
+        records.push(Json::Obj(vec![
+            ("name".into(), Json::Str("thread_name".into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::Int(i64::from(tr.group))),
+            ("tid".into(), Json::Int(tr.lane.tid() as i64)),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::Str(tr.lane.label()))]),
+            ),
+        ]));
+    }
+
+    // Real events, sorted per track (stable: preserves begin/end order at
+    // equal timestamps).
+    let mut order: Vec<usize> = (0..t.events.len()).collect();
+    order.sort_by_key(|&i| {
+        let e = &t.events[i];
+        (e.track.group, e.track.lane.tid(), e.ts)
+    });
+    for i in order {
+        let e = &t.events[i];
+        let ph = match e.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        };
+        let mut fields = vec![
+            ("name".into(), Json::Str(e.name.into())),
+            ("ph".into(), Json::Str(ph.into())),
+            ("ts".into(), Json::Uint(e.ts)),
+            ("pid".into(), Json::Int(i64::from(e.track.group))),
+            ("tid".into(), Json::Int(e.track.lane.tid() as i64)),
+        ];
+        if e.phase == Phase::Instant {
+            // Thread-scoped instants render as small arrows on the track.
+            fields.push(("s".into(), Json::Str("t".into())));
+        }
+        if !e.args.is_empty() {
+            fields.push((
+                "args".into(),
+                Json::Obj(
+                    e.args
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), arg_json(v)))
+                        .collect(),
+                ),
+            ));
+        }
+        records.push(Json::Obj(fields));
+    }
+
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(records)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+    ])
+}
+
+/// [`chrome_trace`] serialized compactly.
+pub fn chrome_trace_string(t: &Telemetry) -> String {
+    chrome_trace(t).to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Structure, Track};
+    use crate::recorder::{MemoryRecorder, Recorder};
+
+    #[test]
+    fn export_is_valid_json_with_monotone_tracks() {
+        let mut r = MemoryRecorder::new(64).with_group(0);
+        // Record out of track order on purpose.
+        r.record(Event::instant(9, Track::warp(1), "issue"));
+        r.record(Event::begin(2, Track::warp(0), "preload").arg("region", 1u32));
+        r.record(Event::end(4, Track::warp(0), "preload"));
+        r.record(Event::instant(3, Track::structure(Structure::Osu), "evict"));
+        let doc = chrome_trace_string(&r.into_telemetry());
+        let parsed = Json::parse(&doc).expect("valid json");
+        let Json::Arr(events) = parsed.field("traceEvents").unwrap() else {
+            panic!("traceEvents must be an array");
+        };
+        // 1 process + 3 threads metadata + 4 events.
+        assert_eq!(events.len(), 8);
+        let mut last: std::collections::HashMap<(i64, i64), u64> = Default::default();
+        for e in events {
+            let Json::Str(ph) = e.field("ph").unwrap() else {
+                panic!("ph is a string")
+            };
+            if ph == "M" {
+                continue;
+            }
+            let pid = match e.field("pid").unwrap() {
+                Json::Int(v) => *v,
+                other => panic!("pid {other:?}"),
+            };
+            let tid = match e.field("tid").unwrap() {
+                Json::Int(v) => *v,
+                other => panic!("tid {other:?}"),
+            };
+            let ts = match e.field("ts").unwrap() {
+                Json::Uint(v) => *v,
+                Json::Int(v) => *v as u64,
+                other => panic!("ts {other:?}"),
+            };
+            let prev = last.insert((pid, tid), ts);
+            assert!(prev.is_none_or(|p| p <= ts), "ts monotone per track");
+        }
+    }
+}

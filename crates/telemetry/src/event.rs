@@ -1,0 +1,236 @@
+//! The structured-event vocabulary: tracks, phases, and events.
+
+/// Simulation timestamp (cycles).
+pub type Ts = u64;
+
+/// A hardware structure with its own timeline track.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Structure {
+    /// The operand staging unit (allocation/eviction traffic).
+    Osu,
+    /// The register compressor.
+    Compressor,
+    /// The L1 port serving register traffic.
+    L1Port,
+    /// The warp schedulers (barrier releases and the like).
+    Scheduler,
+}
+
+impl Structure {
+    /// All structures, in display order.
+    pub const ALL: [Structure; 4] = [
+        Structure::Osu,
+        Structure::Compressor,
+        Structure::L1Port,
+        Structure::Scheduler,
+    ];
+
+    /// Display name for exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::Osu => "osu",
+            Structure::Compressor => "compressor",
+            Structure::L1Port => "l1-port",
+            Structure::Scheduler => "scheduler",
+        }
+    }
+}
+
+/// A horizontal lane in the trace: one per warp plus one per structure.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lane {
+    /// A hardware warp (SM-local index).
+    Warp(u16),
+    /// A shared structure.
+    Structure(Structure),
+}
+
+/// Chrome thread ids reserved for structure lanes start here; warp lanes
+/// use their warp index directly.
+pub const STRUCTURE_TID_BASE: u64 = 1000;
+
+impl Lane {
+    /// Stable numeric id used as the Chrome-trace `tid`.
+    pub fn tid(self) -> u64 {
+        match self {
+            Lane::Warp(w) => u64::from(w),
+            Lane::Structure(s) => {
+                STRUCTURE_TID_BASE
+                    + Structure::ALL.iter().position(|&x| x == s).expect("listed") as u64
+            }
+        }
+    }
+
+    /// Display name for exporters.
+    pub fn label(self) -> String {
+        match self {
+            Lane::Warp(w) => format!("warp {w}"),
+            Lane::Structure(s) => s.name().to_string(),
+        }
+    }
+}
+
+/// Where an event lives: a group (the SM) and a lane within it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Track {
+    /// Group index (the SM); stamped by the recorder.
+    pub group: u16,
+    /// Lane within the group.
+    pub lane: Lane,
+}
+
+impl Track {
+    /// A warp track (group stamped by the recorder at record time).
+    pub fn warp(w: usize) -> Track {
+        Track {
+            group: 0,
+            lane: Lane::Warp(w as u16),
+        }
+    }
+
+    /// A structure track (group stamped by the recorder at record time).
+    pub fn structure(s: Structure) -> Track {
+        Track {
+            group: 0,
+            lane: Lane::Structure(s),
+        }
+    }
+}
+
+/// Event shape, mirroring the Chrome trace-event phases used.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// A span opens on the track (`ph: "B"`).
+    Begin,
+    /// The innermost open span on the track closes (`ph: "E"`).
+    End,
+    /// A point event (`ph: "i"`).
+    Instant,
+}
+
+/// One argument value attached to an event.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ArgValue {
+    /// An integer (register numbers, region ids, …).
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A short string (source names, …).
+    Str(String),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::Int(i64::from(v))
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl std::fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgValue::Int(v) => write!(f, "{v}"),
+            ArgValue::Float(v) => write!(f, "{v}"),
+            ArgValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One structured event. Events are only constructed when a recorder is
+/// attached, so the allocation in `args` costs nothing on disabled runs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Event {
+    /// Timestamp (cycles).
+    pub ts: Ts,
+    /// Where the event lives.
+    pub track: Track,
+    /// Taxonomy name (`"preload"`, `"active"`, `"issue"`, …).
+    pub name: &'static str,
+    /// Span begin/end or instant.
+    pub phase: Phase,
+    /// Optional key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    /// An instant event with no arguments.
+    pub fn instant(ts: Ts, track: Track, name: &'static str) -> Event {
+        Event {
+            ts,
+            track,
+            name,
+            phase: Phase::Instant,
+            args: Vec::new(),
+        }
+    }
+
+    /// A span-begin event with no arguments.
+    pub fn begin(ts: Ts, track: Track, name: &'static str) -> Event {
+        Event {
+            ts,
+            track,
+            name,
+            phase: Phase::Begin,
+            args: Vec::new(),
+        }
+    }
+
+    /// A span-end event with no arguments.
+    pub fn end(ts: Ts, track: Track, name: &'static str) -> Event {
+        Event {
+            ts,
+            track,
+            name,
+            phase: Phase::End,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attach an argument (builder style).
+    #[must_use]
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Event {
+        self.args.push((key, value.into()));
+        self
+    }
+}

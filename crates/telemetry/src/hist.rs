@@ -1,0 +1,254 @@
+//! Log2-bucketed histograms for latencies and occupancies.
+
+/// Number of buckets: one for the value 0 plus one per power of two up to
+/// `u64::MAX` (bucket `k >= 1` holds values in `[2^(k-1), 2^k)`).
+pub const NUM_BUCKETS: usize = 65;
+
+/// A fixed-shape histogram with logarithmic buckets.
+///
+/// Recording and merging are O(1)/O(buckets) with no allocation, so the
+/// simulator can observe per-event latencies at full rate. Merging is
+/// associative and commutative, and bucket counts are conserved — the
+/// telemetry test suite property-checks both.
+///
+/// ```
+/// use regless_telemetry::Log2Histogram;
+/// let mut h = Log2Histogram::new();
+/// h.record(0);
+/// h.record(3);
+/// h.record(200);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.max(), 200);
+/// assert!(h.mean() > 60.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    /// Saturating sum of recorded values (latencies in a simulation never
+    /// approach the ceiling).
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, otherwise `floor(log2(v)) + 1`.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts; bucket 0 holds zeros, bucket `k >= 1` holds
+    /// values in `[2^(k-1), 2^k)`.
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound (exclusive) of bucket `k`, saturating at `u64::MAX`.
+    pub fn bucket_limit(k: usize) -> u64 {
+        if k == 0 {
+            1
+        } else if k >= 64 {
+            u64::MAX
+        } else {
+            1u64 << k
+        }
+    }
+
+    /// Approximate `p`-th percentile (0–100): the upper bound of the bucket
+    /// in which the `p`-th ranked value falls. Returns 0 for an empty
+    /// histogram. The approximation never understates by more than the
+    /// bucket width (a factor of two).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if k == 0 {
+                    return 0;
+                }
+                // Clamp the bucket's bound to the observed maximum so p100
+                // equals `max` exactly.
+                return Self::bucket_limit(k).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl regless_json::ToJson for Log2Histogram {
+    fn to_json(&self) -> regless_json::Json {
+        // Buckets are stored sparsely as [index, count] pairs: most of the
+        // 65 buckets are empty for any real latency distribution.
+        let sparse: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (k as u64, c))
+            .collect();
+        regless_json::Json::Obj(vec![
+            ("count".into(), regless_json::ToJson::to_json(&self.count)),
+            ("sum".into(), regless_json::ToJson::to_json(&self.sum)),
+            ("min".into(), regless_json::ToJson::to_json(&self.min())),
+            ("max".into(), regless_json::ToJson::to_json(&self.max)),
+            ("buckets".into(), regless_json::ToJson::to_json(&sparse)),
+        ])
+    }
+}
+
+impl regless_json::FromJson for Log2Histogram {
+    fn from_json(v: &regless_json::Json) -> Result<Self, regless_json::JsonError> {
+        let mut h = Log2Histogram::new();
+        h.count = regless_json::FromJson::from_json(v.field("count")?)?;
+        h.sum = regless_json::FromJson::from_json(v.field("sum")?)?;
+        h.max = regless_json::FromJson::from_json(v.field("max")?)?;
+        let min: u64 = regless_json::FromJson::from_json(v.field("min")?)?;
+        h.min = if h.count == 0 { u64::MAX } else { min };
+        let sparse: Vec<(u64, u64)> = regless_json::FromJson::from_json(v.field("buckets")?)?;
+        for (k, c) in sparse {
+            let k = usize::try_from(k)
+                .ok()
+                .filter(|&k| k < NUM_BUCKETS)
+                .ok_or_else(|| regless_json::JsonError::new("histogram bucket out of range"))?;
+            h.buckets[k] = c;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn stats_track_recorded_values() {
+        let mut h = Log2Histogram::new();
+        for v in [5u64, 9, 0, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1014);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 253.5).abs() < 1e-9);
+        assert_eq!(h.percentile(100.0), 1000);
+        assert!(h.percentile(50.0) <= 16);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = Log2Histogram::new();
+        a.record(3);
+        let mut b = Log2Histogram::new();
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 3);
+        assert_eq!(a.max(), 300);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 7, 4096, 1 << 40] {
+            h.record(v);
+        }
+        let json = regless_json::to_string(&h);
+        let parsed = regless_json::Json::parse(&json).unwrap();
+        let back: Log2Histogram = regless_json::FromJson::from_json(&parsed).unwrap();
+        assert_eq!(back, h);
+        let empty_json = regless_json::to_string(&Log2Histogram::new());
+        let parsed = regless_json::Json::parse(&empty_json).unwrap();
+        let back: Log2Histogram = regless_json::FromJson::from_json(&parsed).unwrap();
+        assert_eq!(back, Log2Histogram::new());
+    }
+}

@@ -1,0 +1,45 @@
+//! Unified observability for the RegLess reproduction.
+//!
+//! The simulator and the RegLess backend emit *structured events* (warp
+//! region lifecycle, OSU traffic, compressor hits, L1-port arbitration),
+//! *counters*, *log2 histograms*, and *time series* through the
+//! [`Recorder`] trait. Recording is strictly opt-in: with no recorder
+//! attached (or with [`NullRecorder`]) every instrumentation site reduces
+//! to a branch on an `Option`/constant `false`, so disabled runs are
+//! byte-identical to uninstrumented ones — a property the repository's
+//! tier-1 tests assert.
+//!
+//! Collected [`Telemetry`] can be exported three ways:
+//!
+//! - [`chrome_trace`] — Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or Perfetto, with one track per warp and per
+//!   hardware structure;
+//! - [`summary_csv`] — flat CSV of counters and histogram digests;
+//! - [`TelemetrySummary`] — the same digest as a JSON-serializable value
+//!   (embedded in `RunReport` and the sweep engine's outputs).
+//!
+//! ```
+//! use regless_telemetry::{chrome_trace_string, Event, MemoryRecorder, Recorder, Track};
+//!
+//! let mut rec = MemoryRecorder::new(1 << 16).with_group(0);
+//! rec.record(Event::begin(10, Track::warp(0), "preload").arg("region", 0u32));
+//! rec.record(Event::end(14, Track::warp(0), "preload"));
+//! rec.observe("preload.latency", 4);
+//! let telemetry = rec.into_telemetry();
+//! assert!(chrome_trace_string(&telemetry).contains("\"traceEvents\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod hist;
+mod recorder;
+mod summary;
+
+pub use chrome::{chrome_trace, chrome_trace_string};
+pub use event::{ArgValue, Event, Lane, Phase, Structure, Track, Ts, STRUCTURE_TID_BASE};
+pub use hist::{Log2Histogram, NUM_BUCKETS};
+pub use recorder::{MemoryRecorder, NullRecorder, Recorder, Telemetry};
+pub use summary::{summary_csv, HistogramSummary, TelemetrySummary};

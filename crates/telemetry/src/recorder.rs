@@ -1,0 +1,290 @@
+//! The recording core: the [`Recorder`] trait, the zero-cost
+//! [`NullRecorder`], the buffering [`MemoryRecorder`], and the merged
+//! [`Telemetry`] container the exporters consume.
+
+use crate::event::{Event, Lane, Track, Ts};
+use crate::hist::Log2Histogram;
+use std::collections::BTreeMap;
+
+/// A pluggable telemetry sink.
+///
+/// Instrumentation sites call these methods unconditionally; a disabled
+/// sink must make them free. [`NullRecorder`] does exactly that — every
+/// method is an empty inline body, so a monomorphized caller compiles the
+/// calls away entirely. Callers doing non-trivial work to *construct* an
+/// event should gate on [`Recorder::enabled`] first.
+pub trait Recorder {
+    /// Whether recording is live; `false` lets callers skip event
+    /// construction entirely.
+    fn enabled(&self) -> bool;
+
+    /// Record one structured event.
+    fn record(&mut self, event: Event);
+
+    /// Add to a named monotone counter.
+    fn counter_add(&mut self, name: &'static str, n: u64);
+
+    /// Record one value into a named log2 histogram.
+    fn observe(&mut self, hist: &'static str, value: u64);
+
+    /// Append one point to a named time series.
+    fn sample(&mut self, series: &'static str, ts: Ts, value: f64);
+}
+
+/// The disabled sink: every operation is a no-op that the optimizer
+/// removes. Attaching no recorder at all behaves identically; this type
+/// exists so generic code can be written against a concrete `Recorder`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+
+    #[inline(always)]
+    fn counter_add(&mut self, _name: &'static str, _n: u64) {}
+
+    #[inline(always)]
+    fn observe(&mut self, _hist: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn sample(&mut self, _series: &'static str, _ts: Ts, _value: f64) {}
+}
+
+/// An in-memory sink with a bounded event buffer (events past capacity are
+/// counted but dropped, like the old `TraceBuffer`) and unbounded counter,
+/// histogram, and series tables.
+///
+/// ```
+/// use regless_telemetry::{Event, MemoryRecorder, Recorder, Track};
+/// let mut r = MemoryRecorder::new(1).with_group(0);
+/// r.record(Event::instant(3, Track::warp(0), "issue"));
+/// r.record(Event::instant(4, Track::warp(1), "issue")); // dropped: full
+/// r.observe("lat", 17);
+/// let t = r.into_telemetry();
+/// assert_eq!(t.events.len(), 1);
+/// assert_eq!(t.dropped, 1);
+/// assert_eq!(t.histograms["lat"].count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemoryRecorder {
+    group: u16,
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Log2Histogram>,
+    series: BTreeMap<&'static str, Vec<(Ts, f64)>>,
+}
+
+impl MemoryRecorder {
+    /// A recorder buffering up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        MemoryRecorder {
+            group: 0,
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Stamp every recorded event with track group `group` (the SM index).
+    #[must_use]
+    pub fn with_group(mut self, group: u16) -> Self {
+        self.group = group;
+        self
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Convert into the merged-container form the exporters consume.
+    pub fn into_telemetry(self) -> Telemetry {
+        Telemetry {
+            events: self.events,
+            dropped: self.dropped,
+            counters: self
+                .counters
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .hists
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            series: self
+                .series
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, mut event: Event) {
+        if self.events.len() < self.capacity {
+            event.track.group = self.group;
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn counter_add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    fn observe(&mut self, hist: &'static str, value: u64) {
+        self.hists.entry(hist).or_default().record(value);
+    }
+
+    fn sample(&mut self, series: &'static str, ts: Ts, value: f64) {
+        self.series.entry(series).or_default().push((ts, value));
+    }
+}
+
+/// Everything one run recorded, merged across SMs: the raw event stream
+/// plus counter/histogram/series tables. Produced by
+/// [`MemoryRecorder::into_telemetry`] and consumed by the exporters.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Structured events in recording order (group-stamped per SM).
+    pub events: Vec<Event>,
+    /// Events dropped past the buffer capacity.
+    pub dropped: u64,
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Log2 histograms by name.
+    pub histograms: BTreeMap<String, Log2Histogram>,
+    /// Time series by name, as `(ts, value)` points.
+    pub series: BTreeMap<String, Vec<(Ts, f64)>>,
+}
+
+impl Telemetry {
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold another SM's telemetry into this one: events concatenate,
+    /// counters sum, histograms merge, series concatenate and re-sort.
+    pub fn merge(&mut self, other: Telemetry) {
+        self.events.extend(other.events);
+        self.dropped += other.dropped;
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.histograms {
+            self.histograms.entry(k).or_default().merge(&v);
+        }
+        for (k, v) in other.series {
+            let s = self.series.entry(k).or_default();
+            s.extend(v);
+            s.sort_by_key(|&(ts, _)| ts);
+        }
+    }
+
+    /// Add to a named counter (used to fold externally kept statistics —
+    /// e.g. the simulator's `SmStats` — into the exported view).
+    pub fn add_counter(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Render one track's events as a plain-text timeline (the migration
+    /// target of the old `TraceBuffer::warp_timeline`).
+    pub fn timeline(&self, group: u16, lane: Lane) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            if e.track != (Track { group, lane }) {
+                continue;
+            }
+            let marker = match e.phase {
+                crate::Phase::Begin => "+",
+                crate::Phase::End => "-",
+                crate::Phase::Instant => " ",
+            };
+            let _ = write!(out, "{:>8}  {marker} {}", e.ts, e.name);
+            for (k, v) in &e.args {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Structure;
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(Event::instant(0, Track::warp(0), "x"));
+        r.counter_add("c", 3);
+        r.observe("h", 9);
+        r.sample("s", 1, 2.0);
+    }
+
+    #[test]
+    fn recorder_stamps_group_and_bounds_events() {
+        let mut r = MemoryRecorder::new(2).with_group(7);
+        for i in 0..5u64 {
+            r.record(Event::instant(i, Track::warp(0), "e"));
+        }
+        let t = r.into_telemetry();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.dropped, 3);
+        assert!(t.events.iter().all(|e| e.track.group == 7));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = MemoryRecorder::new(8).with_group(0);
+        a.counter_add("insns", 10);
+        a.observe("lat", 4);
+        let mut b = MemoryRecorder::new(8).with_group(1);
+        b.counter_add("insns", 5);
+        b.observe("lat", 400);
+        b.sample("occ", 100, 3.0);
+        let mut t = a.into_telemetry();
+        t.merge(b.into_telemetry());
+        assert_eq!(t.counters["insns"], 15);
+        assert_eq!(t.histograms["lat"].count(), 2);
+        assert_eq!(t.series["occ"].len(), 1);
+    }
+
+    #[test]
+    fn timeline_filters_by_track() {
+        let mut r = MemoryRecorder::new(16);
+        r.record(Event::begin(5, Track::warp(1), "preload").arg("region", 0u32));
+        r.record(Event::end(6, Track::warp(1), "preload"));
+        r.record(Event::instant(6, Track::warp(2), "issue"));
+        r.record(Event::instant(7, Track::structure(Structure::Osu), "evict"));
+        let t = r.into_telemetry();
+        let tl = t.timeline(0, Lane::Warp(1));
+        assert!(tl.contains("+ preload region=0"));
+        assert!(tl.contains("- preload"));
+        assert_eq!(tl.lines().count(), 2, "other tracks excluded");
+    }
+}

@@ -7,6 +7,7 @@
 
 use regless::compiler::compile;
 use regless::core::{RegLessBackend, RegLessConfig};
+use regless::sim::telemetry::Lane;
 use regless::sim::{GpuConfig, Machine};
 use regless::workloads::rodinia;
 use std::sync::Arc;
@@ -25,16 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::new(gpu, Arc::clone(&compiled), |sm| {
         RegLessBackend::new(sm, &gpu, &cfg, Arc::clone(&compiled))
     });
-    machine.enable_trace(0, 200_000);
+    machine.attach_telemetry(200_000);
     let report = machine.run()?;
 
-    let trace = report.sm_stats[0].trace.as_ref().expect("trace enabled");
+    let telemetry = report.telemetry.as_ref().expect("telemetry attached");
     println!(
         "benchmark `{name}`, warp {warp} — region lifecycle ({} events total,\n{} dropped past buffer capacity)\n",
-        trace.records().len(),
-        trace.dropped()
+        telemetry.events.len(),
+        telemetry.dropped
     );
-    let timeline = trace.warp_timeline(warp);
+    let timeline = telemetry.timeline(0, Lane::Warp(warp as u16));
     // Print the first chunk of the timeline; full kernels produce thousands
     // of lines.
     for line in timeline.lines().take(80) {

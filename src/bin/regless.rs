@@ -9,10 +9,17 @@
 //! regless inspect <kernel>            regions, annotations, metadata
 //! regless asm <kernel>                dump the kernel as assembly text
 //! regless sweep <kernel>              OSU capacity sweep
+//! regless sweep --stats | --gc        sweep-engine cache report / pruning
+//! regless trace <kernel> [options]    telemetry export for one run
+//!     --design baseline|regless           backend to trace (default regless)
+//!     --capacity <entries>                OSU entries/SM (default 512)
+//!     --format chrome|csv                 Chrome trace JSON or CSV summary
+//!     --out <path>                        write there instead of stdout
 //! ```
 //!
 //! `<kernel>` is a built-in benchmark name (see `regless list`) or a path
 //! to a `.asm` file in the textual format of [`regless::isa::text`].
+//! Chrome traces load in `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use regless::baselines::{run_rfh, run_rfv};
 use regless::compiler::{compile, RegionConfig};
@@ -20,7 +27,8 @@ use regless::core::{RegLessConfig, RegLessSim};
 use regless::energy::{energy, Design};
 use regless::isa::text::{format_kernel, parse_kernel};
 use regless::isa::Kernel;
-use regless::sim::{run_baseline, GpuConfig, RunReport};
+use regless::sim::{run_baseline, BaselineRf, GpuConfig, Machine, RunReport};
+use regless::telemetry::{chrome_trace_string, summary_csv};
 use regless::workloads::rodinia;
 use std::sync::Arc;
 
@@ -32,6 +40,7 @@ fn main() {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -55,7 +64,10 @@ fn print_usage() {
          \u{20}                            --capacity <entries>, --no-compressor)\n\
          \u{20}  inspect <kernel>          regions, annotations, metadata\n\
          \u{20}  asm <kernel>              dump assembly text\n\
-         \u{20}  sweep <kernel>            OSU capacity sweep\n\n\
+         \u{20}  sweep <kernel>            OSU capacity sweep\n\
+         \u{20}  sweep --stats | --gc      sweep-engine cache report / orphan pruning\n\
+         \u{20}  trace <kernel> [options]  telemetry export (options: --design baseline|regless,\n\
+         \u{20}                            --capacity <entries>, --format chrome|csv, --out <path>)\n\n\
          <kernel> is a benchmark name or a path to a .asm file"
     );
 }
@@ -197,8 +209,109 @@ fn cmd_asm(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// Record a full simulation's telemetry and export it.
+fn cmd_trace(args: &[String]) -> CmdResult {
+    let spec = args.first().ok_or("trace: missing kernel")?;
+    let kernel = load_kernel(spec)?;
+    let mut design = "regless".to_string();
+    let mut capacity = 512usize;
+    let mut format = "chrome".to_string();
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--design" => design = it.next().ok_or("--design needs a value")?.clone(),
+            "--capacity" => {
+                capacity = it.next().ok_or("--capacity needs a value")?.parse()?;
+            }
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+
+    /// Events buffered per SM before older spans are dropped.
+    const EVENTS_PER_SM: usize = 1_000_000;
+    let gpu = GpuConfig::gtx980_single_sm();
+    let report = match design.as_str() {
+        "baseline" => {
+            let compiled = Arc::new(compile(&kernel, &RegionConfig::default())?);
+            let mut machine = Machine::new(gpu, compiled, |_| BaselineRf::new());
+            machine.attach_telemetry(EVENTS_PER_SM);
+            machine.run()?
+        }
+        "regless" => {
+            let cfg = RegLessConfig::with_capacity(capacity);
+            let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
+            let mut sim = RegLessSim::new(gpu, cfg, compiled);
+            sim.attach_telemetry(EVENTS_PER_SM);
+            sim.run()?
+        }
+        other => return Err(format!("trace supports baseline|regless, not {other:?}").into()),
+    };
+    let telemetry = report
+        .telemetry
+        .as_ref()
+        .expect("attach_telemetry was called");
+    let rendered = match format.as_str() {
+        "chrome" => chrome_trace_string(telemetry),
+        "csv" => summary_csv(telemetry),
+        other => return Err(format!("unknown format {other:?} (chrome|csv)").into()),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &rendered)?;
+            eprintln!(
+                "wrote {} bytes of {format} telemetry for `{}` to {path} \
+                 ({} events, {} dropped)",
+                rendered.len(),
+                kernel.name(),
+                telemetry.events.len(),
+                telemetry.dropped
+            );
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Print the sweep engine's cache report (`regless sweep --stats`).
+fn cmd_sweep_stats() -> CmdResult {
+    let engine = regless::bench::sweep::engine();
+    println!("{}", engine.stats().summary_line());
+    print!("{}", engine.cache_dir_report());
+    Ok(())
+}
+
+/// Prune orphaned fingerprint directories (`regless sweep --gc`).
+fn cmd_sweep_gc() -> CmdResult {
+    let engine = regless::bench::sweep::engine();
+    let gc = engine.gc_orphans()?;
+    if gc.removed.is_empty() {
+        println!("no orphaned cache directories");
+    } else {
+        for name in &gc.removed {
+            println!("removed orphan {name}");
+        }
+        println!(
+            "freed {} bytes across {} directories",
+            gc.bytes_freed,
+            gc.removed.len()
+        );
+    }
+    print!("{}", engine.cache_dir_report());
+    Ok(())
+}
+
 fn cmd_sweep(args: &[String]) -> CmdResult {
-    let spec = args.first().ok_or("sweep: missing kernel")?;
+    match args.first().map(String::as_str) {
+        Some("--stats") => return cmd_sweep_stats(),
+        Some("--gc") => return cmd_sweep_gc(),
+        _ => {}
+    }
+    let spec = args
+        .first()
+        .ok_or("sweep: missing kernel (or --stats/--gc)")?;
     let kernel = load_kernel(spec)?;
     let gpu = GpuConfig::gtx980_single_sm();
     let base = run_baseline(gpu, Arc::new(compile(&kernel, &RegionConfig::default())?))?;

@@ -21,7 +21,11 @@
 //!   compressor),
 //! * [`baselines`] — the RFH and RFV comparison points,
 //! * [`energy`] — event-based energy, power, and area models,
-//! * [`workloads`] — synthetic Rodinia-like benchmark kernels.
+//! * [`workloads`] — synthetic Rodinia-like benchmark kernels,
+//! * [`telemetry`] — structured events, histograms, and Chrome-trace/CSV
+//!   export for simulator runs,
+//! * [`bench`](mod@bench) — the experiment harness and its memoized sweep
+//!   engine.
 //!
 //! ## Quickstart
 //!
@@ -45,9 +49,11 @@
 #![warn(missing_docs)]
 
 pub use regless_baselines as baselines;
+pub use regless_bench as bench;
 pub use regless_compiler as compiler;
 pub use regless_core as core;
 pub use regless_energy as energy;
 pub use regless_isa as isa;
 pub use regless_sim as sim;
+pub use regless_telemetry as telemetry;
 pub use regless_workloads as workloads;
