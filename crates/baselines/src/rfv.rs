@@ -90,6 +90,15 @@ impl OperandBackend for RfvBackend {
         self.admitted.contains(&w)
     }
 
+    fn issue_stall(&self, w: usize, _pc: InsnRef) -> Option<regless_sim::StallReason> {
+        if self.finished.contains(&w) {
+            None
+        } else {
+            // Throttled: waiting for physical-register pool capacity.
+            Some(regless_sim::StallReason::OsuCapacityWait)
+        }
+    }
+
     fn on_issue(
         &mut self,
         _w: usize,

@@ -80,6 +80,10 @@ fn main() -> std::io::Result<()> {
             regless_bench::figs::extensions::osu_occupancy,
         ),
         ("summary.json", regless_bench::figs::summary::report),
+        (
+            "BENCH_profile.json",
+            regless_bench::profile::bench_profiles_report,
+        ),
     ];
     let total = experiments.len();
     // Experiments are independent; run them across available cores. Each

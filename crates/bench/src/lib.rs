@@ -18,6 +18,7 @@ use regless_workloads::rodinia;
 use std::sync::Arc;
 
 pub mod figs;
+pub mod profile;
 pub mod sweep;
 pub mod timing;
 

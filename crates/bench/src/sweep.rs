@@ -42,7 +42,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Bump when the on-disk JSON layout changes (part of the fingerprint).
-const CACHE_FORMAT_VERSION: u32 = 1;
+/// v2: `SmStats` gained the CPI-stack fields (`issue_stack`,
+/// `warp_stacks`, `region_stacks`).
+const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// One simulation the engine knows how to run and key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -526,13 +528,20 @@ impl SweepEngine {
             return out;
         }
         rows.sort();
+        let (mut total_files, mut total_bytes) = (0usize, 0u64);
         for (name, files, bytes) in rows {
             let mark = if name == current { '*' } else { '-' };
             out.push_str(&format!(
                 "  {mark} {name}  {files} entries, {}\n",
                 format_bytes(bytes)
             ));
+            total_files += files;
+            total_bytes += bytes;
         }
+        out.push_str(&format!(
+            "  total: {total_files} entries, {}\n",
+            format_bytes(total_bytes)
+        ));
         out.push_str("  (* = current fingerprint; - = orphan, prunable with --gc)\n");
         out
     }
@@ -880,6 +889,9 @@ mod tests {
         let report = engine.cache_dir_report();
         assert!(report.contains("00000000deadbeef"), "{report}");
         assert!(report.contains(&SweepEngine::fingerprint()), "{report}");
+        // The footer totals across all fingerprints: a.json (2 bytes) +
+        // b.json (5 bytes).
+        assert!(report.contains("total: 2 entries, 7 B"), "{report}");
 
         let gc = engine.gc_orphans().unwrap();
         assert_eq!(gc.removed, vec!["00000000deadbeef".to_string()]);

@@ -495,6 +495,28 @@ impl OperandBackend for RegLessBackend {
         }
     }
 
+    fn issue_stall(&self, w: usize, _pc: InsnRef) -> Option<regless_sim::StallReason> {
+        use regless_sim::StallReason;
+        let shard = &self.shards[self.shard_of(w)];
+        match shard.cm.phase(w) {
+            // Inputs being staged into the OSU.
+            WarpPhase::Preloading(_) => Some(StallReason::CmPreloadWait),
+            // Stacked, waiting its turn. If the CM's last admission scan
+            // denied a candidate for capacity, the slot is lost to OSU
+            // space; otherwise the warp is simply behind in the preload
+            // pipeline.
+            WarpPhase::Inactive => Some(if shard.cm.admission_capacity_denied() {
+                StallReason::OsuCapacityWait
+            } else {
+                StallReason::CmPreloadWait
+            }),
+            // Between regions: old region still draining, or the PC moved
+            // past the active region's boundary.
+            WarpPhase::Draining(_) | WarpPhase::Active(_) => Some(StallReason::Drain),
+            WarpPhase::Finished => None,
+        }
+    }
+
     fn on_issue(
         &mut self,
         w: usize,

@@ -74,6 +74,11 @@ pub struct CapacityManager {
     outstanding: Vec<usize>,
     lines_per_bank: usize,
     order: ActivationOrder,
+    /// Whether the most recent [`CapacityManager::try_start_preload`] call
+    /// found a candidate warp but denied it for lack of bank capacity
+    /// (as opposed to finding no candidate at all). Feeds the issue-slot
+    /// attribution: a capacity denial charges `OsuCapacityWait`.
+    denied_capacity: bool,
 }
 
 impl CapacityManager {
@@ -107,12 +112,21 @@ impl CapacityManager {
             outstanding: vec![0; num_warps_total],
             lines_per_bank,
             order,
+            denied_capacity: false,
         }
     }
 
     /// The warp's current phase.
     pub fn phase(&self, w: usize) -> WarpPhase {
         self.phases[w]
+    }
+
+    /// Whether the most recent [`CapacityManager::try_start_preload`]
+    /// denied an otherwise-runnable warp because its region did not fit
+    /// the remaining bank budget. Distinguishes "stalled on capacity"
+    /// from "no warp wanted to preload" for CPI-stack attribution.
+    pub fn admission_capacity_denied(&self) -> bool {
+        self.denied_capacity
     }
 
     /// Whether `usage` fits the remaining budget.
@@ -136,6 +150,7 @@ impl CapacityManager {
         &mut self,
         mut next: impl FnMut(usize) -> Option<(RegionId, [usize; NUM_BANKS])>,
     ) -> Option<(usize, RegionId)> {
+        self.denied_capacity = false;
         // Scan from the top for the first admissible warp.
         for pos in (0..self.stack.len()).rev() {
             let w = self.stack[pos];
@@ -150,6 +165,7 @@ impl CapacityManager {
                 );
                 // Capacity will free as active warps drain; do not bypass
                 // (preserves the stack's locality order).
+                self.denied_capacity = true;
                 return None;
             }
             self.stack.remove(pos);

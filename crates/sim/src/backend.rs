@@ -11,6 +11,7 @@ use crate::mem::MemSystem;
 use crate::stats::SmStats;
 use crate::warp::WarpState;
 use regless_isa::{InsnRef, Instruction, LaneVec, Reg};
+use regless_telemetry::StallReason;
 
 /// Mutable context handed to backend hooks.
 pub struct BackendCtx<'a> {
@@ -46,6 +47,19 @@ pub trait OperandBackend {
     fn warp_eligible(&mut self, w: usize, pc: InsnRef) -> bool {
         let _ = (w, pc);
         true
+    }
+
+    /// Why warp `w` is ineligible to issue at `pc` right now, for the
+    /// per-cycle issue-slot attribution (CPI stacks). Only consulted for
+    /// warps whose [`OperandBackend::warp_eligible`] returned `false` this
+    /// cycle; `None` means the backend has no stake in the warp (finished,
+    /// or the backend never gates it). RegLess reports
+    /// [`StallReason::CmPreloadWait`], [`StallReason::OsuCapacityWait`],
+    /// or [`StallReason::Drain`]; occupancy-limited baselines report
+    /// capacity waits.
+    fn issue_stall(&self, w: usize, pc: InsnRef) -> Option<StallReason> {
+        let _ = (w, pc);
+        None
     }
 
     /// If the warp owes metadata bubbles (region-flag instructions), consume
@@ -190,6 +204,15 @@ impl OperandBackend for OccupancyLimitedRf {
 
     fn warp_eligible(&mut self, w: usize, _pc: InsnRef) -> bool {
         self.admitted.contains(&w)
+    }
+
+    fn issue_stall(&self, w: usize, _pc: InsnRef) -> Option<StallReason> {
+        if self.finished.contains(&w) {
+            None
+        } else {
+            // Not admitted: waiting for register-file capacity.
+            Some(StallReason::OsuCapacityWait)
+        }
     }
 
     fn on_issue(

@@ -64,4 +64,6 @@ pub use trace::TraceEvent;
 // The telemetry subsystem the structured events feed into; re-exported so
 // backend crates and binaries don't need a separate dependency line.
 pub use regless_telemetry as telemetry;
+// The CPI-stack types appear directly in backend and stats signatures.
+pub use regless_telemetry::{IssueStack, StallReason, NUM_STALL_REASONS};
 pub use warp::{StackEntry, WarpBlock, WarpState};

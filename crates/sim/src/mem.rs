@@ -96,6 +96,12 @@ impl MshrFile {
     fn record(&mut self, completion: Cycle) {
         self.completions.push(completion);
     }
+
+    /// Whether the file is full at `now` (read-only: stale completions are
+    /// filtered, not retired, so attribution queries never perturb state).
+    fn is_full(&self, now: Cycle) -> bool {
+        self.completions.iter().filter(|&&c| c > now).count() >= self.capacity
+    }
 }
 
 /// The shared memory system.
@@ -155,6 +161,14 @@ impl MemSystem {
             .min()
             .unwrap_or(0)
             .saturating_sub(now)
+    }
+
+    /// Whether SM `sm`'s L1 MSHR file is full at `now` — a new miss would
+    /// stall until an outstanding one retires. Used by the issue-slot
+    /// attribution to refine staging stalls into
+    /// [`regless_telemetry::StallReason::MshrFull`].
+    pub fn l1_mshrs_full(&self, sm: usize, now: Cycle) -> bool {
+        self.l1_mshrs[sm].is_full(now)
     }
 
     /// Access one 128-byte line of global memory from SM `sm`.

@@ -15,6 +15,7 @@ use crate::stats::{MemStats, SmStats};
 use crate::warp::{WarpBlock, WarpState};
 use regless_compiler::CompiledKernel;
 use regless_isa::{InsnRef, LaneVec, OpClass, Opcode, Reg, WarpId};
+use regless_telemetry::{IssueStack, StallReason};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -57,6 +58,24 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Priority for choosing which blocked warp's reason an idle issue slot is
+/// charged to (lower wins). Design-specific staging stalls come first —
+/// they are what RegLess's CPI stacks exist to expose; a slot is only
+/// charged at all when *no* warp could issue, so surfacing the staging
+/// bottleneck over the generic hazard is the informative choice.
+fn stall_priority(r: StallReason) -> usize {
+    match r {
+        StallReason::OsuCapacityWait => 0,
+        StallReason::MshrFull => 1,
+        StallReason::L1PortBusy => 2,
+        StallReason::CmPreloadWait => 3,
+        StallReason::Drain => 4,
+        StallReason::DataHazard => 5,
+        StallReason::Barrier => 6,
+        StallReason::Issued | StallReason::NoWarp => 7,
+    }
+}
 
 /// A pending register writeback.
 #[derive(Clone, Debug)]
@@ -182,24 +201,44 @@ impl<B: OperandBackend> Sm<B> {
         }
 
         // 4. Issue: up to `issue_slots_per_scheduler` instructions per
-        // scheduler.
+        // scheduler. Every slot is charged to exactly one [`StallReason`]
+        // (the conservation law behind the CPI stacks): `Issued` when an
+        // instruction or metadata bubble goes out, otherwise the
+        // highest-priority reason among the warps that could not.
         let num_scheds = self.scheds.len();
         let per_sched = self.config.warps_per_scheduler();
         for s in 0..num_scheds {
             for _slot in 0..self.config.issue_slots_per_scheduler {
                 let mut ready: Vec<usize> = Vec::new();
+                // Highest-priority blocked warp seen so far, for charging
+                // the slot if nothing issues.
+                let mut blocked: Option<(StallReason, usize)> = None;
                 for local in 0..per_sched {
                     let w = local * num_scheds + s;
-                    if self.warps[w].block_reason(self.compiled.kernel()) != WarpBlock::Ready {
-                        continue;
-                    }
-                    let pc = self.warps[w].pc().expect("ready implies a pc");
-                    if self.backend.warp_eligible(w, pc) {
-                        ready.push(local);
+                    let reason = match self.warps[w].block_reason(self.compiled.kernel()) {
+                        WarpBlock::Finished => continue,
+                        WarpBlock::Barrier => StallReason::Barrier,
+                        WarpBlock::Scoreboard => StallReason::DataHazard,
+                        WarpBlock::Ready => {
+                            let pc = self.warps[w].pc().expect("ready implies a pc");
+                            if self.backend.warp_eligible(w, pc) {
+                                ready.push(local);
+                                continue;
+                            }
+                            match self.backend.issue_stall(w, pc) {
+                                Some(r) => r,
+                                None => continue,
+                            }
+                        }
+                    };
+                    let best = blocked.map_or(usize::MAX, |(r, _)| stall_priority(r));
+                    if stall_priority(reason) < best {
+                        blocked = Some((reason, w));
                     }
                 }
                 let Some(local) = self.scheds[s].pick(&ready) else {
                     self.stats.idle_cycles += 1;
+                    self.charge_idle_slot(blocked, now, mem);
                     continue;
                 };
                 let w = local * num_scheds + s;
@@ -214,6 +253,9 @@ impl<B: OperandBackend> Sm<B> {
                 };
                 if took_bubble {
                     self.stats.meta_insns += 1;
+                    // The metadata bubble occupied the slot: issued work.
+                    let region = self.warps[w].pc().map(|pc| self.compiled.region_at(pc).0);
+                    self.stats.charge_slot(StallReason::Issued, Some(w), region);
                     continue;
                 }
                 self.issue(w, s, local, now, mem);
@@ -225,6 +267,33 @@ impl<B: OperandBackend> Sm<B> {
         self.stats.backing_series.roll(now);
         self.stats.osu_occupancy.roll(now);
         self.stats.cycles = now + 1;
+    }
+
+    /// Charge an issue slot that went unused. `blocked` carries the
+    /// highest-priority reason found among this scheduler's warps (and the
+    /// warp it came from); with no candidate at all the slot is `NoWarp`,
+    /// which has no warp or region to blame. Staging waits are refined
+    /// with the memory system's live state: a full MSHR file or a backed-up
+    /// L1 port is the real bottleneck behind a preload that has not landed.
+    fn charge_idle_slot(
+        &mut self,
+        blocked: Option<(StallReason, usize)>,
+        now: Cycle,
+        mem: &MemSystem,
+    ) {
+        let Some((mut reason, w)) = blocked else {
+            self.stats.charge_slot(StallReason::NoWarp, None, None);
+            return;
+        };
+        if reason == StallReason::CmPreloadWait {
+            if mem.l1_mshrs_full(self.id, now) {
+                reason = StallReason::MshrFull;
+            } else if mem.l1_port_backlog(self.id, now) > 0 {
+                reason = StallReason::L1PortBusy;
+            }
+        }
+        let region = self.warps[w].pc().map(|pc| self.compiled.region_at(pc).0);
+        self.stats.charge_slot(reason, Some(w), region);
     }
 
     fn issue(&mut self, w: usize, sched: usize, local: usize, now: Cycle, mem: &mut MemSystem) {
@@ -240,6 +309,11 @@ impl<B: OperandBackend> Sm<B> {
             self.stats.working_set.record(WarpId(w as u16), d, now);
         }
 
+        self.stats.charge_slot(
+            StallReason::Issued,
+            Some(w),
+            Some(self.compiled.region_at(at).0),
+        );
         self.stats
             .trace_event(now, crate::TraceEvent::Issue { warp: w, pc: at });
 
@@ -476,6 +550,32 @@ impl RunReport {
         }
         self.total().insns as f64 / self.cycles as f64
     }
+
+    /// The whole-GPU CPI stack (all SMs' issue slots merged).
+    pub fn issue_stack(&self) -> IssueStack {
+        let mut total = IssueStack::new();
+        for s in &self.sm_stats {
+            total.merge(&s.issue_stack);
+        }
+        total
+    }
+
+    /// The `n` regions with the most stalled issue slots, merged across
+    /// SMs: `(region id, stack)` sorted by stalled slots descending (ties
+    /// by region id, so the order is deterministic).
+    pub fn region_hotspots(&self, n: usize) -> Vec<(u32, IssueStack)> {
+        let mut merged: std::collections::BTreeMap<u32, IssueStack> =
+            std::collections::BTreeMap::new();
+        for s in &self.sm_stats {
+            for (&region, stack) in &s.region_stacks {
+                merged.entry(region).or_default().merge(stack);
+            }
+        }
+        let mut rows: Vec<(u32, IssueStack)> = merged.into_iter().collect();
+        rows.sort_by_key(|&(region, ref stack)| (std::cmp::Reverse(stack.stalled()), region));
+        rows.truncate(n);
+        rows
+    }
 }
 
 /// A whole GPU: SMs sharing one memory hierarchy, all running the same
@@ -594,6 +694,11 @@ fn collect_telemetry(
     merged.add_counter("sm.insns", total.insns);
     merged.add_counter("sm.meta_insns", total.meta_insns);
     merged.add_counter("sm.idle_cycles", total.idle_cycles);
+    // The CPI stack, as `stall.<reason>` counters (summaries stay
+    // self-contained without re-deriving the stack from SmStats).
+    for (reason, slots) in total.issue_stack.entries() {
+        merged.add_counter(reason.counter_name(), slots);
+    }
     merged.add_counter("preload.osu", total.preloads_osu);
     merged.add_counter("preload.compressor", total.preloads_compressor);
     merged.add_counter("preload.l1", total.preloads_l1);

@@ -2,7 +2,8 @@
 
 use crate::config::Cycle;
 use regless_isa::{Reg, WarpId};
-use std::collections::HashSet;
+use regless_telemetry::{IssueStack, StallReason};
+use std::collections::{BTreeMap, HashSet};
 
 /// Length of the sampling window used by the paper's Figures 2 and 3.
 pub const WINDOW_CYCLES: Cycle = 100;
@@ -181,6 +182,22 @@ pub struct SmStats {
     /// state at issue — any nonzero count is a staging-path value bug.
     pub staging_mismatches: u64,
 
+    /// Per-cycle issue-slot attribution (the SM's CPI stack): every issue
+    /// slot of every cycle is charged to exactly one [`StallReason`], so
+    /// `issue_stack.total() == cycles × issue slots` — a conservation law
+    /// the tier-1 tests enforce. Always on (it is a handful of array
+    /// increments), independent of whether a telemetry recorder is
+    /// attached.
+    pub issue_stack: IssueStack,
+    /// Per-warp CPI stacks (SM-local warp index). [`StallReason::NoWarp`]
+    /// slots have no warp to blame, so they are charged to the SM stack
+    /// only; for every other reason the per-warp stacks sum to the SM
+    /// stack.
+    pub warp_stacks: Vec<IssueStack>,
+    /// Per-region CPI stacks keyed by region id, for hotspot tables. Like
+    /// the warp stacks, `NoWarp` slots carry no region.
+    pub region_stacks: BTreeMap<u32, IssueStack>,
+
     /// Optional telemetry recorder (off by default; see
     /// [`crate::Machine::attach_telemetry`]). When absent, every
     /// instrumentation site reduces to one `Option` check.
@@ -232,6 +249,22 @@ impl SmStats {
         }
     }
 
+    /// Charge one issue slot to `reason`, attributed to `warp` (SM-local
+    /// index) and `region` when the slot has a culprit (everything except
+    /// [`StallReason::NoWarp`]).
+    pub fn charge_slot(&mut self, reason: StallReason, warp: Option<usize>, region: Option<u32>) {
+        self.issue_stack.charge(reason);
+        if let Some(w) = warp {
+            if self.warp_stacks.len() <= w {
+                self.warp_stacks.resize(w + 1, IssueStack::new());
+            }
+            self.warp_stacks[w].charge(reason);
+        }
+        if let Some(r) = region {
+            self.region_stacks.entry(r).or_default().charge(reason);
+        }
+    }
+
     /// Record a preload outcome.
     pub fn record_preload(&mut self, source: PreloadSource) {
         match source {
@@ -273,6 +306,17 @@ impl SmStats {
         self.region_active_cycles += other.region_active_cycles;
         self.reservation_overflows += other.reservation_overflows;
         self.staging_mismatches += other.staging_mismatches;
+        self.issue_stack.merge(&other.issue_stack);
+        if self.warp_stacks.len() < other.warp_stacks.len() {
+            self.warp_stacks
+                .resize(other.warp_stacks.len(), IssueStack::new());
+        }
+        for (mine, theirs) in self.warp_stacks.iter_mut().zip(other.warp_stacks.iter()) {
+            mine.merge(theirs);
+        }
+        for (&region, stack) in &other.region_stacks {
+            self.region_stacks.entry(region).or_default().merge(stack);
+        }
     }
 }
 
@@ -382,6 +426,30 @@ impl regless_json::ToJson for SmStats {
         // The optional telemetry recorder is a debugging aid, not a
         // result; it is never persisted.
         pairs.push((
+            "issue_stack".into(),
+            regless_json::ToJson::to_json(&self.issue_stack),
+        ));
+        pairs.push((
+            "warp_stacks".into(),
+            regless_json::ToJson::to_json(&self.warp_stacks),
+        ));
+        // The region map serializes as sorted `[region, stack]` pairs so
+        // the cached layout is deterministic.
+        pairs.push((
+            "region_stacks".into(),
+            regless_json::Json::Arr(
+                self.region_stacks
+                    .iter()
+                    .map(|(&region, stack)| {
+                        regless_json::Json::Arr(vec![
+                            regless_json::ToJson::to_json(&region),
+                            regless_json::ToJson::to_json(stack),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        pairs.push((
             "working_set".into(),
             regless_json::ToJson::to_json(&self.working_set),
         ));
@@ -406,6 +474,33 @@ impl regless_json::FromJson for SmStats {
             };
         }
         for_each_sm_counter!(get);
+        stats.issue_stack = regless_json::FromJson::from_json(v.field("issue_stack")?)?;
+        stats.warp_stacks = regless_json::FromJson::from_json(v.field("warp_stacks")?)?;
+        match v.field("region_stacks")? {
+            regless_json::Json::Arr(pairs) => {
+                for pair in pairs {
+                    let regless_json::Json::Arr(kv) = pair else {
+                        return Err(regless_json::JsonError::new(
+                            "region_stacks entries must be [region, stack] pairs",
+                        ));
+                    };
+                    if kv.len() != 2 {
+                        return Err(regless_json::JsonError::new(
+                            "region_stacks entries must be [region, stack] pairs",
+                        ));
+                    }
+                    let region: u32 = regless_json::FromJson::from_json(&kv[0])?;
+                    let stack: IssueStack = regless_json::FromJson::from_json(&kv[1])?;
+                    stats.region_stacks.insert(region, stack);
+                }
+            }
+            other => {
+                return Err(regless_json::JsonError::new(format!(
+                    "region_stacks must be an array, got {}",
+                    other.kind()
+                )))
+            }
+        }
         stats.working_set = regless_json::FromJson::from_json(v.field("working_set")?)?;
         stats.backing_series = regless_json::FromJson::from_json(v.field("backing_series")?)?;
         stats.osu_occupancy = regless_json::FromJson::from_json(v.field("osu_occupancy")?)?;

@@ -1,0 +1,275 @@
+//! Cycle accounting for CPI stacks: the closed [`StallReason`] taxonomy
+//! and the [`IssueStack`] accumulator.
+//!
+//! Every SM issue slot in every cycle is charged to exactly one reason, so
+//! a stack obeys a conservation law the simulator's tests enforce: the sum
+//! over all reasons equals `cycles × issue slots`. Stacks merge
+//! associatively and commutatively (element-wise sums), like
+//! [`crate::Log2Histogram`], so per-warp, per-region, per-SM, and
+//! whole-GPU views are all folds of the same primitive.
+
+/// Why an issue slot was (or was not) used in one cycle.
+///
+/// The taxonomy is *closed*: the simulator charges every slot to exactly
+/// one of these, so CPI stacks built from them are complete by
+/// construction. Reasons are ordered roughly from "making progress" to
+/// "nothing to run".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum StallReason {
+    /// An instruction (or metadata bubble) issued in the slot.
+    Issued,
+    /// A scoreboard hazard: every candidate warp waits on an in-flight
+    /// writeback (includes memory latency seen through dependent uses).
+    DataHazard,
+    /// The capacity manager is still staging a candidate warp's region
+    /// inputs (preloading, or queued behind the one-admission-per-cycle
+    /// pipeline) and no other warp could issue.
+    CmPreloadWait,
+    /// The capacity manager denied the next admission because the region's
+    /// reservation did not fit the remaining OSU budget.
+    OsuCapacityWait,
+    /// Region staging was blocked behind the single L1 port.
+    L1PortBusy,
+    /// Region staging was blocked on a full L1 MSHR file.
+    MshrFull,
+    /// Every candidate warp is parked at a barrier.
+    Barrier,
+    /// A candidate warp finished its region and is draining outstanding
+    /// writebacks before its reservation is released.
+    Drain,
+    /// No warp was presented to the scheduler at all: warps finished, or a
+    /// scheduler-policy bubble (two-level active-set swap).
+    NoWarp,
+}
+
+/// Number of [`StallReason`] variants (the width of an [`IssueStack`]).
+pub const NUM_STALL_REASONS: usize = 9;
+
+impl StallReason {
+    /// All reasons, in display (and serialization) order.
+    pub const ALL: [StallReason; NUM_STALL_REASONS] = [
+        StallReason::Issued,
+        StallReason::DataHazard,
+        StallReason::CmPreloadWait,
+        StallReason::OsuCapacityWait,
+        StallReason::L1PortBusy,
+        StallReason::MshrFull,
+        StallReason::Barrier,
+        StallReason::Drain,
+        StallReason::NoWarp,
+    ];
+
+    /// Dense index of this reason in [`StallReason::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            StallReason::Issued => 0,
+            StallReason::DataHazard => 1,
+            StallReason::CmPreloadWait => 2,
+            StallReason::OsuCapacityWait => 3,
+            StallReason::L1PortBusy => 4,
+            StallReason::MshrFull => 5,
+            StallReason::Barrier => 6,
+            StallReason::Drain => 7,
+            StallReason::NoWarp => 8,
+        }
+    }
+
+    /// Stable snake_case name used in JSON, CSV, and telemetry counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::Issued => "issued",
+            StallReason::DataHazard => "data_hazard",
+            StallReason::CmPreloadWait => "cm_preload_wait",
+            StallReason::OsuCapacityWait => "osu_capacity_wait",
+            StallReason::L1PortBusy => "l1_port_busy",
+            StallReason::MshrFull => "mshr_full",
+            StallReason::Barrier => "barrier",
+            StallReason::Drain => "drain",
+            StallReason::NoWarp => "no_warp",
+        }
+    }
+
+    /// Telemetry counter name (`stall.<reason>`).
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            StallReason::Issued => "stall.issued",
+            StallReason::DataHazard => "stall.data_hazard",
+            StallReason::CmPreloadWait => "stall.cm_preload_wait",
+            StallReason::OsuCapacityWait => "stall.osu_capacity_wait",
+            StallReason::L1PortBusy => "stall.l1_port_busy",
+            StallReason::MshrFull => "stall.mshr_full",
+            StallReason::Barrier => "stall.barrier",
+            StallReason::Drain => "stall.drain",
+            StallReason::NoWarp => "stall.no_warp",
+        }
+    }
+
+    /// Parse a [`StallReason::name`] back into the reason.
+    pub fn from_name(name: &str) -> Option<StallReason> {
+        StallReason::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// A CPI stack: per-reason issue-slot counts.
+///
+/// ```
+/// use regless_telemetry::{IssueStack, StallReason};
+///
+/// let mut a = IssueStack::new();
+/// a.charge(StallReason::Issued);
+/// a.charge(StallReason::DataHazard);
+/// let mut b = IssueStack::new();
+/// b.charge(StallReason::DataHazard);
+/// a.merge(&b);
+/// assert_eq!(a.get(StallReason::DataHazard), 2);
+/// assert_eq!(a.total(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IssueStack {
+    slots: [u64; NUM_STALL_REASONS],
+}
+
+impl IssueStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one issue slot to `reason`.
+    pub fn charge(&mut self, reason: StallReason) {
+        self.slots[reason.index()] += 1;
+    }
+
+    /// Charge `n` issue slots to `reason`.
+    pub fn charge_n(&mut self, reason: StallReason, n: u64) {
+        self.slots[reason.index()] += n;
+    }
+
+    /// Slots charged to `reason`.
+    pub fn get(&self, reason: StallReason) -> u64 {
+        self.slots[reason.index()]
+    }
+
+    /// Total slots accounted (all reasons). Conservation requires this to
+    /// equal `cycles × issue slots` for a complete per-SM stack.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// Slots not charged to [`StallReason::Issued`].
+    pub fn stalled(&self) -> u64 {
+        self.total() - self.get(StallReason::Issued)
+    }
+
+    /// Whether nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|&s| s == 0)
+    }
+
+    /// Fold another stack into this one (element-wise sum; associative and
+    /// commutative).
+    pub fn merge(&mut self, other: &IssueStack) {
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Fraction of total slots charged to `reason` (0 when empty).
+    pub fn fraction(&self, reason: StallReason) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(reason) as f64 / total as f64
+        }
+    }
+
+    /// `(reason, slots)` pairs in [`StallReason::ALL`] order.
+    pub fn entries(&self) -> impl Iterator<Item = (StallReason, u64)> + '_ {
+        StallReason::ALL.into_iter().map(|r| (r, self.get(r)))
+    }
+}
+
+// Serialized as an object keyed by reason name, in ALL order, so cached
+// reports and committed profile baselines stay human-diffable.
+impl regless_json::ToJson for IssueStack {
+    fn to_json(&self) -> regless_json::Json {
+        regless_json::Json::Obj(
+            self.entries()
+                .map(|(r, n)| (r.name().to_string(), regless_json::ToJson::to_json(&n)))
+                .collect(),
+        )
+    }
+}
+
+impl regless_json::FromJson for IssueStack {
+    fn from_json(v: &regless_json::Json) -> Result<Self, regless_json::JsonError> {
+        let mut stack = IssueStack::new();
+        for r in StallReason::ALL {
+            stack.slots[r.index()] = regless_json::FromJson::from_json(v.field(r.name())?)?;
+        }
+        Ok(stack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, r) in StallReason::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(StallReason::from_name(r.name()), Some(r));
+        }
+        assert_eq!(StallReason::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn charge_and_total() {
+        let mut s = IssueStack::new();
+        assert!(s.is_empty());
+        s.charge(StallReason::Issued);
+        s.charge_n(StallReason::Barrier, 3);
+        assert_eq!(s.get(StallReason::Issued), 1);
+        assert_eq!(s.get(StallReason::Barrier), 3);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.stalled(), 3);
+        assert!((s.fraction(StallReason::Barrier) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let mut a = IssueStack::new();
+        a.charge_n(StallReason::DataHazard, 5);
+        let mut b = IssueStack::new();
+        b.charge_n(StallReason::DataHazard, 2);
+        b.charge(StallReason::NoWarp);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge commutes");
+        assert_eq!(ab.get(StallReason::DataHazard), 7);
+        assert_eq!(ab.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut s = IssueStack::new();
+        for (i, r) in StallReason::ALL.into_iter().enumerate() {
+            s.charge_n(r, i as u64 + 1);
+        }
+        let text = regless_json::to_string(&s);
+        assert!(text.contains("\"osu_capacity_wait\":4"));
+        let back: IssueStack = regless_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn fraction_of_empty_is_zero() {
+        let s = IssueStack::new();
+        assert_eq!(s.fraction(StallReason::Issued), 0.0);
+        assert_eq!(s.stalled(), 0);
+    }
+}

@@ -225,6 +225,18 @@ mod tests {
     }
 
     #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = Log2Histogram::new();
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} of an empty histogram");
+        }
+        // Still zero after a merge of two empties (count stays 0).
+        let mut a = Log2Histogram::new();
+        a.merge(&Log2Histogram::new());
+        assert_eq!(a.percentile(50.0), 0);
+    }
+
+    #[test]
     fn merge_adds_bucketwise() {
         let mut a = Log2Histogram::new();
         a.record(3);

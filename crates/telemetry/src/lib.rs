@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod cpi;
 mod event;
 mod hist;
 mod recorder;
 mod summary;
 
 pub use chrome::{chrome_trace, chrome_trace_string};
+pub use cpi::{IssueStack, StallReason, NUM_STALL_REASONS};
 pub use event::{ArgValue, Event, Lane, Phase, Structure, Track, Ts, STRUCTURE_TID_BASE};
 pub use hist::{Log2Histogram, NUM_BUCKETS};
 pub use recorder::{MemoryRecorder, NullRecorder, Recorder, Telemetry};

@@ -108,6 +108,12 @@ impl MemoryRecorder {
         &self.events
     }
 
+    /// Events dropped so far because the buffer was at capacity (also
+    /// carried into [`Telemetry::dropped`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Convert into the merged-container form the exporters consume.
     pub fn into_telemetry(self) -> Telemetry {
         Telemetry {
@@ -256,6 +262,35 @@ mod tests {
         assert_eq!(t.events.len(), 2);
         assert_eq!(t.dropped, 3);
         assert!(t.events.iter().all(|e| e.track.group == 7));
+    }
+
+    #[test]
+    fn zero_capacity_recorder_drops_everything_without_panicking() {
+        let mut r = MemoryRecorder::new(0);
+        for i in 0..100u64 {
+            r.record(Event::instant(i, Track::warp(0), "e"));
+        }
+        // Non-event channels are unbounded and unaffected by capacity.
+        r.counter_add("c", 1);
+        r.observe("h", 2);
+        assert_eq!(r.events().len(), 0);
+        assert_eq!(r.dropped(), 100);
+        let t = r.into_telemetry();
+        assert!(t.events.is_empty());
+        assert_eq!(t.dropped, 100);
+        assert_eq!(t.counters["c"], 1);
+    }
+
+    #[test]
+    fn drop_count_is_observable_while_recording() {
+        let mut r = MemoryRecorder::new(3);
+        for i in 0..3u64 {
+            r.record(Event::instant(i, Track::warp(0), "e"));
+        }
+        assert_eq!(r.dropped(), 0, "within capacity nothing drops");
+        r.record(Event::instant(3, Track::warp(0), "e"));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.events().len(), 3, "capacity bound holds");
     }
 
     #[test]

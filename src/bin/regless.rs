@@ -15,6 +15,13 @@
 //!     --capacity <entries>                OSU entries/SM (default 512)
 //!     --format chrome|csv                 Chrome trace JSON or CSV summary
 //!     --out <path>                        write there instead of stdout
+//! regless profile <kernel> [options]  CPI-stack profile for one run
+//!     --design baseline|regless|rfh|rfv   storage design (default regless)
+//!     --capacity <entries>                OSU entries/SM (default 512)
+//!     --format table|json|csv             rendering (default table)
+//!     --out <path>                        write there instead of stdout
+//! regless diff <a.json> <b.json>      compare two saved profiles
+//!     --fail-above <pct>                  exit non-zero past this regression
 //! ```
 //!
 //! `<kernel>` is a built-in benchmark name (see `regless list`) or a path
@@ -22,6 +29,7 @@
 //! Chrome traces load in `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use regless::baselines::{run_rfh, run_rfv};
+use regless::bench::profile::{diff as profile_diff, ProfileReport};
 use regless::compiler::{compile, RegionConfig};
 use regless::core::{RegLessConfig, RegLessSim};
 use regless::energy::{energy, Design};
@@ -41,6 +49,8 @@ fn main() {
         Some("asm") => cmd_asm(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -67,7 +77,10 @@ fn print_usage() {
          \u{20}  sweep <kernel>            OSU capacity sweep\n\
          \u{20}  sweep --stats | --gc      sweep-engine cache report / orphan pruning\n\
          \u{20}  trace <kernel> [options]  telemetry export (options: --design baseline|regless,\n\
-         \u{20}                            --capacity <entries>, --format chrome|csv, --out <path>)\n\n\
+         \u{20}                            --capacity <entries>, --format chrome|csv, --out <path>)\n\
+         \u{20}  profile <kernel> [opts]   CPI-stack profile (options: --design baseline|regless|rfh|rfv,\n\
+         \u{20}                            --capacity <entries>, --format table|json|csv, --out <path>)\n\
+         \u{20}  diff <a.json> <b.json>    compare two saved profiles (--fail-above <pct> gates)\n\n\
          <kernel> is a benchmark name or a path to a .asm file"
     );
 }
@@ -271,6 +284,105 @@ fn cmd_trace(args: &[String]) -> CmdResult {
             );
         }
         None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Simulate `kernel` under a named design and return the report (shared
+/// by `profile`; `run` keeps its own copy because it also needs the
+/// energy-model design).
+fn run_for_design(
+    kernel: &Kernel,
+    design: &str,
+    capacity: usize,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let gpu = GpuConfig::gtx980_single_sm();
+    match design {
+        "baseline" => {
+            let compiled = compile(kernel, &RegionConfig::default())?;
+            Ok(run_baseline(gpu, Arc::new(compiled))?)
+        }
+        "rfh" => {
+            let compiled = compile(kernel, &RegionConfig::default())?;
+            Ok(run_rfh(gpu, compiled)?)
+        }
+        "rfv" => {
+            let compiled = compile(kernel, &RegionConfig::default())?;
+            Ok(run_rfv(gpu, compiled)?)
+        }
+        "regless" => {
+            let cfg = RegLessConfig::with_capacity(capacity);
+            let compiled = compile(kernel, &cfg.region_config(&gpu))?;
+            Ok(RegLessSim::new(gpu, cfg, compiled).run()?)
+        }
+        other => Err(format!("unknown design {other:?}").into()),
+    }
+}
+
+/// CPI-stack profile for one run (`regless profile`).
+fn cmd_profile(args: &[String]) -> CmdResult {
+    let spec = args.first().ok_or("profile: missing kernel")?;
+    let kernel = load_kernel(spec)?;
+    let mut design = "regless".to_string();
+    let mut capacity = 512usize;
+    let mut format = "table".to_string();
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--design" => design = it.next().ok_or("--design needs a value")?.clone(),
+            "--capacity" => {
+                capacity = it.next().ok_or("--capacity needs a value")?.parse()?;
+            }
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    let report = run_for_design(&kernel, &design, capacity)?;
+    let osu_capacity = if design == "regless" { capacity } else { 0 };
+    let profile = ProfileReport::collect(&report, kernel.name(), &design, osu_capacity);
+    let rendered = match format.as_str() {
+        "table" => profile.render_table(),
+        "json" => profile.to_json_string(),
+        "csv" => profile.render_csv(),
+        other => return Err(format!("unknown format {other:?} (table|json|csv)").into()),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &rendered)?;
+            eprintln!(
+                "wrote {format} profile for `{}` under {design} to {path}",
+                kernel.name()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Compare two saved profiles (`regless diff`).
+fn cmd_diff(args: &[String]) -> CmdResult {
+    let a_path = args.first().ok_or("diff: missing first profile")?;
+    let b_path = args.get(1).ok_or("diff: missing second profile")?;
+    let mut fail_above: Option<f64> = None;
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fail-above" => {
+                fail_above = Some(it.next().ok_or("--fail-above needs a value")?.parse()?);
+            }
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    let a: ProfileReport = ProfileReport::from_json_str(&std::fs::read_to_string(a_path)?)?;
+    let b: ProfileReport = ProfileReport::from_json_str(&std::fs::read_to_string(b_path)?)?;
+    let d = profile_diff(&a, &b);
+    print!("{}", d.render(a_path, b_path, fail_above));
+    if let Some(t) = fail_above {
+        if d.exceeds(t) {
+            std::process::exit(1);
+        }
     }
     Ok(())
 }
