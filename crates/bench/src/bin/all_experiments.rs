@@ -84,6 +84,10 @@ fn main() -> std::io::Result<()> {
             "BENCH_profile.json",
             regless_bench::profile::bench_profiles_report,
         ),
+        (
+            "BENCH_report.html",
+            regless_bench::report::bench_report_html,
+        ),
     ];
     let total = experiments.len();
     // Experiments are independent; run them across available cores. Each
@@ -119,7 +123,7 @@ fn main() -> std::io::Result<()> {
     for (id, secs, outcome) in &results {
         match outcome {
             Ok(text) => {
-                if id.ends_with(".json") {
+                if id.ends_with(".json") || id.ends_with(".html") {
                     fs::write(format!("results/{id}"), text)?;
                 } else {
                     fs::write(format!("results/{id}.txt"), text)?;

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 pub mod figs;
 pub mod profile;
+pub mod report;
 pub mod sweep;
 pub mod timing;
 

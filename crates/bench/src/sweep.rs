@@ -44,7 +44,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Bump when the on-disk JSON layout changes (part of the fingerprint).
 /// v2: `SmStats` gained the CPI-stack fields (`issue_stack`,
 /// `warp_stacks`, `region_stacks`).
-const CACHE_FORMAT_VERSION: u32 = 2;
+/// v3: `SmStats` gained the eviction taxonomy (`eviction_stack`,
+/// `osu_lines_evicted`), the compressor effectiveness counters
+/// (`comp_*`), and the occupancy time series (`osu_reserved_series`,
+/// `osu_free_series`, `cm_queue_series`).
+const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// One simulation the engine knows how to run and key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -238,6 +242,18 @@ pub struct GcReport {
     pub removed: Vec<String>,
     /// Bytes those directories held.
     pub bytes_freed: u64,
+}
+
+/// One orphaned cache fingerprint directory, as reported by the read-only
+/// [`SweepEngine::list_orphans`] (`--gc --dry-run`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrphanEntry {
+    /// The fingerprint directory name (16 hex digits).
+    pub name: String,
+    /// Cache entries (files) it holds.
+    pub entries: usize,
+    /// Total bytes of those entries.
+    pub bytes: u64,
 }
 
 /// A point-in-time snapshot of [`SweepEngine`] activity.
@@ -480,12 +496,47 @@ impl SweepEngine {
     /// Returns the first I/O error encountered while scanning or removing.
     pub fn gc_orphans(&self) -> std::io::Result<GcReport> {
         let mut gc = GcReport::default();
+        for (name, path) in self.orphan_dirs()? {
+            gc.bytes_freed += dir_stats(&path).1;
+            std::fs::remove_dir_all(&path)?;
+            gc.removed.push(name);
+        }
+        Ok(gc)
+    }
+
+    /// List what [`SweepEngine::gc_orphans`] would delete, without deleting
+    /// anything (`--gc --dry-run`): one row per orphaned fingerprint
+    /// directory with its entry count and size, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered while scanning.
+    pub fn list_orphans(&self) -> std::io::Result<Vec<OrphanEntry>> {
+        Ok(self
+            .orphan_dirs()?
+            .into_iter()
+            .map(|(name, path)| {
+                let (entries, bytes) = dir_stats(&path);
+                OrphanEntry {
+                    name,
+                    entries,
+                    bytes,
+                }
+            })
+            .collect())
+    }
+
+    /// The orphaned fingerprint directories (name, path), sorted by name —
+    /// the scan shared by [`SweepEngine::gc_orphans`] and
+    /// [`SweepEngine::list_orphans`].
+    fn orphan_dirs(&self) -> std::io::Result<Vec<(String, PathBuf)>> {
+        let mut found = Vec::new();
         let Some(dir) = self.disk_dir.as_ref() else {
-            return Ok(gc);
+            return Ok(found);
         };
         let entries = match std::fs::read_dir(dir) {
             Ok(entries) => entries,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(gc),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(found),
             Err(e) => return Err(e),
         };
         let current = Self::fingerprint();
@@ -495,12 +546,10 @@ impl SweepEngine {
             if !is_fingerprint_name(&name) || name == current || !entry.file_type()?.is_dir() {
                 continue;
             }
-            gc.bytes_freed += dir_stats(&entry.path()).1;
-            std::fs::remove_dir_all(entry.path())?;
-            gc.removed.push(name);
+            found.push((name, entry.path()));
         }
-        gc.removed.sort();
-        Ok(gc)
+        found.sort();
+        Ok(found)
     }
 
     /// Human-readable listing of the disk cache: one line per fingerprint
@@ -892,6 +941,18 @@ mod tests {
         // The footer totals across all fingerprints: a.json (2 bytes) +
         // b.json (5 bytes).
         assert!(report.contains("total: 2 entries, 7 B"), "{report}");
+
+        // Dry run: reports the orphan without touching anything.
+        let orphans = engine.list_orphans().unwrap();
+        assert_eq!(
+            orphans,
+            vec![OrphanEntry {
+                name: "00000000deadbeef".to_string(),
+                entries: 1,
+                bytes: 5,
+            }]
+        );
+        assert!(orphan.exists(), "dry run must not delete");
 
         let gc = engine.gc_orphans().unwrap();
         assert_eq!(gc.removed, vec!["00000000deadbeef".to_string()]);

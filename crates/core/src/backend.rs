@@ -2,15 +2,15 @@
 //! wired into the SM pipeline (paper §5, Figure 8).
 
 use crate::cm::{CapacityManager, WarpPhase};
-use crate::compressor::{Compressor, StoreOutcome};
+use crate::compressor::{Compressor, PatternKind, StoreOutcome};
 use crate::config::RegLessConfig;
-use crate::osu::{runtime_bank, EvictedLine, Osu};
-use crate::regmem::{RegisterBacking, RegisterMemoryMap};
+use crate::osu::{runtime_bank, EvictedLine, InstallResult, Osu};
+use crate::regmem::{RegisterBacking, RegisterMemoryMap, REG_LINE_BYTES};
 use regless_compiler::{CompiledKernel, LastUse, NUM_BANKS};
 use regless_isa::{InsnRef, Instruction, LaneVec, Reg};
 use regless_sim::{
-    BackendCtx, Cycle, GpuConfig, Level, OperandBackend, PreloadSource, TraceEvent, Traffic,
-    WarpState,
+    BackendCtx, Cycle, EvictionReason, GpuConfig, Level, OperandBackend, PreloadSource, SmStats,
+    TraceEvent, Traffic, WarpState,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -43,6 +43,30 @@ impl Shard {
         self.inflight.is_empty()
             && self.invalidations.is_empty()
             && self.queues.iter().all(VecDeque::is_empty)
+    }
+}
+
+/// Telemetry series names for the recorder-gated per-bank occupancy
+/// samples (the `Recorder` API wants `&'static str` names).
+const BANK_OCCUPANCY_SERIES: [&str; NUM_BANKS] = [
+    "osu.bank0.active",
+    "osu.bank1.active",
+    "osu.bank2.active",
+    "osu.bank3.active",
+    "osu.bank4.active",
+    "osu.bank5.active",
+    "osu.bank6.active",
+    "osu.bank7.active",
+];
+
+/// The [`SmStats`] counter a compressor pattern hit increments.
+fn pattern_counter(stats: &mut SmStats, kind: PatternKind) -> &mut u64 {
+    match kind {
+        PatternKind::Constant => &mut stats.comp_constant,
+        PatternKind::Stride1 => &mut stats.comp_stride1,
+        PatternKind::Stride4 => &mut stats.comp_stride4,
+        PatternKind::HalfStride1 => &mut stats.comp_half_stride1,
+        PatternKind::HalfStride4 => &mut stats.comp_half_stride4,
     }
 }
 
@@ -147,17 +171,34 @@ impl RegLessBackend {
         w % self.num_scheds
     }
 
+    /// Charge one OSU eviction to its cause and trace it: every site that
+    /// makes the OSU's internal `lines_evicted` counter tick must call
+    /// this exactly once (the eviction-accounting conservation law).
+    fn note_eviction(ctx: &mut BackendCtx<'_>, reason: EvictionReason, warp: usize, reg: Reg) {
+        ctx.stats.eviction_stack.charge(reason);
+        ctx.stats
+            .trace_event(ctx.now, TraceEvent::OsuEvict { warp, reg, reason });
+    }
+
     /// Begin draining warp `w`: free everything except lines whose
     /// writebacks are still in flight (paper §5.1).
-    fn start_drain(shard: &mut Shard, inflight: &HashMap<Reg, u32>, w: usize) {
+    fn start_drain(
+        shard: &mut Shard,
+        inflight: &HashMap<Reg, u32>,
+        w: usize,
+        ctx: &mut BackendCtx<'_>,
+    ) {
         let mut pending = [0usize; NUM_BANKS];
         for &reg in inflight.keys() {
             pending[runtime_bank(w, reg)] += 1;
         }
         shard.cm.begin_drain(w, pending);
-        shard
+        let released = shard
             .osu
             .release_warp_except(w, |reg| inflight.contains_key(&reg));
+        for reg in released {
+            Self::note_eviction(ctx, EvictionReason::RegionDrain, w, reg);
+        }
     }
 
     /// Spill a displaced dirty line through the compressor (or to the L1
@@ -170,16 +211,12 @@ impl RegLessBackend {
         ctx: &mut BackendCtx<'_>,
     ) {
         ctx.stats.compressor_matches += 1;
-        ctx.stats.trace_event(
-            ctx.now,
-            TraceEvent::OsuEvict {
-                warp: line.warp,
-                reg: line.reg,
-            },
-        );
+        ctx.stats.comp_bytes_in += REG_LINE_BYTES;
         match shard.compressor.store(line.warp, line.reg, &line.value) {
-            StoreOutcome::Compressed { line_miss } => {
+            StoreOutcome::Compressed { line_miss, kind } => {
                 ctx.stats.compressor_compressed += 1;
+                ctx.stats.comp_bytes_out += kind.payload_bytes() as u64;
+                *pattern_counter(ctx.stats, kind) += 1;
                 ctx.stats.trace_event(
                     ctx.now,
                     TraceEvent::CompressorStore {
@@ -197,6 +234,8 @@ impl RegLessBackend {
                 }
             }
             StoreOutcome::Incompressible => {
+                ctx.stats.comp_incompressible += 1;
+                ctx.stats.comp_bytes_out += REG_LINE_BYTES;
                 ctx.stats.trace_event(
                     ctx.now,
                     TraceEvent::CompressorStore {
@@ -212,6 +251,34 @@ impl RegLessBackend {
                 ctx.stats.reg_stores_l1 += 1;
                 ctx.stats.backing_series.record(ctx.now, 1);
             }
+        }
+    }
+
+    /// Account for an OSU install's fallout: a clean victim dropped is a
+    /// capacity preemption, a dirty victim displaced is a compressor
+    /// spill, and a failed allocation counts against the reservation
+    /// model.
+    fn settle_install(
+        shard: &mut Shard,
+        backing: &mut RegisterBacking,
+        regmap: &RegisterMemoryMap,
+        result: InstallResult,
+        ctx: &mut BackendCtx<'_>,
+    ) {
+        if let Some((warp, reg)) = result.dropped_clean {
+            Self::note_eviction(ctx, EvictionReason::CapacityPreemption, warp, reg);
+        }
+        if result.failed {
+            ctx.stats.reservation_overflows += 1;
+        }
+        if let Some(victim) = result.spilled {
+            Self::note_eviction(
+                ctx,
+                EvictionReason::CompressorSpill,
+                victim.warp,
+                victim.reg,
+            );
+            Self::spill(shard, backing, regmap, victim, ctx);
         }
     }
 
@@ -292,12 +359,7 @@ impl RegLessBackend {
                     );
                 }
                 let result = shard.osu.fill(p.warp, p.reg, hit.value);
-                if let Some(victim) = result.spilled {
-                    Self::spill(shard, &mut self.backing, &self.regmap, victim, ctx);
-                }
-                if result.failed {
-                    ctx.stats.reservation_overflows += 1;
-                }
+                Self::settle_install(shard, &mut self.backing, &self.regmap, result, ctx);
                 done = when;
                 if p.invalidate {
                     shard.compressor.invalidate(p.warp, p.reg);
@@ -326,12 +388,7 @@ impl RegLessBackend {
                 );
                 let value = self.backing.load(p.warp, p.reg);
                 let result = shard.osu.fill(p.warp, p.reg, value);
-                if let Some(victim) = result.spilled {
-                    Self::spill(shard, &mut self.backing, &self.regmap, victim, ctx);
-                }
-                if result.failed {
-                    ctx.stats.reservation_overflows += 1;
-                }
+                Self::settle_install(shard, &mut self.backing, &self.regmap, result, ctx);
                 // The compressor bit-vector check adds one cycle to
                 // non-compressed preloads (§5.3).
                 done = a.done + 1;
@@ -357,11 +414,33 @@ impl RegLessBackend {
 
 impl OperandBackend for RegLessBackend {
     fn begin_cycle_with_warps(&mut self, warps: &[WarpState], ctx: &mut BackendCtx<'_>) {
-        // Sample OSU occupancy once per stats window.
+        // Sample the OSU/CM occupancy census once per stats window: live
+        // (active) lines, CM-reserved lines, free lines, and the admission
+        // queue depth. Always on — the series feed `regless report`'s
+        // occupancy timeline whether or not a recorder is attached.
         if ctx.now.is_multiple_of(regless_sim::WINDOW_CYCLES) {
             let active: usize = self.shards.iter().map(|s| s.osu.active_lines()).sum();
+            let reserved: usize = self.shards.iter().map(|s| s.cm.committed_total()).sum();
+            let free: usize = self.shards.iter().map(|s| s.osu.free_lines()).sum();
+            let queued: usize = self.shards.iter().map(|s| s.cm.queue_depth()).sum();
             ctx.stats.osu_occupancy.record(ctx.now, active as u64);
+            ctx.stats
+                .osu_reserved_series
+                .record(ctx.now, reserved as u64);
+            ctx.stats.osu_free_series.record(ctx.now, free as u64);
+            ctx.stats.cm_queue_series.record(ctx.now, queued as u64);
             ctx.stats.sample("osu.occupancy", ctx.now, active as f64);
+            ctx.stats.sample("osu.reserved", ctx.now, reserved as f64);
+            ctx.stats.sample("osu.free", ctx.now, free as f64);
+            ctx.stats.sample("cm.queue_depth", ctx.now, queued as f64);
+            // Per-bank census only when a recorder is listening (it is an
+            // 8-way fan-out of the same walk).
+            if ctx.stats.telemetry_enabled() {
+                for (bank, name) in BANK_OCCUPANCY_SERIES.iter().copied().enumerate() {
+                    let live: usize = self.shards.iter().map(|s| s.osu.bank_states(bank).0).sum();
+                    ctx.stats.sample(name, ctx.now, live as f64);
+                }
+            }
         }
         for s in 0..self.shards.len() {
             // 1. Complete in-flight preload fetches.
@@ -412,7 +491,7 @@ impl OperandBackend for RegLessBackend {
                         if left_region {
                             ctx.stats
                                 .trace_event(ctx.now, TraceEvent::RegionDrain { warp: w });
-                            Self::start_drain(shard, &self.inflight_regs[w], w);
+                            Self::start_drain(shard, &self.inflight_regs[w], w, ctx);
                         }
                     }
                     WarpPhase::Preloading(_)
@@ -543,8 +622,16 @@ impl OperandBackend for RegLessBackend {
         if let Some(notes) = self.compiled.annotations().notes(at) {
             for &(reg, kind) in &notes.last_uses {
                 match kind {
-                    LastUse::Erase => shard.osu.erase(w, reg),
-                    LastUse::Evict => shard.osu.release(w, reg),
+                    LastUse::Erase => {
+                        if shard.osu.erase(w, reg) {
+                            Self::note_eviction(ctx, EvictionReason::DeadValueReclaim, w, reg);
+                        }
+                    }
+                    LastUse::Evict => {
+                        if shard.osu.release(w, reg) {
+                            Self::note_eviction(ctx, EvictionReason::RegionDrain, w, reg);
+                        }
+                    }
                 }
             }
         }
@@ -558,7 +645,7 @@ impl OperandBackend for RegLessBackend {
             if at.idx + 1 == self.compiled.region(region).end() {
                 ctx.stats
                     .trace_event(ctx.now, TraceEvent::RegionDrain { warp: w });
-                Self::start_drain(shard, &self.inflight_regs[w], w);
+                Self::start_drain(shard, &self.inflight_regs[w], w, ctx);
             }
         }
         extra
@@ -576,13 +663,13 @@ impl OperandBackend for RegLessBackend {
         let shard = &mut self.shards[s];
         ctx.stats.osu_writes += 1;
         let result = shard.osu.write(w, reg, value);
-        if let Some(victim) = result.spilled {
-            Self::spill(shard, &mut self.backing, &self.regmap, victim, ctx);
-        }
-        if result.failed {
+        let overflowed = result.failed;
+        Self::settle_install(shard, &mut self.backing, &self.regmap, result, ctx);
+        if overflowed {
             // Reservation model fell short (should be rare): write through
-            // to memory so the value is never lost.
-            ctx.stats.reservation_overflows += 1;
+            // to memory so the value is never lost. This spill is not an
+            // OSU eviction — no line was displaced — so it carries no
+            // eviction cause.
             Self::spill(
                 shard,
                 &mut self.backing,
@@ -605,9 +692,11 @@ impl OperandBackend for RegLessBackend {
         }
         if let Some(notes) = self.compiled.annotations().notes(at) {
             if notes.erase_on_write {
-                shard.osu.erase(w, reg);
-            } else if notes.evict_on_write {
-                shard.osu.release(w, reg);
+                if shard.osu.erase(w, reg) {
+                    Self::note_eviction(ctx, EvictionReason::DeadValueReclaim, w, reg);
+                }
+            } else if notes.evict_on_write && shard.osu.release(w, reg) {
+                Self::note_eviction(ctx, EvictionReason::RegionDrain, w, reg);
             }
         }
         shard.cm.note_writeback(w);
@@ -615,7 +704,9 @@ impl OperandBackend for RegLessBackend {
         // and its slice of the reservation returned (paper §5.1).
         if fully_landed {
             if let WarpPhase::Draining(_) = shard.cm.phase(w) {
-                shard.osu.release(w, reg);
+                if shard.osu.release(w, reg) {
+                    Self::note_eviction(ctx, EvictionReason::RegionDrain, w, reg);
+                }
                 shard.cm.note_drain_release(w, runtime_bank(w, reg));
             }
         }
@@ -657,12 +748,19 @@ impl OperandBackend for RegLessBackend {
         if let WarpPhase::Active(_) = shard.cm.phase(w) {
             ctx.stats
                 .trace_event(ctx.now, TraceEvent::RegionDrain { warp: w });
-            Self::start_drain(shard, &self.inflight_regs[w], w);
+            Self::start_drain(shard, &self.inflight_regs[w], w, ctx);
         }
     }
 
     fn quiesced(&self) -> bool {
         self.shards.iter().all(Shard::quiesced)
+    }
+
+    fn finish(&mut self, stats: &mut SmStats) {
+        // Publish the OSU's mechanical eviction count; the final cycle can
+        // evict lines after the last `begin_cycle`, so this happens once
+        // at run end rather than per cycle.
+        stats.osu_lines_evicted = self.shards.iter().map(|s| s.osu.lines_evicted()).sum();
     }
 }
 

@@ -291,6 +291,18 @@ impl CapacityManager {
     pub fn stack(&self) -> Vec<usize> {
         self.stack.iter().copied().collect()
     }
+
+    /// Warps queued for admission (the depth the occupancy sampler
+    /// records; cheaper than cloning [`CapacityManager::stack`]).
+    pub fn queue_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Total lines committed across all banks (the "reserved" series of
+    /// the occupancy timeline).
+    pub fn committed_total(&self) -> usize {
+        self.committed.iter().sum()
+    }
 }
 
 #[cfg(test)]

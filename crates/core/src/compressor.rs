@@ -116,6 +116,79 @@ fn half_stride(a: u32, b: u32, step: u32, half: usize) -> LaneVec {
 /// per-register state bits).
 pub const REGS_PER_COMPRESSED_LINE: usize = 15;
 
+/// The pattern a compressed value matched, without its payload: the closed
+/// vocabulary the effectiveness counters are keyed by.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PatternKind {
+    /// Every lane equal.
+    Constant,
+    /// Full-warp stride-1.
+    Stride1,
+    /// Full-warp stride-4.
+    Stride4,
+    /// Per-half stride-1.
+    HalfStride1,
+    /// Per-half stride-4.
+    HalfStride4,
+}
+
+/// Number of [`PatternKind`] variants.
+pub const NUM_PATTERN_KINDS: usize = 5;
+
+impl PatternKind {
+    /// All kinds, in display (and counter) order.
+    pub const ALL: [PatternKind; NUM_PATTERN_KINDS] = [
+        PatternKind::Constant,
+        PatternKind::Stride1,
+        PatternKind::Stride4,
+        PatternKind::HalfStride1,
+        PatternKind::HalfStride4,
+    ];
+
+    /// Dense index in [`PatternKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            PatternKind::Constant => 0,
+            PatternKind::Stride1 => 1,
+            PatternKind::Stride4 => 2,
+            PatternKind::HalfStride1 => 3,
+            PatternKind::HalfStride4 => 4,
+        }
+    }
+
+    /// Stable snake_case name for counters and report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternKind::Constant => "constant",
+            PatternKind::Stride1 => "stride1",
+            PatternKind::Stride4 => "stride4",
+            PatternKind::HalfStride1 => "half_stride1",
+            PatternKind::HalfStride4 => "half_stride4",
+        }
+    }
+
+    /// Payload bytes of a value stored under this pattern.
+    pub fn payload_bytes(self) -> usize {
+        match self {
+            PatternKind::Constant | PatternKind::Stride1 | PatternKind::Stride4 => 4,
+            PatternKind::HalfStride1 | PatternKind::HalfStride4 => 8,
+        }
+    }
+}
+
+impl Compressed {
+    /// The pattern this value matched.
+    pub fn kind(&self) -> PatternKind {
+        match self {
+            Compressed::Constant(_) => PatternKind::Constant,
+            Compressed::Stride1(_) => PatternKind::Stride1,
+            Compressed::Stride4(_) => PatternKind::Stride4,
+            Compressed::HalfStride1(..) => PatternKind::HalfStride1,
+            Compressed::HalfStride4(..) => PatternKind::HalfStride4,
+        }
+    }
+}
+
 /// What happened when a register was offered to the compressor on eviction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StoreOutcome {
@@ -124,6 +197,8 @@ pub enum StoreOutcome {
     Compressed {
         /// The internal line cache missed (one L1 access).
         line_miss: bool,
+        /// Which pattern matched (for the effectiveness counters).
+        kind: PatternKind,
     },
     /// The value matched no pattern; it must go to the L1 uncompressed.
     Incompressible,
@@ -236,7 +311,10 @@ impl Compressor {
                 let line = self.line_of(warp, reg);
                 let line_miss = self.touch_line(line);
                 self.table.insert((warp, reg), c);
-                StoreOutcome::Compressed { line_miss }
+                StoreOutcome::Compressed {
+                    line_miss,
+                    kind: c.kind(),
+                }
             }
             None => {
                 // A stale compressed copy must not shadow the new value.
@@ -391,25 +469,40 @@ mod tests {
         let far = |i: u16| Reg(i * REGS_PER_COMPRESSED_LINE as u16);
         assert!(matches!(
             c.store(0, far(0), &LaneVec::splat(0)),
-            StoreOutcome::Compressed { line_miss: true }
+            StoreOutcome::Compressed {
+                line_miss: true,
+                ..
+            }
         ));
         assert!(matches!(
             c.store(0, far(1), &LaneVec::splat(0)),
-            StoreOutcome::Compressed { line_miss: true }
+            StoreOutcome::Compressed {
+                line_miss: true,
+                ..
+            }
         ));
         // Line 0 still cached.
         assert!(matches!(
             c.store(0, far(0), &LaneVec::splat(1)),
-            StoreOutcome::Compressed { line_miss: false }
+            StoreOutcome::Compressed {
+                line_miss: false,
+                ..
+            }
         ));
         // Adding a third line evicts the LRU (line 1).
         assert!(matches!(
             c.store(0, far(2), &LaneVec::splat(0)),
-            StoreOutcome::Compressed { line_miss: true }
+            StoreOutcome::Compressed {
+                line_miss: true,
+                ..
+            }
         ));
         assert!(matches!(
             c.store(0, far(1), &LaneVec::splat(2)),
-            StoreOutcome::Compressed { line_miss: true }
+            StoreOutcome::Compressed {
+                line_miss: true,
+                ..
+            }
         ));
     }
 

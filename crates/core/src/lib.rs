@@ -43,7 +43,8 @@ mod regmem;
 pub use backend::RegLessBackend;
 pub use cm::{ActivationOrder, CapacityManager, WarpPhase};
 pub use compressor::{
-    Compressed, CompressedHit, Compressor, PatternSet, StoreOutcome, REGS_PER_COMPRESSED_LINE,
+    Compressed, CompressedHit, Compressor, PatternKind, PatternSet, StoreOutcome,
+    NUM_PATTERN_KINDS, REGS_PER_COMPRESSED_LINE,
 };
 pub use config::RegLessConfig;
 pub use osu::{runtime_bank, EvictedLine, InstallResult, Osu};

@@ -121,6 +121,7 @@ pub struct Osu {
     banks: Vec<Bank>,
     lines_per_bank: usize,
     release_seq: u64,
+    lines_evicted: u64,
 }
 
 /// Outcome of installing a value (write or preload fill).
@@ -130,6 +131,11 @@ pub struct InstallResult {
     pub allocated: bool,
     /// A displaced dirty line that must be spilled, if any.
     pub spilled: Option<EvictedLine>,
+    /// A resident *clean* evictable victim was dropped (no spill needed —
+    /// the memory hierarchy still holds its value): the victim's
+    /// `(warp, reg)`, so the caller can attribute the eviction to capacity
+    /// preemption and trace the displaced line.
+    pub dropped_clean: Option<(usize, Reg)>,
     /// The allocation failed: every line in the bank is active. The caller
     /// counts this against the reservation model (it should not happen when
     /// budgets are respected).
@@ -148,6 +154,7 @@ impl Osu {
             banks: (0..NUM_BANKS).map(|_| Bank::new(lines_per_bank)).collect(),
             lines_per_bank,
             release_seq: 0,
+            lines_evicted: 0,
         }
     }
 
@@ -159,6 +166,16 @@ impl Osu {
     /// Total line capacity.
     pub fn capacity(&self) -> usize {
         self.lines_per_bank * NUM_BANKS
+    }
+
+    /// Monotone count of eviction events the OSU itself observed: region
+    /// releases (active → evictable), erases of resident lines, and
+    /// resident victims displaced by an allocation. The backend attributes
+    /// each of these to one `EvictionReason` cause;
+    /// the per-cause counts must sum back to this number (a conservation
+    /// law the tier-1 tests enforce).
+    pub fn lines_evicted(&self) -> u64 {
+        self.lines_evicted
     }
 
     /// Whether the register is resident (any state but free).
@@ -197,6 +214,7 @@ impl Osu {
             return InstallResult {
                 allocated: false,
                 spilled: None,
+                dropped_clean: None,
                 failed: false,
             };
         }
@@ -204,6 +222,7 @@ impl Osu {
             return InstallResult {
                 allocated: false,
                 spilled: None,
+                dropped_clean: None,
                 failed: true,
             };
         };
@@ -217,10 +236,16 @@ impl Osu {
         } else {
             None
         };
+        let mut dropped_clean = None;
         if bank.lines[victim].state != LineState::Free {
             let key = (bank.lines[victim].warp, bank.lines[victim].reg);
             bank.tags.remove(&key);
+            if !victim_dirty {
+                dropped_clean = Some(key);
+            }
+            self.lines_evicted += 1;
         }
+        let bank = &mut self.banks[b];
         bank.lines[victim] = Line {
             warp,
             reg,
@@ -233,6 +258,7 @@ impl Osu {
         InstallResult {
             allocated: true,
             spilled,
+            dropped_clean,
             failed: false,
         }
     }
@@ -252,23 +278,37 @@ impl Osu {
     }
 
     /// Free a line outright (erase annotation / invalidating read).
-    pub fn erase(&mut self, warp: usize, reg: Reg) {
+    /// Returns whether a resident line was actually reclaimed.
+    pub fn erase(&mut self, warp: usize, reg: Reg) -> bool {
         let b = runtime_bank(warp, reg);
         let bank = &mut self.banks[b];
         if let Some(i) = bank.tags.remove(&(warp, reg)) {
             bank.lines[i] = Line::free();
+            self.lines_evicted += 1;
+            true
+        } else {
+            false
         }
     }
 
     /// Make a line evictable (region released it); keeps the dirty bit.
-    pub fn release(&mut self, warp: usize, reg: Reg) {
+    /// Returns whether an *active* line actually transitioned (re-releasing
+    /// an already-evictable line is a no-op for eviction accounting).
+    pub fn release(&mut self, warp: usize, reg: Reg) -> bool {
         self.release_seq += 1;
         let seq = self.release_seq;
         let b = runtime_bank(warp, reg);
         let bank = &mut self.banks[b];
         if let Some(&i) = bank.tags.get(&(warp, reg)) {
+            let transitioned = bank.lines[i].state == LineState::Active;
             bank.lines[i].state = LineState::Evictable;
             bank.lines[i].released_seq = seq;
+            if transitioned {
+                self.lines_evicted += 1;
+            }
+            transitioned
+        } else {
+            false
         }
     }
 
@@ -294,6 +334,7 @@ impl Osu {
                 }
             }
         }
+        self.lines_evicted += released.len() as u64;
         released
     }
 
@@ -303,6 +344,29 @@ impl Osu {
             .lines
             .iter()
             .filter(|l| l.state != LineState::Active)
+            .count()
+    }
+
+    /// Per-bank line-state census: `(active, evictable, free)` counts.
+    /// The three always sum to [`Osu::lines_per_bank`].
+    pub fn bank_states(&self, bank: usize) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for line in &self.banks[bank].lines {
+            match line.state {
+                LineState::Active => counts.0 += 1,
+                LineState::Evictable => counts.1 += 1,
+                LineState::Free => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Number of lines with a free (unallocated) state across the OSU.
+    pub fn free_lines(&self) -> usize {
+        self.banks
+            .iter()
+            .flat_map(|b| &b.lines)
+            .filter(|l| l.state == LineState::Free)
             .count()
     }
 
@@ -412,6 +476,50 @@ mod tests {
     }
 
     #[test]
+    fn eviction_counter_counts_each_transition_once() {
+        let mut osu = Osu::new(2);
+        assert_eq!(osu.lines_evicted(), 0);
+        osu.write(0, Reg(0), LaneVec::splat(1));
+        assert!(osu.release(0, Reg(0)), "drain transition");
+        assert_eq!(osu.lines_evicted(), 1);
+        assert!(!osu.release(0, Reg(0)), "re-release is a no-op");
+        assert_eq!(osu.lines_evicted(), 1);
+        osu.promote(0, Reg(0));
+        osu.release(0, Reg(0));
+        assert_eq!(osu.lines_evicted(), 2, "promote + re-release counts again");
+        assert!(osu.erase(0, Reg(0)), "dead-value reclaim");
+        assert_eq!(osu.lines_evicted(), 3);
+        assert!(!osu.erase(0, Reg(0)), "erase of absent line is a no-op");
+        assert_eq!(osu.lines_evicted(), 3);
+
+        // Clean-victim drop counts once and is flagged to the caller.
+        osu.fill(0, Reg(0), LaneVec::splat(2));
+        osu.release(0, Reg(0)); // 4
+        osu.fill(0, Reg(8), LaneVec::splat(3)); // same bank, takes the free line
+        let r = osu.write(8, Reg(0), LaneVec::splat(4)); // displaces the clean line
+        assert_eq!(r.dropped_clean, Some((0, Reg(0))));
+        assert!(r.spilled.is_none());
+        assert_eq!(osu.lines_evicted(), 5);
+
+        // Dirty-victim spill counts once and returns the line.
+        osu.release(8, Reg(0)); // 6
+        let r = osu.write(16, Reg(0), LaneVec::splat(5));
+        assert!(r.spilled.is_some() && r.dropped_clean.is_none());
+        assert_eq!(osu.lines_evicted(), 7);
+    }
+
+    #[test]
+    fn bank_states_census_sums_to_capacity() {
+        let mut osu = Osu::new(3);
+        osu.write(0, Reg(0), LaneVec::splat(1));
+        osu.fill(0, Reg(8), LaneVec::splat(2));
+        osu.release(0, Reg(8));
+        let (active, evictable, free) = osu.bank_states(0);
+        assert_eq!((active, evictable, free), (1, 1, 1));
+        assert_eq!(osu.free_lines(), 3 * NUM_BANKS - 2);
+    }
+
+    #[test]
     fn rewrite_in_place_does_not_allocate() {
         let mut osu = Osu::new(2);
         osu.write(0, Reg(0), LaneVec::splat(1));
@@ -456,8 +564,12 @@ mod proptests {
                 match op {
                     Op::Write(w, r) => { osu.write(w, Reg(r), LaneVec::splat(r as u32)); }
                     Op::Fill(w, r) => { osu.fill(w, Reg(r), LaneVec::splat(r as u32)); }
-                    Op::Release(w, r) => osu.release(w, Reg(r)),
-                    Op::Erase(w, r) => osu.erase(w, Reg(r)),
+                    Op::Release(w, r) => {
+                        osu.release(w, Reg(r));
+                    }
+                    Op::Erase(w, r) => {
+                        osu.erase(w, Reg(r));
+                    }
                     Op::Promote(w, r) => { osu.promote(w, Reg(r)); }
                     Op::ReleaseWarp(w) => { osu.release_warp(w); }
                 }

@@ -109,6 +109,15 @@ pub trait OperandBackend {
     fn quiesced(&self) -> bool {
         true
     }
+
+    /// Called exactly once after the run completes, before statistics are
+    /// collected: the backend's last chance to fold internal state into
+    /// [`SmStats`]. RegLess publishes the OSU's mechanical eviction count
+    /// here — the final cycle can evict lines after the last
+    /// `begin_cycle`, so a per-cycle sync would undercount.
+    fn finish(&mut self, stats: &mut SmStats) {
+        let _ = stats;
+    }
 }
 
 /// The baseline: a full-size register file. Every operand read/write is an

@@ -65,5 +65,7 @@ pub use trace::TraceEvent;
 // backend crates and binaries don't need a separate dependency line.
 pub use regless_telemetry as telemetry;
 // The CPI-stack types appear directly in backend and stats signatures.
-pub use regless_telemetry::{IssueStack, StallReason, NUM_STALL_REASONS};
+pub use regless_telemetry::{
+    EvictionReason, EvictionStack, IssueStack, StallReason, NUM_EVICTION_REASONS, NUM_STALL_REASONS,
+};
 pub use warp::{StackEntry, WarpBlock, WarpState};

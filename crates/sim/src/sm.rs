@@ -266,6 +266,9 @@ impl<B: OperandBackend> Sm<B> {
         self.stats.working_set.roll(now);
         self.stats.backing_series.roll(now);
         self.stats.osu_occupancy.roll(now);
+        self.stats.osu_reserved_series.roll(now);
+        self.stats.osu_free_series.roll(now);
+        self.stats.cm_queue_series.roll(now);
         self.stats.cycles = now + 1;
     }
 
@@ -560,6 +563,17 @@ impl RunReport {
         total
     }
 
+    /// The whole-GPU per-cause OSU eviction stack (all SMs merged). Its
+    /// total equals [`SmStats::osu_lines_evicted`] summed across SMs —
+    /// the eviction-accounting conservation law.
+    pub fn eviction_stack(&self) -> regless_telemetry::EvictionStack {
+        let mut total = regless_telemetry::EvictionStack::new();
+        for s in &self.sm_stats {
+            total.merge(&s.eviction_stack);
+        }
+        total
+    }
+
     /// The `n` regions with the most stalled issue slots, merged across
     /// SMs: `(region id, stack)` sorted by stalled slots descending (ties
     /// by region id, so the order is deterministic).
@@ -636,7 +650,14 @@ impl<B: OperandBackend> Machine<B> {
             .iter()
             .map(|sm| sm.warps.iter().map(|w| w.insns_issued).collect())
             .collect();
-        let mut sm_stats: Vec<SmStats> = self.sms.into_iter().map(|sm| sm.stats).collect();
+        let mut sm_stats: Vec<SmStats> = self
+            .sms
+            .into_iter()
+            .map(|mut sm| {
+                sm.backend.finish(&mut sm.stats);
+                sm.stats
+            })
+            .collect();
         let telemetry = collect_telemetry(&mut sm_stats, &self.mem.stats, now);
         Ok(RunReport {
             cycles: now,
@@ -709,6 +730,21 @@ fn collect_telemetry(
     merged.add_counter("osu.bank_conflicts", total.osu_bank_conflicts);
     merged.add_counter("compressor.matches", total.compressor_matches);
     merged.add_counter("compressor.compressed", total.compressor_compressed);
+    // Per-cause evictions as `evict.<reason>` counters, plus the OSU's
+    // mechanical total they must sum to.
+    merged.add_counter("osu.lines_evicted", total.osu_lines_evicted);
+    for (reason, lines) in total.eviction_stack.entries() {
+        merged.add_counter(reason.counter_name(), lines);
+    }
+    // Compressor effectiveness: per-pattern hits and staging byte traffic.
+    merged.add_counter("compressor.pattern.constant", total.comp_constant);
+    merged.add_counter("compressor.pattern.stride1", total.comp_stride1);
+    merged.add_counter("compressor.pattern.stride4", total.comp_stride4);
+    merged.add_counter("compressor.pattern.half_stride1", total.comp_half_stride1);
+    merged.add_counter("compressor.pattern.half_stride4", total.comp_half_stride4);
+    merged.add_counter("compressor.incompressible", total.comp_incompressible);
+    merged.add_counter("compressor.bytes_in", total.comp_bytes_in);
+    merged.add_counter("compressor.bytes_out", total.comp_bytes_out);
     merged.add_counter("regions.activated", total.regions_activated);
     merged.add_counter("regions.active_cycles", total.region_active_cycles);
     merged.add_counter("reg.stores_l1", total.reg_stores_l1);

@@ -2,7 +2,7 @@
 
 use crate::config::Cycle;
 use regless_isa::{Reg, WarpId};
-use regless_telemetry::{IssueStack, StallReason};
+use regless_telemetry::{EvictionStack, IssueStack, StallReason};
 use std::collections::{BTreeMap, HashSet};
 
 /// Length of the sampling window used by the paper's Figures 2 and 3.
@@ -182,6 +182,31 @@ pub struct SmStats {
     /// state at issue — any nonzero count is a staging-path value bug.
     pub staging_mismatches: u64,
 
+    /// Total OSU eviction events counted *mechanically inside the OSU*
+    /// (published by the backend at run end). The per-cause
+    /// [`eviction_stack`](Self::eviction_stack) must sum to exactly this —
+    /// the conservation law that proves the backend's cause classification
+    /// covers every eviction site.
+    pub osu_lines_evicted: u64,
+    /// Spilled lines the compressor matched as a constant pattern.
+    pub comp_constant: u64,
+    /// Spilled lines matched as stride-1.
+    pub comp_stride1: u64,
+    /// Spilled lines matched as stride-4.
+    pub comp_stride4: u64,
+    /// Spilled lines matched as half-width stride-1.
+    pub comp_half_stride1: u64,
+    /// Spilled lines matched as half-width stride-4.
+    pub comp_half_stride4: u64,
+    /// Spilled lines no pattern matched (stored uncompressed).
+    pub comp_incompressible: u64,
+    /// Bytes presented to the compressor (128 per spilled line).
+    pub comp_bytes_in: u64,
+    /// Bytes the compressor produced (pattern payload, or the full line
+    /// when incompressible); `comp_bytes_out / comp_bytes_in` is the
+    /// staging-traffic compression ratio.
+    pub comp_bytes_out: u64,
+
     /// Per-cycle issue-slot attribution (the SM's CPI stack): every issue
     /// slot of every cycle is charged to exactly one [`StallReason`], so
     /// `issue_stack.total() == cycles × issue slots` — a conservation law
@@ -209,6 +234,16 @@ pub struct SmStats {
     pub backing_series: WindowSeries,
     /// Active OSU lines sampled once per window (occupancy over time).
     pub osu_occupancy: WindowSeries,
+    /// Per-cause OSU eviction counts (capacity preemption, compressor
+    /// spill, region drain, dead-value reclaim). Always on, like the CPI
+    /// stack: a handful of array increments per eviction.
+    pub eviction_stack: EvictionStack,
+    /// CM-reserved (committed) OSU lines sampled once per window.
+    pub osu_reserved_series: WindowSeries,
+    /// Free (unallocated) OSU lines sampled once per window.
+    pub osu_free_series: WindowSeries,
+    /// CM admission-queue depth (stacked warps) sampled once per window.
+    pub cm_queue_series: WindowSeries,
 }
 
 impl SmStats {
@@ -306,6 +341,16 @@ impl SmStats {
         self.region_active_cycles += other.region_active_cycles;
         self.reservation_overflows += other.reservation_overflows;
         self.staging_mismatches += other.staging_mismatches;
+        self.osu_lines_evicted += other.osu_lines_evicted;
+        self.comp_constant += other.comp_constant;
+        self.comp_stride1 += other.comp_stride1;
+        self.comp_stride4 += other.comp_stride4;
+        self.comp_half_stride1 += other.comp_half_stride1;
+        self.comp_half_stride4 += other.comp_half_stride4;
+        self.comp_incompressible += other.comp_incompressible;
+        self.comp_bytes_in += other.comp_bytes_in;
+        self.comp_bytes_out += other.comp_bytes_out;
+        self.eviction_stack.merge(&other.eviction_stack);
         self.issue_stack.merge(&other.issue_stack);
         if self.warp_stacks.len() < other.warp_stacks.len() {
             self.warp_stacks
@@ -409,7 +454,16 @@ macro_rules! for_each_sm_counter {
             regions_activated,
             region_active_cycles,
             reservation_overflows,
-            staging_mismatches
+            staging_mismatches,
+            osu_lines_evicted,
+            comp_constant,
+            comp_stride1,
+            comp_stride4,
+            comp_half_stride1,
+            comp_half_stride4,
+            comp_incompressible,
+            comp_bytes_in,
+            comp_bytes_out
         )
     };
 }
@@ -461,6 +515,22 @@ impl regless_json::ToJson for SmStats {
             "osu_occupancy".into(),
             regless_json::ToJson::to_json(&self.osu_occupancy),
         ));
+        pairs.push((
+            "eviction_stack".into(),
+            regless_json::ToJson::to_json(&self.eviction_stack),
+        ));
+        pairs.push((
+            "osu_reserved_series".into(),
+            regless_json::ToJson::to_json(&self.osu_reserved_series),
+        ));
+        pairs.push((
+            "osu_free_series".into(),
+            regless_json::ToJson::to_json(&self.osu_free_series),
+        ));
+        pairs.push((
+            "cm_queue_series".into(),
+            regless_json::ToJson::to_json(&self.cm_queue_series),
+        ));
         regless_json::Json::Obj(pairs)
     }
 }
@@ -504,6 +574,11 @@ impl regless_json::FromJson for SmStats {
         stats.working_set = regless_json::FromJson::from_json(v.field("working_set")?)?;
         stats.backing_series = regless_json::FromJson::from_json(v.field("backing_series")?)?;
         stats.osu_occupancy = regless_json::FromJson::from_json(v.field("osu_occupancy")?)?;
+        stats.eviction_stack = regless_json::FromJson::from_json(v.field("eviction_stack")?)?;
+        stats.osu_reserved_series =
+            regless_json::FromJson::from_json(v.field("osu_reserved_series")?)?;
+        stats.osu_free_series = regless_json::FromJson::from_json(v.field("osu_free_series")?)?;
+        stats.cm_queue_series = regless_json::FromJson::from_json(v.field("cm_queue_series")?)?;
         Ok(stats)
     }
 }

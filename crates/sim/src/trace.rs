@@ -15,7 +15,7 @@
 use crate::config::Cycle;
 use crate::stats::PreloadSource;
 use regless_isa::{InsnRef, Reg};
-use regless_telemetry::{Event, Recorder, Structure, Track};
+use regless_telemetry::{Event, EvictionReason, Recorder, Structure, Track};
 
 /// One traced event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -78,12 +78,16 @@ pub enum TraceEvent {
         /// Where the value came from.
         source: PreloadSource,
     },
-    /// RegLess: a dirty OSU line was displaced.
+    /// RegLess: an OSU line left active residency — drained, reclaimed
+    /// dead, dropped clean, or spilled dirty (the closed
+    /// [`EvictionReason`] taxonomy).
     OsuEvict {
-        /// Owning warp of the displaced line.
+        /// Owning warp of the evicted line.
         warp: usize,
-        /// The displaced register.
+        /// The evicted register.
         reg: Reg,
+        /// Which of the four causes evicted it.
+        reason: EvictionReason,
     },
     /// RegLess: the compressor handled a displaced line.
     CompressorStore {
@@ -157,11 +161,12 @@ pub(crate) fn emit(rec: &mut regless_telemetry::MemoryRecorder, cycle: Cycle, ev
                     .arg("source", source.label()),
             );
         }
-        TraceEvent::OsuEvict { warp, reg } => {
+        TraceEvent::OsuEvict { warp, reg, reason } => {
             rec.record(
                 Event::instant(cycle, Track::structure(Structure::Osu), "evict")
                     .arg("warp", warp)
-                    .arg("reg", reg.to_string()),
+                    .arg("reg", reg.to_string())
+                    .arg("reason", reason.name()),
             );
         }
         TraceEvent::CompressorStore {
@@ -220,6 +225,7 @@ mod tests {
             &TraceEvent::OsuEvict {
                 warp: 0,
                 reg: Reg(3),
+                reason: EvictionReason::CompressorSpill,
             },
         );
         emit(

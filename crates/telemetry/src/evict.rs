@@ -1,0 +1,243 @@
+//! Eviction accounting for the operand staging unit: the closed
+//! [`EvictionReason`] taxonomy and the [`EvictionStack`] accumulator.
+//!
+//! Every line that leaves the OSU is charged to exactly one cause, so a
+//! stack obeys a conservation law the simulator's tests enforce: the sum
+//! over all reasons equals the OSU's own count of lines evicted. Stacks
+//! merge associatively and commutatively (element-wise sums), like
+//! [`crate::IssueStack`], so per-SM and whole-GPU views are folds of the
+//! same primitive.
+
+/// Why a line left the operand staging unit.
+///
+/// The taxonomy is *closed*: the RegLess backend charges every departing
+/// line to exactly one of these, so eviction stacks built from them are
+/// complete by construction. The four causes partition the OSU's exit
+/// paths:
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EvictionReason {
+    /// A *clean* evictable line was silently dropped to make room for a
+    /// new allocation — its value is already recoverable from the
+    /// compressor or L1, so nothing is written back.
+    CapacityPreemption,
+    /// A *dirty* evictable line was displaced by a new allocation and had
+    /// to be spilled through the compressor (and to L1 on a compressor
+    /// miss).
+    CompressorSpill,
+    /// A line was released because its region ended: last-use `Evict`
+    /// annotations, evict-on-write, and the drain that frees a warp's
+    /// reservation when it leaves a region.
+    RegionDrain,
+    /// A line was erased because the compiler proved its value dead:
+    /// last-use `Erase` annotations, erase-on-write, and preloads
+    /// invalidated by an overwrite.
+    DeadValueReclaim,
+}
+
+/// Number of [`EvictionReason`] variants (the width of an
+/// [`EvictionStack`]).
+pub const NUM_EVICTION_REASONS: usize = 4;
+
+impl EvictionReason {
+    /// All reasons, in display (and serialization) order.
+    pub const ALL: [EvictionReason; NUM_EVICTION_REASONS] = [
+        EvictionReason::CapacityPreemption,
+        EvictionReason::CompressorSpill,
+        EvictionReason::RegionDrain,
+        EvictionReason::DeadValueReclaim,
+    ];
+
+    /// Dense index of this reason in [`EvictionReason::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            EvictionReason::CapacityPreemption => 0,
+            EvictionReason::CompressorSpill => 1,
+            EvictionReason::RegionDrain => 2,
+            EvictionReason::DeadValueReclaim => 3,
+        }
+    }
+
+    /// Stable snake_case name used in JSON, CSV, and telemetry counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionReason::CapacityPreemption => "capacity_preemption",
+            EvictionReason::CompressorSpill => "compressor_spill",
+            EvictionReason::RegionDrain => "region_drain",
+            EvictionReason::DeadValueReclaim => "dead_value_reclaim",
+        }
+    }
+
+    /// Telemetry counter name (`evict.<reason>`).
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            EvictionReason::CapacityPreemption => "evict.capacity_preemption",
+            EvictionReason::CompressorSpill => "evict.compressor_spill",
+            EvictionReason::RegionDrain => "evict.region_drain",
+            EvictionReason::DeadValueReclaim => "evict.dead_value_reclaim",
+        }
+    }
+
+    /// Parse an [`EvictionReason::name`] back into the reason.
+    pub fn from_name(name: &str) -> Option<EvictionReason> {
+        EvictionReason::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// An eviction stack: per-cause counts of lines that left the OSU.
+///
+/// ```
+/// use regless_telemetry::{EvictionReason, EvictionStack};
+///
+/// let mut a = EvictionStack::new();
+/// a.charge(EvictionReason::RegionDrain);
+/// a.charge(EvictionReason::CompressorSpill);
+/// let mut b = EvictionStack::new();
+/// b.charge(EvictionReason::CompressorSpill);
+/// a.merge(&b);
+/// assert_eq!(a.get(EvictionReason::CompressorSpill), 2);
+/// assert_eq!(a.total(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EvictionStack {
+    lines: [u64; NUM_EVICTION_REASONS],
+}
+
+impl EvictionStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one evicted line to `reason`.
+    pub fn charge(&mut self, reason: EvictionReason) {
+        self.lines[reason.index()] += 1;
+    }
+
+    /// Charge `n` evicted lines to `reason`.
+    pub fn charge_n(&mut self, reason: EvictionReason, n: u64) {
+        self.lines[reason.index()] += n;
+    }
+
+    /// Lines charged to `reason`.
+    pub fn get(&self, reason: EvictionReason) -> u64 {
+        self.lines[reason.index()]
+    }
+
+    /// Total lines accounted (all reasons). Conservation requires this to
+    /// equal the OSU's own `lines_evicted` count.
+    pub fn total(&self) -> u64 {
+        self.lines.iter().sum()
+    }
+
+    /// Whether nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.lines.iter().all(|&n| n == 0)
+    }
+
+    /// Fold another stack into this one (element-wise sum; associative and
+    /// commutative).
+    pub fn merge(&mut self, other: &EvictionStack) {
+        for (a, b) in self.lines.iter_mut().zip(other.lines.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Fraction of total lines charged to `reason` (0 when empty).
+    pub fn fraction(&self, reason: EvictionReason) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(reason) as f64 / total as f64
+        }
+    }
+
+    /// `(reason, lines)` pairs in [`EvictionReason::ALL`] order.
+    pub fn entries(&self) -> impl Iterator<Item = (EvictionReason, u64)> + '_ {
+        EvictionReason::ALL.into_iter().map(|r| (r, self.get(r)))
+    }
+}
+
+// Serialized as an object keyed by reason name, in ALL order, so cached
+// reports and committed report goldens stay human-diffable.
+impl regless_json::ToJson for EvictionStack {
+    fn to_json(&self) -> regless_json::Json {
+        regless_json::Json::Obj(
+            self.entries()
+                .map(|(r, n)| (r.name().to_string(), regless_json::ToJson::to_json(&n)))
+                .collect(),
+        )
+    }
+}
+
+impl regless_json::FromJson for EvictionStack {
+    fn from_json(v: &regless_json::Json) -> Result<Self, regless_json::JsonError> {
+        let mut stack = EvictionStack::new();
+        for r in EvictionReason::ALL {
+            stack.lines[r.index()] = regless_json::FromJson::from_json(v.field(r.name())?)?;
+        }
+        Ok(stack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, r) in EvictionReason::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(EvictionReason::from_name(r.name()), Some(r));
+            assert!(r.counter_name().starts_with("evict."));
+        }
+        assert_eq!(EvictionReason::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn charge_and_total() {
+        let mut s = EvictionStack::new();
+        assert!(s.is_empty());
+        s.charge(EvictionReason::RegionDrain);
+        s.charge_n(EvictionReason::DeadValueReclaim, 3);
+        assert_eq!(s.get(EvictionReason::RegionDrain), 1);
+        assert_eq!(s.get(EvictionReason::DeadValueReclaim), 3);
+        assert_eq!(s.total(), 4);
+        assert!((s.fraction(EvictionReason::DeadValueReclaim) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let mut a = EvictionStack::new();
+        a.charge_n(EvictionReason::CapacityPreemption, 5);
+        let mut b = EvictionStack::new();
+        b.charge_n(EvictionReason::CapacityPreemption, 2);
+        b.charge(EvictionReason::CompressorSpill);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge commutes");
+        assert_eq!(ab.get(EvictionReason::CapacityPreemption), 7);
+        assert_eq!(ab.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut s = EvictionStack::new();
+        for (i, r) in EvictionReason::ALL.into_iter().enumerate() {
+            s.charge_n(r, i as u64 + 1);
+        }
+        let text = regless_json::to_string(&s);
+        assert!(text.contains("\"compressor_spill\":2"));
+        let back: EvictionStack = regless_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn fraction_of_empty_is_zero() {
+        let s = EvictionStack::new();
+        assert_eq!(s.fraction(EvictionReason::RegionDrain), 0.0);
+        assert_eq!(s.total(), 0);
+    }
+}

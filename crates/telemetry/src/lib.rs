@@ -35,13 +35,19 @@
 mod chrome;
 mod cpi;
 mod event;
+mod evict;
 mod hist;
 mod recorder;
+mod report;
 mod summary;
 
 pub use chrome::{chrome_trace, chrome_trace_string};
 pub use cpi::{IssueStack, StallReason, NUM_STALL_REASONS};
 pub use event::{ArgValue, Event, Lane, Phase, Structure, Track, Ts, STRUCTURE_TID_BASE};
+pub use evict::{EvictionReason, EvictionStack, NUM_EVICTION_REASONS};
 pub use hist::{Log2Histogram, NUM_BUCKETS};
 pub use recorder::{MemoryRecorder, NullRecorder, Recorder, Telemetry};
+pub use report::{
+    parse_history, round4, trend_table, CompressorReport, OccupancyReport, Report, RunSummary,
+};
 pub use summary::{summary_csv, HistogramSummary, TelemetrySummary};

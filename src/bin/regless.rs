@@ -20,6 +20,14 @@
 //!     --capacity <entries>                OSU entries/SM (default 512)
 //!     --format table|json|csv             rendering (default table)
 //!     --out <path>                        write there instead of stdout
+//! regless report <kernel> [options]   unified dashboard for one run
+//!     --design baseline|regless|rfh|rfv   storage design (default regless)
+//!     --capacity <entries>                OSU entries/SM (default 512)
+//!     --format html|json                  rendering (default html)
+//!     --out <path>                        write there instead of stdout
+//!     --trend                             append this run to the history file
+//!                                         and render the trajectory table
+//!     --history <path>                    history file (default results/history.jsonl)
 //! regless diff <a.json> <b.json>      compare two saved profiles
 //!     --fail-above <pct>                  exit non-zero past this regression
 //! ```
@@ -30,13 +38,16 @@
 
 use regless::baselines::{run_rfh, run_rfv};
 use regless::bench::profile::{diff as profile_diff, ProfileReport};
+use regless::bench::report::collect as report_collect;
 use regless::compiler::{compile, RegionConfig};
 use regless::core::{RegLessConfig, RegLessSim};
 use regless::energy::{energy, Design};
 use regless::isa::text::{format_kernel, parse_kernel};
 use regless::isa::Kernel;
 use regless::sim::{run_baseline, BaselineRf, GpuConfig, Machine, RunReport};
-use regless::telemetry::{chrome_trace_string, summary_csv};
+use regless::telemetry::{
+    chrome_trace_string, parse_history, summary_csv, trend_table, RunSummary,
+};
 use regless::workloads::rodinia;
 use std::sync::Arc;
 
@@ -50,6 +61,7 @@ fn main() {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -76,13 +88,28 @@ fn print_usage() {
          \u{20}  asm <kernel>              dump assembly text\n\
          \u{20}  sweep <kernel>            OSU capacity sweep\n\
          \u{20}  sweep --stats | --gc      sweep-engine cache report / orphan pruning\n\
+         \u{20}  sweep --gc --dry-run      list orphaned cache directories without deleting\n\
          \u{20}  trace <kernel> [options]  telemetry export (options: --design baseline|regless,\n\
          \u{20}                            --capacity <entries>, --format chrome|csv, --out <path>)\n\
          \u{20}  profile <kernel> [opts]   CPI-stack profile (options: --design baseline|regless|rfh|rfv,\n\
          \u{20}                            --capacity <entries>, --format table|json|csv, --out <path>)\n\
+         \u{20}  report <kernel> [opts]    unified dashboard (options: --design baseline|regless|rfh|rfv,\n\
+         \u{20}                            --capacity <entries>, --format html|json, --out <path>,\n\
+         \u{20}                            --trend, --history <path>)\n\
          \u{20}  diff <a.json> <b.json>    compare two saved profiles (--fail-above <pct> gates)\n\n\
          <kernel> is a benchmark name or a path to a .asm file"
     );
+}
+
+/// Write `contents` to `path`, creating missing parent directories first
+/// so `--out results/new-dir/file` works on a fresh checkout.
+fn write_output(path: &str, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
 }
 
 fn load_kernel(spec: &str) -> Result<Kernel, Box<dyn std::error::Error>> {
@@ -273,7 +300,7 @@ fn cmd_trace(args: &[String]) -> CmdResult {
     };
     match out {
         Some(path) => {
-            std::fs::write(&path, &rendered)?;
+            write_output(&path, &rendered)?;
             eprintln!(
                 "wrote {} bytes of {format} telemetry for `{}` to {path} \
                  ({} events, {} dropped)",
@@ -350,13 +377,95 @@ fn cmd_profile(args: &[String]) -> CmdResult {
     };
     match out {
         Some(path) => {
-            std::fs::write(&path, &rendered)?;
+            write_output(&path, &rendered)?;
             eprintln!(
                 "wrote {format} profile for `{}` under {design} to {path}",
                 kernel.name()
             );
         }
         None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Unified dashboard for one run (`regless report`).
+fn cmd_report(args: &[String]) -> CmdResult {
+    let spec = args.first().ok_or("report: missing kernel")?;
+    let kernel = load_kernel(spec)?;
+    let mut design = "regless".to_string();
+    let mut capacity = 512usize;
+    let mut format = "html".to_string();
+    let mut out: Option<String> = None;
+    let mut trend = false;
+    let mut history_path = "results/history.jsonl".to_string();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--design" => design = it.next().ok_or("--design needs a value")?.clone(),
+            "--capacity" => {
+                capacity = it.next().ok_or("--capacity needs a value")?.parse()?;
+            }
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--trend" => trend = true,
+            "--history" => history_path = it.next().ok_or("--history needs a value")?.clone(),
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+
+    // Record telemetry where the backend supports it (baseline, regless)
+    // so the dashboard's counter and histogram sections are populated;
+    // rfh/rfv run unrecorded and those sections stay empty.
+    const EVENTS_PER_SM: usize = 1_000_000;
+    let gpu = GpuConfig::gtx980_single_sm();
+    let run = match design.as_str() {
+        "baseline" => {
+            let compiled = Arc::new(compile(&kernel, &RegionConfig::default())?);
+            let mut machine = Machine::new(gpu, compiled, |_| BaselineRf::new());
+            machine.attach_telemetry(EVENTS_PER_SM);
+            machine.run()?
+        }
+        "regless" => {
+            let cfg = RegLessConfig::with_capacity(capacity);
+            let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
+            let mut sim = RegLessSim::new(gpu, cfg, compiled);
+            sim.attach_telemetry(EVENTS_PER_SM);
+            sim.run()?
+        }
+        _ => run_for_design(&kernel, &design, capacity)?,
+    };
+    let osu_capacity = if design == "regless" { capacity } else { 0 };
+    let report = report_collect(&run, kernel.name(), &design, osu_capacity);
+
+    // --trend: append this run's summary row, then render the whole
+    // history (including the new row) as the trajectory section.
+    let mut history: Vec<RunSummary> = Vec::new();
+    if trend {
+        let mut body = std::fs::read_to_string(&history_path).unwrap_or_default();
+        body.push_str(&report.summary().to_jsonl_line());
+        body.push('\n');
+        write_output(&history_path, &body)?;
+        history = parse_history(&body);
+        eprintln!("appended run to {history_path} ({} rows)", history.len());
+    }
+
+    let rendered = match format.as_str() {
+        "html" => report.render_html(&history),
+        "json" => report.to_json_string(),
+        other => return Err(format!("unknown format {other:?} (html|json)").into()),
+    };
+    match &out {
+        Some(path) => {
+            write_output(path, &rendered)?;
+            eprintln!(
+                "wrote {format} report for `{}` under {design} to {path}",
+                kernel.name()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    if trend && out.is_some() {
+        print!("{}", trend_table(&history));
     }
     Ok(())
 }
@@ -395,9 +504,30 @@ fn cmd_sweep_stats() -> CmdResult {
     Ok(())
 }
 
-/// Prune orphaned fingerprint directories (`regless sweep --gc`).
-fn cmd_sweep_gc() -> CmdResult {
+/// Prune orphaned fingerprint directories (`regless sweep --gc`), or just
+/// list them when `dry_run` (`--gc --dry-run`).
+fn cmd_sweep_gc(dry_run: bool) -> CmdResult {
     let engine = regless::bench::sweep::engine();
+    if dry_run {
+        let orphans = engine.list_orphans()?;
+        if orphans.is_empty() {
+            println!("no orphaned cache directories");
+        } else {
+            let mut bytes = 0u64;
+            for o in &orphans {
+                println!(
+                    "would remove orphan {} ({} entries, {} bytes)",
+                    o.name, o.entries, o.bytes
+                );
+                bytes += o.bytes;
+            }
+            println!(
+                "dry run: {} directories, {bytes} bytes reclaimable (run `regless sweep --gc` to delete)",
+                orphans.len()
+            );
+        }
+        return Ok(());
+    }
     let gc = engine.gc_orphans()?;
     if gc.removed.is_empty() {
         println!("no orphaned cache directories");
@@ -418,7 +548,9 @@ fn cmd_sweep_gc() -> CmdResult {
 fn cmd_sweep(args: &[String]) -> CmdResult {
     match args.first().map(String::as_str) {
         Some("--stats") => return cmd_sweep_stats(),
-        Some("--gc") => return cmd_sweep_gc(),
+        Some("--gc") => {
+            return cmd_sweep_gc(args.get(1).map(String::as_str) == Some("--dry-run"));
+        }
         _ => {}
     }
     let spec = args
@@ -455,4 +587,26 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::write_output;
+
+    #[test]
+    fn write_output_creates_missing_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("regless-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("a/b/c.txt");
+        let path = nested.to_str().unwrap();
+        write_output(path, "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "hello");
+        // Overwrites in place on the second call.
+        write_output(path, "again").unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "again");
+        // Bare file names (no parent) also work.
+        let cwd_ok = write_output(dir.join("top.txt").to_str().unwrap(), "x");
+        assert!(cwd_ok.is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

@@ -1,0 +1,81 @@
+//! Dashboard contract tests: `regless report --format json` on the
+//! checked-in saxpy kernel is byte-stable and matches the committed
+//! golden snapshot, and the HTML rendering carries every stall and
+//! eviction row (the CI schema-completeness contract).
+
+use regless::bench::report::collect;
+use regless::compiler::compile;
+use regless::core::{RegLessConfig, RegLessSim};
+use regless::isa::text::parse_kernel;
+use regless::sim::GpuConfig;
+use regless::telemetry::{EvictionReason, Report, StallReason};
+
+/// Build the saxpy dashboard exactly as
+/// `regless report kernels/saxpy.asm --design regless --format json`
+/// does (telemetry recorded with the CLI's buffer size).
+fn saxpy_report() -> Report {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/kernels/saxpy.asm"))
+        .expect("kernels/saxpy.asm is checked in");
+    let kernel = parse_kernel(&text).expect("saxpy parses");
+    let gpu = GpuConfig::gtx980_single_sm();
+    let cfg = RegLessConfig::with_capacity(512);
+    let compiled = compile(&kernel, &cfg.region_config(&gpu)).expect("compiles");
+    let mut sim = RegLessSim::new(gpu, cfg, compiled);
+    sim.attach_telemetry(1_000_000);
+    let run = sim.run().expect("runs");
+    collect(&run, kernel.name(), "regless", 512)
+}
+
+/// The JSON twin matches the golden file byte-for-byte, a second
+/// simulation reproduces it exactly, and the document round-trips.
+#[test]
+fn saxpy_report_json_matches_golden_and_is_byte_stable() {
+    let report = saxpy_report();
+    let json = report.to_json_string();
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/report_saxpy_regless.json"
+    ))
+    .expect("golden report is checked in");
+    assert_eq!(
+        json, golden,
+        "report JSON drifted from tests/golden/report_saxpy_regless.json; \
+         regenerate with `regless report kernels/saxpy.asm --format json \
+         --out tests/golden/report_saxpy_regless.json` if the change is \
+         intentional"
+    );
+    let again = saxpy_report();
+    assert_eq!(again.to_json_string(), json);
+    let back = Report::from_json_str(&json).expect("parses");
+    assert_eq!(back, report);
+}
+
+/// The HTML dashboard for a real run carries every stall and eviction
+/// row, the occupancy sparkline, and the trend section when history rows
+/// are supplied — the same contract CI checks on the generated artifact.
+#[test]
+fn saxpy_report_html_is_schema_complete() {
+    let report = saxpy_report();
+    let html = report.render_html(&[report.summary()]);
+    for r in StallReason::ALL {
+        assert!(
+            html.contains(&format!("class=\"stall-{}\"", r.name())),
+            "missing stall row {}",
+            r.name()
+        );
+    }
+    for r in EvictionReason::ALL {
+        assert!(
+            html.contains(&format!("class=\"evict-{}\"", r.name())),
+            "missing eviction row {}",
+            r.name()
+        );
+    }
+    assert!(html.contains("<svg"), "occupancy sparkline present");
+    assert!(html.contains("<h2>Trend</h2>"), "trend section present");
+    // The dashboard on saxpy is not empty: the kernel drains regions and
+    // reclaims dead values, and the sampled timelines carry real data.
+    assert!(report.evictions.total() > 0);
+    assert!(!report.occupancy.live.is_empty());
+    assert_eq!(report.occupancy.capacity_lines, 512);
+}
