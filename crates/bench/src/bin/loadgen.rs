@@ -1,0 +1,376 @@
+//! `loadgen` — concurrent-client load generator for `regless serve`.
+//!
+//! Drives N clients against a server (an existing one via `--addr`, or a
+//! `regless serve` child it spawns itself), measures request latency and
+//! throughput, then reads the server's `stats` to report the coalesce and
+//! cache hit ratios. Results land in `results/BENCH_serve.json`.
+//!
+//! ```text
+//! loadgen [--addr host:port] [--clients N] [--requests N]
+//!         [--benches id,id,...] [--timeout-ms MS] [--out PATH]
+//! ```
+//!
+//! This binary deliberately speaks the raw JSONL protocol with only
+//! `regless-json` (the serve crate depends on this one, so depending back
+//! on it would be circular) — which also makes it an independent check
+//! that the wire format is what DESIGN.md §12 says it is.
+
+use regless_json::{Json, ToJson};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+struct Options {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    benches: Vec<String>,
+    timeout_ms: Option<u64>,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: None,
+            clients: 8,
+            requests: 16,
+            // Small kernels so a default run finishes in seconds; every
+            // client walks the same rotation so identical requests overlap
+            // and the coalescing/caching paths actually get exercised.
+            benches: vec![
+                "rodinia/nn".to_string(),
+                "rodinia/gaussian".to_string(),
+                "rodinia/lud".to_string(),
+            ],
+            timeout_ms: None,
+            out: "results/BENCH_serve.json".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut need = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => o.addr = Some(need("--addr")?),
+            "--clients" => o.clients = need("--clients")?.parse().map_err(|e| format!("{e}"))?,
+            "--requests" => o.requests = need("--requests")?.parse().map_err(|e| format!("{e}"))?,
+            "--benches" => {
+                o.benches = need("--benches")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--timeout-ms" => {
+                o.timeout_ms = Some(need("--timeout-ms")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--out" => o.out = need("--out")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if o.benches.is_empty() {
+        return Err("--benches must name at least one benchmark".to_string());
+    }
+    Ok(o)
+}
+
+/// One JSONL exchange over an existing connection.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request: &Json,
+) -> std::io::Result<Json> {
+    writer.write_all(request.to_string_compact().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server hung up",
+        ));
+    }
+    Json::parse(&line).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.message))
+}
+
+fn connect(addr: &str) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
+    let stream = TcpStream::connect(addr)?;
+    let writer = stream.try_clone()?;
+    Ok((BufReader::new(stream), writer))
+}
+
+/// Spawn `regless serve --addr 127.0.0.1:0` from the sibling binary
+/// directory and parse the ephemeral address it prints.
+fn spawn_server() -> Result<(Child, String), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| "loadgen binary has no parent directory".to_string())?;
+    let regless = dir.join("regless");
+    if !regless.exists() {
+        return Err(format!(
+            "{} not found — build it first (cargo build --bin regless) or pass --addr",
+            regless.display()
+        ));
+    }
+    let mut child = Command::new(&regless)
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", regless.display()))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout);
+    let mut first = String::new();
+    lines
+        .read_line(&mut first)
+        .map_err(|e| format!("read server banner: {e}"))?;
+    let addr = first
+        .rsplit(' ')
+        .next()
+        .map(str::trim)
+        .filter(|a| a.contains(':'))
+        .ok_or_else(|| format!("unexpected server banner {first:?}"))?
+        .to_string();
+    Ok((child, addr))
+}
+
+/// Per-client outcome: latencies of successful requests (µs) and error
+/// counts by code.
+#[derive(Default)]
+struct ClientResult {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    timeouts: u64,
+}
+
+fn client_loop(addr: &str, client_idx: usize, o: &Options) -> std::io::Result<ClientResult> {
+    let (mut reader, mut writer) = connect(addr)?;
+    let mut result = ClientResult::default();
+    for i in 0..o.requests {
+        let bench = &o.benches[i % o.benches.len()];
+        let mut fields = vec![
+            (
+                "id".to_string(),
+                ToJson::to_json(&((client_idx * o.requests + i) as u64)),
+            ),
+            ("kind".to_string(), Json::Str("run".to_string())),
+            ("kernel".to_string(), Json::Str(bench.clone())),
+        ];
+        if let Some(ms) = o.timeout_ms {
+            fields.push(("timeout_ms".to_string(), ToJson::to_json(&ms)));
+        }
+        let started = Instant::now();
+        let resp = exchange(&mut reader, &mut writer, &Json::Obj(fields))?;
+        let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let ok = matches!(resp.field("ok"), Ok(Json::Bool(true)));
+        if ok {
+            result.ok += 1;
+            result.latencies_us.push(elapsed);
+        } else {
+            result.errors += 1;
+            let code = resp
+                .field("error")
+                .ok()
+                .and_then(|e| e.field("code").ok().cloned());
+            if code == Some(Json::Str("timeout".to_string())) {
+                result.timeouts += 1;
+            }
+        }
+    }
+    Ok(result)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil().max(1.0) as usize;
+    sorted_us[rank.min(sorted_us.len()) - 1] as f64 / 1e3
+}
+
+fn main() {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let (mut child, addr) = match &o.addr {
+        Some(a) => (None, a.clone()),
+        None => match spawn_server() {
+            Ok((child, addr)) => {
+                eprintln!("spawned regless serve on {addr}");
+                (Some(child), addr)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let started = Instant::now();
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..o.clients)
+            .map(|idx| {
+                let addr = addr.clone();
+                let o = &o;
+                scope.spawn(move || client_loop(&addr, idx, o))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join().expect("client thread") {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("client error: {e}");
+                    ClientResult::default()
+                }
+            })
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    // Server-side view: coalesce/cache/simulation counts for the ratio.
+    let stats = connect(&addr).ok().and_then(|(mut r, mut w)| {
+        exchange(
+            &mut r,
+            &mut w,
+            &Json::Obj(vec![
+                ("id".to_string(), Json::Int(0)),
+                ("kind".to_string(), Json::Str("stats".to_string())),
+            ]),
+        )
+        .ok()
+    });
+
+    if let Some(c) = child.as_mut() {
+        let _ = connect(&addr).and_then(|(mut r, mut w)| {
+            exchange(
+                &mut r,
+                &mut w,
+                &Json::Obj(vec![
+                    ("id".to_string(), Json::Int(0)),
+                    ("kind".to_string(), Json::Str("shutdown".to_string())),
+                ]),
+            )
+        });
+        let _ = c.wait();
+    }
+
+    let mut latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.clone())
+        .collect();
+    latencies.sort_unstable();
+    let ok: u64 = results.iter().map(|r| r.ok).sum();
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    let timeouts: u64 = results.iter().map(|r| r.timeouts).sum();
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e3
+    };
+
+    let counter = |name: &str| -> u64 {
+        stats
+            .as_ref()
+            .and_then(|s| s.field(name).ok())
+            .and_then(|v| match v {
+                Json::Int(i) => u64::try_from(*i).ok(),
+                Json::Uint(u) => Some(*u),
+                _ => None,
+            })
+            .unwrap_or(0)
+    };
+    let submitted = counter("submitted");
+    let coalesce_hits = counter("coalesce_hits");
+    let cache_hits = counter("cache_hits");
+    let simulations = counter("simulations");
+    let coalesce_ratio = if submitted == 0 {
+        0.0
+    } else {
+        coalesce_hits as f64 / submitted as f64
+    };
+
+    let report = Json::Obj(vec![
+        ("clients".to_string(), ToJson::to_json(&o.clients)),
+        (
+            "requests_per_client".to_string(),
+            ToJson::to_json(&o.requests),
+        ),
+        (
+            "benches".to_string(),
+            Json::Arr(o.benches.iter().map(|b| Json::Str(b.clone())).collect()),
+        ),
+        ("ok".to_string(), ToJson::to_json(&ok)),
+        ("errors".to_string(), ToJson::to_json(&errors)),
+        ("timeouts".to_string(), ToJson::to_json(&timeouts)),
+        ("wall_seconds".to_string(), Json::Float(wall.as_secs_f64())),
+        (
+            "throughput_rps".to_string(),
+            Json::Float(ok as f64 / wall.as_secs_f64().max(1e-9)),
+        ),
+        (
+            "latency_ms".to_string(),
+            Json::Obj(vec![
+                ("mean".to_string(), Json::Float(mean_ms)),
+                ("p50".to_string(), Json::Float(percentile(&latencies, 50.0))),
+                ("p99".to_string(), Json::Float(percentile(&latencies, 99.0))),
+                (
+                    "max".to_string(),
+                    Json::Float(latencies.last().copied().unwrap_or(0) as f64 / 1e3),
+                ),
+            ]),
+        ),
+        ("coalesce_ratio".to_string(), Json::Float(coalesce_ratio)),
+        ("coalesce_hits".to_string(), ToJson::to_json(&coalesce_hits)),
+        ("cache_hits".to_string(), ToJson::to_json(&cache_hits)),
+        ("simulations".to_string(), ToJson::to_json(&simulations)),
+        (
+            "server_stats".to_string(),
+            stats.clone().unwrap_or(Json::Null),
+        ),
+    ]);
+
+    let rendered = report.to_string_pretty();
+    if let Some(parent) = std::path::Path::new(&o.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(&o.out, format!("{rendered}\n")) {
+        Ok(()) => eprintln!("wrote {}", o.out),
+        Err(e) => {
+            eprintln!("error: write {}: {e}", o.out);
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "{ok} ok / {errors} err in {:.2} s ({:.1} req/s); p50 {:.1} ms, p99 {:.1} ms; \
+         {simulations} sims, {coalesce_hits} coalesced, {cache_hits} cache hits",
+        wall.as_secs_f64(),
+        ok as f64 / wall.as_secs_f64().max(1e-9),
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+    );
+    if ok == 0 {
+        // A load run where nothing succeeded is a failure even though the
+        // report file was written.
+        std::process::exit(1);
+    }
+}

@@ -121,6 +121,26 @@ pub fn micro_id(name: &str) -> String {
 /// Benchmark id of the §7 high-register-pressure kernel.
 pub const HIGH_PRESSURE_ID: &str = "special/high_pressure";
 
+/// Resolve a benchmark id (`rodinia/<name>`, `micro/<name>`, or
+/// [`HIGH_PRESSURE_ID`]) to its kernel, or `None` for an unknown id. This
+/// is the lookup external callers (the serving layer) use to decide
+/// whether a request is cacheable under the engine's fingerprint.
+pub fn bench_kernel(bench: &str) -> Option<regless_isa::Kernel> {
+    if let Some(name) = bench.strip_prefix("rodinia/") {
+        if rodinia::NAMES.contains(&name) {
+            return Some(rodinia::kernel(name));
+        }
+        return None;
+    }
+    if let Some(name) = bench.strip_prefix("micro/") {
+        return micro::all().into_iter().find(|k| k.name() == name);
+    }
+    if bench == HIGH_PRESSURE_ID {
+        return Some(high_pressure_kernel());
+    }
+    None
+}
+
 /// Resolve a benchmark id to its kernel.
 ///
 /// # Panics
@@ -128,19 +148,7 @@ pub const HIGH_PRESSURE_ID: &str = "special/high_pressure";
 /// Panics on an unknown id — experiment code constructs ids from the
 /// workload tables, so an unknown id is a harness bug.
 fn kernel_for(bench: &str) -> regless_isa::Kernel {
-    if let Some(name) = bench.strip_prefix("rodinia/") {
-        return rodinia::kernel(name);
-    }
-    if let Some(name) = bench.strip_prefix("micro/") {
-        return micro::all()
-            .into_iter()
-            .find(|k| k.name() == name)
-            .unwrap_or_else(|| panic!("unknown microbenchmark {name:?}"));
-    }
-    if bench == HIGH_PRESSURE_ID {
-        return high_pressure_kernel();
-    }
-    panic!("unknown benchmark id {bench:?}");
+    bench_kernel(bench).unwrap_or_else(|| panic!("unknown benchmark id {bench:?}"))
 }
 
 /// Actually run one simulation (a cache miss).
@@ -309,7 +317,12 @@ impl SweepEngine {
         }
     }
 
-    fn from_env() -> SweepEngine {
+    /// An engine configured from the environment (`REGLESS_SWEEP`,
+    /// `REGLESS_SWEEP_DIR`; see the module docs). The process-wide
+    /// [`engine`] wraps one of these in a static; long-lived owners (the
+    /// serving layer) construct their own so its lifetime and statistics
+    /// are scoped to them while still sharing the on-disk cache.
+    pub fn from_env() -> SweepEngine {
         let mode = match std::env::var("REGLESS_SWEEP").as_deref() {
             Ok("off") => SweepMode::Off,
             Ok("cold") => SweepMode::Cold,
@@ -375,6 +388,62 @@ impl SweepEngine {
             self.note_run(bench, variant, RunSource::MemoryCache, report.wall_seconds);
         }
         Arc::clone(report)
+    }
+
+    /// Cache-only lookup: the memoized report if this process already has
+    /// one, else a disk replay, else `None` — the simulator never runs.
+    /// Used by callers that run simulations themselves (the serving layer
+    /// threads cancellation tokens through its own executor) but still
+    /// want to share this engine's memo table and on-disk entries.
+    pub fn lookup(&self, bench: &str, variant: RunVariant) -> Option<Arc<RunReport>> {
+        if self.mode == SweepMode::Off {
+            return None;
+        }
+        let variant = variant.canonical();
+        let cell = {
+            let mut map = self.cache.lock().expect("sweep cache poisoned");
+            Arc::clone(
+                map.entry((bench.to_string(), variant))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        if let Some(hit) = cell.get() {
+            self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(hit));
+        }
+        if self.mode != SweepMode::Normal {
+            return None;
+        }
+        let path = self.entry_path(bench, variant)?;
+        let report = Arc::new(load_entry(&path, bench, variant)?);
+        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+        // Memoize the replay; a racing initializer may have won, in which
+        // case its (identical) report is the one future calls see.
+        let _ = cell.set(Arc::clone(&report));
+        Some(report)
+    }
+
+    /// Memoize and persist a report produced *outside* the engine (the
+    /// serving layer's cancellable executor). The report must be the
+    /// deterministic output of `(bench, variant)` on the evaluation
+    /// machine — the same contract [`SweepEngine::run`] maintains. A no-op
+    /// in [`SweepMode::Off`].
+    pub fn insert(&self, bench: &str, variant: RunVariant, report: Arc<RunReport>) {
+        if self.mode == SweepMode::Off {
+            return;
+        }
+        let variant = variant.canonical();
+        let cell = {
+            let mut map = self.cache.lock().expect("sweep cache poisoned");
+            Arc::clone(
+                map.entry((bench.to_string(), variant))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let _ = cell.set(Arc::clone(&report));
+        if let Some(path) = self.entry_path(bench, variant) {
+            store_entry(&path, bench, variant, &report);
+        }
     }
 
     fn load_or_simulate(&self, bench: &str, variant: RunVariant) -> RunReport {
@@ -595,6 +664,72 @@ impl SweepEngine {
         out
     }
 
+    /// Machine-readable twin of [`SweepEngine::cache_dir_report`] plus the
+    /// hit/miss counters (`regless sweep --stats --format json`): one row
+    /// per fingerprint directory with its entry count, byte size, whether
+    /// it is the current fingerprint, and the age in seconds of its newest
+    /// entry. Consumed by the serve `stats` response and CI.
+    pub fn cache_stats_json(&self) -> regless_json::Json {
+        use regless_json::{Json, ToJson};
+        let s = self.stats();
+        let counters = Json::Obj(vec![
+            ("memory_hits".into(), ToJson::to_json(&s.memory_hits)),
+            ("disk_hits".into(), ToJson::to_json(&s.disk_hits)),
+            ("misses".into(), ToJson::to_json(&s.misses)),
+            ("sim_seconds".into(), ToJson::to_json(&s.sim_seconds)),
+        ]);
+        let mut rows: Vec<(String, usize, u64, Option<u64>)> = Vec::new();
+        if let Some(dir) = self.disk_dir.as_ref() {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name().to_string_lossy().into_owned();
+                    if !is_fingerprint_name(&name) {
+                        continue;
+                    }
+                    let (files, bytes) = dir_stats(&entry.path());
+                    rows.push((name, files, bytes, dir_age_seconds(&entry.path())));
+                }
+            }
+        }
+        rows.sort();
+        let current = Self::fingerprint();
+        let (mut total_entries, mut total_bytes) = (0u64, 0u64);
+        let fingerprints: Vec<Json> = rows
+            .into_iter()
+            .map(|(name, files, bytes, age)| {
+                total_entries += files as u64;
+                total_bytes += bytes;
+                Json::Obj(vec![
+                    ("name".into(), ToJson::to_json(&name)),
+                    ("current".into(), Json::Bool(name == current)),
+                    ("entries".into(), ToJson::to_json(&(files as u64))),
+                    ("bytes".into(), ToJson::to_json(&bytes)),
+                    (
+                        "age_seconds".into(),
+                        match age {
+                            Some(a) => ToJson::to_json(&a),
+                            None => Json::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "cache_dir".into(),
+                match self.disk_dir.as_ref() {
+                    Some(d) => ToJson::to_json(&d.display().to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("fingerprint".into(), ToJson::to_json(&current)),
+            ("counters".into(), counters),
+            ("fingerprints".into(), Json::Arr(fingerprints)),
+            ("total_entries".into(), ToJson::to_json(&total_entries)),
+            ("total_bytes".into(), ToJson::to_json(&total_bytes)),
+        ])
+    }
+
     fn entry_path(&self, bench: &str, variant: RunVariant) -> Option<PathBuf> {
         let dir = self.disk_dir.as_ref()?;
         Some(
@@ -689,6 +824,23 @@ fn dir_stats(path: &Path) -> (usize, u64) {
     (files, bytes)
 }
 
+/// Age in seconds of the *newest* immediate file in `path` (how recently
+/// this fingerprint was written to), or `None` for an empty/unreadable
+/// directory or a filesystem without usable mtimes.
+fn dir_age_seconds(path: &Path) -> Option<u64> {
+    let mut newest: Option<std::time::SystemTime> = None;
+    for entry in std::fs::read_dir(path).ok()?.flatten() {
+        if let Ok(meta) = entry.metadata() {
+            if meta.is_file() {
+                if let Ok(m) = meta.modified() {
+                    newest = Some(newest.map_or(m, |n| n.max(m)));
+                }
+            }
+        }
+    }
+    newest?.elapsed().ok().map(|d| d.as_secs())
+}
+
 /// Render a byte count with a unit suited to its magnitude.
 fn format_bytes(bytes: u64) -> String {
     if bytes < 1024 {
@@ -763,8 +915,16 @@ fn store_entry(path: &Path, bench: &str, variant: RunVariant, report: &RunReport
             std::fs::create_dir_all(dir)?;
         }
         // Write-then-rename so a crash mid-write cannot leave a truncated
-        // entry under the final name.
-        let tmp = path.with_extension("json.tmp");
+        // entry under the final name. The temp name is unique per process
+        // *and* per write, so a concurrent server and CLI sweep persisting
+        // the same fingerprint never interleave bytes in one temp file;
+        // the last rename wins with a complete entry either way.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, entry.to_string_compact())?;
         std::fs::rename(&tmp, path)
     };
@@ -968,6 +1128,130 @@ mod tests {
         let off = SweepEngine::with_config(None, SweepMode::Normal);
         assert_eq!(off.gc_orphans().unwrap(), GcReport::default());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_fingerprint_leave_one_valid_entry() {
+        // Multi-process hardening: N threads persisting the same key at
+        // once (a server and a CLI sweep racing on one fingerprint) must
+        // end with exactly one complete, parseable entry and no leftover
+        // temp files — unique temp names plus atomic rename guarantee no
+        // interleaved bytes regardless of which writer wins.
+        let dir = std::env::temp_dir().join(format!(
+            "regless-sweep-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bench = rodinia_id("nn");
+        let variant = RunVariant::Design(DesignKind::Baseline);
+        let engine = SweepEngine::with_config(Some(dir.clone()), SweepMode::Normal);
+        let report = engine.run(&bench, variant);
+        let path = engine.entry_path(&bench, variant).unwrap();
+
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| store_entry(&path, &bench, variant, &report));
+            }
+        });
+
+        let entries: Vec<String> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries.len(), 1, "no temp files survive: {entries:?}");
+        let replayed = load_entry(&path, &bench, variant).expect("entry parses");
+        assert_eq!(replayed.cycles, report.cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_and_insert_share_the_cache_without_simulating() {
+        let dir = std::env::temp_dir().join(format!(
+            "regless-sweep-li-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bench = rodinia_id("nn");
+        let variant = RunVariant::Design(DesignKind::Baseline);
+
+        let writer = SweepEngine::with_config(Some(dir.clone()), SweepMode::Normal);
+        assert!(writer.lookup(&bench, variant).is_none(), "cold cache");
+        let report = Arc::new(simulate(&bench, variant));
+        writer.insert(&bench, variant, Arc::clone(&report));
+        let hit = writer.lookup(&bench, variant).expect("memoized");
+        assert!(Arc::ptr_eq(&hit, &report));
+
+        // A fresh engine over the same directory replays the inserted
+        // entry from disk; lookup never runs the simulator.
+        let reader = SweepEngine::with_config(Some(dir.clone()), SweepMode::Normal);
+        let replayed = reader.lookup(&bench, variant).expect("disk replay");
+        assert_eq!(replayed.cycles, report.cycles);
+        let s = reader.stats();
+        assert_eq!((s.misses, s.disk_hits), (0, 1));
+
+        // Off mode: lookup and insert are inert.
+        let off = SweepEngine::with_config(Some(dir.clone()), SweepMode::Off);
+        assert!(off.lookup(&bench, variant).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_stats_json_lists_fingerprints_and_totals() {
+        let dir = std::env::temp_dir().join(format!(
+            "regless-sweep-statsjson-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let current = dir.join(SweepEngine::fingerprint());
+        let orphan = dir.join("00000000deadbeef");
+        std::fs::create_dir_all(&current).unwrap();
+        std::fs::create_dir_all(&orphan).unwrap();
+        std::fs::write(current.join("a.json"), "{}").unwrap();
+        std::fs::write(orphan.join("b.json"), "stale").unwrap();
+
+        let engine = SweepEngine::with_config(Some(dir.clone()), SweepMode::Normal);
+        let json = engine.cache_stats_json();
+        // Round-trip through the parser: the output must be valid JSON.
+        let parsed = regless_json::Json::parse(&json.to_string_compact()).unwrap();
+        let fps = match parsed.field("fingerprints").unwrap() {
+            regless_json::Json::Arr(rows) => rows.clone(),
+            other => panic!("fingerprints should be an array, got {}", other.kind()),
+        };
+        assert_eq!(fps.len(), 2);
+        let names: Vec<String> = fps
+            .iter()
+            .map(|r| regless_json::FromJson::from_json(r.field("name").unwrap()).unwrap())
+            .collect();
+        assert!(names.contains(&"00000000deadbeef".to_string()));
+        assert!(names.contains(&SweepEngine::fingerprint()));
+        for row in &fps {
+            let name: String =
+                regless_json::FromJson::from_json(row.field("name").unwrap()).unwrap();
+            let current_flag = row.field("current").unwrap() == &regless_json::Json::Bool(true);
+            assert_eq!(current_flag, name == SweepEngine::fingerprint());
+            let age = row.field("age_seconds").unwrap();
+            assert_ne!(age, &regless_json::Json::Null, "fresh files have an age");
+        }
+        let total_entries: u64 =
+            regless_json::FromJson::from_json(parsed.field("total_entries").unwrap()).unwrap();
+        let total_bytes: u64 =
+            regless_json::FromJson::from_json(parsed.field("total_bytes").unwrap()).unwrap();
+        assert_eq!(total_entries, 2);
+        assert_eq!(total_bytes, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_kernel_resolves_known_ids_only() {
+        assert!(bench_kernel(&rodinia_id("nn")).is_some());
+        assert!(bench_kernel(HIGH_PRESSURE_ID).is_some());
+        assert!(bench_kernel("rodinia/not-a-bench").is_none());
+        assert!(bench_kernel("micro/not-a-bench").is_none());
+        assert!(bench_kernel("nn").is_none(), "bare names need a prefix");
     }
 
     #[test]

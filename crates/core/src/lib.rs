@@ -93,6 +93,13 @@ impl RegLessSim {
     pub fn attach_telemetry(&mut self, events_per_sm: usize) {
         self.machine.attach_telemetry(events_per_sm);
     }
+
+    /// Attach a cooperative cancellation token (see
+    /// [`Machine::set_cancel_token`]): the run returns
+    /// [`regless_sim::SimError::Cancelled`] once it trips.
+    pub fn set_cancel_token(&mut self, token: regless_sim::CancelToken) {
+        self.machine.set_cancel_token(token);
+    }
 }
 
 /// Compile a kernel with limits matched to `config` and run it under

@@ -1,0 +1,61 @@
+//! A minimal blocking client for the JSONL protocol.
+//!
+//! Used by `regless submit`, the load generator, and the tests. One
+//! request in flight at a time per connection; the server answers in
+//! order, so a plain write-then-read suffices.
+
+use crate::proto::{read_json_line, write_json_line, Request, Response};
+use regless_json::Json;
+use std::io::BufReader;
+use std::net::TcpStream;
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. [`crate::DEFAULT_ADDR`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error when no server is listening.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request and block for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on a broken connection, `UnexpectedEof` when
+    /// the server hangs up mid-request, or `InvalidData` for an
+    /// unparseable response line.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        let json = self.raw(&req.to_json())?;
+        Response::from_json(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.message))
+    }
+
+    /// Send a raw JSON line and read back one JSON line — the escape
+    /// hatch the load generator uses to measure pure protocol overhead.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::request`].
+    pub fn raw(&mut self, json: &Json) -> std::io::Result<Json> {
+        write_json_line(&mut self.writer, json)?;
+        read_json_line(&mut self.reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+}

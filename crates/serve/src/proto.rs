@@ -1,0 +1,469 @@
+//! The JSONL request/response protocol.
+//!
+//! One JSON object per line in each direction. Requests name a kind plus
+//! the simulation coordinates; responses echo the request `id` and carry
+//! either a kind-specific payload (`"ok": true`) or a structured error
+//! (`"ok": false`). The grammar is documented in DESIGN.md §12; this
+//! module is the single encoder/decoder both the server and the clients
+//! (CLI `submit`, `loadgen`, tests) share.
+
+use regless_json::{FromJson, Json, JsonError, ToJson};
+use std::io::{BufRead, Write};
+
+/// What a request asks the server to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RequestKind {
+    /// Simulate and return the run's deterministic report.
+    Run,
+    /// Simulate and return the CPI-stack profile.
+    Profile,
+    /// Simulate and return the dashboard `RunSummary`.
+    Report,
+    /// Server statistics (handled inline; never queued).
+    Stats,
+    /// Drain in-flight jobs and stop the server.
+    Shutdown,
+}
+
+impl RequestKind {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::Run => "run",
+            RequestKind::Profile => "profile",
+            RequestKind::Report => "report",
+            RequestKind::Stats => "stats",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<RequestKind> {
+        Some(match s {
+            "run" => RequestKind::Run,
+            "profile" => RequestKind::Profile,
+            "report" => RequestKind::Report,
+            "stats" => RequestKind::Stats,
+            "shutdown" => RequestKind::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// Whether this kind runs a simulation (and therefore goes through
+    /// admission control); `stats` and `shutdown` are control requests.
+    pub fn is_simulation(self) -> bool {
+        matches!(
+            self,
+            RequestKind::Run | RequestKind::Profile | RequestKind::Report
+        )
+    }
+}
+
+/// One client request.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Request {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// What to do.
+    pub kind: RequestKind,
+    /// Kernel spec for simulation kinds: a benchmark id
+    /// (`rodinia/<name>`, `micro/<name>`, `special/high_pressure`), a bare
+    /// Rodinia name, or a path to a `.asm` file readable by the server.
+    pub kernel: Option<String>,
+    /// Storage design: `"regless"` (default) or `"baseline"`.
+    pub design: String,
+    /// OSU entries per SM for the regless design.
+    pub capacity: usize,
+    /// Whether the regless design keeps its compressor.
+    pub compressor: bool,
+    /// Per-request deadline; once it expires the client gets a structured
+    /// `timeout` error and the simulation is cooperatively cancelled (when
+    /// no other waiter still wants it).
+    pub timeout_ms: Option<u64>,
+}
+
+impl Request {
+    /// A `run` request for `kernel` with default design options.
+    pub fn run(id: u64, kernel: &str) -> Request {
+        Request {
+            id,
+            kind: RequestKind::Run,
+            kernel: Some(kernel.to_string()),
+            ..Request::control(id, RequestKind::Run)
+        }
+    }
+
+    /// A bare control request (`stats`, `shutdown`) — also the base for
+    /// builders of simulation requests.
+    pub fn control(id: u64, kind: RequestKind) -> Request {
+        Request {
+            id,
+            kind,
+            kernel: None,
+            design: "regless".to_string(),
+            capacity: 512,
+            compressor: true,
+            timeout_ms: None,
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), ToJson::to_json(&self.id)),
+            (
+                "kind".to_string(),
+                Json::Str(self.kind.as_str().to_string()),
+            ),
+        ];
+        if let Some(kernel) = &self.kernel {
+            fields.push(("kernel".to_string(), Json::Str(kernel.clone())));
+        }
+        fields.push(("design".to_string(), Json::Str(self.design.clone())));
+        fields.push(("capacity".to_string(), ToJson::to_json(&self.capacity)));
+        fields.push(("compressor".to_string(), Json::Bool(self.compressor)));
+        if let Some(ms) = self.timeout_ms {
+            fields.push(("timeout_ms".to_string(), ToJson::to_json(&ms)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parse one wire line. Missing optional fields take their defaults
+    /// (`design` regless, `capacity` 512, `compressor` true).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed JSON, a missing/unknown
+    /// `kind`, or ill-typed fields.
+    pub fn from_json(v: &Json) -> Result<Request, JsonError> {
+        let id: u64 = match v.field_opt("id")? {
+            Some(f) => FromJson::from_json(f)?,
+            None => 0,
+        };
+        let kind_str: String = FromJson::from_json(v.field("kind")?)?;
+        let kind = RequestKind::parse(&kind_str)
+            .ok_or_else(|| JsonError::new(format!("unknown request kind {kind_str:?}")))?;
+        let kernel = match v.field_opt("kernel")? {
+            Some(f) => Some(FromJson::from_json(f)?),
+            None => None,
+        };
+        let design = match v.field_opt("design")? {
+            Some(f) => FromJson::from_json(f)?,
+            None => "regless".to_string(),
+        };
+        let capacity = match v.field_opt("capacity")? {
+            Some(f) => FromJson::from_json(f)?,
+            None => 512,
+        };
+        let compressor = match v.field_opt("compressor")? {
+            Some(f) => FromJson::from_json(f)?,
+            None => true,
+        };
+        let timeout_ms = match v.field_opt("timeout_ms")? {
+            Some(f) => Some(FromJson::from_json(f)?),
+            None => None,
+        };
+        Ok(Request {
+            id,
+            kind,
+            kernel,
+            design,
+            capacity,
+            compressor,
+            timeout_ms,
+        })
+    }
+}
+
+/// Structured error codes a response can carry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// Admission control rejected the request: the job queue is full.
+    /// The error body carries a `retry_after_ms` hint.
+    QueueFull,
+    /// The request's deadline expired; the simulation was cooperatively
+    /// cancelled (unless another waiter still wants it).
+    Timeout,
+    /// The request itself is malformed (unknown kernel/design/kind …).
+    BadRequest,
+    /// The simulation panicked; the worker survived via `catch_unwind`.
+    SimPanic,
+    /// The simulation returned an error (cycle limit, compile failure).
+    SimFailed,
+    /// The server is draining and no longer admits simulation requests.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::SimPanic => "sim_panic",
+            ErrorCode::SimFailed => "sim_failed",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// The error half of a response.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ErrorBody {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// For `queue_full`: how long the client should wait before retrying.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ErrorBody {
+    /// An error with no retry hint.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "code".to_string(),
+                Json::Str(self.code.as_str().to_string()),
+            ),
+            ("message".to_string(), Json::Str(self.message.clone())),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            fields.push(("retry_after_ms".to_string(), ToJson::to_json(&ms)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// One server response: the request id plus either a payload or an error.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Kind-specific payload fields (empty object on errors).
+    pub payload: Json,
+    /// The error, when `ok` is false.
+    pub error: Option<ErrorBody>,
+}
+
+impl Response {
+    /// A success response wrapping `payload` (must be a JSON object; its
+    /// fields are flattened beside `id` and `ok` on the wire).
+    pub fn success(id: u64, payload: Json) -> Response {
+        Response {
+            id,
+            ok: true,
+            payload,
+            error: None,
+        }
+    }
+
+    /// An error response.
+    pub fn failure(id: u64, error: ErrorBody) -> Response {
+        Response {
+            id,
+            ok: false,
+            payload: Json::Obj(Vec::new()),
+            error: Some(error),
+        }
+    }
+
+    /// The error code string, if this is an error response.
+    pub fn error_code(&self) -> Option<&'static str> {
+        self.error.as_ref().map(|e| e.code.as_str())
+    }
+
+    /// A payload field (`None` on errors or missing fields).
+    pub fn payload_field(&self, name: &str) -> Option<&Json> {
+        self.payload.field_opt(name).ok().flatten()
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), ToJson::to_json(&self.id)),
+            ("ok".to_string(), Json::Bool(self.ok)),
+        ];
+        if let Json::Obj(payload) = &self.payload {
+            fields.extend(payload.iter().cloned());
+        }
+        if let Some(e) = &self.error {
+            fields.push(("error".to_string(), e.to_json()));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parse one wire line back into a response. Unknown payload fields
+    /// are preserved in `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed JSON or a malformed error
+    /// body.
+    pub fn from_json(v: &Json) -> Result<Response, JsonError> {
+        let id: u64 = match v.field_opt("id")? {
+            Some(f) => FromJson::from_json(f)?,
+            None => 0,
+        };
+        let ok: bool = FromJson::from_json(v.field("ok")?)?;
+        let mut payload = Vec::new();
+        let mut error = None;
+        if let Json::Obj(pairs) = v {
+            for (k, val) in pairs {
+                match k.as_str() {
+                    "id" | "ok" => {}
+                    "error" => {
+                        let code_str: String = FromJson::from_json(val.field("code")?)?;
+                        let code = match code_str.as_str() {
+                            "queue_full" => ErrorCode::QueueFull,
+                            "timeout" => ErrorCode::Timeout,
+                            "bad_request" => ErrorCode::BadRequest,
+                            "sim_panic" => ErrorCode::SimPanic,
+                            "sim_failed" => ErrorCode::SimFailed,
+                            "shutting_down" => ErrorCode::ShuttingDown,
+                            other => {
+                                return Err(JsonError::new(format!("unknown error code {other:?}")))
+                            }
+                        };
+                        let message: String = FromJson::from_json(val.field("message")?)?;
+                        let retry_after_ms = match val.field_opt("retry_after_ms")? {
+                            Some(f) => Some(FromJson::from_json(f)?),
+                            None => None,
+                        };
+                        error = Some(ErrorBody {
+                            code,
+                            message,
+                            retry_after_ms,
+                        });
+                    }
+                    _ => payload.push((k.clone(), val.clone())),
+                }
+            }
+        }
+        Ok(Response {
+            id,
+            ok,
+            payload: Json::Obj(payload),
+            error,
+        })
+    }
+}
+
+/// Read one JSONL message from `reader`: `Ok(None)` at end-of-stream,
+/// otherwise the parsed line. Empty lines are skipped (a tolerant framing
+/// for hand-driven `nc` sessions).
+///
+/// # Errors
+///
+/// Returns an I/O error from the underlying reader, or `InvalidData` for
+/// a line that is not valid JSON.
+pub fn read_json_line(reader: &mut impl BufRead) -> std::io::Result<Option<Json>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        return Json::parse(&line)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.message));
+    }
+}
+
+/// Write one JSONL message (compact JSON + newline) and flush it.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_json_line(writer: &mut impl Write, json: &Json) -> std::io::Result<()> {
+    writer.write_all(json.to_string_compact().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_with_defaults() {
+        let r = Request::run(7, "rodinia/nn");
+        let parsed = Request::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+
+        // A minimal wire request takes the documented defaults.
+        let minimal = Json::parse(r#"{"kind":"run","kernel":"rodinia/nn"}"#).unwrap();
+        let parsed = Request::from_json(&minimal).unwrap();
+        assert_eq!(parsed.id, 0);
+        assert_eq!(parsed.design, "regless");
+        assert_eq!(parsed.capacity, 512);
+        assert!(parsed.compressor);
+        assert_eq!(parsed.timeout_ms, None);
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let bad = Json::parse(r#"{"kind":"frobnicate"}"#).unwrap();
+        assert!(Request::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn error_response_roundtrips_with_retry_hint() {
+        let r = Response::failure(
+            3,
+            ErrorBody {
+                code: ErrorCode::QueueFull,
+                message: "queue full (8 jobs)".to_string(),
+                retry_after_ms: Some(250),
+            },
+        );
+        let wire = r.to_json().to_string_compact();
+        assert!(wire.contains(r#""code":"queue_full""#), "{wire}");
+        assert!(wire.contains(r#""retry_after_ms":250"#), "{wire}");
+        let parsed = Response::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.error_code(), Some("queue_full"));
+    }
+
+    #[test]
+    fn success_payload_fields_flatten_and_recover() {
+        let payload = Json::Obj(vec![
+            ("kind".to_string(), Json::Str("run".to_string())),
+            ("cycles".to_string(), Json::Int(42)),
+        ]);
+        let r = Response::success(9, payload);
+        let wire = r.to_json().to_string_compact();
+        assert!(
+            wire.starts_with(r#"{"id":9,"ok":true,"kind":"run""#),
+            "{wire}"
+        );
+        let parsed = Response::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed.payload_field("cycles"), Some(&Json::Int(42)));
+        assert_eq!(parsed.error, None);
+    }
+
+    #[test]
+    fn jsonl_framing_skips_blank_lines_and_detects_eof() {
+        let text = "\n{\"kind\":\"stats\"}\n\n{\"kind\":\"shutdown\"}\n";
+        let mut reader = std::io::BufReader::new(text.as_bytes());
+        let a = read_json_line(&mut reader).unwrap().unwrap();
+        assert_eq!(a.field("kind").unwrap(), &Json::Str("stats".to_string()));
+        let b = read_json_line(&mut reader).unwrap().unwrap();
+        assert_eq!(b.field("kind").unwrap(), &Json::Str("shutdown".to_string()));
+        assert!(read_json_line(&mut reader).unwrap().is_none());
+    }
+}

@@ -1,0 +1,949 @@
+//! The server: admission control, request coalescing, a cancellable
+//! worker pool, and graceful drain.
+//!
+//! One thread accepts connections and spawns a thread per client; each
+//! client thread parses JSONL requests and either answers inline
+//! (`stats`, `shutdown`, cache hits, rejections) or enqueues a job and
+//! blocks on its completion. A fixed worker pool pops jobs, runs the
+//! simulator under `catch_unwind` with a [`CancelToken`] threaded into
+//! the tick loop, and publishes the result to every waiter at once.
+
+use crate::proto::{
+    read_json_line, write_json_line, ErrorBody, ErrorCode, Request, RequestKind, Response,
+};
+use regless_bench::profile::ProfileReport;
+use regless_bench::report::collect as report_collect;
+use regless_bench::sweep::{bench_kernel, rodinia_id, RunVariant, SweepEngine};
+use regless_bench::{eval_gpu, DesignKind};
+use regless_compiler::compile;
+use regless_core::{RegLessConfig, RegLessSim};
+use regless_isa::text::parse_kernel;
+use regless_isa::Kernel;
+use regless_json::{Json, ToJson};
+use regless_sim::{BaselineRf, CancelToken, Machine, RunReport, SimError};
+use regless_telemetry::Log2Histogram;
+use regless_workloads::rodinia;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; use port 0 for an ephemeral port (tests, CI).
+    pub addr: String,
+    /// Worker threads; 0 means `available_parallelism() - 1` (min 1).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before admission control
+    /// answers `queue_full`.
+    pub queue_capacity: usize,
+    /// How long [`ServerHandle::drain`] waits for in-flight jobs before
+    /// giving up.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: crate::DEFAULT_ADDR.to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The storage designs the server runs. Restricted to the two backends
+/// whose simulators accept a [`CancelToken`] — `rfh`/`rfv` runners have
+/// no cancellation hook, and a job that cannot be cancelled would defeat
+/// the deadline contract.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DesignSpec {
+    /// Full register file, GTO scheduler.
+    Baseline,
+    /// RegLess operand staging.
+    Regless {
+        /// OSU entries per SM.
+        capacity: usize,
+        /// Compressor present.
+        compressor: bool,
+    },
+}
+
+impl DesignSpec {
+    /// Resolve a request's design fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `bad_request` [`ErrorBody`] for designs the server does
+    /// not run.
+    pub fn from_request(req: &Request) -> Result<DesignSpec, ErrorBody> {
+        match req.design.as_str() {
+            "baseline" => Ok(DesignSpec::Baseline),
+            "regless" => Ok(DesignSpec::Regless {
+                capacity: req.capacity,
+                compressor: req.compressor,
+            }),
+            other => Err(ErrorBody::new(
+                ErrorCode::BadRequest,
+                format!("design {other:?} is not servable (baseline|regless — rfh/rfv runners have no cancellation hook)"),
+            )),
+        }
+    }
+
+    /// The sweep-engine variant this design caches under.
+    fn variant(self) -> RunVariant {
+        RunVariant::Design(match self {
+            DesignSpec::Baseline => DesignKind::Baseline,
+            DesignSpec::Regless {
+                capacity,
+                compressor: true,
+            } => DesignKind::RegLess { entries: capacity },
+            DesignSpec::Regless {
+                capacity,
+                compressor: false,
+            } => DesignKind::RegLessNoCompressor { entries: capacity },
+        })
+    }
+
+    /// The design label used in profile/report payloads (matches the CLI's
+    /// `--design` strings).
+    fn label(self) -> &'static str {
+        match self {
+            DesignSpec::Baseline => "baseline",
+            DesignSpec::Regless { .. } => "regless",
+        }
+    }
+
+    /// The OSU capacity the CPI profile records (0 for designs without an
+    /// OSU, mirroring the CLI).
+    fn osu_capacity(self) -> usize {
+        match self {
+            DesignSpec::Baseline => 0,
+            DesignSpec::Regless { capacity, .. } => capacity,
+        }
+    }
+}
+
+/// What makes two requests "the same simulation": the resolved kernel
+/// plus the design point. The request *kind* is deliberately excluded —
+/// `run`, `profile`, and `report` all derive from one [`RunReport`], so a
+/// profile request coalesces with an in-flight run of the same work.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct JobKey {
+    kernel: String,
+    design: DesignSpec,
+}
+
+/// One admitted simulation, shared by every coalesced waiter.
+struct Job {
+    key: JobKey,
+    /// `Some` when the kernel is a built-in benchmark id — those results
+    /// are deterministic functions of the id and persist to the sweep
+    /// cache. `.asm` files stay uncached (their content is not keyed).
+    bench_id: Option<String>,
+    kernel: Kernel,
+    /// Deadline-free token: waiters each enforce their own deadline, and
+    /// only the *last* abandoning waiter cancels the simulation (an early
+    /// short deadline must not kill work a patient waiter still wants).
+    token: CancelToken,
+    waiters: AtomicUsize,
+    result: Mutex<Option<Result<Arc<RunReport>, ErrorBody>>>,
+    done: Condvar,
+}
+
+/// Monotone counters exposed by `stats`.
+#[derive(Default)]
+struct ServeCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    coalesce_hits: AtomicU64,
+    cache_hits: AtomicU64,
+    simulations: AtomicU64,
+    timeouts: AtomicU64,
+    cancelled: AtomicU64,
+    panics: AtomicU64,
+    sim_errors: AtomicU64,
+    /// Gauge: jobs admitted but not yet finished (queued + running).
+    in_flight: AtomicU64,
+}
+
+/// Request-latency histograms, one per simulation kind (milliseconds).
+#[derive(Default)]
+struct LatencyHists {
+    run: Log2Histogram,
+    profile: Log2Histogram,
+    report: Log2Histogram,
+}
+
+struct QueueState {
+    jobs: VecDeque<Arc<Job>>,
+    /// Once closed no job is ever pushed again; workers drain what is
+    /// left and exit.
+    closed: bool,
+}
+
+/// State shared by the accept thread, client threads, and workers.
+struct Shared {
+    config: ServeConfig,
+    engine: Arc<SweepEngine>,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    /// In-flight jobs by key, for coalescing. A job is removed the moment
+    /// its result is published, so late arrivals hit the sweep cache
+    /// instead.
+    pending: Mutex<HashMap<JobKey, Arc<Job>>>,
+    counters: ServeCounters,
+    latency: Mutex<LatencyHists>,
+    /// Set by a `shutdown` request (or [`ServerHandle::shutdown`]): new
+    /// simulation requests are refused; control requests still answer.
+    shutdown: AtomicBool,
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+    /// Set by [`ServerHandle::drain`] right before the wake-up connection:
+    /// only then does the accept thread exit. During the drain window
+    /// itself, new connections still get structured `shutting_down`
+    /// answers instead of a hangup.
+    accept_closed: AtomicBool,
+    live_workers: Mutex<usize>,
+    workers_cv: Condvar,
+}
+
+impl Shared {
+    fn stats_json(&self) -> Json {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| ToJson::to_json(&a.load(Ordering::Relaxed));
+        let queue_depth = self.queue.lock().expect("queue poisoned").jobs.len();
+        let hist_json = |h: &Log2Histogram| {
+            Json::Obj(vec![
+                ("count".to_string(), ToJson::to_json(&h.count())),
+                ("mean_ms".to_string(), Json::Float(h.mean())),
+                ("p50_ms".to_string(), ToJson::to_json(&h.percentile(50.0))),
+                ("p99_ms".to_string(), ToJson::to_json(&h.percentile(99.0))),
+                ("max_ms".to_string(), ToJson::to_json(&h.max())),
+            ])
+        };
+        let latency = {
+            let l = self.latency.lock().expect("latency poisoned");
+            Json::Obj(vec![
+                ("run".to_string(), hist_json(&l.run)),
+                ("profile".to_string(), hist_json(&l.profile)),
+                ("report".to_string(), hist_json(&l.report)),
+            ])
+        };
+        Json::Obj(vec![
+            ("kind".to_string(), Json::Str("stats".to_string())),
+            ("queue_depth".to_string(), ToJson::to_json(&queue_depth)),
+            ("in_flight".to_string(), load(&c.in_flight)),
+            (
+                "queue_capacity".to_string(),
+                ToJson::to_json(&self.config.queue_capacity),
+            ),
+            ("submitted".to_string(), load(&c.submitted)),
+            ("completed".to_string(), load(&c.completed)),
+            (
+                "rejected_queue_full".to_string(),
+                load(&c.rejected_queue_full),
+            ),
+            ("coalesce_hits".to_string(), load(&c.coalesce_hits)),
+            ("cache_hits".to_string(), load(&c.cache_hits)),
+            ("simulations".to_string(), load(&c.simulations)),
+            ("timeouts".to_string(), load(&c.timeouts)),
+            ("cancelled".to_string(), load(&c.cancelled)),
+            ("panics".to_string(), load(&c.panics)),
+            ("sim_errors".to_string(), load(&c.sim_errors)),
+            (
+                "draining".to_string(),
+                Json::Bool(self.shutdown.load(Ordering::Acquire)),
+            ),
+            (
+                "cache_fingerprint".to_string(),
+                Json::Str(SweepEngine::fingerprint()),
+            ),
+            ("latency".to_string(), latency),
+        ])
+    }
+
+    /// Retry-after hint for `queue_full`: roughly one mean request
+    /// latency, clamped to a sane band; 250 ms before any data exists.
+    fn retry_after_ms(&self) -> u64 {
+        let l = self.latency.lock().expect("latency poisoned");
+        let mut merged = l.run.clone();
+        merged.merge(&l.profile);
+        merged.merge(&l.report);
+        if merged.count() == 0 {
+            250
+        } else {
+            (merged.mean() as u64).clamp(50, 5_000)
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let mut stopped = self.stop.lock().expect("stop poisoned");
+        *stopped = true;
+        self.stop_cv.notify_all();
+    }
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+/// A running server: its bound address plus the handles needed to drain
+/// it. Dropping the handle without calling [`ServerHandle::drain`] leaves
+/// the threads running for the life of the process.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept thread, and return a
+    /// handle. The engine is shared so server results land in the same
+    /// memo table and disk cache the CLI and experiment binaries use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(config: ServeConfig, engine: Arc<SweepEngine>) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1))
+                .unwrap_or(1)
+                .max(1)
+        };
+        let shared = Arc::new(Shared {
+            config,
+            engine,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            queue_cv: Condvar::new(),
+            pending: Mutex::new(HashMap::new()),
+            counters: ServeCounters::default(),
+            latency: Mutex::new(LatencyHists::default()),
+            shutdown: AtomicBool::new(false),
+            stop: Mutex::new(false),
+            stop_cv: Condvar::new(),
+            accept_closed: AtomicBool::new(false),
+            live_workers: Mutex::new(workers),
+            workers_cv: Condvar::new(),
+        });
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("regless-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("regless-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server statistics (same shape as a `stats`
+    /// response payload).
+    pub fn stats_json(&self) -> Json {
+        self.shared.stats_json()
+    }
+
+    /// Ask the server to stop, exactly as a `shutdown` request would.
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Block until a `shutdown` request arrives (or [`Self::shutdown`] is
+    /// called from another thread).
+    pub fn wait_for_shutdown(&self) {
+        let mut stopped = self.shared.stop.lock().expect("stop poisoned");
+        while !*stopped {
+            stopped = self.shared.stop_cv.wait(stopped).expect("stop cv poisoned");
+        }
+    }
+
+    /// Drain: refuse new work, let workers finish queued and running
+    /// jobs, then join every thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the number of still-live workers if they do not
+    /// finish within the configured drain timeout — the CI smoke test
+    /// turns that into a non-zero exit.
+    pub fn drain(mut self) -> Result<(), usize> {
+        self.shared.request_shutdown();
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.closed = true;
+            self.shared.queue_cv.notify_all();
+        }
+        let deadline = self.shared.config.drain_timeout;
+        let (live, timed_out) = {
+            let guard = self.shared.live_workers.lock().expect("workers poisoned");
+            let (guard, res) = self
+                .shared
+                .workers_cv
+                .wait_timeout_while(guard, deadline, |n| *n > 0)
+                .expect("workers cv poisoned");
+            (*guard, res.timed_out())
+        };
+        if timed_out && live > 0 {
+            return Err(live);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // The accept thread is parked in `accept`; a throwaway connection
+        // wakes it so it can observe the closed flag and exit.
+        self.shared.accept_closed.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.accept_closed.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Connection threads are detached: they die with their client (or
+        // with the process after drain).
+        let _ = std::thread::Builder::new()
+            .name("regless-conn".to_string())
+            .spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        let json = match read_json_line(&mut reader) {
+            Ok(Some(v)) => v,
+            Ok(None) | Err(_) => return,
+        };
+        // Echo the id even when the request itself fails to parse.
+        let id = json
+            .field_opt("id")
+            .ok()
+            .flatten()
+            .and_then(|v| regless_json::FromJson::from_json(v).ok())
+            .unwrap_or(0u64);
+        let response = match Request::from_json(&json) {
+            Ok(req) => handle_request(shared, &req),
+            Err(e) => Response::failure(id, ErrorBody::new(ErrorCode::BadRequest, e.message)),
+        };
+        if write_json_line(&mut writer, &response.to_json()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Resolve a request's kernel spec: built-in benchmark ids (cacheable)
+/// first, then bare Rodinia names, then `.asm` files (uncacheable — the
+/// cache is keyed by id, not content).
+fn resolve_kernel(spec: &str) -> Result<(Kernel, Option<String>), ErrorBody> {
+    if let Some(kernel) = bench_kernel(spec) {
+        return Ok((kernel, Some(spec.to_string())));
+    }
+    if rodinia::NAMES.contains(&spec) {
+        let id = rodinia_id(spec);
+        let kernel = bench_kernel(&id).expect("rodinia names resolve");
+        return Ok((kernel, Some(id)));
+    }
+    if std::path::Path::new(spec).exists() {
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("read {spec:?}: {e}")))?;
+        let kernel = parse_kernel(&text)
+            .map_err(|e| ErrorBody::new(ErrorCode::BadRequest, format!("parse {spec:?}: {e}")))?;
+        return Ok((kernel, None));
+    }
+    Err(ErrorBody::new(
+        ErrorCode::BadRequest,
+        format!("{spec:?} is neither a benchmark id nor a readable .asm file"),
+    ))
+}
+
+fn handle_request(shared: &Arc<Shared>, req: &Request) -> Response {
+    match req.kind {
+        RequestKind::Stats => Response::success(req.id, shared.stats_json()),
+        RequestKind::Shutdown => {
+            shared.request_shutdown();
+            Response::success(
+                req.id,
+                Json::Obj(vec![("draining".to_string(), Json::Bool(true))]),
+            )
+        }
+        RequestKind::Run | RequestKind::Profile | RequestKind::Report => {
+            handle_simulation(shared, req)
+        }
+    }
+}
+
+fn handle_simulation(shared: &Arc<Shared>, req: &Request) -> Response {
+    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    if shared.shutdown.load(Ordering::Acquire) {
+        return Response::failure(
+            req.id,
+            ErrorBody::new(ErrorCode::ShuttingDown, "server is draining"),
+        );
+    }
+    let design = match DesignSpec::from_request(req) {
+        Ok(d) => d,
+        Err(e) => return Response::failure(req.id, e),
+    };
+    let Some(spec) = req.kernel.as_deref() else {
+        return Response::failure(
+            req.id,
+            ErrorBody::new(ErrorCode::BadRequest, "missing `kernel`"),
+        );
+    };
+    let (kernel, bench_id) = match resolve_kernel(spec) {
+        Ok(r) => r,
+        Err(e) => return Response::failure(req.id, e),
+    };
+    let started = Instant::now();
+
+    // Fast path: a benchmark already in the shared cache never queues.
+    if let Some(bench) = &bench_id {
+        if let Some(report) = shared.engine.lookup(bench, design.variant()) {
+            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return finish_ok(shared, req, design, &kernel, &report, "cache", started);
+        }
+    }
+
+    let job = match admit(shared, req, design, bench_id, kernel) {
+        Ok(job) => job,
+        Err(e) => return Response::failure(req.id, e),
+    };
+    let source = if job.1 { "coalesced" } else { "simulated" };
+    let job = job.0;
+
+    // Wait for the worker (or an already-published result), enforcing
+    // this waiter's own deadline.
+    let deadline = req.timeout_ms.map(Duration::from_millis);
+    let mut result = job.result.lock().expect("job result poisoned");
+    loop {
+        if let Some(outcome) = result.as_ref() {
+            let outcome = outcome.clone();
+            drop(result);
+            job.waiters.fetch_sub(1, Ordering::AcqRel);
+            return match outcome {
+                Ok(report) => finish_ok(shared, req, design, &job.kernel, &report, source, started),
+                Err(e) => Response::failure(req.id, e),
+            };
+        }
+        match deadline {
+            Some(limit) => {
+                let elapsed = started.elapsed();
+                if elapsed >= limit {
+                    drop(result);
+                    return abandon(shared, req, &job, elapsed);
+                }
+                let (guard, _) = job
+                    .done
+                    .wait_timeout(result, limit - elapsed)
+                    .expect("job cv poisoned");
+                result = guard;
+            }
+            None => {
+                result = job.done.wait(result).expect("job cv poisoned");
+            }
+        }
+    }
+}
+
+/// Coalesce onto an in-flight job or admit a new one through the bounded
+/// queue. The boolean is true when the request coalesced.
+#[allow(clippy::type_complexity)]
+fn admit(
+    shared: &Arc<Shared>,
+    req: &Request,
+    design: DesignSpec,
+    bench_id: Option<String>,
+    kernel: Kernel,
+) -> Result<(Arc<Job>, bool), ErrorBody> {
+    let key = JobKey {
+        kernel: bench_id.clone().unwrap_or_else(|| {
+            req.kernel
+                .clone()
+                .expect("simulation requests have kernels")
+        }),
+        design,
+    };
+    let mut pending = shared.pending.lock().expect("pending poisoned");
+    if let Some(job) = pending.get(&key) {
+        job.waiters.fetch_add(1, Ordering::AcqRel);
+        shared
+            .counters
+            .coalesce_hits
+            .fetch_add(1, Ordering::Relaxed);
+        return Ok((Arc::clone(job), true));
+    }
+    // Admission control: the queue bound is checked under the pending
+    // lock so coalescing and rejection cannot race each other.
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    if queue.closed {
+        return Err(ErrorBody::new(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        ));
+    }
+    if queue.jobs.len() >= shared.config.queue_capacity {
+        shared
+            .counters
+            .rejected_queue_full
+            .fetch_add(1, Ordering::Relaxed);
+        let mut e = ErrorBody::new(
+            ErrorCode::QueueFull,
+            format!(
+                "queue full ({} jobs queued, capacity {})",
+                queue.jobs.len(),
+                shared.config.queue_capacity
+            ),
+        );
+        e.retry_after_ms = Some(shared.retry_after_ms());
+        return Err(e);
+    }
+    let job = Arc::new(Job {
+        key: key.clone(),
+        bench_id,
+        kernel,
+        token: CancelToken::new(),
+        waiters: AtomicUsize::new(1),
+        result: Mutex::new(None),
+        done: Condvar::new(),
+    });
+    queue.jobs.push_back(Arc::clone(&job));
+    shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_one();
+    drop(queue);
+    pending.insert(key, Arc::clone(&job));
+    Ok((job, false))
+}
+
+/// This waiter's deadline expired. The *last* waiter to abandon a job
+/// cancels its token, so the simulation stops at the next cycle boundary
+/// instead of burning a worker for a result nobody wants.
+fn abandon(shared: &Arc<Shared>, req: &Request, job: &Arc<Job>, elapsed: Duration) -> Response {
+    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    if job.waiters.fetch_sub(1, Ordering::AcqRel) == 1 {
+        job.token.cancel();
+    }
+    Response::failure(
+        req.id,
+        ErrorBody::new(
+            ErrorCode::Timeout,
+            format!(
+                "deadline of {} ms exceeded after {} ms; simulation cancelled cooperatively",
+                req.timeout_ms.unwrap_or(0),
+                elapsed.as_millis()
+            ),
+        ),
+    )
+}
+
+/// Render a successful result for the request's kind and record latency.
+fn finish_ok(
+    shared: &Arc<Shared>,
+    req: &Request,
+    design: DesignSpec,
+    kernel: &Kernel,
+    report: &Arc<RunReport>,
+    source: &str,
+    started: Instant,
+) -> Response {
+    let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    {
+        let mut l = shared.latency.lock().expect("latency poisoned");
+        match req.kind {
+            RequestKind::Run => l.run.record(elapsed_ms),
+            RequestKind::Profile => l.profile.record(elapsed_ms),
+            _ => l.report.record(elapsed_ms),
+        }
+    }
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    let mut payload = vec![
+        ("kind".to_string(), Json::Str(req.kind.as_str().to_string())),
+        ("kernel".to_string(), Json::Str(kernel.name().to_string())),
+        ("design".to_string(), Json::Str(design.label().to_string())),
+        ("source".to_string(), Json::Str(source.to_string())),
+        ("cycles".to_string(), ToJson::to_json(&report.cycles)),
+        ("ipc".to_string(), Json::Float(report.ipc())),
+    ];
+    match req.kind {
+        RequestKind::Run => {
+            payload.push(("report".to_string(), report.stable_json()));
+        }
+        RequestKind::Profile => {
+            let profile = ProfileReport::collect(
+                report,
+                kernel.name(),
+                design.label(),
+                design.osu_capacity(),
+            );
+            payload.push(("profile".to_string(), profile.to_json()));
+        }
+        _ => {
+            let full = report_collect(report, kernel.name(), design.label(), design.osu_capacity());
+            payload.push(("summary".to_string(), full.summary().to_json()));
+        }
+    }
+    Response::success(req.id, Json::Obj(payload))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.closed {
+                    break None;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue cv poisoned");
+            }
+        };
+        let Some(job) = job else { break };
+        run_job(shared, &job);
+    }
+    let mut live = shared.live_workers.lock().expect("workers poisoned");
+    *live -= 1;
+    shared.workers_cv.notify_all();
+}
+
+fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
+    // Every waiter already gave up and tripped the token: skip the
+    // simulation entirely.
+    let outcome = if job.token.is_cancelled() && job.waiters.load(Ordering::Acquire) == 0 {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        Err(ErrorBody::new(
+            ErrorCode::Timeout,
+            "cancelled before execution",
+        ))
+    } else {
+        shared.counters.simulations.fetch_add(1, Ordering::Relaxed);
+        match catch_unwind(AssertUnwindSafe(|| execute(job))) {
+            Ok(Ok(report)) => {
+                let report = Arc::new(report);
+                if let Some(bench) = &job.bench_id {
+                    shared
+                        .engine
+                        .insert(bench, job.key.design.variant(), Arc::clone(&report));
+                }
+                Ok(report)
+            }
+            Ok(Err(e)) => {
+                match e.code {
+                    ErrorCode::Timeout => shared.counters.cancelled.fetch_add(1, Ordering::Relaxed),
+                    _ => shared.counters.sim_errors.fetch_add(1, Ordering::Relaxed),
+                };
+                Err(e)
+            }
+            Err(panic) => {
+                shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Err(ErrorBody::new(
+                    ErrorCode::SimPanic,
+                    format!("simulation panicked: {msg}"),
+                ))
+            }
+        }
+    };
+    // Publish: remove from pending first so new arrivals go through the
+    // cache (populated above) rather than coalescing onto a dead job.
+    shared
+        .pending
+        .lock()
+        .expect("pending poisoned")
+        .remove(&job.key);
+    {
+        let mut result = job.result.lock().expect("job result poisoned");
+        *result = Some(outcome);
+        job.done.notify_all();
+    }
+    shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Compile and run one job's simulation with its token threaded into the
+/// tick loop.
+fn execute(job: &Arc<Job>) -> Result<RunReport, ErrorBody> {
+    let gpu = eval_gpu();
+    let map_sim = |e: SimError| match e {
+        SimError::Cancelled { at_cycle } => ErrorBody::new(
+            ErrorCode::Timeout,
+            format!("simulation cancelled cooperatively at cycle {at_cycle}"),
+        ),
+        other => ErrorBody::new(ErrorCode::SimFailed, other.to_string()),
+    };
+    match job.key.design {
+        DesignSpec::Baseline => {
+            let compiled = compile(&job.kernel, &regless_compiler::RegionConfig::default())
+                .map_err(|e| ErrorBody::new(ErrorCode::SimFailed, format!("compile: {e}")))?;
+            let mut machine = Machine::new(gpu, Arc::new(compiled), |_| BaselineRf::new());
+            machine.set_cancel_token(job.token.clone());
+            machine.run().map_err(map_sim)
+        }
+        DesignSpec::Regless {
+            capacity,
+            compressor,
+        } => {
+            let cfg = RegLessConfig {
+                compressor_enabled: compressor,
+                ..RegLessConfig::with_capacity(capacity)
+            };
+            let compiled = compile(&job.kernel, &cfg.region_config(&gpu))
+                .map_err(|e| ErrorBody::new(ErrorCode::SimFailed, format!("compile: {e}")))?;
+            let mut sim = RegLessSim::new(gpu, cfg, compiled);
+            sim.set_cancel_token(job.token.clone());
+            sim.run().map_err(map_sim)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use regless_bench::sweep::SweepMode;
+
+    fn test_server(workers: usize, queue_capacity: usize) -> ServerHandle {
+        let engine = Arc::new(SweepEngine::with_config(None, SweepMode::Normal));
+        Server::start(
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers,
+                queue_capacity,
+                drain_timeout: Duration::from_secs(20),
+            },
+            engine,
+        )
+        .expect("start server")
+    }
+
+    #[test]
+    fn run_profile_and_report_round_trip_one_simulation() {
+        let handle = test_server(2, 8);
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+
+        let run = client.request(&Request::run(1, "rodinia/nn")).unwrap();
+        assert!(run.ok, "{run:?}");
+        assert_eq!(
+            run.payload_field("source"),
+            Some(&Json::Str("simulated".to_string()))
+        );
+        assert!(run.payload_field("report").is_some());
+
+        // Same work, different kind: served from the shared cache.
+        let mut profile_req = Request::run(2, "rodinia/nn");
+        profile_req.kind = RequestKind::Profile;
+        let profile = client.request(&profile_req).unwrap();
+        assert!(profile.ok, "{profile:?}");
+        assert_eq!(
+            profile.payload_field("source"),
+            Some(&Json::Str("cache".to_string()))
+        );
+        assert!(profile.payload_field("profile").is_some());
+
+        let mut report_req = Request::run(3, "nn"); // bare name aliases the id
+        report_req.kind = RequestKind::Report;
+        let report = client.request(&report_req).unwrap();
+        assert!(report.ok, "{report:?}");
+        assert!(report.payload_field("summary").is_some());
+
+        let stats = client
+            .request(&Request::control(4, RequestKind::Stats))
+            .unwrap();
+        assert!(stats.ok);
+        assert_eq!(stats.payload_field("simulations"), Some(&Json::Int(1)));
+        assert_eq!(stats.payload_field("cache_hits"), Some(&Json::Int(2)));
+
+        let bye = client
+            .request(&Request::control(5, RequestKind::Shutdown))
+            .unwrap();
+        assert!(bye.ok);
+        handle.drain().expect("drain");
+    }
+
+    #[test]
+    fn bad_requests_get_structured_errors() {
+        let handle = test_server(1, 4);
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+        let r = client.request(&Request::run(1, "no/such_bench")).unwrap();
+        assert_eq!(r.error_code(), Some("bad_request"), "{r:?}");
+
+        let mut rfh = Request::run(2, "rodinia/nn");
+        rfh.design = "rfh".to_string();
+        let r = client.request(&rfh).unwrap();
+        assert_eq!(r.error_code(), Some("bad_request"), "{r:?}");
+
+        let mut no_kernel = Request::control(3, RequestKind::Run);
+        no_kernel.kernel = None;
+        let r = client.request(&no_kernel).unwrap();
+        assert_eq!(r.error_code(), Some("bad_request"), "{r:?}");
+
+        handle.shutdown();
+        handle.drain().expect("drain");
+    }
+
+    #[test]
+    fn drain_refuses_new_simulations_but_answers_stats() {
+        let handle = test_server(1, 4);
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        handle.shutdown();
+        let r = client.request(&Request::run(1, "rodinia/nn")).unwrap();
+        assert_eq!(r.error_code(), Some("shutting_down"), "{r:?}");
+        let stats = client
+            .request(&Request::control(2, RequestKind::Stats))
+            .unwrap();
+        assert!(stats.ok);
+        assert_eq!(stats.payload_field("draining"), Some(&Json::Bool(true)));
+        handle.drain().expect("drain");
+    }
+}

@@ -1,0 +1,122 @@
+//! Cooperative cancellation for in-flight simulations.
+//!
+//! A [`CancelToken`] is shared between a simulation (which polls it from
+//! the tick loop) and a controller (which cancels it, typically because a
+//! client deadline expired or a server is shutting down). Cancellation is
+//! *cooperative*: the simulation returns [`crate::SimError::Cancelled`]
+//! at the next cycle boundary instead of being torn down mid-update, so
+//! the owning thread survives and can immediately run the next job — the
+//! serving layer's analogue of the capacity manager admitting a warp only
+//! while its resources are coherent.
+//!
+//! The token carries two triggers:
+//!
+//! - an explicit flag ([`CancelToken::cancel`]), checked every cycle with
+//!   a relaxed atomic load, and
+//! - an optional wall-clock deadline, polled only every
+//!   [`DEADLINE_CHECK_CYCLES`] cycles so the hot loop does not pay a
+//!   clock syscall per simulated cycle (a cycle-budget check).
+
+use crate::config::Cycle;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many simulated cycles pass between wall-clock deadline polls.
+/// At typical simulation speeds (millions of cycles per second) this
+/// bounds the cancellation latency to well under a millisecond.
+pub const DEADLINE_CHECK_CYCLES: Cycle = 1024;
+
+/// A shared cancellation handle (cheaply cloneable).
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; it only cancels via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A token that additionally trips once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested (explicitly, or by an
+    /// earlier deadline poll that tripped).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Poll from the simulation loop: returns `true` once the run should
+    /// stop. The explicit flag is checked every call; the wall-clock
+    /// deadline only every [`DEADLINE_CHECK_CYCLES`] cycles (and the
+    /// result latches into the flag so clones observe it too).
+    pub fn should_stop(&self, cycle: Cycle) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if cycle.is_multiple_of(DEADLINE_CHECK_CYCLES) && Instant::now() >= deadline {
+                self.cancel();
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.should_stop(0));
+        assert!(!u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.should_stop(1), "flag is honored on every cycle");
+    }
+
+    #[test]
+    fn deadline_trips_only_on_check_cycles_and_latches() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        // Cycle 1 is not a check boundary: the clock is not consulted.
+        assert!(!t.should_stop(1));
+        // Cycle 0 mod DEADLINE_CHECK_CYCLES polls the clock and latches.
+        assert!(t.should_stop(DEADLINE_CHECK_CYCLES));
+        assert!(t.is_cancelled());
+        assert!(t.should_stop(DEADLINE_CHECK_CYCLES + 1));
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.should_stop(0));
+        assert!(!t.is_cancelled());
+    }
+}

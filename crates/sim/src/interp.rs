@@ -187,4 +187,27 @@ mod tests {
         assert_eq!(e, InterpError::Runaway { budget: 1000 });
         assert!(!e.to_string().is_empty());
     }
+
+    #[test]
+    fn budget_boundary_is_exact() {
+        // A terminating kernel of exactly 5 dynamic instructions: a budget
+        // of 5 must succeed, and a budget of 4 must report Runaway with the
+        // budget that was actually exhausted — off-by-one either way would
+        // make the serving deadline semantics (and the oracle's runaway
+        // classification) inconsistent across budgets.
+        let mut b = KernelBuilder::new("edge");
+        let x = b.movi(6);
+        let y = b.movi(7);
+        let z = b.imul(x, y);
+        b.st_global(z, x);
+        b.exit();
+        let k = b.finish().unwrap();
+
+        let exact = interpret(&k, 0, 5).unwrap();
+        assert_eq!(exact.insns, 5);
+        assert_eq!(exact.regs[z.index()], LaneVec::splat(42));
+
+        let short = interpret(&k, 0, 4).unwrap_err();
+        assert_eq!(short, InterpError::Runaway { budget: 4 });
+    }
 }

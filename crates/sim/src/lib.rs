@@ -40,6 +40,7 @@ pub const SIM_MODEL_VERSION: u32 = 1;
 
 mod backend;
 mod cache;
+mod cancel;
 mod config;
 mod interp;
 mod mem;
@@ -52,6 +53,7 @@ mod warp;
 
 pub use backend::{BackendCtx, BaselineRf, OccupancyLimitedRf, OperandBackend};
 pub use cache::{AccessResult, Cache};
+pub use cancel::{CancelToken, DEADLINE_CHECK_CYCLES};
 pub use config::{table1_rows, CacheConfig, Cycle, GpuConfig, LatencyConfig, SchedulerKind};
 pub use interp::{interpret, InterpError, InterpResult};
 pub use mem::{Level, MemAccess, MemSystem, Traffic};

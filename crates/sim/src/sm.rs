@@ -44,6 +44,12 @@ pub enum SimError {
         /// Warps still unfinished, per SM.
         unfinished: Vec<usize>,
     },
+    /// The run's [`crate::CancelToken`] tripped (an explicit cancel or an
+    /// expired deadline); the simulation stopped at a cycle boundary.
+    Cancelled {
+        /// The cycle at which cancellation was observed.
+        at_cycle: Cycle,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -53,6 +59,9 @@ impl fmt::Display for SimError {
                 f,
                 "simulation exceeded {limit} cycles with unfinished warps per SM {unfinished:?}"
             ),
+            SimError::Cancelled { at_cycle } => {
+                write!(f, "simulation cancelled cooperatively at cycle {at_cycle}")
+            }
         }
     }
 }
@@ -537,6 +546,29 @@ impl regless_json::FromJson for RunReport {
 }
 
 impl RunReport {
+    /// The deterministic JSON view of this report: everything [`ToJson`]
+    /// serializes *except* `wall_seconds`, which is wall-clock noise. Two
+    /// runs of the same kernel under the same design produce byte-identical
+    /// `stable_json` strings, which is what the serving layer returns to
+    /// clients and what byte-identity tests compare, whether a run was
+    /// simulated directly, coalesced, or replayed from the sweep cache.
+    ///
+    /// [`ToJson`]: regless_json::ToJson
+    pub fn stable_json(&self) -> regless_json::Json {
+        regless_json::Json::Obj(vec![
+            ("cycles".into(), regless_json::ToJson::to_json(&self.cycles)),
+            (
+                "sm_stats".into(),
+                regless_json::ToJson::to_json(&self.sm_stats),
+            ),
+            ("mem".into(), regless_json::ToJson::to_json(&self.mem)),
+            (
+                "warp_insns".into(),
+                regless_json::ToJson::to_json(&self.warp_insns),
+            ),
+        ])
+    }
+
     /// Merged counters across SMs.
     pub fn total(&self) -> SmStats {
         let mut t = SmStats::default();
@@ -598,6 +630,7 @@ pub struct Machine<B> {
     mem: MemSystem,
     sms: Vec<Sm<B>>,
     config: GpuConfig,
+    cancel: Option<crate::CancelToken>,
 }
 
 impl<B: OperandBackend> Machine<B> {
@@ -612,7 +645,20 @@ impl<B: OperandBackend> Machine<B> {
         let sms = (0..config.num_sms)
             .map(|i| Sm::new(i, &config, Arc::clone(&compiled), make_backend(i)))
             .collect();
-        Machine { mem, sms, config }
+        Machine {
+            mem,
+            sms,
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Attach a cooperative [`crate::CancelToken`]: the run loop polls it
+    /// every cycle and returns [`SimError::Cancelled`] once it trips, so a
+    /// controller (deadline timer, serving layer) can stop a simulation
+    /// without orphaning the thread that runs it.
+    pub fn set_cancel_token(&mut self, token: crate::CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Run to completion.
@@ -625,6 +671,11 @@ impl<B: OperandBackend> Machine<B> {
         let started = std::time::Instant::now();
         let mut now: Cycle = 0;
         while !self.sms.iter().all(Sm::all_done) {
+            if let Some(token) = &self.cancel {
+                if token.should_stop(now) {
+                    return Err(SimError::Cancelled { at_cycle: now });
+                }
+            }
             if now >= self.config.max_cycles {
                 return Err(SimError::MaxCyclesExceeded {
                     limit: self.config.max_cycles,
@@ -877,6 +928,71 @@ mod tests {
         let report = run_baseline(GpuConfig::test_small(), compiled(b.finish().unwrap())).unwrap();
         // 16 iterations x 4 body insns + 3 prologue + 1 exit per warp.
         assert_eq!(report.total().insns, 8 * (16 * 4 + 4));
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_run_immediately() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let mut machine = Machine::new(GpuConfig::test_small(), straight_line(), |_| {
+            crate::backend::BaselineRf::new()
+        });
+        machine.set_cancel_token(token);
+        match machine.run() {
+            Err(e) => assert_eq!(e, SimError::Cancelled { at_cycle: 0 }),
+            Ok(_) => panic!("pre-cancelled run must not complete"),
+        }
+    }
+
+    #[test]
+    fn cancel_mid_run_reports_the_observed_cycle() {
+        // A token cancelled from another thread shortly after the run
+        // starts must stop the simulation cooperatively rather than let it
+        // finish; a long-looping kernel guarantees the window.
+        let mut b = KernelBuilder::new("long");
+        let body = b.new_block();
+        let done = b.new_block();
+        let i0 = b.movi(0);
+        let n = b.movi(1_000_000);
+        b.jmp(body);
+        b.select(body);
+        let one = b.movi(1);
+        b.emit_to(i0, Opcode::IAdd, vec![i0, one]);
+        let c = b.setlt(i0, n);
+        b.bra(c, body, done);
+        b.select(done);
+        b.exit();
+        let token = crate::CancelToken::new();
+        let canceller = token.clone();
+        let mut machine = Machine::new(
+            GpuConfig::test_small(),
+            compiled(b.finish().unwrap()),
+            |_| crate::backend::BaselineRf::new(),
+        );
+        machine.set_cancel_token(token);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            canceller.cancel();
+        });
+        match machine.run() {
+            Err(SimError::Cancelled { .. }) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn uncancelled_token_leaves_the_report_byte_identical() {
+        let plain = run_baseline(GpuConfig::test_small(), straight_line()).unwrap();
+        let mut machine = Machine::new(GpuConfig::test_small(), straight_line(), |_| {
+            crate::backend::BaselineRf::new()
+        });
+        machine.set_cancel_token(crate::CancelToken::new());
+        let with_token = machine.run().unwrap();
+        assert_eq!(
+            plain.stable_json().to_string_compact(),
+            with_token.stable_json().to_string_compact()
+        );
     }
 
     #[test]

@@ -314,6 +314,51 @@ mod tests {
     }
 
     #[test]
+    fn generation_is_byte_identical() {
+        // Stronger than structural equality: the serialized text of every
+        // generated kernel must be byte-for-byte stable across calls. The
+        // serving layer's request-coalescing fingerprint hashes kernel
+        // identity, so any nondeterminism here would silently split
+        // identical requests into separate simulations.
+        let profiles = [
+            Profile::default(),
+            Profile {
+                width: 3,
+                ..Profile::default()
+            },
+            Profile {
+                width: 12,
+                fp: true,
+                ..Profile::default()
+            },
+            Profile {
+                segments: 5,
+                loads_per_iter: 3,
+                divergence: Divergence::Data,
+                ..Profile::default()
+            },
+        ];
+        for p in &profiles {
+            let first = regless_isa::text::format_kernel(&generate(p));
+            for _ in 0..3 {
+                assert_eq!(
+                    regless_isa::text::format_kernel(&generate(p)),
+                    first,
+                    "profile {p:?} generated different kernel text"
+                );
+            }
+        }
+        for name in crate::rodinia::NAMES {
+            let first = regless_isa::text::format_kernel(&crate::rodinia::kernel(name));
+            assert_eq!(
+                regless_isa::text::format_kernel(&crate::rodinia::kernel(name)),
+                first,
+                "rodinia/{name} is not byte-stable"
+            );
+        }
+    }
+
+    #[test]
     fn width_controls_pressure() {
         let narrow = generate(&Profile {
             width: 3,

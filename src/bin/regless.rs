@@ -9,7 +9,7 @@
 //! regless inspect <kernel>            regions, annotations, metadata
 //! regless asm <kernel>                dump the kernel as assembly text
 //! regless sweep <kernel>              OSU capacity sweep
-//! regless sweep --stats | --gc        sweep-engine cache report / pruning
+//! regless sweep --stats [--format text|json] | --gc   cache report / pruning
 //! regless trace <kernel> [options]    telemetry export for one run
 //!     --design baseline|regless           backend to trace (default regless)
 //!     --capacity <entries>                OSU entries/SM (default 512)
@@ -30,6 +30,19 @@
 //!     --history <path>                    history file (default results/history.jsonl)
 //! regless diff <a.json> <b.json>      compare two saved profiles
 //!     --fail-above <pct>                  exit non-zero past this regression
+//! regless serve [options]             long-lived simulation server (JSONL/TCP)
+//!     --addr <host:port>                  listen address (default 127.0.0.1:7117; port 0 = ephemeral)
+//!     --workers <n>                       worker threads (default cores − 1)
+//!     --queue <n>                         admission queue capacity (default 64)
+//!     --drain-timeout <secs>              graceful-drain budget (default 30)
+//! regless submit <kernel> [options]   submit one request to a running server
+//!     --addr <host:port>                  server address (default 127.0.0.1:7117)
+//!     --kind run|profile|report           what to ask for (default run)
+//!     --design baseline|regless           storage design (default regless)
+//!     --capacity <entries>                OSU entries/SM (default 512)
+//!     --no-compressor                     disable the compressor
+//!     --timeout-ms <ms>                   per-request deadline
+//! regless submit --stats|--shutdown   server statistics / graceful shutdown
 //! ```
 //!
 //! `<kernel>` is a built-in benchmark name (see `regless list`) or a path
@@ -63,6 +76,8 @@ fn main() {
         Some("profile") => cmd_profile(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -96,7 +111,13 @@ fn print_usage() {
          \u{20}  report <kernel> [opts]    unified dashboard (options: --design baseline|regless|rfh|rfv,\n\
          \u{20}                            --capacity <entries>, --format html|json, --out <path>,\n\
          \u{20}                            --trend, --history <path>)\n\
-         \u{20}  diff <a.json> <b.json>    compare two saved profiles (--fail-above <pct> gates)\n\n\
+         \u{20}  diff <a.json> <b.json>    compare two saved profiles (--fail-above <pct> gates)\n\
+         \u{20}  serve [options]           simulation server (options: --addr <host:port>,\n\
+         \u{20}                            --workers <n>, --queue <n>, --drain-timeout <secs>)\n\
+         \u{20}  submit <kernel> [opts]    send one request (options: --addr <host:port>,\n\
+         \u{20}                            --kind run|profile|report, --design baseline|regless,\n\
+         \u{20}                            --capacity <entries>, --no-compressor, --timeout-ms <ms>)\n\
+         \u{20}  submit --stats|--shutdown server statistics / graceful shutdown\n\n\
          <kernel> is a benchmark name or a path to a .asm file"
     );
 }
@@ -496,11 +517,107 @@ fn cmd_diff(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-/// Print the sweep engine's cache report (`regless sweep --stats`).
-fn cmd_sweep_stats() -> CmdResult {
+/// Start the long-lived simulation server (`regless serve`).
+fn cmd_serve(args: &[String]) -> CmdResult {
+    let mut config = regless::serve::ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--workers" => {
+                config.workers = it.next().ok_or("--workers needs a value")?.parse()?;
+            }
+            "--queue" => {
+                config.queue_capacity = it.next().ok_or("--queue needs a value")?.parse()?;
+            }
+            "--drain-timeout" => {
+                let secs: u64 = it.next().ok_or("--drain-timeout needs a value")?.parse()?;
+                config.drain_timeout = std::time::Duration::from_secs(secs);
+            }
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    let drain_timeout = config.drain_timeout;
+    let engine = Arc::new(regless::bench::sweep::SweepEngine::from_env());
+    let handle = regless::serve::Server::start(config, engine)?;
+    // Port 0 resolves at bind time; print the actual address so scripts
+    // (and the CI smoke test) can discover it.
+    println!("regless-serve listening on {}", handle.addr());
+    handle.wait_for_shutdown();
+    eprintln!("shutdown requested; draining in-flight jobs");
+    match handle.drain() {
+        Ok(()) => {
+            eprintln!("drained cleanly");
+            Ok(())
+        }
+        Err(live) => Err(format!(
+            "drain timed out after {drain_timeout:?} with {live} worker(s) still busy"
+        )
+        .into()),
+    }
+}
+
+/// Submit one request to a running server (`regless submit`).
+fn cmd_submit(args: &[String]) -> CmdResult {
+    use regless::serve::{Client, Request, RequestKind};
+    let mut addr = regless::serve::DEFAULT_ADDR.to_string();
+    let mut req = Request::control(1, RequestKind::Run);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--stats" => req.kind = RequestKind::Stats,
+            "--shutdown" => req.kind = RequestKind::Shutdown,
+            "--kind" => {
+                let k = it.next().ok_or("--kind needs a value")?;
+                req.kind = RequestKind::parse(k).ok_or_else(|| format!("unknown kind {k:?}"))?;
+            }
+            "--design" => req.design = it.next().ok_or("--design needs a value")?.clone(),
+            "--capacity" => {
+                req.capacity = it.next().ok_or("--capacity needs a value")?.parse()?;
+            }
+            "--no-compressor" => req.compressor = false,
+            "--timeout-ms" => {
+                req.timeout_ms = Some(it.next().ok_or("--timeout-ms needs a value")?.parse()?);
+            }
+            other if !other.starts_with("--") && req.kernel.is_none() => {
+                req.kernel = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    if req.kind.is_simulation() && req.kernel.is_none() {
+        return Err("submit: missing kernel (or use --stats / --shutdown)".into());
+    }
+    let mut client = Client::connect(&addr)?;
+    let resp = client.request(&req)?;
+    println!("{}", resp.to_json().to_string_pretty());
+    if !resp.ok {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// Print the sweep engine's cache report (`regless sweep --stats`), as
+/// text or machine-readable JSON (`--format json`).
+fn cmd_sweep_stats(args: &[String]) -> CmdResult {
+    let mut format = "text".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
     let engine = regless::bench::sweep::engine();
-    println!("{}", engine.stats().summary_line());
-    print!("{}", engine.cache_dir_report());
+    match format.as_str() {
+        "text" => {
+            println!("{}", engine.stats().summary_line());
+            print!("{}", engine.cache_dir_report());
+        }
+        "json" => println!("{}", engine.cache_stats_json().to_string_pretty()),
+        other => return Err(format!("unknown format {other:?} (text|json)").into()),
+    }
     Ok(())
 }
 
@@ -547,7 +664,7 @@ fn cmd_sweep_gc(dry_run: bool) -> CmdResult {
 
 fn cmd_sweep(args: &[String]) -> CmdResult {
     match args.first().map(String::as_str) {
-        Some("--stats") => return cmd_sweep_stats(),
+        Some("--stats") => return cmd_sweep_stats(&args[1..]),
         Some("--gc") => {
             return cmd_sweep_gc(args.get(1).map(String::as_str) == Some("--dry-run"));
         }

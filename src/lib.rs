@@ -25,7 +25,10 @@
 //! * [`telemetry`] — structured events, histograms, and Chrome-trace/CSV
 //!   export for simulator runs,
 //! * [`bench`](mod@bench) — the experiment harness and its memoized sweep
-//!   engine.
+//!   engine,
+//! * [`serve`] — a long-lived simulation service with admission control,
+//!   request coalescing, and cooperative cancellation
+//!   (`regless serve` / `regless submit`).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use regless_compiler as compiler;
 pub use regless_core as core;
 pub use regless_energy as energy;
 pub use regless_isa as isa;
+pub use regless_serve as serve;
 pub use regless_sim as sim;
 pub use regless_telemetry as telemetry;
 pub use regless_workloads as workloads;
