@@ -47,12 +47,29 @@ use std::sync::Arc;
 ///
 /// Returns [`SimError`] if the cycle limit is exceeded.
 pub fn run_rfh(gpu: GpuConfig, compiled: CompiledKernel) -> Result<RunReport, SimError> {
+    run_rfh_with(gpu, compiled, false)
+}
+
+/// [`run_rfh`] with an explicit run-loop mode: `stepped` forces the
+/// cycle-by-cycle reference loop instead of the event-driven fast path
+/// (see [`Machine::set_stepped`]).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the cycle limit is exceeded.
+pub fn run_rfh_with(
+    gpu: GpuConfig,
+    compiled: CompiledKernel,
+    stepped: bool,
+) -> Result<RunReport, SimError> {
     let gpu = GpuConfig {
         scheduler: RfhBackend::scheduler(),
         ..gpu
     };
     let compiled = Arc::new(compiled);
-    Machine::new(gpu, Arc::clone(&compiled), |_| RfhBackend::new(&compiled)).run()
+    let mut machine = Machine::new(gpu, Arc::clone(&compiled), |_| RfhBackend::new(&compiled));
+    machine.set_stepped(stepped);
+    machine.run()
 }
 
 /// Run a kernel under the RFV design (two-level scheduler, half-size
@@ -62,15 +79,31 @@ pub fn run_rfh(gpu: GpuConfig, compiled: CompiledKernel) -> Result<RunReport, Si
 ///
 /// Returns [`SimError`] if the cycle limit is exceeded.
 pub fn run_rfv(gpu: GpuConfig, compiled: CompiledKernel) -> Result<RunReport, SimError> {
+    run_rfv_with(gpu, compiled, false)
+}
+
+/// [`run_rfv`] with an explicit run-loop mode: `stepped` forces the
+/// cycle-by-cycle reference loop instead of the event-driven fast path
+/// (see [`Machine::set_stepped`]).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the cycle limit is exceeded.
+pub fn run_rfv_with(
+    gpu: GpuConfig,
+    compiled: CompiledKernel,
+    stepped: bool,
+) -> Result<RunReport, SimError> {
     let gpu = GpuConfig {
         scheduler: RfvBackend::scheduler(),
         ..gpu
     };
     let compiled = Arc::new(compiled);
-    Machine::new(gpu, Arc::clone(&compiled), |_| {
+    let mut machine = Machine::new(gpu, Arc::clone(&compiled), |_| {
         RfvBackend::new(&gpu, Arc::clone(&compiled))
-    })
-    .run()
+    });
+    machine.set_stepped(stepped);
+    machine.run()
 }
 
 #[cfg(test)]

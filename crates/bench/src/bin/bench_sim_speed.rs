@@ -1,0 +1,19 @@
+//! Writes `results/BENCH_sim_speed.json` — simulated-cycles-per-second
+//! for the stepped reference loop vs the event-driven fast path on every
+//! `bench_profiles` point, with the per-point speedup and its geometric
+//! mean. Aborts if any point's reports are not byte-identical between
+//! the two modes, so a published number always describes a correct
+//! simulation. CI runs this and uploads the file as an artifact.
+
+fn main() -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let report = regless_bench::sim_speed::measure_suite();
+    let text = regless_json::to_string_pretty(&report) + "\n";
+    std::fs::write("results/BENCH_sim_speed.json", &text)?;
+    eprintln!(
+        "wrote results/BENCH_sim_speed.json ({} points, geomean speedup {:.2}x)",
+        report.rows.len(),
+        report.geomean_speedup
+    );
+    Ok(())
+}

@@ -48,7 +48,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// `osu_lines_evicted`), the compressor effectiveness counters
 /// (`comp_*`), and the occupancy time series (`osu_reserved_series`,
 /// `osu_free_series`, `cm_queue_series`).
-const CACHE_FORMAT_VERSION: u32 = 3;
+/// v4: `SmStats::idle_cycles` became `idle_slots` (per-slot counting; the
+/// telemetry key renamed with it).
+const CACHE_FORMAT_VERSION: u32 = 4;
 
 /// One simulation the engine knows how to run and key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

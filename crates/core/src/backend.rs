@@ -13,7 +13,7 @@ use regless_sim::{
     TraceEvent, Traffic, WarpState,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 /// A queued preload (one per region input register).
@@ -32,8 +32,6 @@ struct Shard {
     queues: [VecDeque<QueuedPreload>; NUM_BANKS],
     /// (completion cycle, warp) of in-flight preload fetches.
     inflight: BinaryHeap<Reverse<(Cycle, usize)>>,
-    /// Outstanding preloads per warp (queued + in flight).
-    pending: HashMap<usize, usize>,
     /// Cache-invalidation requests awaiting the L1 port.
     invalidations: VecDeque<(usize, Reg)>,
 }
@@ -43,6 +41,13 @@ impl Shard {
         self.inflight.is_empty()
             && self.invalidations.is_empty()
             && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Whether the shard must run `begin_cycle` on the very next cycle:
+    /// per-bank preload queues and the one-per-cycle invalidation drain
+    /// make progress every cycle they are non-empty.
+    fn busy_every_cycle(&self) -> bool {
+        !self.invalidations.is_empty() || self.queues.iter().any(|q| !q.is_empty())
     }
 }
 
@@ -97,9 +102,68 @@ pub struct RegLessBackend {
     finishing: Vec<bool>,
     /// Cycle each warp's current region activated (for residency stats).
     activated_at: Vec<Cycle>,
-    /// Destination registers with writebacks in flight, per warp (counts:
-    /// the same register can have several writes outstanding).
-    inflight_regs: Vec<HashMap<Reg, u32>>,
+    /// Outstanding preloads per warp (queued + in flight), indexed by warp.
+    /// Warps are sharded disjointly, so one flat array serves every shard.
+    preloads_pending: Vec<usize>,
+    /// Whether any shard's CM admitted a warp this cycle. Admission is
+    /// rate-limited to one warp per shard per cycle, so a success means the
+    /// *next* cycle may admit another even with no issue or writeback in
+    /// between — the fast path must not skip it.
+    admitted_now: bool,
+    /// Writebacks in flight per `(warp, register)` — a flat `warp ×
+    /// num_regs` count array (the same register can have several writes
+    /// outstanding), with a per-warp nonzero-entry count so drain setup
+    /// can skip warps with nothing in flight.
+    inflight_regs: InflightRegs,
+}
+
+/// Structure-of-arrays writeback-in-flight bookkeeping: counts laid out
+/// `warp-major × num_regs`, replacing a per-warp `HashMap<Reg, u32>`.
+struct InflightRegs {
+    counts: Vec<u32>,
+    /// Registers with a nonzero count, per warp.
+    nonzero: Vec<u32>,
+    num_regs: usize,
+}
+
+impl InflightRegs {
+    fn new(warps: usize, num_regs: usize) -> Self {
+        InflightRegs {
+            counts: vec![0; warps * num_regs.max(1)],
+            nonzero: vec![0; warps],
+            num_regs: num_regs.max(1),
+        }
+    }
+
+    fn incr(&mut self, w: usize, reg: Reg) {
+        let c = &mut self.counts[w * self.num_regs + reg.index()];
+        if *c == 0 {
+            self.nonzero[w] += 1;
+        }
+        *c += 1;
+    }
+
+    /// Decrement; returns whether this was the register's last outstanding
+    /// writeback (count reached zero). A register with no record is a
+    /// no-op returning `false`, matching the old map's `get_mut` miss.
+    fn decr(&mut self, w: usize, reg: Reg) -> bool {
+        let c = &mut self.counts[w * self.num_regs + reg.index()];
+        if *c == 0 {
+            return false;
+        }
+        *c -= 1;
+        if *c == 0 {
+            self.nonzero[w] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The warp's per-register counts (indexed by `Reg::index`).
+    fn warp(&self, w: usize) -> &[u32] {
+        &self.counts[w * self.num_regs..(w + 1) * self.num_regs]
+    }
 }
 
 impl RegLessBackend {
@@ -124,6 +188,7 @@ impl RegLessBackend {
             lines_per_bank
         );
         let num_scheds = gpu.schedulers_per_sm;
+        let num_regs = compiled.kernel().num_regs() as usize;
         let shards = (0..num_scheds)
             .map(|s| {
                 let warps: Vec<usize> = (0..gpu.warps_per_sm)
@@ -145,7 +210,6 @@ impl RegLessBackend {
                     ),
                     queues: std::array::from_fn(|_| VecDeque::new()),
                     inflight: BinaryHeap::new(),
-                    pending: HashMap::new(),
                     invalidations: VecDeque::new(),
                 }
             })
@@ -163,7 +227,9 @@ impl RegLessBackend {
             meta_ready_at: vec![0; gpu.warps_per_sm],
             finishing: vec![false; gpu.warps_per_sm],
             activated_at: vec![0; gpu.warps_per_sm],
-            inflight_regs: vec![HashMap::new(); gpu.warps_per_sm],
+            preloads_pending: vec![0; gpu.warps_per_sm],
+            admitted_now: false,
+            inflight_regs: InflightRegs::new(gpu.warps_per_sm, num_regs),
         }
     }
 
@@ -181,21 +247,20 @@ impl RegLessBackend {
     }
 
     /// Begin draining warp `w`: free everything except lines whose
-    /// writebacks are still in flight (paper §5.1).
-    fn start_drain(
-        shard: &mut Shard,
-        inflight: &HashMap<Reg, u32>,
-        w: usize,
-        ctx: &mut BackendCtx<'_>,
-    ) {
+    /// writebacks are still in flight (paper §5.1). `inflight` is the
+    /// warp's per-register outstanding-writeback counts
+    /// ([`InflightRegs::warp`]).
+    fn start_drain(shard: &mut Shard, inflight: &[u32], w: usize, ctx: &mut BackendCtx<'_>) {
         let mut pending = [0usize; NUM_BANKS];
-        for &reg in inflight.keys() {
-            pending[runtime_bank(w, reg)] += 1;
+        for (r, &count) in inflight.iter().enumerate() {
+            if count > 0 {
+                pending[runtime_bank(w, Reg(r as u16))] += 1;
+            }
         }
         shard.cm.begin_drain(w, pending);
         let released = shard
             .osu
-            .release_warp_except(w, |reg| inflight.contains_key(&reg));
+            .release_warp_except(w, |reg| inflight[reg.index()] > 0);
         for reg in released {
             Self::note_eviction(ctx, EvictionReason::RegionDrain, w, reg);
         }
@@ -400,11 +465,7 @@ impl RegLessBackend {
             ctx.stats
                 .observe("preload.latency", done.saturating_sub(ctx.now));
             if done <= ctx.now {
-                let e = shard.pending.get_mut(&p.warp).expect("pending entry");
-                *e -= 1;
-                if *e == 0 {
-                    shard.pending.remove(&p.warp);
-                }
+                self.preloads_pending[p.warp] -= 1;
             } else {
                 shard.inflight.push(Reverse((done, p.warp)));
             }
@@ -414,6 +475,7 @@ impl RegLessBackend {
 
 impl OperandBackend for RegLessBackend {
     fn begin_cycle_with_warps(&mut self, warps: &[WarpState], ctx: &mut BackendCtx<'_>) {
+        self.admitted_now = false;
         // Sample the OSU/CM occupancy census once per stats window: live
         // (active) lines, CM-reserved lines, free lines, and the admission
         // queue depth. Always on — the series feed `regless report`'s
@@ -451,11 +513,7 @@ impl OperandBackend for RegLessBackend {
                         break;
                     }
                     shard.inflight.pop();
-                    let p = shard.pending.get_mut(&w).expect("pending entry");
-                    *p -= 1;
-                    if *p == 0 {
-                        shard.pending.remove(&w);
-                    }
+                    self.preloads_pending[w] -= 1;
                 }
             }
 
@@ -491,11 +549,11 @@ impl OperandBackend for RegLessBackend {
                         if left_region {
                             ctx.stats
                                 .trace_event(ctx.now, TraceEvent::RegionDrain { warp: w });
-                            Self::start_drain(shard, &self.inflight_regs[w], w, ctx);
+                            Self::start_drain(shard, self.inflight_regs.warp(w), w, ctx);
                         }
                     }
                     WarpPhase::Preloading(_)
-                        if !shard.pending.contains_key(&w) && ctx.now >= self.meta_ready_at[w] =>
+                        if self.preloads_pending[w] == 0 && ctx.now >= self.meta_ready_at[w] =>
                     {
                         let region = shard.cm.activate(w);
                         self.activated_at[w] = ctx.now;
@@ -534,6 +592,7 @@ impl OperandBackend for RegLessBackend {
                 Some((region, usage))
             });
             if let Some((w, region)) = started {
+                self.admitted_now = true;
                 ctx.stats.trace_event(
                     ctx.now,
                     TraceEvent::RegionPreload {
@@ -543,10 +602,8 @@ impl OperandBackend for RegLessBackend {
                 );
                 let r = compiled.region(region);
                 let preloads = r.preloads();
-                if preloads.is_empty() {
-                    shard.pending.remove(&w);
-                } else {
-                    shard.pending.insert(w, preloads.len());
+                self.preloads_pending[w] = preloads.len();
+                if !preloads.is_empty() {
                     for p in preloads {
                         let bank = runtime_bank(w, p.reg);
                         shard.queues[bank].push_back(QueuedPreload {
@@ -637,7 +694,7 @@ impl OperandBackend for RegLessBackend {
         }
         shard.cm.note_issue(w, insn.dst().is_some());
         if let Some(d) = insn.dst() {
-            *self.inflight_regs[w].entry(d).or_insert(0) += 1;
+            self.inflight_regs.incr(w, d);
         }
         // Issuing the region's last instruction starts the drain right away
         // — the CM knows the boundary from the region metadata.
@@ -645,7 +702,7 @@ impl OperandBackend for RegLessBackend {
             if at.idx + 1 == self.compiled.region(region).end() {
                 ctx.stats
                     .trace_event(ctx.now, TraceEvent::RegionDrain { warp: w });
-                Self::start_drain(shard, &self.inflight_regs[w], w, ctx);
+                Self::start_drain(shard, self.inflight_regs.warp(w), w, ctx);
             }
         }
         extra
@@ -682,14 +739,7 @@ impl OperandBackend for RegLessBackend {
                 ctx,
             );
         }
-        let mut fully_landed = false;
-        if let Some(count) = self.inflight_regs[w].get_mut(&reg) {
-            *count -= 1;
-            if *count == 0 {
-                self.inflight_regs[w].remove(&reg);
-                fully_landed = true;
-            }
-        }
+        let fully_landed = self.inflight_regs.decr(w, reg);
         if let Some(notes) = self.compiled.annotations().notes(at) {
             if notes.erase_on_write {
                 if shard.osu.erase(w, reg) {
@@ -748,12 +798,48 @@ impl OperandBackend for RegLessBackend {
         if let WarpPhase::Active(_) = shard.cm.phase(w) {
             ctx.stats
                 .trace_event(ctx.now, TraceEvent::RegionDrain { warp: w });
-            Self::start_drain(shard, &self.inflight_regs[w], w, ctx);
+            Self::start_drain(shard, self.inflight_regs.warp(w), w, ctx);
         }
     }
 
     fn quiesced(&self) -> bool {
         self.shards.iter().all(Shard::quiesced)
+    }
+
+    fn next_wakeup(&self, now: Cycle) -> Option<Cycle> {
+        // Queued preloads and cache invalidations drain one per bank (or
+        // one per shard) per cycle, so any backlog demands the next cycle;
+        // likewise an admission this cycle means the one-per-cycle
+        // admission scan may admit the next stacked warp next cycle.
+        if self.admitted_now || self.shards.iter().any(Shard::busy_every_cycle) {
+            return Some(now + 1);
+        }
+        let mut wake: Option<Cycle> = None;
+        let mut note = |c: Cycle| {
+            let c = c.max(now + 1);
+            wake = Some(wake.map_or(c, |w| w.min(c)));
+        };
+        for shard in &self.shards {
+            if let Some(&Reverse((done, _))) = shard.inflight.peek() {
+                note(done);
+            }
+        }
+        // A preloading warp with nothing queued or in flight is waiting
+        // only on its region metadata decode before it can activate.
+        for (w, &ready) in self.meta_ready_at.iter().enumerate() {
+            if self.preloads_pending[w] == 0
+                && matches!(
+                    self.shards[self.shard_of(w)].cm.phase(w),
+                    WarpPhase::Preloading(_)
+                )
+            {
+                note(ready);
+            }
+        }
+        // Draining and inactive warps need no wakeup of their own: drain
+        // progress rides the SM's writeback events, and admission inputs
+        // only change on issues or writebacks — both real ticks.
+        wake
     }
 
     fn finish(&mut self, stats: &mut SmStats) {

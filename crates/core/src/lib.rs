@@ -100,6 +100,14 @@ impl RegLessSim {
     pub fn set_cancel_token(&mut self, token: regless_sim::CancelToken) {
         self.machine.set_cancel_token(token);
     }
+
+    /// Force the stepped (cycle-by-cycle) run loop instead of the
+    /// event-driven fast path (see [`Machine::set_stepped`]). Both paths
+    /// produce byte-identical reports; the stepped loop is the
+    /// differential-testing reference.
+    pub fn set_stepped(&mut self, stepped: bool) {
+        self.machine.set_stepped(stepped);
+    }
 }
 
 /// Compile a kernel with limits matched to `config` and run it under

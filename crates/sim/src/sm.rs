@@ -6,6 +6,21 @@
 //! Functional execution happens at issue; timing is carried by scoreboard
 //! entries that clear at the instruction's writeback time, which for
 //! global accesses comes from the shared memory hierarchy.
+//!
+//! **Event-driven fast path.** Most cycles issue nothing: every warp is
+//! blocked on a scoreboard entry, a barrier, or the staging pipeline. When
+//! a tick proves that state (nothing issued, no warp was even ready, no
+//! barrier is about to release), [`Machine::run`] jumps `now` straight to
+//! the earliest cycle anything is due — the writeback event heap or the
+//! backend's [`OperandBackend::next_wakeup`] — and bulk-charges the skipped
+//! issue slots to the same [`StallReason`]s the stepped loop would have
+//! picked, preserving the conservation law `Σ reasons == cycles × issue
+//! slots` exactly. Jumps are clamped to the next stats-window and
+//! cancellation-poll boundaries so window samplers and deadline latency
+//! behave identically. `REGLESS_SIM=stepped` (or
+//! [`Machine::set_stepped`]) forces the original cycle-by-cycle loop,
+//! kept as the differential-testing reference: both paths produce
+//! byte-identical [`RunReport::stable_json`] output.
 
 use crate::backend::{BackendCtx, OperandBackend};
 use crate::config::{Cycle, GpuConfig};
@@ -86,19 +101,54 @@ fn stall_priority(r: StallReason) -> usize {
     }
 }
 
-/// A pending register writeback.
+/// A pending register writeback, carried directly in the heap entry. The
+/// heap orders on `(due, seq)` only — `seq` preserves push order among
+/// same-cycle events, exactly as the former id-keyed side table did, and
+/// the payload rides along so retiring an event can never miss its data.
 #[derive(Clone, Debug)]
 struct Event {
     due: Cycle,
+    /// Push-order tie-break for events due the same cycle.
+    seq: u64,
     warp: usize,
     at: InsnRef,
     reg: Reg,
     value: LaneVec,
 }
 
-/// Heap key ordering events by due cycle (earliest first via `Reverse`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct EventKey(Cycle, u64);
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// What one [`Sm::tick`] proved about the cycles ahead: whether the SM can
+/// be fast-forwarded without simulating each cycle, and the earliest
+/// future cycle at which anything on this SM is due.
+#[derive(Clone, Copy, Debug)]
+struct TickOutcome {
+    /// Nothing issued, no warp was ready in any slot, and no barrier is
+    /// about to release: until an event fires, every further tick would
+    /// repeat this one's idle accounting verbatim.
+    skippable: bool,
+    /// Earliest due writeback or backend wakeup; `None` when nothing is
+    /// pending (the SM is done or hard-blocked on another SM's progress).
+    next_wakeup: Option<Cycle>,
+}
 
 /// One SM: warps, schedulers, in-flight writebacks, and the operand
 /// backend.
@@ -109,9 +159,21 @@ pub struct Sm<B> {
     /// Architectural state of each hardware warp.
     pub warps: Vec<WarpState>,
     scheds: Vec<Scheduler>,
-    events: BinaryHeap<Reverse<EventKey>>,
-    event_data: std::collections::HashMap<u64, Event>,
-    next_event_id: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    next_event_seq: u64,
+    /// Per-scheduler highest-priority blocked warp from the last tick's
+    /// idle slots, reused by [`Sm::skip_to`] to bulk-charge skipped cycles
+    /// (the blocked set is frozen while nothing issues and no event fires).
+    skip_blocked: Vec<Option<(StallReason, usize)>>,
+    /// Each warp's current [`WarpBlock`], kept incrementally: warp state
+    /// changes only at issue, writeback retire, and barrier release, so
+    /// refreshing at those three points lets the per-slot scan read an
+    /// array instead of re-deriving the scoreboard check per warp per
+    /// cycle.
+    block_cache: Vec<WarpBlock>,
+    /// Scratch ready-list for the issue loop, reused across slots to
+    /// avoid a heap allocation per slot per cycle.
+    ready_buf: Vec<usize>,
     live_warps: usize,
     /// This SM's statistics.
     pub stats: SmStats,
@@ -124,10 +186,15 @@ impl<B: OperandBackend> Sm<B> {
         let warps: Vec<WarpState> = (0..config.warps_per_sm)
             .map(|_| WarpState::new(compiled.kernel()))
             .collect();
-        let scheds = (0..config.schedulers_per_sm)
+        let scheds: Vec<Scheduler> = (0..config.schedulers_per_sm)
             .map(|_| Scheduler::new(config.scheduler, config.warps_per_scheduler()))
             .collect();
         let live_warps = warps.len();
+        let num_scheds = scheds.len();
+        let block_cache = warps
+            .iter()
+            .map(|w| w.block_reason(compiled.kernel()))
+            .collect();
         Sm {
             id,
             config: *config,
@@ -135,19 +202,25 @@ impl<B: OperandBackend> Sm<B> {
             warps,
             scheds,
             events: BinaryHeap::new(),
-            event_data: std::collections::HashMap::new(),
-            next_event_id: 0,
+            next_event_seq: 0,
+            skip_blocked: vec![None; num_scheds],
+            block_cache,
+            ready_buf: Vec::new(),
             live_warps,
             stats: SmStats::default(),
             backend,
         }
     }
 
-    fn push_event(&mut self, e: Event) {
-        let id = self.next_event_id;
-        self.next_event_id += 1;
-        self.events.push(Reverse(EventKey(e.due, id)));
-        self.event_data.insert(id, e);
+    /// Re-derive one warp's cached [`WarpBlock`] after its state changed.
+    fn refresh_block(&mut self, w: usize) {
+        self.block_cache[w] = self.warps[w].block_reason(self.compiled.kernel());
+    }
+
+    fn push_event(&mut self, mut e: Event) {
+        e.seq = self.next_event_seq;
+        self.next_event_seq += 1;
+        self.events.push(Reverse(e));
     }
 
     fn all_done(&self) -> bool {
@@ -155,15 +228,13 @@ impl<B: OperandBackend> Sm<B> {
     }
 
     /// Advance one cycle.
-    fn tick(&mut self, now: Cycle, mem: &mut MemSystem) {
-        // 1. Retire writebacks due now.
-        while let Some(&Reverse(EventKey(due, id))) = self.events.peek() {
-            if due > now {
-                break;
-            }
-            self.events.pop();
-            let e = self.event_data.remove(&id).expect("event data present");
+    fn tick(&mut self, now: Cycle, mem: &mut MemSystem) -> TickOutcome {
+        // 1. Retire writebacks due now. The payload lives in the heap
+        // entry itself, so a popped event always has its data with it.
+        while self.events.peek().is_some_and(|Reverse(e)| e.due <= now) {
+            let Reverse(e) = self.events.pop().expect("peeked above");
             self.warps[e.warp].pending.remove(&e.reg);
+            self.refresh_block(e.warp);
             self.stats.trace_event(
                 now,
                 crate::TraceEvent::Writeback {
@@ -193,7 +264,11 @@ impl<B: OperandBackend> Sm<B> {
         }
 
         // 3. Barrier release, per thread block: a barrier synchronizes the
-        // warps of one block, not the whole SM.
+        // warps of one block, not the whole SM. A release changes warp
+        // state that backends sample in `begin_cycle` (a warp leaving
+        // `at_barrier` becomes an admission candidate), so the tick after a
+        // release must be real even if this one issues nothing.
+        let mut barrier_released = false;
         if self.live_warps > 0 {
             let bs = self.config.warps_per_block;
             for (bi, block) in self.warps.chunks_mut(bs).enumerate() {
@@ -203,8 +278,14 @@ impl<B: OperandBackend> Sm<B> {
                     for w in block.iter_mut() {
                         w.at_barrier = false;
                     }
+                    barrier_released = true;
                     self.stats
                         .trace_event(now, crate::TraceEvent::BarrierRelease { block: bi });
+                }
+            }
+            if barrier_released {
+                for w in 0..self.warps.len() {
+                    self.refresh_block(w);
                 }
             }
         }
@@ -216,22 +297,24 @@ impl<B: OperandBackend> Sm<B> {
         // highest-priority reason among the warps that could not.
         let num_scheds = self.scheds.len();
         let per_sched = self.config.warps_per_scheduler();
+        let mut issued_any = false;
+        let mut all_ready_empty = true;
         for s in 0..num_scheds {
             for _slot in 0..self.config.issue_slots_per_scheduler {
-                let mut ready: Vec<usize> = Vec::new();
+                self.ready_buf.clear();
                 // Highest-priority blocked warp seen so far, for charging
                 // the slot if nothing issues.
                 let mut blocked: Option<(StallReason, usize)> = None;
                 for local in 0..per_sched {
                     let w = local * num_scheds + s;
-                    let reason = match self.warps[w].block_reason(self.compiled.kernel()) {
+                    let reason = match self.block_cache[w] {
                         WarpBlock::Finished => continue,
                         WarpBlock::Barrier => StallReason::Barrier,
                         WarpBlock::Scoreboard => StallReason::DataHazard,
                         WarpBlock::Ready => {
                             let pc = self.warps[w].pc().expect("ready implies a pc");
                             if self.backend.warp_eligible(w, pc) {
-                                ready.push(local);
+                                self.ready_buf.push(local);
                                 continue;
                             }
                             match self.backend.issue_stall(w, pc) {
@@ -245,11 +328,19 @@ impl<B: OperandBackend> Sm<B> {
                         blocked = Some((reason, w));
                     }
                 }
-                let Some(local) = self.scheds[s].pick(&ready) else {
-                    self.stats.idle_cycles += 1;
+                if !self.ready_buf.is_empty() {
+                    // `pick` on a non-empty set may rotate scheduler state
+                    // even when it declines, so such a tick cannot seed a
+                    // skip (replaying it would not be a no-op).
+                    all_ready_empty = false;
+                }
+                let Some(local) = self.scheds[s].pick(&self.ready_buf) else {
+                    self.stats.idle_slots += 1;
+                    self.skip_blocked[s] = blocked;
                     self.charge_idle_slot(blocked, now, mem);
                     continue;
                 };
+                issued_any = true;
                 let w = local * num_scheds + s;
                 let took_bubble = {
                     let mut ctx = BackendCtx {
@@ -268,6 +359,7 @@ impl<B: OperandBackend> Sm<B> {
                     continue;
                 }
                 self.issue(w, s, local, now, mem);
+                self.refresh_block(w);
             }
         }
 
@@ -279,6 +371,91 @@ impl<B: OperandBackend> Sm<B> {
         self.stats.osu_free_series.roll(now);
         self.stats.cm_queue_series.roll(now);
         self.stats.cycles = now + 1;
+
+        // 6. Prove (or refuse) skippability for the cycles ahead. A barrier
+        // about to release would change warp state on the very next tick,
+        // so it pins the stepped path; it should be unreachable from a
+        // no-issue tick (the releasing issue runs phase 3 next tick), but
+        // the check is cheap insurance against charging through a release.
+        let mut barrier_pending = false;
+        if self.live_warps > 0 {
+            let bs = self.config.warps_per_block;
+            for block in self.warps.chunks(bs) {
+                let any_waiting = block.iter().any(|w| w.at_barrier);
+                let all_at_barrier = block.iter().filter(|w| !w.finished()).all(|w| w.at_barrier);
+                if any_waiting && all_at_barrier {
+                    barrier_pending = true;
+                }
+            }
+        }
+        let mut wakeup = self.backend.next_wakeup(now);
+        if let Some(Reverse(e)) = self.events.peek() {
+            // Post-retire, every queued event is due strictly after `now`.
+            wakeup = Some(wakeup.map_or(e.due, |w| w.min(e.due)));
+        }
+        if barrier_released {
+            // The released warps must be re-examined next tick.
+            wakeup = Some(wakeup.map_or(now + 1, |w| w.min(now + 1)));
+        }
+        TickOutcome {
+            skippable: !issued_any && all_ready_empty && !barrier_pending,
+            next_wakeup: wakeup,
+        }
+    }
+
+    /// Bulk-account the idle cycles `from..to` (exclusive of `to`, which
+    /// gets a real [`Sm::tick`]) that [`Machine::run`] fast-forwarded over.
+    /// Each skipped cycle would have charged every issue slot to the same
+    /// reason the last stepped tick found (the blocked set is frozen while
+    /// nothing issues and no event fires), so the charge is a multiply —
+    /// except the memory-state refinement of `CmPreloadWait`, whose two
+    /// probes move monotonically: MSHRs stay full until a fixed completion
+    /// cycle and the L1 port backlog drains at a fixed free cycle, so the
+    /// span splits into at most three runs charged in order.
+    fn skip_to(&mut self, from: Cycle, to: Cycle, mem: &MemSystem) {
+        debug_assert!(from < to);
+        let span = to - from;
+        let slots = self.config.issue_slots_per_scheduler as u64;
+        for s in 0..self.scheds.len() {
+            self.stats.idle_slots += span * slots;
+            match self.skip_blocked[s] {
+                None => {
+                    self.stats
+                        .charge_slot_many(StallReason::NoWarp, None, None, span * slots);
+                }
+                Some((reason, w)) => {
+                    let region = self.warps[w].pc().map(|pc| self.compiled.region_at(pc).0);
+                    if reason == StallReason::CmPreloadWait {
+                        // full(t) ⟺ t < c1; backlog(t) > 0 ⟺ t < c2.
+                        let c1 = mem.l1_mshr_full_until(self.id).clamp(from, to);
+                        let c2 = mem.l1_port_free_cycle(self.id).clamp(c1, to);
+                        self.stats.charge_slot_many(
+                            StallReason::MshrFull,
+                            Some(w),
+                            region,
+                            (c1 - from) * slots,
+                        );
+                        self.stats.charge_slot_many(
+                            StallReason::L1PortBusy,
+                            Some(w),
+                            region,
+                            (c2 - c1) * slots,
+                        );
+                        self.stats.charge_slot_many(
+                            StallReason::CmPreloadWait,
+                            Some(w),
+                            region,
+                            (to - c2) * slots,
+                        );
+                    } else {
+                        self.stats
+                            .charge_slot_many(reason, Some(w), region, span * slots);
+                    }
+                }
+            }
+        }
+        self.stats.cycles = to;
+        self.backend.on_skip(from, to, &mut self.stats);
     }
 
     /// Charge an issue slot that went unused. `blocked` carries the
@@ -417,6 +594,7 @@ impl<B: OperandBackend> Sm<B> {
             self.warps[w].pending.insert(d);
             self.push_event(Event {
                 due,
+                seq: 0, // assigned by push_event
                 warp: w,
                 at,
                 reg: d,
@@ -631,6 +809,10 @@ pub struct Machine<B> {
     sms: Vec<Sm<B>>,
     config: GpuConfig,
     cancel: Option<crate::CancelToken>,
+    /// Force the original cycle-by-cycle loop (no skip-ahead). Kept as the
+    /// differential-testing reference; both paths produce byte-identical
+    /// reports.
+    stepped: bool,
 }
 
 impl<B: OperandBackend> Machine<B> {
@@ -650,7 +832,16 @@ impl<B: OperandBackend> Machine<B> {
             sms,
             config,
             cancel: None,
+            stepped: std::env::var_os("REGLESS_SIM").is_some_and(|v| v == "stepped"),
         }
+    }
+
+    /// Force (`true`) or disable (`false`) the stepped cycle-by-cycle loop,
+    /// overriding the `REGLESS_SIM=stepped` environment escape hatch. Tests
+    /// use this rather than the env var, which is racy under a parallel
+    /// test runner.
+    pub fn set_stepped(&mut self, stepped: bool) {
+        self.stepped = stepped;
     }
 
     /// Attach a cooperative [`crate::CancelToken`]: the run loop polls it
@@ -686,8 +877,41 @@ impl<B: OperandBackend> Machine<B> {
                         .collect(),
                 });
             }
+            // Seed with the fast path enabled; any SM that issued (or might
+            // on the next cycle) pins the machine to single-stepping.
+            let mut skippable = !self.stepped;
+            let mut wakeup: Option<Cycle> = None;
             for sm in &mut self.sms {
-                sm.tick(now, &mut self.mem);
+                let out = sm.tick(now, &mut self.mem);
+                skippable &= out.skippable;
+                if let Some(due) = out.next_wakeup {
+                    wakeup = Some(wakeup.map_or(due, |w| w.min(due)));
+                }
+            }
+            // A backend can finish draining inside an otherwise idle tick,
+            // so re-check completion before committing to a skip.
+            if skippable && !self.sms.iter().all(Sm::all_done) {
+                // Jump to the earliest due event, clamped to the next
+                // stats-window boundary (RegLess's census samples on
+                // multiples of WINDOW_CYCLES), the next cancellation-poll
+                // boundary (deadline latency stays bounded), and the cycle
+                // limit. With no wakeup anywhere, the window clamp alone
+                // bounds the jump; progress then depends on another SM,
+                // whose events are visible only machine-wide.
+                let window = (now / crate::stats::WINDOW_CYCLES + 1) * crate::stats::WINDOW_CYCLES;
+                let poll = (now / crate::cancel::DEADLINE_CHECK_CYCLES + 1)
+                    * crate::cancel::DEADLINE_CHECK_CYCLES;
+                let mut target = window.min(poll).min(self.config.max_cycles);
+                if let Some(w) = wakeup {
+                    target = target.min(w);
+                }
+                if target > now + 1 {
+                    for sm in &mut self.sms {
+                        sm.skip_to(now + 1, target, &self.mem);
+                    }
+                    now = target;
+                    continue;
+                }
             }
             now += 1;
         }
@@ -765,7 +989,7 @@ fn collect_telemetry(
     merged.add_counter("cycles", cycles);
     merged.add_counter("sm.insns", total.insns);
     merged.add_counter("sm.meta_insns", total.meta_insns);
-    merged.add_counter("sm.idle_cycles", total.idle_cycles);
+    merged.add_counter("sm.idle_slots", total.idle_slots);
     // The CPI stack, as `stall.<reason>` counters (summaries stay
     // self-contained without re-deriving the stack from SmStats).
     for (reason, slots) in total.issue_stack.entries() {
@@ -814,7 +1038,19 @@ pub fn run_baseline(
     config: GpuConfig,
     compiled: Arc<CompiledKernel>,
 ) -> Result<RunReport, SimError> {
-    Machine::new(config, compiled, |_| crate::backend::BaselineRf::new()).run()
+    run_baseline_with(config, compiled, false)
+}
+
+/// [`run_baseline`] with an explicit run-loop mode: `stepped` forces the
+/// cycle-by-cycle reference loop (see [`Machine::set_stepped`]).
+pub fn run_baseline_with(
+    config: GpuConfig,
+    compiled: Arc<CompiledKernel>,
+    stepped: bool,
+) -> Result<RunReport, SimError> {
+    let mut machine = Machine::new(config, compiled, |_| crate::backend::BaselineRf::new());
+    machine.set_stepped(stepped);
+    machine.run()
 }
 
 #[cfg(test)]

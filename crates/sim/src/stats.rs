@@ -121,8 +121,11 @@ pub struct SmStats {
     pub insns: u64,
     /// Metadata instructions issued (RegLess only).
     pub meta_insns: u64,
-    /// Issue slots with no eligible warp.
-    pub idle_cycles: u64,
+    /// Issue *slots* (not cycles) in which no warp issued. Each scheduler
+    /// contributes `issue_slots_per_scheduler` slots per cycle, so this can
+    /// legitimately exceed `cycles` on wide configurations; it always equals
+    /// `cycles × schedulers × slots − issue_stack.get(Issued)`.
+    pub idle_slots: u64,
 
     /// Baseline register-file reads (per 128-byte operand). For the RFH
     /// baseline these are main-register-file (MRF) accesses; for RFV they
@@ -300,6 +303,33 @@ impl SmStats {
         }
     }
 
+    /// Charge `n` issue slots to `reason` in one shot — the bulk form of
+    /// [`charge_slot`](Self::charge_slot) used by the event-driven fast
+    /// path when it jumps over a span of provably idle cycles. The
+    /// conservation law (`Σ reasons == cycles × issue slots`) is preserved
+    /// because the caller charges exactly `span × slots` this way.
+    pub fn charge_slot_many(
+        &mut self,
+        reason: StallReason,
+        warp: Option<usize>,
+        region: Option<u32>,
+        n: u64,
+    ) {
+        if n == 0 {
+            return;
+        }
+        self.issue_stack.charge_n(reason, n);
+        if let Some(w) = warp {
+            if self.warp_stacks.len() <= w {
+                self.warp_stacks.resize(w + 1, IssueStack::new());
+            }
+            self.warp_stacks[w].charge_n(reason, n);
+        }
+        if let Some(r) = region {
+            self.region_stacks.entry(r).or_default().charge_n(reason, n);
+        }
+    }
+
     /// Record a preload outcome.
     pub fn record_preload(&mut self, source: PreloadSource) {
         match source {
@@ -315,7 +345,7 @@ impl SmStats {
         self.cycles = self.cycles.max(other.cycles);
         self.insns += other.insns;
         self.meta_insns += other.meta_insns;
-        self.idle_cycles += other.idle_cycles;
+        self.idle_slots += other.idle_slots;
         self.rf_reads += other.rf_reads;
         self.rf_writes += other.rf_writes;
         self.lrf_reads += other.lrf_reads;
@@ -429,7 +459,7 @@ macro_rules! for_each_sm_counter {
             cycles,
             insns,
             meta_insns,
-            idle_cycles,
+            idle_slots,
             rf_reads,
             rf_writes,
             lrf_reads,

@@ -2,8 +2,7 @@
 //! reconvergence stack.
 
 use crate::config::Cycle;
-use regless_isa::{BlockId, InsnRef, Kernel, LaneMask, LaneVec, Opcode};
-use std::collections::HashSet;
+use regless_isa::{BlockId, InsnRef, Kernel, LaneMask, LaneVec, Opcode, Reg};
 
 /// One entry of the SIMT reconvergence stack.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +29,67 @@ pub enum WarpBlock {
     Scoreboard,
 }
 
+/// The scoreboard: the set of registers with writes in flight, kept as a
+/// flat bitmap sized to the kernel's register count. The per-issue checks
+/// (`contains` on every source and the destination) are the hottest reads
+/// in the SM loop, so the set lives in one or two words instead of a
+/// `HashSet`'s heap nodes. Set semantics are preserved exactly: inserting
+/// an already-pending register is a no-op, matching the scoreboard's
+/// merge-on-double-write behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct PendingSet {
+    bits: Vec<u64>,
+}
+
+impl PendingSet {
+    /// An empty scoreboard covering `num_regs` registers.
+    pub fn with_regs(num_regs: usize) -> Self {
+        PendingSet {
+            bits: vec![0; num_regs.div_ceil(64)],
+        }
+    }
+
+    /// Mark `reg` pending; returns whether it was newly inserted.
+    pub fn insert(&mut self, reg: Reg) -> bool {
+        let (word, bit) = (reg.index() / 64, reg.index() % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let was = self.bits[word] & (1 << bit) != 0;
+        self.bits[word] |= 1 << bit;
+        !was
+    }
+
+    /// Clear `reg`; returns whether it was present.
+    pub fn remove(&mut self, reg: &Reg) -> bool {
+        let (word, bit) = (reg.index() / 64, reg.index() % 64);
+        match self.bits.get_mut(word) {
+            Some(w) => {
+                let was = *w & (1 << bit) != 0;
+                *w &= !(1 << bit);
+                was
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `reg` has a write in flight.
+    pub fn contains(&self, reg: &Reg) -> bool {
+        let (word, bit) = (reg.index() / 64, reg.index() % 64);
+        self.bits.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Whether no writes are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Drop every pending mark.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+}
+
 /// Architectural + control state of one warp.
 #[derive(Clone, Debug)]
 pub struct WarpState {
@@ -38,7 +98,7 @@ pub struct WarpState {
     /// Current register values (functional state).
     pub regs: Vec<LaneVec>,
     /// Registers with writes in flight.
-    pub pending: HashSet<regless_isa::Reg>,
+    pub pending: PendingSet,
     /// Waiting at a barrier.
     pub at_barrier: bool,
     /// Dynamic instructions issued by this warp.
@@ -60,7 +120,7 @@ impl WarpState {
                 reconv: None,
             }],
             regs: vec![LaneVec::zero(); kernel.num_regs() as usize],
-            pending: HashSet::new(),
+            pending: PendingSet::with_regs(kernel.num_regs() as usize),
             at_barrier: false,
             insns_issued: 0,
             finished_at: None,

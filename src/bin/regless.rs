@@ -48,6 +48,11 @@
 //! `<kernel>` is a built-in benchmark name (see `regless list`) or a path
 //! to a `.asm` file in the textual format of [`regless::isa::text`].
 //! Chrome traces load in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! `REGLESS_SIM=stepped` in the environment forces the cycle-by-cycle
+//! reference run loop instead of the event-driven fast path. Both loops
+//! produce byte-identical reports (CI diffs them); the variable exists
+//! for differential debugging and for measuring fast-path speedup.
 
 use regless::baselines::{run_rfh, run_rfv};
 use regless::bench::profile::{diff as profile_diff, ProfileReport};
@@ -118,7 +123,9 @@ fn print_usage() {
          \u{20}                            --kind run|profile|report, --design baseline|regless,\n\
          \u{20}                            --capacity <entries>, --no-compressor, --timeout-ms <ms>)\n\
          \u{20}  submit --stats|--shutdown server statistics / graceful shutdown\n\n\
-         <kernel> is a benchmark name or a path to a .asm file"
+         <kernel> is a benchmark name or a path to a .asm file\n\
+         REGLESS_SIM=stepped forces the cycle-by-cycle reference run loop\n\
+         (byte-identical reports; for differential debugging and speed bench)"
     );
 }
 

@@ -263,6 +263,56 @@ fn served_reports_are_byte_identical_to_cli_direct_runs() {
     handle.drain().expect("drain");
 }
 
+/// Cancellation latency under the event-driven fast path: a served
+/// request with a deadline still gets its structured timeout within 2x
+/// the deadline even though the run loop now jumps over idle spans. The
+/// loop clamps every jump at `DEADLINE_CHECK_CYCLES` (1024-cycle)
+/// boundaries, so the gap between cancellation polls is bounded by ~1k
+/// simulated cycles — a few microseconds of wall clock — regardless of
+/// how far the event calendar says it could skip.
+#[test]
+fn cancellation_latency_is_bounded_with_the_event_fast_path() {
+    if std::env::var("REGLESS_SIM").as_deref() == Ok("stepped") {
+        // The differential CI job forces the stepped reference loop
+        // process-wide; this contract is specifically about the fast
+        // path, so there is nothing to test in that configuration.
+        eprintln!("skipping: REGLESS_SIM=stepped forces the reference loop");
+        return;
+    }
+
+    let handle = start_server(1, 4);
+    let addr = handle.addr().to_string();
+    let slow = write_slow_asm("fastpath");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut req = Request::run(7, &slow);
+    req.timeout_ms = Some(1_000);
+    let started = Instant::now();
+    let resp = client.request(&req).expect("response");
+    let elapsed = started.elapsed();
+
+    assert_eq!(resp.error_code(), Some("timeout"), "{resp:?}");
+    assert!(
+        elapsed < Duration::from_millis(2_000),
+        "fast-path timeout took {elapsed:?}, over 2x the 1000 ms deadline"
+    );
+
+    // The cancelled run was cooperative: the worker is free and keeps
+    // serving real work on the same connection.
+    let stats = wait_for_stats(&addr, |s| stat(s, "in_flight") == 0);
+    assert_eq!(stat(&stats, "timeouts"), 1);
+    assert_eq!(stat(&stats, "cancelled"), 1);
+    assert_eq!(stat(&stats, "panics"), 0);
+    let follow_up = client
+        .request(&Request::run(8, "rodinia/nn"))
+        .expect("follow-up response");
+    assert!(follow_up.ok, "{follow_up:?}");
+
+    let _ = std::fs::remove_file(&slow);
+    handle.shutdown();
+    handle.drain().expect("drain");
+}
+
 #[test]
 fn shutdown_request_drains_gracefully() {
     let handle = start_server(2, 8);
