@@ -8,7 +8,15 @@
 //! ```text
 //! loadgen [--addr host:port] [--clients N] [--requests N]
 //!         [--benches id,id,...] [--timeout-ms MS] [--out PATH]
+//! loadgen --cluster [--worker-counts 1,2,4] [--benches id,id,...]
+//!         [--out PATH]
 //! ```
+//!
+//! `queue_full` rejections are retried with the server's `retry_after_ms`
+//! hint (exponential backoff + jitter, bounded), and retries are reported
+//! separately from hard errors. `--cluster` switches to the cluster
+//! scaling benchmark: one cold `regless cluster --spawn` sweep per worker
+//! count, results in `results/BENCH_cluster.json`.
 //!
 //! This binary deliberately speaks the raw JSONL protocol with only
 //! `regless-json` (the serve crate depends on this one, so depending back
@@ -18,8 +26,16 @@
 use regless_json::{Json, ToJson};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Bound on `queue_full` retries per request.
+const MAX_RETRIES: u32 = 5;
+/// Base backoff when the server sends no `retry_after_ms` hint.
+const DEFAULT_BACKOFF_MS: u64 = 100;
+/// Cap on any single backoff sleep.
+const MAX_BACKOFF_MS: u64 = 5_000;
 
 struct Options {
     addr: Option<String>,
@@ -27,7 +43,12 @@ struct Options {
     requests: usize,
     benches: Vec<String>,
     timeout_ms: Option<u64>,
-    out: String,
+    out: Option<String>,
+    /// `--cluster`: run the cluster scaling benchmark instead of the
+    /// serve load test.
+    cluster: bool,
+    /// Worker counts the cluster benchmark sweeps.
+    worker_counts: Vec<usize>,
 }
 
 impl Default for Options {
@@ -45,13 +66,44 @@ impl Default for Options {
                 "rodinia/lud".to_string(),
             ],
             timeout_ms: None,
-            out: "results/BENCH_serve.json".to_string(),
+            out: None,
+            cluster: false,
+            worker_counts: vec![1, 2, 4],
         }
     }
 }
 
+/// The benchmark space the cluster scaling benchmark sweeps: 16 kernels
+/// × 2 designs = 32 units, enough serial work that the per-run fixed
+/// costs (process spawn, connect, final claim round) amortize away while
+/// a full 1/2/4-worker sweep still finishes in CI time.
+fn cluster_default_benches() -> Vec<String> {
+    [
+        "nn",
+        "gaussian",
+        "lud",
+        "backprop",
+        "bfs",
+        "hotspot",
+        "pathfinder",
+        "kmeans",
+        "nw",
+        "srad_v1",
+        "srad_v2",
+        "streamcluster",
+        "lavaMD",
+        "myocyte",
+        "b+tree",
+        "hybridsort",
+    ]
+    .iter()
+    .map(|n| format!("rodinia/{n}"))
+    .collect()
+}
+
 fn parse_args() -> Result<Options, String> {
     let mut o = Options::default();
+    let mut benches_given = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -65,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
             "--clients" => o.clients = need("--clients")?.parse().map_err(|e| format!("{e}"))?,
             "--requests" => o.requests = need("--requests")?.parse().map_err(|e| format!("{e}"))?,
             "--benches" => {
+                benches_given = true;
                 o.benches = need("--benches")?
                     .split(',')
                     .map(|s| s.trim().to_string())
@@ -74,12 +127,25 @@ fn parse_args() -> Result<Options, String> {
             "--timeout-ms" => {
                 o.timeout_ms = Some(need("--timeout-ms")?.parse().map_err(|e| format!("{e}"))?);
             }
-            "--out" => o.out = need("--out")?,
+            "--out" => o.out = Some(need("--out")?),
+            "--cluster" => o.cluster = true,
+            "--worker-counts" => {
+                o.worker_counts = need("--worker-counts")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("{e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
+    if o.cluster && !benches_given {
+        o.benches = cluster_default_benches();
+    }
     if o.benches.is_empty() {
         return Err("--benches must name at least one benchmark".to_string());
+    }
+    if o.worker_counts.is_empty() || o.worker_counts.contains(&0) {
+        return Err("--worker-counts must list positive worker counts".to_string());
     }
     Ok(o)
 }
@@ -105,13 +171,16 @@ fn exchange(
 
 fn connect(addr: &str) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
     let stream = TcpStream::connect(addr)?;
+    // Request-response over JSONL: disable Nagle so multi-segment
+    // requests don't stall on the server's delayed ACK.
+    stream.set_nodelay(true)?;
     let writer = stream.try_clone()?;
     Ok((BufReader::new(stream), writer))
 }
 
-/// Spawn `regless serve --addr 127.0.0.1:0` from the sibling binary
-/// directory and parse the ephemeral address it prints.
-fn spawn_server() -> Result<(Child, String), String> {
+/// The `regless` binary next to this one (both live in the same cargo
+/// target directory).
+fn regless_binary() -> Result<PathBuf, String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let dir = exe
         .parent()
@@ -123,6 +192,13 @@ fn spawn_server() -> Result<(Child, String), String> {
             regless.display()
         ));
     }
+    Ok(regless)
+}
+
+/// Spawn `regless serve --addr 127.0.0.1:0` from the sibling binary
+/// directory and parse the ephemeral address it prints.
+fn spawn_server() -> Result<(Child, String), String> {
+    let regless = regless_binary()?;
     let mut child = Command::new(&regless)
         .args(["serve", "--addr", "127.0.0.1:0"])
         .stdout(Stdio::piped())
@@ -146,13 +222,46 @@ fn spawn_server() -> Result<(Child, String), String> {
 }
 
 /// Per-client outcome: latencies of successful requests (µs) and error
-/// counts by code.
+/// counts by code. `retries` counts `queue_full` rejections that were
+/// retried with the server's `retry_after_ms` hint rather than recorded
+/// as hard failures.
 #[derive(Default)]
 struct ClientResult {
     latencies_us: Vec<u64>,
     ok: u64,
     errors: u64,
     timeouts: u64,
+    retries: u64,
+}
+
+/// `v` as a u64 if it is a JSON integer.
+fn json_u64(v: &Json) -> Option<u64> {
+    match v {
+        Json::Int(i) => u64::try_from(*i).ok(),
+        Json::Uint(u) => Some(*u),
+        _ => None,
+    }
+}
+
+/// Deterministic jitter in `[0, max)` (SplitMix64 of `seed`).
+fn jitter(seed: u64, max: u64) -> u64 {
+    if max == 0 {
+        return 0;
+    }
+    let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)) % max
+}
+
+/// The error code of a failed response, if any.
+fn error_code(resp: &Json) -> Option<String> {
+    match resp.field("error").ok()?.field("code").ok()? {
+        Json::Str(code) => Some(code.clone()),
+        _ => None,
+    }
 }
 
 fn client_loop(addr: &str, client_idx: usize, o: &Options) -> std::io::Result<ClientResult> {
@@ -160,31 +269,52 @@ fn client_loop(addr: &str, client_idx: usize, o: &Options) -> std::io::Result<Cl
     let mut result = ClientResult::default();
     for i in 0..o.requests {
         let bench = &o.benches[i % o.benches.len()];
+        let id = (client_idx * o.requests + i) as u64;
         let mut fields = vec![
-            (
-                "id".to_string(),
-                ToJson::to_json(&((client_idx * o.requests + i) as u64)),
-            ),
+            ("id".to_string(), ToJson::to_json(&id)),
             ("kind".to_string(), Json::Str("run".to_string())),
             ("kernel".to_string(), Json::Str(bench.clone())),
         ];
         if let Some(ms) = o.timeout_ms {
             fields.push(("timeout_ms".to_string(), ToJson::to_json(&ms)));
         }
-        let started = Instant::now();
-        let resp = exchange(&mut reader, &mut writer, &Json::Obj(fields))?;
-        let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let request = Json::Obj(fields);
+        // `queue_full` is back-pressure, not failure: honor the server's
+        // retry_after_ms hint (exponential, jittered, bounded) before
+        // giving up and recording an error.
+        let mut attempt: u32 = 0;
+        let (resp, elapsed) = loop {
+            let started = Instant::now();
+            let resp = exchange(&mut reader, &mut writer, &request)?;
+            let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let ok = matches!(resp.field("ok"), Ok(Json::Bool(true)));
+            if !ok && error_code(&resp).as_deref() == Some("queue_full") && attempt < MAX_RETRIES {
+                let hint = resp
+                    .field("error")
+                    .ok()
+                    .and_then(|e| e.field("retry_after_ms").ok())
+                    .and_then(json_u64)
+                    .unwrap_or(DEFAULT_BACKOFF_MS)
+                    .max(1);
+                let base = hint
+                    .saturating_mul(1u64 << attempt.min(16))
+                    .min(MAX_BACKOFF_MS);
+                let sleep =
+                    (base + jitter(id ^ u64::from(attempt), base / 2 + 1)).min(MAX_BACKOFF_MS);
+                std::thread::sleep(Duration::from_millis(sleep));
+                attempt += 1;
+                result.retries += 1;
+                continue;
+            }
+            break (resp, elapsed);
+        };
         let ok = matches!(resp.field("ok"), Ok(Json::Bool(true)));
         if ok {
             result.ok += 1;
             result.latencies_us.push(elapsed);
         } else {
             result.errors += 1;
-            let code = resp
-                .field("error")
-                .ok()
-                .and_then(|e| e.field("code").ok().cloned());
-            if code == Some(Json::Str("timeout".to_string())) {
+            if error_code(&resp).as_deref() == Some("timeout") {
                 result.timeouts += 1;
             }
         }
@@ -208,6 +338,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if o.cluster {
+        if let Err(e) = cluster_main(&o) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let out = o
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/BENCH_serve.json".to_string());
 
     let (mut child, addr) = match &o.addr {
         Some(a) => (None, a.clone()),
@@ -280,6 +421,7 @@ fn main() {
     let ok: u64 = results.iter().map(|r| r.ok).sum();
     let errors: u64 = results.iter().map(|r| r.errors).sum();
     let timeouts: u64 = results.iter().map(|r| r.timeouts).sum();
+    let retries: u64 = results.iter().map(|r| r.retries).sum();
     let mean_ms = if latencies.is_empty() {
         0.0
     } else {
@@ -320,6 +462,7 @@ fn main() {
         ("ok".to_string(), ToJson::to_json(&ok)),
         ("errors".to_string(), ToJson::to_json(&errors)),
         ("timeouts".to_string(), ToJson::to_json(&timeouts)),
+        ("retries".to_string(), ToJson::to_json(&retries)),
         ("wall_seconds".to_string(), Json::Float(wall.as_secs_f64())),
         (
             "throughput_rps".to_string(),
@@ -347,21 +490,13 @@ fn main() {
         ),
     ]);
 
-    let rendered = report.to_string_pretty();
-    if let Some(parent) = std::path::Path::new(&o.out).parent() {
-        if !parent.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-    }
-    match std::fs::write(&o.out, format!("{rendered}\n")) {
-        Ok(()) => eprintln!("wrote {}", o.out),
-        Err(e) => {
-            eprintln!("error: write {}: {e}", o.out);
-            std::process::exit(1);
-        }
+    if let Err(e) = write_report(&out, &report) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
     println!(
-        "{ok} ok / {errors} err in {:.2} s ({:.1} req/s); p50 {:.1} ms, p99 {:.1} ms; \
+        "{ok} ok / {errors} err / {retries} retried in {:.2} s ({:.1} req/s); \
+         p50 {:.1} ms, p99 {:.1} ms; \
          {simulations} sims, {coalesce_hits} coalesced, {cache_hits} cache hits",
         wall.as_secs_f64(),
         ok as f64 / wall.as_secs_f64().max(1e-9),
@@ -373,4 +508,169 @@ fn main() {
         // report file was written.
         std::process::exit(1);
     }
+}
+
+/// Write `report` (pretty, newline-terminated) to `path`, creating parents.
+fn write_report(path: &str, report: &Json) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    std::fs::write(path, format!("{}\n", report.to_string_pretty()))
+        .map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+/// One `regless cluster --spawn` run at a fixed worker count, cold.
+struct ClusterRun {
+    workers: usize,
+    wall_seconds: f64,
+    units_done: u64,
+    reassignments: u64,
+    workers_seen: u64,
+    complete: bool,
+}
+
+/// Run the sweep cluster once per worker count, each with a fresh scratch
+/// cache directory so every run simulates from cold, and report wall
+/// clock, throughput, and speedup vs the 1-worker (or smallest) run.
+fn cluster_main(o: &Options) -> Result<(), String> {
+    let regless = regless_binary()?;
+    let out = o
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/BENCH_cluster.json".to_string());
+    let benches = o.benches.join(",");
+    let scratch_root =
+        std::env::temp_dir().join(format!("regless-cluster-bench-{}", std::process::id()));
+
+    let mut runs: Vec<ClusterRun> = Vec::new();
+    for &workers in &o.worker_counts {
+        // A fresh REGLESS_SWEEP_DIR per run keeps every run cold: no worker
+        // may replay a cache written by a previous worker count.
+        let scratch = scratch_root.join(format!("w{workers}"));
+        std::fs::create_dir_all(&scratch).map_err(|e| format!("mkdir {scratch:?}: {e}"))?;
+        eprintln!("cluster benchmark: {workers} worker(s) over [{benches}] ...");
+        let output = Command::new(&regless)
+            .args([
+                "cluster",
+                "--addr",
+                "127.0.0.1:0",
+                "--spawn",
+                "--workers",
+                &workers.to_string(),
+                "--benches",
+                &benches,
+                "--designs",
+                "baseline,regless",
+                "--json",
+            ])
+            .env("REGLESS_SWEEP_DIR", &scratch)
+            .stderr(Stdio::inherit())
+            .output()
+            .map_err(|e| format!("spawn {}: {e}", regless.display()))?;
+        let _ = std::fs::remove_dir_all(&scratch);
+        if !output.status.success() {
+            return Err(format!(
+                "regless cluster --workers {workers} exited with {}",
+                output.status
+            ));
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let summary = Json::parse(stdout.trim())
+            .map_err(|e| format!("parse cluster summary: {} in {stdout:?}", e.message))?;
+        let counter =
+            |name: &str| -> u64 { summary.field(name).ok().and_then(json_u64).unwrap_or(0) };
+        let wall_seconds = match summary.field("wall_seconds") {
+            Ok(Json::Float(f)) => *f,
+            Ok(v) => json_u64(v).unwrap_or(0) as f64,
+            Err(_) => 0.0,
+        };
+        runs.push(ClusterRun {
+            workers,
+            wall_seconds,
+            units_done: counter("units_done"),
+            reassignments: counter("reassignments"),
+            workers_seen: counter("workers_seen"),
+            complete: matches!(summary.field("complete"), Ok(Json::Bool(true))),
+        });
+    }
+    let _ = std::fs::remove_dir_all(&scratch_root);
+
+    // Speedup is relative to the slowest configuration with the fewest
+    // workers present in the sweep (normally the 1-worker run).
+    let baseline_wall = runs
+        .iter()
+        .min_by_key(|r| r.workers)
+        .map(|r| r.wall_seconds)
+        .unwrap_or(0.0);
+    let run_rows: Vec<Json> = runs
+        .iter()
+        .map(|r| {
+            let speedup = if r.wall_seconds > 0.0 {
+                baseline_wall / r.wall_seconds
+            } else {
+                0.0
+            };
+            println!(
+                "{} worker(s): {:.2} s wall, {} units, speedup {:.2}x{}",
+                r.workers,
+                r.wall_seconds,
+                r.units_done,
+                speedup,
+                if r.complete { "" } else { " (INCOMPLETE)" },
+            );
+            Json::Obj(vec![
+                ("workers".to_string(), ToJson::to_json(&r.workers)),
+                ("wall_seconds".to_string(), Json::Float(r.wall_seconds)),
+                ("units_done".to_string(), ToJson::to_json(&r.units_done)),
+                (
+                    "throughput_units_per_s".to_string(),
+                    Json::Float(r.units_done as f64 / r.wall_seconds.max(1e-9)),
+                ),
+                (
+                    "reassignments".to_string(),
+                    ToJson::to_json(&r.reassignments),
+                ),
+                ("workers_seen".to_string(), ToJson::to_json(&r.workers_seen)),
+                ("speedup".to_string(), Json::Float(speedup)),
+                ("complete".to_string(), Json::Bool(r.complete)),
+            ])
+        })
+        .collect();
+    // Speedup saturates at min(workers, host cores): the sweep is
+    // CPU-bound once protocol latency is off the per-unit path, so the
+    // host's parallelism is the context the numbers must be read in.
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = Json::Obj(vec![
+        (
+            "benches".to_string(),
+            Json::Arr(o.benches.iter().map(|b| Json::Str(b.clone())).collect()),
+        ),
+        (
+            "designs".to_string(),
+            Json::Arr(vec![
+                Json::Str("baseline".to_string()),
+                Json::Str("regless".to_string()),
+            ]),
+        ),
+        (
+            "host_parallelism".to_string(),
+            ToJson::to_json(&host_parallelism),
+        ),
+        (
+            "baseline_wall_seconds".to_string(),
+            Json::Float(baseline_wall),
+        ),
+        ("runs".to_string(), Json::Arr(run_rows)),
+    ]);
+    write_report(&out, &report)?;
+    if runs.iter().any(|r| !r.complete) {
+        return Err("at least one cluster run did not complete its sweep".to_string());
+    }
+    Ok(())
 }

@@ -800,6 +800,35 @@ pub fn baseline_with_scheduler(bench: &str, kind: SchedulerKind) -> Arc<RunRepor
     engine().run(bench, RunVariant::Scheduler(kind))
 }
 
+/// Stable 64-bit hash of one `(benchmark, variant)` work unit. The
+/// cluster coordinator hashes this value onto its consistent-hash ring
+/// and uses it as the idempotency key when reassigning in-flight units,
+/// so it must be deterministic across processes: it hashes the canonical
+/// variant's `Debug` form, the same basis as the cache entry slug.
+pub fn unit_hash(bench: &str, variant: RunVariant) -> u64 {
+    let variant = variant.canonical();
+    fnv1a64(format!("{bench}|{variant:?}").as_bytes())
+}
+
+/// Public twin of the disk-cache entry filename for one work unit, so
+/// external tooling (cluster result digests, CI comparisons) names
+/// results exactly the way the cache does.
+pub fn unit_slug(bench: &str, variant: RunVariant) -> String {
+    entry_slug(bench, variant.canonical())
+}
+
+/// Enumerate the (benchmark × design) cross-product as work units in a
+/// deterministic order — the shard space a cluster coordinator hands out.
+pub fn sweep_space(benches: &[String], designs: &[DesignKind]) -> Vec<(String, RunVariant)> {
+    let mut units = Vec::with_capacity(benches.len() * designs.len());
+    for bench in benches {
+        for &design in designs {
+            units.push((bench.clone(), RunVariant::Design(design).canonical()));
+        }
+    }
+    units
+}
+
 /// A cache-fingerprint directory name: exactly 16 lowercase hex digits
 /// (the `{:016x}` of [`SweepEngine::fingerprint`]).
 fn is_fingerprint_name(name: &str) -> bool {
@@ -1254,6 +1283,51 @@ mod tests {
         assert!(bench_kernel("rodinia/not-a-bench").is_none());
         assert!(bench_kernel("micro/not-a-bench").is_none());
         assert!(bench_kernel("nn").is_none(), "bare names need a prefix");
+    }
+
+    #[test]
+    fn unit_hash_is_canonical_and_distinct() {
+        // Equivalent phrasings hash identically (idempotency across a
+        // coordinator that speaks designs and a worker that ran opts).
+        assert_eq!(
+            unit_hash("rodinia/nn", RunVariant::Opts(ReglessRunOpts::default())),
+            unit_hash("rodinia/nn", RunVariant::Design(DesignKind::regless_512()))
+        );
+        // Distinct units hash apart.
+        assert_ne!(
+            unit_hash("rodinia/nn", RunVariant::Design(DesignKind::Baseline)),
+            unit_hash("rodinia/bfs", RunVariant::Design(DesignKind::Baseline))
+        );
+        assert_ne!(
+            unit_hash("rodinia/nn", RunVariant::Design(DesignKind::Baseline)),
+            unit_hash("rodinia/nn", RunVariant::Design(DesignKind::regless_512()))
+        );
+        // And the public slug matches what the disk cache would use.
+        assert_eq!(
+            unit_slug("rodinia/nn", RunVariant::Opts(ReglessRunOpts::default())),
+            entry_slug("rodinia/nn", RunVariant::Design(DesignKind::regless_512()))
+        );
+    }
+
+    #[test]
+    fn sweep_space_enumerates_the_cross_product_in_order() {
+        let benches = vec![rodinia_id("nn"), rodinia_id("bfs")];
+        let designs = vec![DesignKind::Baseline, DesignKind::regless_512()];
+        let units = sweep_space(&benches, &designs);
+        assert_eq!(units.len(), 4);
+        assert_eq!(
+            units[0],
+            (rodinia_id("nn"), RunVariant::Design(DesignKind::Baseline))
+        );
+        assert_eq!(
+            units[3],
+            (
+                rodinia_id("bfs"),
+                RunVariant::Design(DesignKind::regless_512())
+            )
+        );
+        // Deterministic: two enumerations agree element-wise.
+        assert_eq!(units, sweep_space(&benches, &designs));
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Consistent-hash assignment of work units to workers.
+//!
+//! The coordinator prefers to hand each work unit to the worker its
+//! fingerprint hashes to on a consistent-hash ring. The point is cache
+//! affinity, not correctness: a worker that repeatedly claims the same
+//! partition of the sweep space keeps its own disk cache hot and disjoint
+//! from its peers, so a re-run (or a retry after a crash) replays instead
+//! of re-simulating. When a worker's own partition is drained it *steals*
+//! from whatever is left — assignment is a preference the claim loop
+//! consults, never a constraint.
+//!
+//! Each worker contributes [`VNODES`] virtual points so the partition
+//! stays balanced with a handful of workers, and membership changes move
+//! only the units that hashed to the departed worker's arcs.
+
+use std::collections::BTreeMap;
+
+/// Virtual points per worker on the ring. 64 keeps the largest partition
+/// within a few percent of the mean for small clusters while the ring
+/// stays tiny (a 16-worker ring is 1024 points).
+pub const VNODES: usize = 64;
+
+/// FNV-1a 64-bit — the same dependency-free hash the sweep cache uses for
+/// fingerprints, applied here to ring points.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer. FNV-1a alone clusters on the short, similar
+/// strings vnode labels are made of ("w0#1", "w0#2", …), which skews ring
+/// partitions badly; one round of avalanche mixing restores uniformity.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over worker names.
+#[derive(Clone, Debug, Default)]
+pub struct HashRing {
+    /// Ring position → worker name. `BTreeMap` gives the clockwise
+    /// successor lookup directly.
+    points: BTreeMap<u64, String>,
+    workers: usize,
+}
+
+impl HashRing {
+    /// An empty ring.
+    pub fn new() -> HashRing {
+        HashRing::default()
+    }
+
+    /// Add `worker`'s virtual points. Adding a present worker is a no-op.
+    pub fn add(&mut self, worker: &str) {
+        if self.contains(worker) {
+            return;
+        }
+        for v in 0..VNODES {
+            let point = mix64(fnv1a64(format!("{worker}#{v}").as_bytes()));
+            // A point collision between two workers is astronomically
+            // unlikely but would silently drop a vnode; first writer wins
+            // and balance barely notices.
+            self.points
+                .entry(point)
+                .or_insert_with(|| worker.to_string());
+        }
+        self.workers += 1;
+    }
+
+    /// Remove `worker`'s virtual points (a reaped worker leaves the ring).
+    pub fn remove(&mut self, worker: &str) {
+        let before = self.points.len();
+        self.points.retain(|_, w| w != worker);
+        if self.points.len() != before {
+            self.workers -= 1;
+        }
+    }
+
+    /// Whether `worker` is on the ring.
+    pub fn contains(&self, worker: &str) -> bool {
+        self.points.values().any(|w| w == worker)
+    }
+
+    /// Workers currently on the ring.
+    pub fn len(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether the ring has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers == 0
+    }
+
+    /// The worker `key` hashes to: the first ring point clockwise from
+    /// `key`, wrapping. `None` on an empty ring.
+    pub fn assign(&self, key: u64) -> Option<&str> {
+        let key = mix64(key);
+        self.points
+            .range(key..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, w)| w.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        let mut ring = HashRing::new();
+        for w in ["w0", "w1", "w2", "w3"] {
+            ring.add(w);
+        }
+        assert_eq!(ring.len(), 4);
+        for key in 0..1000u64 {
+            let k = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            assert_eq!(ring.assign(k).unwrap(), ring.assign(k).unwrap());
+        }
+        assert!(HashRing::new().assign(42).is_none());
+    }
+
+    #[test]
+    fn vnodes_keep_partitions_roughly_balanced() {
+        let mut ring = HashRing::new();
+        let workers = ["w0", "w1", "w2", "w3"];
+        for w in workers {
+            ring.add(w);
+        }
+        let mut counts = std::collections::HashMap::new();
+        let n = 4000u64;
+        for i in 0..n {
+            let key = fnv1a64(format!("unit-{i}").as_bytes());
+            *counts
+                .entry(ring.assign(key).unwrap().to_string())
+                .or_insert(0u64) += 1;
+        }
+        let mean = n / workers.len() as u64;
+        for w in workers {
+            let c = counts.get(w).copied().unwrap_or(0);
+            // Within 2x of the mean is ample for a cache-affinity hint.
+            assert!(c > mean / 2 && c < mean * 2, "{w} got {c} of {n}");
+        }
+    }
+
+    #[test]
+    fn removing_a_worker_moves_only_its_partition() {
+        let mut ring = HashRing::new();
+        for w in ["w0", "w1", "w2", "w3"] {
+            ring.add(w);
+        }
+        let keys: Vec<u64> = (0..2000u64)
+            .map(|i| fnv1a64(format!("unit-{i}").as_bytes()))
+            .collect();
+        let before: Vec<String> = keys
+            .iter()
+            .map(|&k| ring.assign(k).unwrap().to_string())
+            .collect();
+        ring.remove("w2");
+        assert_eq!(ring.len(), 3);
+        assert!(!ring.contains("w2"));
+        for (key, owner) in keys.iter().zip(&before) {
+            let now = ring.assign(*key).unwrap();
+            if owner != "w2" {
+                assert_eq!(now, owner, "survivor partitions must not move");
+            } else {
+                assert_ne!(now, "w2");
+            }
+        }
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut ring = HashRing::new();
+        ring.add("w0");
+        ring.add("w0");
+        assert_eq!(ring.len(), 1);
+        ring.remove("w0");
+        assert!(ring.is_empty());
+        // Removing an absent worker is a no-op, not an underflow.
+        ring.remove("w0");
+        assert!(ring.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Heartbeat-based worker liveness.
+//!
+//! Every cluster request (`claim`, `result`, `heartbeat`) refreshes the
+//! sender's deadline; a worker not heard from within the timeout is
+//! *reaped* — removed from the table so the coordinator can reassign its
+//! in-flight units. Time is injected (`Instant` parameters) so the tests
+//! drive the clock instead of sleeping.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The liveness table: worker name → last time it was heard from.
+#[derive(Debug)]
+pub struct Liveness {
+    timeout: Duration,
+    last_seen: HashMap<String, Instant>,
+}
+
+impl Liveness {
+    /// A table that declares a worker dead `timeout` after its last
+    /// request.
+    pub fn new(timeout: Duration) -> Liveness {
+        Liveness {
+            timeout,
+            last_seen: HashMap::new(),
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Record that `worker` was heard from at `now`. Registers unknown
+    /// workers — the first claim is the join.
+    pub fn touch(&mut self, worker: &str, now: Instant) {
+        self.last_seen.insert(worker.to_string(), now);
+    }
+
+    /// Drop `worker` without declaring it dead (graceful departure).
+    pub fn forget(&mut self, worker: &str) {
+        self.last_seen.remove(worker);
+    }
+
+    /// Remove and return every worker whose deadline has passed at `now`,
+    /// sorted by name so reassignment order is deterministic.
+    pub fn reap(&mut self, now: Instant) -> Vec<String> {
+        let timeout = self.timeout;
+        let mut dead: Vec<String> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &seen)| now.duration_since(seen) > timeout)
+            .map(|(w, _)| w.clone())
+            .collect();
+        dead.sort();
+        for w in &dead {
+            self.last_seen.remove(w);
+        }
+        dead
+    }
+
+    /// Workers currently considered alive.
+    pub fn alive(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Whether `worker` is currently in the table.
+    pub fn knows(&self, worker: &str) -> bool {
+        self.last_seen.contains_key(worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_survive_within_the_timeout_and_reap_past_it() {
+        let base = Instant::now();
+        let mut live = Liveness::new(Duration::from_millis(100));
+        live.touch("w0", base);
+        live.touch("w1", base);
+        assert_eq!(live.alive(), 2);
+
+        // Inside the window: nobody dies.
+        assert!(live.reap(base + Duration::from_millis(100)).is_empty());
+        assert_eq!(live.alive(), 2);
+
+        // w1 heartbeats; w0 goes quiet and is reaped alone.
+        live.touch("w1", base + Duration::from_millis(90));
+        let dead = live.reap(base + Duration::from_millis(150));
+        assert_eq!(dead, vec!["w0".to_string()]);
+        assert_eq!(live.alive(), 1);
+        assert!(live.knows("w1"));
+        assert!(!live.knows("w0"));
+
+        // Reaping is not sticky: a reaped worker can rejoin.
+        live.touch("w0", base + Duration::from_millis(160));
+        assert!(live.knows("w0"));
+    }
+
+    #[test]
+    fn reap_returns_dead_workers_sorted() {
+        let base = Instant::now();
+        let mut live = Liveness::new(Duration::from_millis(10));
+        for w in ["w2", "w0", "w1"] {
+            live.touch(w, base);
+        }
+        let dead = live.reap(base + Duration::from_millis(50));
+        assert_eq!(dead, vec!["w0", "w1", "w2"]);
+        assert_eq!(live.alive(), 0);
+    }
+
+    #[test]
+    fn forget_is_quiet() {
+        let base = Instant::now();
+        let mut live = Liveness::new(Duration::from_millis(10));
+        live.touch("w0", base);
+        live.forget("w0");
+        assert_eq!(live.alive(), 0);
+        assert!(live.reap(base + Duration::from_secs(1)).is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! The cluster worker: claim → simulate → deliver, with heartbeats.
+//!
+//! A worker is a plain blocking loop on one connection. While a
+//! simulation runs, a scoped side-thread heartbeats on its *own*
+//! connection at the cadence the claim response dictated, so a long
+//! simulation never looks like a death to the coordinator. Transient
+//! connect errors back off exponentially (reusing the serve client's
+//! retry policy) up to a bound; a coordinator that stays unreachable is a
+//! hard error, not a hang.
+
+use crate::WorkUnit;
+use regless_bench::sweep::SweepEngine;
+use regless_json::{FromJson, ToJson};
+use regless_serve::client::{backoff_delay, RetryPolicy};
+use regless_serve::proto::{Request, Response};
+use regless_serve::Client;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Worker tunables.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub coordinator: String,
+    /// This worker's name on the ring (must be unique in the cluster).
+    pub name: String,
+    /// Backoff policy for reconnecting after transient connect errors.
+    pub retry: RetryPolicy,
+    /// Test hook: after completing this many units, claim one more and
+    /// exit without delivering it — simulating a worker killed mid-sweep
+    /// (the claimed unit is left in flight for the liveness sweep to
+    /// reassign). `None` in production.
+    pub fail_after: Option<usize>,
+}
+
+impl WorkerConfig {
+    /// A production config for `name` against `coordinator`.
+    pub fn new(coordinator: &str, name: &str) -> WorkerConfig {
+        WorkerConfig {
+            coordinator: coordinator.to_string(),
+            name: name.to_string(),
+            retry: RetryPolicy::default(),
+            fail_after: None,
+        }
+    }
+}
+
+/// What a worker did before exiting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// The worker's name.
+    pub name: String,
+    /// Units simulated and delivered.
+    pub completed: usize,
+    /// Whether the `fail_after` test hook fired (the worker "died" with a
+    /// unit in flight).
+    pub injected_failure: bool,
+}
+
+/// Connect with bounded exponential backoff.
+fn connect_with_backoff(addr: &str, name: &str, policy: &RetryPolicy) -> std::io::Result<Client> {
+    let seed = crate::assignment::fnv1a64(name.as_bytes());
+    let mut attempt = 0u32;
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) if attempt >= policy.max_retries => return Err(e),
+            Err(_) => {
+                std::thread::sleep(backoff_delay(attempt, None, policy, seed));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Run the worker loop until the coordinator reports the sweep done (or
+/// drained). Simulations run through `engine`, so a worker pointed at its
+/// own `REGLESS_SWEEP_DIR` keeps a private disk cache that consistent-hash
+/// assignment keeps hot across runs.
+///
+/// # Errors
+///
+/// Returns an I/O error when the coordinator is unreachable past the
+/// retry bound, hangs up mid-request, or refuses this worker (protocol
+/// version mismatch surfaces as `InvalidData`).
+pub fn run_worker(config: &WorkerConfig, engine: &SweepEngine) -> std::io::Result<WorkerSummary> {
+    let mut client = connect_with_backoff(&config.coordinator, &config.name, &config.retry)?;
+    let mut completed = 0usize;
+    let mut next_id = 1u64;
+    loop {
+        let claim = Request::claim(next_id, &config.name);
+        next_id += 1;
+        let resp = match client.request(&claim) {
+            Ok(r) => r,
+            Err(_) => {
+                // Transient: reconnect with backoff and re-claim. The
+                // coordinator either still has our unit in flight (we had
+                // none) or will reassign it — both are safe.
+                client = connect_with_backoff(&config.coordinator, &config.name, &config.retry)?;
+                continue;
+            }
+        };
+        if !resp.ok {
+            return Err(refusal(&resp));
+        }
+        if resp.payload_field("done") == Some(&regless_json::Json::Bool(true)) {
+            break;
+        }
+        if let Some(ms) = resp.payload_field("wait_ms") {
+            let ms: u64 = FromJson::from_json(ms).map_err(invalid)?;
+            std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+            continue;
+        }
+        let unit = parse_claimed_unit(&resp)?;
+        if config.fail_after.is_some_and(|n| completed >= n) {
+            // Injected death: the unit stays in flight, our socket drops
+            // on return, and the heartbeats that would keep us alive stop.
+            return Ok(WorkerSummary {
+                name: config.name.clone(),
+                completed,
+                injected_failure: true,
+            });
+        }
+        let heartbeat_ms: u64 = match resp.payload_field("heartbeat_ms") {
+            Some(v) => FromJson::from_json(v).map_err(invalid)?,
+            None => 1_000,
+        };
+        let report = simulate_with_heartbeats(config, engine, &unit, heartbeat_ms);
+
+        let (design, capacity, compressor) = unit.wire();
+        let mut result = Request::result(next_id, &config.name, unit.id, ToJson::to_json(&*report));
+        next_id += 1;
+        result.kernel = Some(unit.bench.clone());
+        result.design = design.to_string();
+        result.capacity = capacity;
+        result.compressor = compressor;
+        let resp = match client.request(&result) {
+            Ok(r) => r,
+            Err(_) => {
+                // The connection died with the result in hand. Reconnect
+                // and resend: delivery is idempotent on the coordinator.
+                client = connect_with_backoff(&config.coordinator, &config.name, &config.retry)?;
+                client.request(&result)?
+            }
+        };
+        if !resp.ok {
+            return Err(refusal(&resp));
+        }
+        completed += 1;
+    }
+    Ok(WorkerSummary {
+        name: config.name.clone(),
+        completed,
+        injected_failure: false,
+    })
+}
+
+/// Simulate one unit while a side connection heartbeats at the cadence
+/// the coordinator asked for.
+fn simulate_with_heartbeats(
+    config: &WorkerConfig,
+    engine: &SweepEngine,
+    unit: &WorkUnit,
+    heartbeat_ms: u64,
+) -> std::sync::Arc<regless_sim::RunReport> {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // Best effort: a failed heartbeat connection only means the
+            // liveness window has to cover the whole simulation.
+            let Ok(mut hb) = Client::connect(&config.coordinator) else {
+                return;
+            };
+            let mut id = 1u64 << 32;
+            loop {
+                // Sleep in fixed 2 ms slices so a finished simulation
+                // stops the thread (and the scope join on the worker's
+                // critical path) within ~2 ms instead of after a full
+                // heartbeat period.
+                let slices = heartbeat_ms.clamp(1, 600_000) / 2 + 1;
+                for _ in 0..slices {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                if hb.request(&Request::heartbeat(id, &config.name)).is_err() {
+                    return;
+                }
+                id += 1;
+            }
+        });
+        let report = engine.run(&unit.bench, unit.variant());
+        stop.store(true, Ordering::Release);
+        report
+    })
+}
+
+/// Decode the unit fields of a claim response.
+fn parse_claimed_unit(resp: &Response) -> std::io::Result<WorkUnit> {
+    let field = |name: &str| {
+        resp.payload_field(name)
+            .ok_or_else(|| invalid(format!("claim response missing {name:?}")))
+    };
+    let id: u64 = FromJson::from_json(field("unit")?).map_err(invalid)?;
+    let kernel: String = FromJson::from_json(field("kernel")?).map_err(invalid)?;
+    let design: String = FromJson::from_json(field("design")?).map_err(invalid)?;
+    let capacity: usize = FromJson::from_json(field("capacity")?).map_err(invalid)?;
+    let compressor: bool = FromJson::from_json(field("compressor")?).map_err(invalid)?;
+    let unit = WorkUnit::from_wire(&kernel, &design, capacity, compressor)
+        .ok_or_else(|| invalid(format!("claim names unknown design {design:?}")))?;
+    if unit.id != id {
+        return Err(invalid(format!(
+            "claim unit id {id:x} does not match coordinates (expected {:x})",
+            unit.id
+        )));
+    }
+    Ok(unit)
+}
+
+/// Convert a refused response into an I/O error with its code.
+fn refusal(resp: &Response) -> std::io::Error {
+    let detail = resp
+        .error
+        .as_ref()
+        .map(|e| format!("{}: {}", e.code.as_str(), e.message))
+        .unwrap_or_else(|| "coordinator refused the request".to_string());
+    std::io::Error::new(std::io::ErrorKind::InvalidData, detail)
+}
+
+/// An `InvalidData` error from any displayable detail.
+fn invalid(e: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regless_json::Json;
+
+    #[test]
+    fn parse_claimed_unit_checks_ids_and_designs() {
+        let unit = WorkUnit::new("rodinia/nn", regless_bench::DesignKind::Baseline).unwrap();
+        let (design, capacity, compressor) = unit.wire();
+        let payload = |id: u64, design: &str| {
+            Response::success(
+                1,
+                Json::Obj(vec![
+                    ("unit".into(), ToJson::to_json(&id)),
+                    ("kernel".into(), Json::Str(unit.bench.clone())),
+                    ("design".into(), Json::Str(design.to_string())),
+                    ("capacity".into(), ToJson::to_json(&capacity)),
+                    ("compressor".into(), Json::Bool(compressor)),
+                ]),
+            )
+        };
+        let parsed = parse_claimed_unit(&payload(unit.id, design)).unwrap();
+        assert_eq!(parsed, unit);
+        // A mismatched id is a wire corruption, not something to run.
+        assert!(parse_claimed_unit(&payload(unit.id ^ 1, design)).is_err());
+        assert!(parse_claimed_unit(&payload(unit.id, "frobnicate")).is_err());
+    }
+
+    #[test]
+    fn connect_backoff_gives_up_with_the_connect_error() {
+        // Port 1 on localhost refuses immediately; a tiny retry budget
+        // must surface the error quickly rather than hang.
+        let policy = RetryPolicy {
+            max_retries: 1,
+            default_backoff_ms: 1,
+            max_backoff_ms: 2,
+        };
+        let err = connect_with_backoff("127.0.0.1:1", "w0", &policy);
+        assert!(err.is_err());
+    }
+}

@@ -55,8 +55,11 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
-pub use proto::{read_json_line, ErrorBody, ErrorCode, Request, RequestKind, Response};
+pub use client::{backoff_delay, Client, RetryOutcome, RetryPolicy};
+pub use proto::{
+    check_protocol_version, read_json_line, ErrorBody, ErrorCode, Request, RequestKind, Response,
+    PROTOCOL_VERSION,
+};
 pub use server::{DesignSpec, ServeConfig, Server, ServerHandle};
 
 /// Default listen address when none is given (`regless serve` /

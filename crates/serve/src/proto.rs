@@ -10,6 +10,16 @@
 use regless_json::{FromJson, Json, JsonError, ToJson};
 use std::io::{BufRead, Write};
 
+/// Version of the JSONL wire protocol. Cluster workers send it with every
+/// `claim`/`result`/`heartbeat`, and the coordinator refuses mismatched
+/// workers with a structured [`ErrorCode::VersionMismatch`] — a rolling
+/// restart that mixes binaries fails loudly instead of corrupting a sweep.
+///
+/// v2: cluster request kinds (`claim`, `result`, `heartbeat`), the
+/// `worker`/`protocol_version`/`unit`/`report` request fields, and the
+/// `uptime_ms`/`protocol_version` stats fields.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// What a request asks the server to do.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RequestKind {
@@ -23,6 +33,12 @@ pub enum RequestKind {
     Stats,
     /// Drain in-flight jobs and stop the server.
     Shutdown,
+    /// Cluster: a worker asks the coordinator for its next work unit.
+    Claim,
+    /// Cluster: a worker delivers one completed unit's `RunReport`.
+    Result,
+    /// Cluster: a worker proves liveness while it simulates.
+    Heartbeat,
 }
 
 impl RequestKind {
@@ -34,6 +50,9 @@ impl RequestKind {
             RequestKind::Report => "report",
             RequestKind::Stats => "stats",
             RequestKind::Shutdown => "shutdown",
+            RequestKind::Claim => "claim",
+            RequestKind::Result => "result",
+            RequestKind::Heartbeat => "heartbeat",
         }
     }
 
@@ -45,6 +64,9 @@ impl RequestKind {
             "report" => RequestKind::Report,
             "stats" => RequestKind::Stats,
             "shutdown" => RequestKind::Shutdown,
+            "claim" => RequestKind::Claim,
+            "result" => RequestKind::Result,
+            "heartbeat" => RequestKind::Heartbeat,
             _ => return None,
         })
     }
@@ -55,6 +77,16 @@ impl RequestKind {
         matches!(
             self,
             RequestKind::Run | RequestKind::Profile | RequestKind::Report
+        )
+    }
+
+    /// Whether this kind belongs to the cluster coordinator/worker RPC
+    /// (`regless cluster` / `regless worker`); a plain `regless serve`
+    /// endpoint answers these with a structured `bad_request`.
+    pub fn is_cluster(self) -> bool {
+        matches!(
+            self,
+            RequestKind::Claim | RequestKind::Result | RequestKind::Heartbeat
         )
     }
 }
@@ -80,6 +112,16 @@ pub struct Request {
     /// `timeout` error and the simulation is cooperatively cancelled (when
     /// no other waiter still wants it).
     pub timeout_ms: Option<u64>,
+    /// Cluster: the sending worker's name (`claim`/`result`/`heartbeat`).
+    pub worker: Option<String>,
+    /// Cluster: the sender's [`PROTOCOL_VERSION`]; checked by the
+    /// coordinator via [`check_protocol_version`].
+    pub protocol_version: Option<u32>,
+    /// Cluster: work-unit id a `result` answers (echoed from the `claim`
+    /// response that handed the unit out).
+    pub unit: Option<u64>,
+    /// Cluster: the completed unit's `RunReport` JSON (`result` only).
+    pub report: Option<Json>,
 }
 
 impl Request {
@@ -104,6 +146,40 @@ impl Request {
             capacity: 512,
             compressor: true,
             timeout_ms: None,
+            worker: None,
+            protocol_version: None,
+            unit: None,
+            report: None,
+        }
+    }
+
+    /// A cluster `claim` from `worker`, stamped with this binary's
+    /// [`PROTOCOL_VERSION`].
+    pub fn claim(id: u64, worker: &str) -> Request {
+        Request {
+            worker: Some(worker.to_string()),
+            protocol_version: Some(PROTOCOL_VERSION),
+            ..Request::control(id, RequestKind::Claim)
+        }
+    }
+
+    /// A cluster `heartbeat` from `worker`.
+    pub fn heartbeat(id: u64, worker: &str) -> Request {
+        Request {
+            kind: RequestKind::Heartbeat,
+            ..Request::claim(id, worker)
+        }
+    }
+
+    /// A cluster `result`: `worker` delivers `report` for work unit
+    /// `unit`. The unit's coordinates (kernel/design/capacity/compressor)
+    /// are set by the caller from the claim it answers.
+    pub fn result(id: u64, worker: &str, unit: u64, report: Json) -> Request {
+        Request {
+            kind: RequestKind::Result,
+            unit: Some(unit),
+            report: Some(report),
+            ..Request::claim(id, worker)
         }
     }
 
@@ -124,6 +200,18 @@ impl Request {
         fields.push(("compressor".to_string(), Json::Bool(self.compressor)));
         if let Some(ms) = self.timeout_ms {
             fields.push(("timeout_ms".to_string(), ToJson::to_json(&ms)));
+        }
+        if let Some(worker) = &self.worker {
+            fields.push(("worker".to_string(), Json::Str(worker.clone())));
+        }
+        if let Some(v) = self.protocol_version {
+            fields.push(("protocol_version".to_string(), ToJson::to_json(&v)));
+        }
+        if let Some(unit) = self.unit {
+            fields.push(("unit".to_string(), ToJson::to_json(&unit)));
+        }
+        if let Some(report) = &self.report {
+            fields.push(("report".to_string(), report.clone()));
         }
         Json::Obj(fields)
     }
@@ -163,6 +251,19 @@ impl Request {
             Some(f) => Some(FromJson::from_json(f)?),
             None => None,
         };
+        let worker = match v.field_opt("worker")? {
+            Some(f) => Some(FromJson::from_json(f)?),
+            None => None,
+        };
+        let protocol_version = match v.field_opt("protocol_version")? {
+            Some(f) => Some(FromJson::from_json(f)?),
+            None => None,
+        };
+        let unit = match v.field_opt("unit")? {
+            Some(f) => Some(FromJson::from_json(f)?),
+            None => None,
+        };
+        let report = v.field_opt("report")?.cloned();
         Ok(Request {
             id,
             kind,
@@ -171,7 +272,38 @@ impl Request {
             capacity,
             compressor,
             timeout_ms,
+            worker,
+            protocol_version,
+            unit,
+            report,
         })
+    }
+}
+
+/// Reject a cluster request whose sender speaks a different protocol
+/// version (or none at all). Called by the coordinator on every
+/// `claim`/`result`/`heartbeat` so a mixed-binary cluster fails with a
+/// structured `version_mismatch` instead of silently corrupting a sweep.
+///
+/// # Errors
+///
+/// Returns a [`ErrorCode::VersionMismatch`] error body naming both
+/// versions when they differ, or a missing-version message when the
+/// request carries none.
+pub fn check_protocol_version(req: &Request) -> Result<(), ErrorBody> {
+    match req.protocol_version {
+        Some(v) if v == PROTOCOL_VERSION => Ok(()),
+        Some(v) => Err(ErrorBody::new(
+            ErrorCode::VersionMismatch,
+            format!("peer speaks protocol v{v}, this binary speaks v{PROTOCOL_VERSION}"),
+        )),
+        None => Err(ErrorBody::new(
+            ErrorCode::VersionMismatch,
+            format!(
+                "cluster request carries no protocol_version (this binary speaks \
+                 v{PROTOCOL_VERSION})"
+            ),
+        )),
     }
 }
 
@@ -192,6 +324,9 @@ pub enum ErrorCode {
     SimFailed,
     /// The server is draining and no longer admits simulation requests.
     ShuttingDown,
+    /// A cluster peer speaks a different [`PROTOCOL_VERSION`]; see
+    /// [`check_protocol_version`].
+    VersionMismatch,
 }
 
 impl ErrorCode {
@@ -204,6 +339,7 @@ impl ErrorCode {
             ErrorCode::SimPanic => "sim_panic",
             ErrorCode::SimFailed => "sim_failed",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::VersionMismatch => "version_mismatch",
         }
     }
 }
@@ -332,6 +468,7 @@ impl Response {
                             "sim_panic" => ErrorCode::SimPanic,
                             "sim_failed" => ErrorCode::SimFailed,
                             "shutting_down" => ErrorCode::ShuttingDown,
+                            "version_mismatch" => ErrorCode::VersionMismatch,
                             other => {
                                 return Err(JsonError::new(format!("unknown error code {other:?}")))
                             }
@@ -454,6 +591,60 @@ mod tests {
         let parsed = Response::from_json(&Json::parse(&wire).unwrap()).unwrap();
         assert_eq!(parsed.payload_field("cycles"), Some(&Json::Int(42)));
         assert_eq!(parsed.error, None);
+    }
+
+    #[test]
+    fn cluster_requests_roundtrip_with_worker_fields() {
+        let claim = Request::claim(11, "w0");
+        assert_eq!(claim.kind, RequestKind::Claim);
+        assert!(claim.kind.is_cluster());
+        assert!(!claim.kind.is_simulation());
+        assert_eq!(claim.protocol_version, Some(PROTOCOL_VERSION));
+        let parsed = Request::from_json(&claim.to_json()).unwrap();
+        assert_eq!(parsed, claim);
+
+        let hb = Request::heartbeat(12, "w0");
+        assert_eq!(hb.kind, RequestKind::Heartbeat);
+        assert_eq!(Request::from_json(&hb.to_json()).unwrap(), hb);
+
+        let report = Json::Obj(vec![("cycles".to_string(), Json::Int(99))]);
+        let mut result = Request::result(13, "w1", 7, report.clone());
+        result.kernel = Some("rodinia/nn".to_string());
+        result.design = "baseline".to_string();
+        let wire = result.to_json().to_string_compact();
+        assert!(wire.contains(r#""kind":"result""#), "{wire}");
+        assert!(wire.contains(r#""worker":"w1""#), "{wire}");
+        assert!(wire.contains(r#""unit":7"#), "{wire}");
+        let parsed = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed, result);
+        assert_eq!(parsed.report, Some(report));
+    }
+
+    #[test]
+    fn version_mismatch_is_a_structured_error() {
+        // A matching version passes.
+        assert!(check_protocol_version(&Request::claim(1, "w")).is_ok());
+
+        // A different version is refused with both versions named.
+        let mut old = Request::claim(2, "w");
+        old.protocol_version = Some(PROTOCOL_VERSION + 1);
+        let err = check_protocol_version(&old).unwrap_err();
+        assert_eq!(err.code, ErrorCode::VersionMismatch);
+        assert!(err.message.contains(&format!("v{PROTOCOL_VERSION}")));
+        assert!(err.message.contains(&format!("v{}", PROTOCOL_VERSION + 1)));
+
+        // A missing version is refused too (pre-cluster binaries).
+        let mut missing = Request::claim(3, "w");
+        missing.protocol_version = None;
+        let err = check_protocol_version(&missing).unwrap_err();
+        assert_eq!(err.code, ErrorCode::VersionMismatch);
+
+        // And the error round-trips the wire as `version_mismatch`.
+        let resp = Response::failure(3, err);
+        let wire = resp.to_json().to_string_compact();
+        assert!(wire.contains(r#""code":"version_mismatch""#), "{wire}");
+        let parsed = Response::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed.error_code(), Some("version_mismatch"));
     }
 
     #[test]

@@ -212,6 +212,9 @@ struct Shared {
     accept_closed: AtomicBool,
     live_workers: Mutex<usize>,
     workers_cv: Condvar,
+    /// When the server started, for the `stats` uptime field — cluster
+    /// coordinators health-check serve endpoints with it.
+    started: Instant,
 }
 
 impl Shared {
@@ -236,8 +239,14 @@ impl Shared {
                 ("report".to_string(), hist_json(&l.report)),
             ])
         };
+        let uptime_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
         Json::Obj(vec![
             ("kind".to_string(), Json::Str("stats".to_string())),
+            ("uptime_ms".to_string(), ToJson::to_json(&uptime_ms)),
+            (
+                "protocol_version".to_string(),
+                ToJson::to_json(&crate::proto::PROTOCOL_VERSION),
+            ),
             ("queue_depth".to_string(), ToJson::to_json(&queue_depth)),
             ("in_flight".to_string(), load(&c.in_flight)),
             (
@@ -340,6 +349,7 @@ impl Server {
             accept_closed: AtomicBool::new(false),
             live_workers: Mutex::new(workers),
             workers_cv: Condvar::new(),
+            started: Instant::now(),
         });
         let worker_handles = (0..workers)
             .map(|i| {
@@ -440,6 +450,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Request-response protocol: Nagle coalescing only adds latency
+        // (multi-segment responses stall on the client's delayed ACK).
+        let _ = stream.set_nodelay(true);
         let shared = Arc::clone(shared);
         // Connection threads are detached: they die with their client (or
         // with the process after drain).
@@ -515,6 +528,17 @@ fn handle_request(shared: &Arc<Shared>, req: &Request) -> Response {
         RequestKind::Run | RequestKind::Profile | RequestKind::Report => {
             handle_simulation(shared, req)
         }
+        RequestKind::Claim | RequestKind::Result | RequestKind::Heartbeat => Response::failure(
+            req.id,
+            ErrorBody::new(
+                ErrorCode::BadRequest,
+                format!(
+                    "{:?} is a cluster RPC; this is a serve endpoint — connect the worker \
+                     to a `regless cluster` coordinator instead",
+                    req.kind.as_str()
+                ),
+            ),
+        ),
     }
 }
 
@@ -902,6 +926,14 @@ mod tests {
         assert!(stats.ok);
         assert_eq!(stats.payload_field("simulations"), Some(&Json::Int(1)));
         assert_eq!(stats.payload_field("cache_hits"), Some(&Json::Int(2)));
+        assert_eq!(
+            stats.payload_field("protocol_version"),
+            Some(&Json::Int(i64::from(crate::proto::PROTOCOL_VERSION)))
+        );
+        assert!(
+            matches!(stats.payload_field("uptime_ms"), Some(Json::Int(ms)) if *ms >= 0),
+            "{stats:?}"
+        );
 
         let bye = client
             .request(&Request::control(5, RequestKind::Shutdown))
@@ -926,6 +958,10 @@ mod tests {
         let mut no_kernel = Request::control(3, RequestKind::Run);
         no_kernel.kernel = None;
         let r = client.request(&no_kernel).unwrap();
+        assert_eq!(r.error_code(), Some("bad_request"), "{r:?}");
+
+        // Cluster RPCs are refused here: this endpoint is not a coordinator.
+        let r = client.request(&Request::claim(4, "w0")).unwrap();
         assert_eq!(r.error_code(), Some("bad_request"), "{r:?}");
 
         handle.shutdown();

@@ -43,6 +43,22 @@
 //!     --no-compressor                     disable the compressor
 //!     --timeout-ms <ms>                   per-request deadline
 //! regless submit --stats|--shutdown   server statistics / graceful shutdown
+//! regless cluster [options]           coordinator: shard a sweep across workers
+//!     --addr <host:port>                  listen address (default 127.0.0.1:7118; port 0 = ephemeral)
+//!     --workers <n>                       workers to spawn with --spawn (default 2)
+//!     --spawn                             self-spawn local worker processes
+//!     --benches <csv>                     benchmark ids (default all rodinia)
+//!     --designs <csv>                     designs to sweep (default baseline,regless)
+//!     --capacity <entries>                OSU entries/SM for regless designs (default 512)
+//!     --liveness-ms <ms>                  worker liveness timeout (default 60000)
+//!     --timeout-secs <s>                  overall sweep deadline (default 3600)
+//!     --digest <path>                     write the merged-result digest there
+//!     --local                             run the same sweep single-process instead
+//!     --json                              print the run summary as JSON on stdout
+//! regless worker [options]            worker: claim and simulate cluster units
+//!     --connect <host:port>               coordinator address (default 127.0.0.1:7118)
+//!     --name <s>                          worker name on the ring (default w<pid>)
+//!     --fail-after <n>                    chaos hook: die with a unit in flight after n units
 //! ```
 //!
 //! `<kernel>` is a built-in benchmark name (see `regless list`) or a path
@@ -83,6 +99,8 @@ fn main() {
         Some("diff") => cmd_diff(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -122,7 +140,13 @@ fn print_usage() {
          \u{20}  submit <kernel> [opts]    send one request (options: --addr <host:port>,\n\
          \u{20}                            --kind run|profile|report, --design baseline|regless,\n\
          \u{20}                            --capacity <entries>, --no-compressor, --timeout-ms <ms>)\n\
-         \u{20}  submit --stats|--shutdown server statistics / graceful shutdown\n\n\
+         \u{20}  submit --stats|--shutdown server statistics / graceful shutdown\n\
+         \u{20}  cluster [options]         shard a sweep across workers (options: --addr <host:port>,\n\
+         \u{20}                            --workers <n>, --spawn, --benches <csv>, --designs <csv>,\n\
+         \u{20}                            --capacity <entries>, --liveness-ms <ms>, --timeout-secs <s>,\n\
+         \u{20}                            --digest <path>, --local, --json)\n\
+         \u{20}  worker [options]          cluster worker (options: --connect <host:port>, --name <s>,\n\
+         \u{20}                            --fail-after <n>)\n\n\
          <kernel> is a benchmark name or a path to a .asm file\n\
          REGLESS_SIM=stepped forces the cycle-by-cycle reference run loop\n\
          (byte-identical reports; for differential debugging and speed bench)"
@@ -602,6 +626,214 @@ fn cmd_submit(args: &[String]) -> CmdResult {
     if !resp.ok {
         std::process::exit(1);
     }
+    Ok(())
+}
+
+/// Parse `--benches`/`--designs` into cluster work units.
+fn cluster_units(
+    benches: &str,
+    designs: &str,
+    capacity: usize,
+) -> Result<Vec<regless::cluster::WorkUnit>, Box<dyn std::error::Error>> {
+    use regless::bench::DesignKind;
+    let bench_ids: Vec<String> = if benches.is_empty() {
+        rodinia::NAMES
+            .iter()
+            .map(|n| regless::bench::sweep::rodinia_id(n))
+            .collect()
+    } else {
+        benches
+            .split(',')
+            .map(|b| {
+                let b = b.trim();
+                if b.contains('/') {
+                    b.to_string()
+                } else {
+                    regless::bench::sweep::rodinia_id(b)
+                }
+            })
+            .collect()
+    };
+    for b in &bench_ids {
+        if regless::bench::sweep::bench_kernel(b).is_none() {
+            return Err(format!("unknown benchmark id {b:?}").into());
+        }
+    }
+    let mut kinds = Vec::new();
+    for d in designs.split(',') {
+        kinds.push(match d.trim() {
+            "baseline" => DesignKind::Baseline,
+            "regless" => DesignKind::RegLess { entries: capacity },
+            "regless-nc" => DesignKind::RegLessNoCompressor { entries: capacity },
+            other => {
+                return Err(format!(
+                    "cluster designs are baseline|regless|regless-nc, not {other:?}"
+                )
+                .into())
+            }
+        });
+    }
+    Ok(regless::cluster::units_for(&bench_ids, &kinds))
+}
+
+/// Coordinator front door (`regless cluster`).
+fn cmd_cluster(args: &[String]) -> CmdResult {
+    use regless::cluster::{Coordinator, CoordinatorConfig};
+    let mut config = CoordinatorConfig::default();
+    let mut workers = 2usize;
+    let mut spawn = false;
+    let mut benches = String::new();
+    let mut designs = "baseline,regless".to_string();
+    let mut capacity = 512usize;
+    let mut timeout_secs = 3_600u64;
+    let mut digest_path: Option<String> = None;
+    let mut local = false;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--workers" => workers = it.next().ok_or("--workers needs a value")?.parse()?,
+            "--spawn" => spawn = true,
+            "--benches" => benches = it.next().ok_or("--benches needs a value")?.clone(),
+            "--designs" => designs = it.next().ok_or("--designs needs a value")?.clone(),
+            "--capacity" => capacity = it.next().ok_or("--capacity needs a value")?.parse()?,
+            "--liveness-ms" => {
+                let ms: u64 = it.next().ok_or("--liveness-ms needs a value")?.parse()?;
+                config.liveness_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--timeout-secs" => {
+                timeout_secs = it.next().ok_or("--timeout-secs needs a value")?.parse()?;
+            }
+            "--digest" => digest_path = Some(it.next().ok_or("--digest needs a value")?.clone()),
+            "--local" => local = true,
+            "--json" => json = true,
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    let units = cluster_units(&benches, &designs, capacity)?;
+    if units.is_empty() {
+        return Err("cluster: empty sweep space".into());
+    }
+    let engine = Arc::new(regless::bench::sweep::SweepEngine::from_env());
+    let started = std::time::Instant::now();
+
+    if local {
+        // The single-process comparison arm: same units, same engine,
+        // same digest format — what CI diffs cluster output against.
+        let jobs: Vec<(String, regless::bench::sweep::RunVariant)> = units
+            .iter()
+            .map(|u| (u.bench.clone(), u.variant()))
+            .collect();
+        engine.prefetch(&jobs);
+        let mut summary = regless::cluster::ClusterSummary {
+            units_total: units.len() as u64,
+            units_done: units.len() as u64,
+            ..Default::default()
+        };
+        summary.wall_seconds = started.elapsed().as_secs_f64();
+        finish_cluster(&engine, &units, &summary, digest_path.as_deref(), json)?;
+        return Ok(());
+    }
+
+    let handle = Coordinator::start(config.clone(), Arc::clone(&engine), units.clone())?;
+    eprintln!("regless-cluster coordinating on {}", handle.addr());
+    let mut children = Vec::new();
+    if spawn {
+        let exe = std::env::current_exe()?;
+        for i in 0..workers.max(1) {
+            let name = format!("w{i}");
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("worker")
+                .arg("--connect")
+                .arg(handle.addr().to_string())
+                .arg("--name")
+                .arg(&name)
+                .stdout(std::process::Stdio::null());
+            // Disjoint per-worker disk caches: consistent-hash assignment
+            // keeps each one hot across runs.
+            if let Ok(base) = std::env::var("REGLESS_SWEEP_DIR") {
+                cmd.env("REGLESS_SWEEP_DIR", format!("{base}/worker-{name}"));
+            }
+            children.push(cmd.spawn()?);
+        }
+    }
+    let complete = handle.wait(std::time::Duration::from_secs(timeout_secs));
+    // Stop the stopwatch when the sweep completes: the drain handshake and
+    // child teardown below are shutdown cost, not sweep wall-clock.
+    let wall_seconds = started.elapsed().as_secs_f64();
+    handle.drain();
+    for mut child in children {
+        let _ = child.wait();
+    }
+    let mut summary = handle.summary();
+    summary.wall_seconds = wall_seconds;
+    handle.stop();
+    if !complete {
+        eprint!("{}", summary.render());
+        return Err(format!(
+            "cluster sweep incomplete: {}/{} units after {timeout_secs} s",
+            summary.units_done, summary.units_total
+        )
+        .into());
+    }
+    finish_cluster(&engine, &units, &summary, digest_path.as_deref(), json)
+}
+
+/// Shared tail of `regless cluster` and `regless cluster --local`: write
+/// the digest, print the summary.
+fn finish_cluster(
+    engine: &regless::bench::sweep::SweepEngine,
+    units: &[regless::cluster::WorkUnit],
+    summary: &regless::cluster::ClusterSummary,
+    digest_path: Option<&str>,
+    json: bool,
+) -> CmdResult {
+    if let Some(path) = digest_path {
+        let lines = regless::cluster::merge::digest_lines(engine, units)
+            .map_err(|missing| format!("digest incomplete; missing {} units", missing.len()))?;
+        write_output(path, &regless::cluster::merge::render_digest(&lines))?;
+        eprintln!("wrote digest of {} units to {path}", lines.len());
+    }
+    eprint!("{}", summary.render());
+    if json {
+        println!("{}", summary.to_json().to_string_pretty());
+    }
+    Ok(())
+}
+
+/// Worker front door (`regless worker`).
+fn cmd_worker(args: &[String]) -> CmdResult {
+    use regless::cluster::WorkerConfig;
+    let mut config = WorkerConfig::new(
+        regless::cluster::DEFAULT_CLUSTER_ADDR,
+        &format!("w{}", std::process::id()),
+    );
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => {
+                config.coordinator = it.next().ok_or("--connect needs a value")?.clone();
+            }
+            "--name" => config.name = it.next().ok_or("--name needs a value")?.clone(),
+            "--fail-after" => {
+                config.fail_after = Some(it.next().ok_or("--fail-after needs a value")?.parse()?);
+            }
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    let engine = regless::bench::sweep::SweepEngine::from_env();
+    let summary = regless::cluster::run_worker(&config, &engine)?;
+    eprintln!(
+        "worker {} done: {} units completed{}",
+        summary.name,
+        summary.completed,
+        if summary.injected_failure {
+            " (injected failure)"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 
