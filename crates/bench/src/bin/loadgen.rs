@@ -8,9 +8,14 @@
 //! ```text
 //! loadgen [--addr host:port] [--clients N] [--requests N]
 //!         [--benches id,id,...] [--timeout-ms MS] [--out PATH]
+//!         [--slo-p99-ms MS]
 //! loadgen --cluster [--worker-counts 1,2,4] [--benches id,id,...]
 //!         [--out PATH]
 //! ```
+//!
+//! `--slo-p99-ms` turns the run into a latency gate: the measured p99 is
+//! compared against the bound, the verdict lands in the report's `slo`
+//! object, and a violation exits non-zero so CI fails the build.
 //!
 //! `queue_full` rejections are retried with the server's `retry_after_ms`
 //! hint (exponential backoff + jitter, bounded), and retries are reported
@@ -44,6 +49,9 @@ struct Options {
     benches: Vec<String>,
     timeout_ms: Option<u64>,
     out: Option<String>,
+    /// `--slo-p99-ms`: fail the run (exit non-zero) if the measured p99
+    /// latency exceeds this bound in milliseconds.
+    slo_p99_ms: Option<f64>,
     /// `--cluster`: run the cluster scaling benchmark instead of the
     /// serve load test.
     cluster: bool,
@@ -67,6 +75,7 @@ impl Default for Options {
             ],
             timeout_ms: None,
             out: None,
+            slo_p99_ms: None,
             cluster: false,
             worker_counts: vec![1, 2, 4],
         }
@@ -128,6 +137,9 @@ fn parse_args() -> Result<Options, String> {
                 o.timeout_ms = Some(need("--timeout-ms")?.parse().map_err(|e| format!("{e}"))?);
             }
             "--out" => o.out = Some(need("--out")?),
+            "--slo-p99-ms" => {
+                o.slo_p99_ms = Some(need("--slo-p99-ms")?.parse().map_err(|e| format!("{e}"))?);
+            }
             "--cluster" => o.cluster = true,
             "--worker-counts" => {
                 o.worker_counts = need("--worker-counts")?
@@ -449,7 +461,16 @@ fn main() {
         coalesce_hits as f64 / submitted as f64
     };
 
-    let report = Json::Obj(vec![
+    let p99_ms = percentile(&latencies, 99.0);
+    let slo = o.slo_p99_ms.map(|bound| {
+        Json::Obj(vec![
+            ("p99_ms_bound".to_string(), Json::Float(bound)),
+            ("p99_ms".to_string(), Json::Float(p99_ms)),
+            ("pass".to_string(), Json::Bool(p99_ms <= bound)),
+        ])
+    });
+
+    let mut report = Json::Obj(vec![
         ("clients".to_string(), ToJson::to_json(&o.clients)),
         (
             "requests_per_client".to_string(),
@@ -490,6 +511,10 @@ fn main() {
         ),
     ]);
 
+    if let (Some(slo), Json::Obj(fields)) = (slo, &mut report) {
+        fields.push(("slo".to_string(), slo));
+    }
+
     if let Err(e) = write_report(&out, &report) {
         eprintln!("error: {e}");
         std::process::exit(1);
@@ -501,12 +526,20 @@ fn main() {
         wall.as_secs_f64(),
         ok as f64 / wall.as_secs_f64().max(1e-9),
         percentile(&latencies, 50.0),
-        percentile(&latencies, 99.0),
+        p99_ms,
     );
     if ok == 0 {
         // A load run where nothing succeeded is a failure even though the
         // report file was written.
         std::process::exit(1);
+    }
+    if let Some(bound) = o.slo_p99_ms {
+        if p99_ms <= bound {
+            println!("SLO ok: p99 {p99_ms:.1} ms within {bound:.1} ms");
+        } else {
+            println!("SLO FAIL: p99 {p99_ms:.1} ms exceeds {bound:.1} ms");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -289,11 +289,18 @@ impl ProfileDiff {
             .collect();
         let mut out = format_table(&["metric", a_label, b_label, "delta", "regression"], &rows);
         match fail_above {
+            // The verdict names both inputs: in CI logs the FAIL line is
+            // often all anyone reads, and "which two files?" should never
+            // require scrolling up.
             Some(t) => out.push_str(&format!(
                 "\nworst gated regression: {:.2}% (threshold {:.2}%) — {}\n",
                 self.worst_regression_pct,
                 t,
-                if self.exceeds(t) { "FAIL" } else { "ok" }
+                if self.exceeds(t) {
+                    format!("FAIL ({b_label} regressed vs {a_label})")
+                } else {
+                    format!("ok ({b_label} vs {a_label})")
+                }
             )),
             None => out.push_str(&format!(
                 "\nworst gated regression: {:.2}%\n",
@@ -415,6 +422,20 @@ mod tests {
             "fewer cycles is not a regression"
         );
         assert!(!d.exceeds(5.0));
+    }
+
+    #[test]
+    fn gate_verdict_names_both_input_files() {
+        let a = profile(100, 50, 30);
+        let b = profile(110, 50, 40);
+        let d = diff(&a, &b);
+        let failing = d.render("old.json", "new.json", Some(5.0));
+        assert!(
+            failing.contains("FAIL (new.json regressed vs old.json)"),
+            "{failing}"
+        );
+        let passing = d.render("old.json", "new.json", Some(15.0));
+        assert!(passing.contains("ok (new.json vs old.json)"), "{passing}");
     }
 
     #[test]

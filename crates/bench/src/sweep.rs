@@ -666,6 +666,26 @@ impl SweepEngine {
         out
     }
 
+    /// Total `(entries, bytes)` across every fingerprint directory in the
+    /// disk cache, or `None` when the disk cache is disabled. The cheap
+    /// scalar the cluster coordinator's `stats` response reports.
+    pub fn cache_dir_totals(&self) -> Option<(u64, u64)> {
+        let dir = self.disk_dir.as_ref()?;
+        let (mut entries, mut bytes) = (0u64, 0u64);
+        if let Ok(listing) = std::fs::read_dir(dir) {
+            for entry in listing.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !is_fingerprint_name(&name) {
+                    continue;
+                }
+                let (files, b) = dir_stats(&entry.path());
+                entries += files as u64;
+                bytes += b;
+            }
+        }
+        Some((entries, bytes))
+    }
+
     /// Machine-readable twin of [`SweepEngine::cache_dir_report`] plus the
     /// hit/miss counters (`regless sweep --stats --format json`): one row
     /// per fingerprint directory with its entry count, byte size, whether
@@ -872,15 +892,11 @@ fn dir_age_seconds(path: &Path) -> Option<u64> {
     newest?.elapsed().ok().map(|d| d.as_secs())
 }
 
-/// Render a byte count with a unit suited to its magnitude.
+/// Render a byte count with a unit suited to its magnitude. Delegates to
+/// the one humanized formatter shared via telemetry so `sweep --stats`,
+/// `sweep --gc`, and the cluster coordinator all print identical units.
 fn format_bytes(bytes: u64) -> String {
-    if bytes < 1024 {
-        format!("{bytes} B")
-    } else if bytes < 1024 * 1024 {
-        format!("{:.1} KiB", bytes as f64 / 1024.0)
-    } else {
-        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
-    }
+    regless_telemetry::format_bytes(bytes)
 }
 
 /// FNV-1a, used for the cache fingerprint and slug collision guards.

@@ -29,6 +29,10 @@ use regless_serve::proto::{
     RequestKind, Response, PROTOCOL_VERSION,
 };
 use regless_sim::RunReport;
+use regless_telemetry::obs::{
+    epoch_us, format_bytes, format_trace_id, gen_trace_id, parse_trace_id, EventLog, LogLevel,
+    MetricsSnapshot, Span, SpanLog, DEFAULT_LOG_CAPACITY,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -73,7 +77,11 @@ impl CoordinatorConfig {
     }
 }
 
-/// Monotone counters the summary reports.
+/// Component label on the coordinator's log events and metrics.
+const OBS_PROCESS: &str = "coordinator";
+
+/// Monotone counters the summary reports. (Reaped workers are counted by
+/// [`Liveness::reaped_total`], the table that actually does the reaping.)
 #[derive(Default)]
 struct Counters {
     claims: u64,
@@ -83,7 +91,16 @@ struct Counters {
     reassignments: u64,
     heartbeats: u64,
     version_rejects: u64,
-    workers_reaped: u64,
+}
+
+/// Book-keeping for one unit currently assigned to a worker: who holds
+/// it, when the claim was handed out (epoch µs, for the claim→result
+/// span), and the trace id stamped on the claim response so the worker's
+/// result — and any spans it produces — join the same timeline.
+struct InFlightEntry {
+    worker: String,
+    claimed_us: u64,
+    trace_id: u64,
 }
 
 /// All scheduling state, guarded by one mutex.
@@ -92,14 +109,18 @@ struct Board {
     units: HashMap<u64, WorkUnit>,
     /// Unit ids not yet claimed (front = next handed out).
     pending: VecDeque<u64>,
-    /// Unit id → worker currently simulating it.
-    in_flight: HashMap<u64, String>,
+    /// Unit id → claim book-keeping for the worker simulating it.
+    in_flight: HashMap<u64, InFlightEntry>,
     /// Unit ids with a merged result.
     done: HashSet<u64>,
     ring: HashRing,
     live: Liveness,
     workers_seen: HashSet<String>,
     counters: Counters,
+    /// Structured events (worker join/reap, drain) for `obs --tail`.
+    log: EventLog,
+    /// Claim→result spans, one per merged unit, for `--trace-out`.
+    spans: SpanLog,
     /// Set by `shutdown`: stop handing out units; claims answer `done`.
     draining: bool,
 }
@@ -110,13 +131,22 @@ impl Board {
     fn reap_dead(&mut self, now: Instant) {
         for worker in self.live.reap(now) {
             self.ring.remove(&worker);
-            self.counters.workers_reaped += 1;
             let orphaned: Vec<u64> = self
                 .in_flight
                 .iter()
-                .filter(|(_, w)| **w == worker)
+                .filter(|(_, e)| e.worker == worker)
                 .map(|(&id, _)| id)
                 .collect();
+            self.log.log(
+                LogLevel::Warn,
+                OBS_PROCESS,
+                "worker reaped",
+                None,
+                &[
+                    ("worker", worker.clone()),
+                    ("orphaned_units", orphaned.len().to_string()),
+                ],
+            );
             for id in orphaned {
                 self.in_flight.remove(&id);
                 // Front of the queue: these have been waiting longest.
@@ -130,20 +160,37 @@ impl Board {
     fn touch(&mut self, worker: &str, now: Instant) {
         self.live.touch(worker, now);
         self.ring.add(worker);
-        self.workers_seen.insert(worker.to_string());
+        if self.workers_seen.insert(worker.to_string()) {
+            self.log.log(
+                LogLevel::Info,
+                OBS_PROCESS,
+                "worker joined",
+                None,
+                &[("worker", worker.to_string())],
+            );
+        }
     }
 
     /// Pick the next unit for `worker`: its own consistent-hash partition
-    /// first, then steal the oldest pending unit.
-    fn pick(&mut self, worker: &str) -> Option<WorkUnit> {
+    /// first, then steal the oldest pending unit. Each hand-out gets a
+    /// fresh trace id, returned so the claim response carries it.
+    fn pick(&mut self, worker: &str) -> Option<(WorkUnit, u64)> {
         let own = self
             .pending
             .iter()
             .position(|id| self.ring.assign(*id) == Some(worker));
         let idx = own.unwrap_or(0);
         let id = self.pending.remove(idx)?;
-        self.in_flight.insert(id, worker.to_string());
-        Some(self.units[&id].clone())
+        let trace_id = gen_trace_id();
+        self.in_flight.insert(
+            id,
+            InFlightEntry {
+                worker: worker.to_string(),
+                claimed_us: epoch_us(),
+                trace_id,
+            },
+        );
+        Some((self.units[&id].clone(), trace_id))
     }
 
     fn complete(&self) -> bool {
@@ -153,7 +200,7 @@ impl Board {
     fn summary(&self) -> ClusterSummary {
         ClusterSummary {
             workers_seen: self.workers_seen.len() as u64,
-            workers_reaped: self.counters.workers_reaped,
+            workers_reaped: self.live.reaped_total(),
             units_total: self.units.len() as u64,
             units_done: self.done.len() as u64,
             claims: self.counters.claims,
@@ -215,6 +262,8 @@ impl Coordinator {
             live: Liveness::new(config.liveness_timeout),
             workers_seen: HashSet::new(),
             counters: Counters::default(),
+            log: EventLog::new(DEFAULT_LOG_CAPACITY),
+            spans: SpanLog::new(DEFAULT_LOG_CAPACITY),
             draining: false,
         };
         for unit in units {
@@ -294,6 +343,18 @@ impl CoordinatorHandle {
         self.shared.board.lock().expect("board poisoned").summary()
     }
 
+    /// Snapshot the claim→result spans recorded so far, one per merged
+    /// unit, attributed to the worker that delivered it. The front door's
+    /// `--trace-out` writes these through [`regless_telemetry::chrome_spans`].
+    pub fn spans(&self) -> Vec<Span> {
+        self.shared
+            .board
+            .lock()
+            .expect("board poisoned")
+            .spans
+            .snapshot()
+    }
+
     /// Begin draining, exactly as a `shutdown` request would: stop
     /// handing out units and tell claiming workers the sweep is over.
     pub fn drain(&self) {
@@ -364,6 +425,7 @@ fn handle_request(req: &Request, shared: &Arc<Shared>) -> Response {
         RequestKind::Result => handle_result(req, shared),
         RequestKind::Heartbeat => handle_heartbeat(req, shared),
         RequestKind::Stats => handle_stats(req, shared),
+        RequestKind::Metrics => handle_metrics(req, shared),
         RequestKind::Shutdown => handle_shutdown(req, shared),
         RequestKind::Run | RequestKind::Profile | RequestKind::Report => Response::failure(
             req.id,
@@ -413,7 +475,7 @@ fn handle_claim(req: &Request, shared: &Arc<Shared>) -> Response {
             ]),
         );
     }
-    if let Some(unit) = board.pick(worker) {
+    if let Some((unit, trace_id)) = board.pick(worker) {
         board.counters.claims += 1;
         let (design, capacity, compressor) = unit.wire();
         return Response::success(
@@ -429,6 +491,9 @@ fn handle_claim(req: &Request, shared: &Arc<Shared>) -> Response {
                     "heartbeat_ms".into(),
                     ToJson::to_json(&shared.config.heartbeat_ms()),
                 ),
+                // The worker echoes this on its result request so the
+                // unit's whole life shares one timeline.
+                ("trace_id".into(), Json::Str(format_trace_id(trace_id))),
             ]),
         );
     }
@@ -509,10 +574,32 @@ fn handle_result(req: &Request, shared: &Arc<Shared>) -> Response {
     }
     // The unit may be in flight (normal), or back in pending after a
     // reassignment the slow owner outlived — accept either way.
-    board.in_flight.remove(&unit_id);
+    let entry = board.in_flight.remove(&unit_id);
     board.pending.retain(|&id| id != unit_id);
     board.done.insert(unit_id);
     board.counters.results += 1;
+    if let Some(entry) = entry {
+        // The claim→result interval as one span, attributed to the
+        // delivering worker. A result echoing the claim's trace_id keeps
+        // it; otherwise the id generated at hand-out time is used.
+        let end = epoch_us();
+        let trace_id = req
+            .trace_id
+            .as_deref()
+            .and_then(parse_trace_id)
+            .unwrap_or(entry.trace_id);
+        board.spans.push(
+            Span::new(
+                trace_id,
+                "unit",
+                format!("worker:{worker}"),
+                entry.claimed_us,
+                end.saturating_sub(entry.claimed_us),
+            )
+            .arg("unit", format!("{unit_id:x}"))
+            .arg("kernel", unit.bench.clone()),
+        );
+    }
     if board.complete() {
         shared.done_cv.notify_all();
     }
@@ -552,7 +639,7 @@ fn handle_stats(req: &Request, shared: &Arc<Shared>) -> Response {
     let mut board = shared.board.lock().expect("board poisoned");
     board.reap_dead(Instant::now());
     let uptime_ms = shared.started.elapsed().as_millis() as u64;
-    let payload = Json::Obj(vec![
+    let mut fields = vec![
         ("kind".into(), Json::Str("stats".into())),
         ("role".into(), Json::Str("coordinator".into())),
         ("uptime_ms".into(), ToJson::to_json(&uptime_ms)),
@@ -581,16 +668,153 @@ fn handle_stats(req: &Request, shared: &Arc<Shared>) -> Response {
             ToJson::to_json(&(board.live.alive() as u64)),
         ),
         (
+            "workers_seen".into(),
+            ToJson::to_json(&(board.workers_seen.len() as u64)),
+        ),
+        (
+            "workers_reaped".into(),
+            ToJson::to_json(&board.live.reaped_total()),
+        ),
+        ("claims".into(), ToJson::to_json(&board.counters.claims)),
+        ("waits".into(), ToJson::to_json(&board.counters.waits)),
+        ("results".into(), ToJson::to_json(&board.counters.results)),
+        (
+            "duplicate_results".into(),
+            ToJson::to_json(&board.counters.duplicate_results),
+        ),
+        (
             "reassignments".into(),
             ToJson::to_json(&board.counters.reassignments),
         ),
+        (
+            "heartbeats".into(),
+            ToJson::to_json(&board.counters.heartbeats),
+        ),
+        (
+            "version_rejects".into(),
+            ToJson::to_json(&board.counters.version_rejects),
+        ),
         ("draining".into(), Json::Bool(board.draining)),
+    ];
+    if let Some((entries, bytes)) = shared.engine.cache_dir_totals() {
+        fields.push(("cache_entries".into(), ToJson::to_json(&entries)));
+        fields.push(("cache_bytes".into(), ToJson::to_json(&bytes)));
+        fields.push(("cache_size".into(), Json::Str(format_bytes(bytes))));
+    }
+    Response::success(req.id, Json::Obj(fields))
+}
+
+fn handle_metrics(req: &Request, shared: &Arc<Shared>) -> Response {
+    let mut board = shared.board.lock().expect("board poisoned");
+    board.reap_dead(Instant::now());
+    let c = &board.counters;
+    let mut snap = MetricsSnapshot::new(OBS_PROCESS);
+    snap.counter(
+        "regless_coord_claims_total",
+        "Units handed out to workers",
+        c.claims,
+    );
+    snap.counter(
+        "regless_coord_waits_total",
+        "Claims answered with a wait hint",
+        c.waits,
+    );
+    snap.counter(
+        "regless_coord_results_total",
+        "Results merged into the sweep cache",
+        c.results,
+    );
+    snap.counter(
+        "regless_coord_duplicate_results_total",
+        "Late duplicate results acknowledged and discarded",
+        c.duplicate_results,
+    );
+    snap.counter(
+        "regless_coord_reassignments_total",
+        "Units returned to pending after their worker was reaped",
+        c.reassignments,
+    );
+    snap.counter(
+        "regless_coord_heartbeats_total",
+        "Standalone heartbeat requests received",
+        c.heartbeats,
+    );
+    snap.counter(
+        "regless_coord_version_rejects_total",
+        "Requests rejected for a protocol version mismatch",
+        c.version_rejects,
+    );
+    snap.counter(
+        "regless_coord_workers_reaped_total",
+        "Workers declared dead after heartbeat silence",
+        board.live.reaped_total(),
+    );
+    snap.gauge(
+        "regless_coord_workers_alive",
+        "Workers inside their liveness window",
+        board.live.alive() as f64,
+    );
+    snap.gauge(
+        "regless_coord_workers_seen",
+        "Distinct workers that ever joined",
+        board.workers_seen.len() as f64,
+    );
+    snap.gauge(
+        "regless_coord_units_pending",
+        "Units waiting to be claimed",
+        board.pending.len() as f64,
+    );
+    snap.gauge(
+        "regless_coord_units_in_flight",
+        "Units currently claimed by a worker",
+        board.in_flight.len() as f64,
+    );
+    snap.gauge(
+        "regless_coord_units_done",
+        "Units with a merged result",
+        board.done.len() as f64,
+    );
+    snap.gauge(
+        "regless_coord_units_total",
+        "Units in the sweep space",
+        board.units.len() as f64,
+    );
+    snap.gauge(
+        "regless_coord_uptime_seconds",
+        "Seconds since the coordinator started",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    if let Some((_, bytes)) = shared.engine.cache_dir_totals() {
+        snap.gauge(
+            "regless_coord_cache_bytes",
+            "Bytes in the sweep's disk cache",
+            bytes as f64,
+        );
+    }
+    let events: Vec<Json> = board
+        .log
+        .snapshot_since(None)
+        .iter()
+        .map(|e| e.to_json())
+        .collect();
+    let spans: Vec<Json> = board.spans.snapshot().iter().map(|s| s.to_json()).collect();
+    let payload = Json::Obj(vec![
+        ("kind".into(), Json::Str("metrics".into())),
+        ("metrics".into(), snap.to_json()),
+        ("log".into(), Json::Arr(events)),
+        ("log_total".into(), ToJson::to_json(&board.log.total())),
+        ("spans".into(), Json::Arr(spans)),
     ]);
     Response::success(req.id, payload)
 }
 
 fn handle_shutdown(req: &Request, shared: &Arc<Shared>) -> Response {
     let mut board = shared.board.lock().expect("board poisoned");
+    if !board.draining {
+        board
+            .log
+            .log(LogLevel::Info, OBS_PROCESS, "drain requested", None, &[]);
+    }
     board.draining = true;
     shared.done_cv.notify_all();
     Response::success(
@@ -648,6 +872,11 @@ mod tests {
             let unit: u64 = u64::from_json(resp.payload_field("unit").unwrap()).unwrap();
             let kernel: String = String::from_json(resp.payload_field("kernel").unwrap()).unwrap();
             assert!(resp.payload_field("heartbeat_ms").is_some());
+            // Every hand-out is stamped with a parseable trace id.
+            let Some(Json::Str(tid)) = resp.payload_field("trace_id") else {
+                panic!("claim carries a trace_id");
+            };
+            assert!(regless_telemetry::parse_trace_id(tid).is_some());
             claimed.push((unit, kernel));
         }
         assert_ne!(claimed[0].0, claimed[1].0);
@@ -706,6 +935,46 @@ mod tests {
         assert_eq!(summary.units_done, 2);
         assert_eq!(summary.duplicate_results, 1);
         assert!(summary.complete());
+
+        // One claim→result span per merged unit, attributed to w0.
+        let spans = handle.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.process == "worker:w0"));
+
+        // The metrics request exposes the counters, the structured log,
+        // and the spans; the Prometheus rendering is well formed.
+        let resp = client
+            .request(&Request::control(40, RequestKind::Metrics))
+            .unwrap();
+        assert!(resp.ok);
+        let snap =
+            regless_telemetry::MetricsSnapshot::from_json(resp.payload_field("metrics").unwrap())
+                .expect("metrics parse");
+        assert_eq!(snap.process, "coordinator");
+        let results = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "regless_coord_results_total")
+            .expect("results counter");
+        assert_eq!(
+            results.value,
+            regless_telemetry::MetricValue::Counter(2),
+            "{snap:?}"
+        );
+        assert!(regless_telemetry::check_prom_format(&snap.render_prom()).is_ok());
+        let Some(Json::Arr(wire_spans)) = resp.payload_field("spans") else {
+            panic!("metrics payload carries spans");
+        };
+        assert_eq!(wire_spans.len(), 2);
+        let Some(Json::Arr(log)) = resp.payload_field("log") else {
+            panic!("metrics payload carries the log");
+        };
+        assert!(
+            log.iter().any(|e| {
+                matches!(e.field("message"), Ok(Json::Str(m)) if m == "worker joined")
+            }),
+            "join event logged"
+        );
         handle.stop();
     }
 

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 pub struct Liveness {
     timeout: Duration,
     last_seen: HashMap<String, Instant>,
+    reaped_total: u64,
 }
 
 impl Liveness {
@@ -23,6 +24,7 @@ impl Liveness {
         Liveness {
             timeout,
             last_seen: HashMap::new(),
+            reaped_total: 0,
         }
     }
 
@@ -56,7 +58,15 @@ impl Liveness {
         for w in &dead {
             self.last_seen.remove(w);
         }
+        self.reaped_total += dead.len() as u64;
         dead
+    }
+
+    /// Total workers ever reaped by this table — the counter the
+    /// coordinator's `stats`/`metrics` responses expose so silent deaths
+    /// are visible without scraping logs. Rejoining does not decrement.
+    pub fn reaped_total(&self) -> u64 {
+        self.reaped_total
     }
 
     /// Workers currently considered alive.
@@ -94,9 +104,11 @@ mod tests {
         assert!(live.knows("w1"));
         assert!(!live.knows("w0"));
 
-        // Reaping is not sticky: a reaped worker can rejoin.
+        // Reaping is not sticky: a reaped worker can rejoin — but the
+        // reap counter remembers the death.
         live.touch("w0", base + Duration::from_millis(160));
         assert!(live.knows("w0"));
+        assert_eq!(live.reaped_total(), 1);
     }
 
     #[test]

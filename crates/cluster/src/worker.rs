@@ -14,6 +14,7 @@ use regless_json::{FromJson, ToJson};
 use regless_serve::client::{backoff_delay, RetryPolicy};
 use regless_serve::proto::{Request, Response};
 use regless_serve::Client;
+use regless_telemetry::obs::{epoch_us, LogEvent, LogLevel};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -52,21 +53,70 @@ pub struct WorkerSummary {
     pub name: String,
     /// Units simulated and delivered.
     pub completed: usize,
+    /// Failed connect attempts over the worker's life (initial connect
+    /// and mid-sweep reconnects) — the retries that used to be silent.
+    pub reconnects: u64,
     /// Whether the `fail_after` test hook fired (the worker "died" with a
     /// unit in flight).
     pub injected_failure: bool,
 }
 
-/// Connect with bounded exponential backoff.
-fn connect_with_backoff(addr: &str, name: &str, policy: &RetryPolicy) -> std::io::Result<Client> {
+/// Emit one structured JSONL log line on stderr. Workers have no server
+/// to hold an [`regless_telemetry::EventLog`], so their events go
+/// straight to the stream the front door already collects.
+fn log_worker(level: LogLevel, name: &str, message: &str, fields: &[(&str, String)]) {
+    let event = LogEvent {
+        seq: 0,
+        ts_ms: epoch_us() / 1000,
+        level,
+        component: format!("worker:{name}"),
+        message: message.to_string(),
+        trace_id: None,
+        fields: fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect(),
+    };
+    eprintln!("{}", event.to_json().to_string_compact());
+}
+
+/// Connect with bounded exponential backoff, counting failed attempts
+/// into `attempts` and logging each backoff instead of retrying silently.
+fn connect_with_backoff(
+    addr: &str,
+    name: &str,
+    policy: &RetryPolicy,
+    attempts: &mut u64,
+) -> std::io::Result<Client> {
     let seed = crate::assignment::fnv1a64(name.as_bytes());
     let mut attempt = 0u32;
     loop {
         match Client::connect(addr) {
             Ok(c) => return Ok(c),
-            Err(e) if attempt >= policy.max_retries => return Err(e),
-            Err(_) => {
-                std::thread::sleep(backoff_delay(attempt, None, policy, seed));
+            Err(e) if attempt >= policy.max_retries => {
+                log_worker(
+                    LogLevel::Error,
+                    name,
+                    "coordinator unreachable; giving up",
+                    &[("coordinator", addr.to_string()), ("error", e.to_string())],
+                );
+                return Err(e);
+            }
+            Err(e) => {
+                *attempts += 1;
+                let delay = backoff_delay(attempt, None, policy, seed);
+                log_worker(
+                    LogLevel::Warn,
+                    name,
+                    "connect failed; backing off",
+                    &[
+                        ("coordinator", addr.to_string()),
+                        ("attempt", (attempt + 1).to_string()),
+                        ("backoff_ms", delay.as_millis().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
+                std::thread::sleep(delay);
                 attempt += 1;
             }
         }
@@ -84,7 +134,13 @@ fn connect_with_backoff(addr: &str, name: &str, policy: &RetryPolicy) -> std::io
 /// retry bound, hangs up mid-request, or refuses this worker (protocol
 /// version mismatch surfaces as `InvalidData`).
 pub fn run_worker(config: &WorkerConfig, engine: &SweepEngine) -> std::io::Result<WorkerSummary> {
-    let mut client = connect_with_backoff(&config.coordinator, &config.name, &config.retry)?;
+    let mut reconnects = 0u64;
+    let mut client = connect_with_backoff(
+        &config.coordinator,
+        &config.name,
+        &config.retry,
+        &mut reconnects,
+    )?;
     let mut completed = 0usize;
     let mut next_id = 1u64;
     loop {
@@ -96,7 +152,19 @@ pub fn run_worker(config: &WorkerConfig, engine: &SweepEngine) -> std::io::Resul
                 // Transient: reconnect with backoff and re-claim. The
                 // coordinator either still has our unit in flight (we had
                 // none) or will reassign it — both are safe.
-                client = connect_with_backoff(&config.coordinator, &config.name, &config.retry)?;
+                log_worker(
+                    LogLevel::Warn,
+                    &config.name,
+                    "claim connection lost; reconnecting",
+                    &[("coordinator", config.coordinator.clone())],
+                );
+                reconnects += 1;
+                client = connect_with_backoff(
+                    &config.coordinator,
+                    &config.name,
+                    &config.retry,
+                    &mut reconnects,
+                )?;
                 continue;
             }
         };
@@ -118,12 +186,19 @@ pub fn run_worker(config: &WorkerConfig, engine: &SweepEngine) -> std::io::Resul
             return Ok(WorkerSummary {
                 name: config.name.clone(),
                 completed,
+                reconnects,
                 injected_failure: true,
             });
         }
         let heartbeat_ms: u64 = match resp.payload_field("heartbeat_ms") {
             Some(v) => FromJson::from_json(v).map_err(invalid)?,
             None => 1_000,
+        };
+        // The claim's trace id (if any) is echoed on the result so the
+        // coordinator's claim→result span lands on the same timeline.
+        let trace_id = match resp.payload_field("trace_id") {
+            Some(regless_json::Json::Str(s)) => Some(s.clone()),
+            _ => None,
         };
         let report = simulate_with_heartbeats(config, engine, &unit, heartbeat_ms);
 
@@ -134,12 +209,28 @@ pub fn run_worker(config: &WorkerConfig, engine: &SweepEngine) -> std::io::Resul
         result.design = design.to_string();
         result.capacity = capacity;
         result.compressor = compressor;
+        result.trace_id = trace_id;
         let resp = match client.request(&result) {
             Ok(r) => r,
             Err(_) => {
                 // The connection died with the result in hand. Reconnect
                 // and resend: delivery is idempotent on the coordinator.
-                client = connect_with_backoff(&config.coordinator, &config.name, &config.retry)?;
+                log_worker(
+                    LogLevel::Warn,
+                    &config.name,
+                    "result connection lost; reconnecting to resend",
+                    &[
+                        ("coordinator", config.coordinator.clone()),
+                        ("unit", format!("{:x}", unit.id)),
+                    ],
+                );
+                reconnects += 1;
+                client = connect_with_backoff(
+                    &config.coordinator,
+                    &config.name,
+                    &config.retry,
+                    &mut reconnects,
+                )?;
                 client.request(&result)?
             }
         };
@@ -151,6 +242,7 @@ pub fn run_worker(config: &WorkerConfig, engine: &SweepEngine) -> std::io::Resul
     Ok(WorkerSummary {
         name: config.name.clone(),
         completed,
+        reconnects,
         injected_failure: false,
     })
 }
@@ -169,6 +261,12 @@ fn simulate_with_heartbeats(
             // Best effort: a failed heartbeat connection only means the
             // liveness window has to cover the whole simulation.
             let Ok(mut hb) = Client::connect(&config.coordinator) else {
+                log_worker(
+                    LogLevel::Warn,
+                    &config.name,
+                    "heartbeat connection failed; relying on the liveness window",
+                    &[("unit", format!("{:x}", unit.id))],
+                );
                 return;
             };
             let mut id = 1u64 << 32;
@@ -273,7 +371,9 @@ mod tests {
             default_backoff_ms: 1,
             max_backoff_ms: 2,
         };
-        let err = connect_with_backoff("127.0.0.1:1", "w0", &policy);
+        let mut attempts = 0u64;
+        let err = connect_with_backoff("127.0.0.1:1", "w0", &policy, &mut attempts);
         assert!(err.is_err());
+        assert_eq!(attempts, 1, "each backed-off attempt is counted");
     }
 }

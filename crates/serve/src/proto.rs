@@ -31,6 +31,10 @@ pub enum RequestKind {
     Report,
     /// Server statistics (handled inline; never queued).
     Stats,
+    /// Observability snapshot: metrics, recent log events, and recent
+    /// spans (handled inline; never queued). Answered by both `serve`
+    /// and the cluster coordinator; rendered by `regless obs`.
+    Metrics,
     /// Drain in-flight jobs and stop the server.
     Shutdown,
     /// Cluster: a worker asks the coordinator for its next work unit.
@@ -49,6 +53,7 @@ impl RequestKind {
             RequestKind::Profile => "profile",
             RequestKind::Report => "report",
             RequestKind::Stats => "stats",
+            RequestKind::Metrics => "metrics",
             RequestKind::Shutdown => "shutdown",
             RequestKind::Claim => "claim",
             RequestKind::Result => "result",
@@ -63,6 +68,7 @@ impl RequestKind {
             "profile" => RequestKind::Profile,
             "report" => RequestKind::Report,
             "stats" => RequestKind::Stats,
+            "metrics" => RequestKind::Metrics,
             "shutdown" => RequestKind::Shutdown,
             "claim" => RequestKind::Claim,
             "result" => RequestKind::Result,
@@ -122,6 +128,12 @@ pub struct Request {
     pub unit: Option<u64>,
     /// Cluster: the completed unit's `RunReport` JSON (`result` only).
     pub report: Option<Json>,
+    /// Distributed-tracing id (16 hex digits), valid on every kind.
+    /// Optional and purely observational: servers that predate it ignore
+    /// it, and a traced request's report is byte-identical to an
+    /// untraced one (property-tested). Spans recorded under this id come
+    /// back in the response's `trace` array.
+    pub trace_id: Option<String>,
 }
 
 impl Request {
@@ -150,6 +162,7 @@ impl Request {
             protocol_version: None,
             unit: None,
             report: None,
+            trace_id: None,
         }
     }
 
@@ -213,6 +226,9 @@ impl Request {
         if let Some(report) = &self.report {
             fields.push(("report".to_string(), report.clone()));
         }
+        if let Some(trace_id) = &self.trace_id {
+            fields.push(("trace_id".to_string(), Json::Str(trace_id.clone())));
+        }
         Json::Obj(fields)
     }
 
@@ -264,6 +280,10 @@ impl Request {
             None => None,
         };
         let report = v.field_opt("report")?.cloned();
+        let trace_id = match v.field_opt("trace_id")? {
+            Some(f) => Some(FromJson::from_json(f)?),
+            None => None,
+        };
         Ok(Request {
             id,
             kind,
@@ -276,7 +296,16 @@ impl Request {
             protocol_version,
             unit,
             report,
+            trace_id,
         })
+    }
+
+    /// Builder-style tracing: stamp a wire-form trace id onto any
+    /// request kind.
+    #[must_use]
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> Request {
+        self.trace_id = Some(trace_id.into());
+        self
     }
 }
 
@@ -550,6 +579,66 @@ mod tests {
         assert_eq!(parsed.capacity, 512);
         assert!(parsed.compressor);
         assert_eq!(parsed.timeout_ms, None);
+    }
+
+    #[test]
+    fn trace_id_roundtrips_and_stays_off_the_wire_when_absent() {
+        // Untraced requests serialize without the field at all — the
+        // wire bytes are identical to a pre-tracing binary's.
+        let plain = Request::run(7, "rodinia/nn");
+        assert!(
+            !plain.to_json().to_string_compact().contains("trace_id"),
+            "untraced request must not mention trace_id"
+        );
+
+        let traced = Request::run(7, "rodinia/nn").with_trace_id("00000000deadbeef");
+        let wire = traced.to_json().to_string_compact();
+        assert!(wire.contains(r#""trace_id":"00000000deadbeef""#), "{wire}");
+        let parsed = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed, traced);
+        assert_eq!(parsed.trace_id.as_deref(), Some("00000000deadbeef"));
+
+        // Tracing composes with every builder, cluster kinds included.
+        let claim = Request::claim(1, "w0").with_trace_id("ff");
+        let parsed = Request::from_json(&claim.to_json()).unwrap();
+        assert_eq!(parsed.trace_id.as_deref(), Some("ff"));
+    }
+
+    #[test]
+    fn unknown_optional_fields_are_ignored_by_older_parsers() {
+        // Forward compatibility: a newer client may stamp optional
+        // fields this binary has never heard of (as this PR did with
+        // `trace_id`). `from_json` must parse the known subset and
+        // silently drop the rest — that is why tracing shipped without
+        // a PROTOCOL_VERSION bump.
+        let futuristic = Json::parse(
+            r#"{"id":5,"kind":"run","kernel":"rodinia/nn",
+                "trace_id":"abc","span_parent":"0011223344556677",
+                "deadline_unix_ms":99,"priority":"high",
+                "baggage":{"tenant":"ci"}}"#,
+        )
+        .unwrap();
+        let parsed = Request::from_json(&futuristic).expect("unknown fields ignored");
+        assert_eq!(parsed.id, 5);
+        assert_eq!(parsed.kind, RequestKind::Run);
+        assert_eq!(parsed.kernel.as_deref(), Some("rodinia/nn"));
+        // Known optional field is picked up...
+        assert_eq!(parsed.trace_id.as_deref(), Some("abc"));
+        // ...and re-serializing keeps only the known fields: the parse
+        // is a projection, not an error.
+        let wire = parsed.to_json().to_string_compact();
+        assert!(!wire.contains("span_parent"), "{wire}");
+        assert!(!wire.contains("baggage"), "{wire}");
+    }
+
+    #[test]
+    fn metrics_kind_is_a_control_request() {
+        assert_eq!(RequestKind::parse("metrics"), Some(RequestKind::Metrics));
+        assert_eq!(RequestKind::Metrics.as_str(), "metrics");
+        assert!(!RequestKind::Metrics.is_simulation());
+        assert!(!RequestKind::Metrics.is_cluster());
+        let req = Request::control(4, RequestKind::Metrics);
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
     }
 
     #[test]

@@ -21,6 +21,10 @@ use regless_isa::text::parse_kernel;
 use regless_isa::Kernel;
 use regless_json::{Json, ToJson};
 use regless_sim::{BaselineRf, CancelToken, Machine, RunReport, SimError};
+use regless_telemetry::obs::{
+    epoch_us, format_trace_id, parse_trace_id, EventLog, LogLevel, MetricsSnapshot, Span,
+    DEFAULT_LOG_CAPACITY,
+};
 use regless_telemetry::Log2Histogram;
 use regless_workloads::rodinia;
 use std::collections::{HashMap, VecDeque};
@@ -154,6 +158,23 @@ struct Job {
     waiters: AtomicUsize,
     result: Mutex<Option<Result<Arc<RunReport>, ErrorBody>>>,
     done: Condvar,
+    /// Tracing timestamps (epoch µs), written unconditionally — three
+    /// relaxed stores per job, never read by the simulation. `enqueued_us`
+    /// is set at admission; workers stamp the other two, and traced
+    /// waiters turn the three into `queue` and `sim` spans.
+    enqueued_us: u64,
+    picked_us: AtomicU64,
+    sim_done_us: AtomicU64,
+}
+
+/// The process label serve's spans and log events carry.
+const OBS_PROCESS: &str = "serve";
+
+/// Trace context for one traced request: the parsed id plus the spans
+/// collected on its behalf, returned in-band in the success payload.
+struct TraceCtx {
+    id: u64,
+    spans: Vec<Span>,
 }
 
 /// Monotone counters exposed by `stats`.
@@ -213,8 +234,13 @@ struct Shared {
     live_workers: Mutex<usize>,
     workers_cv: Condvar,
     /// When the server started, for the `stats` uptime field — cluster
-    /// coordinators health-check serve endpoints with it.
+    /// coordinators health-check serve endpoints with it. Monotonic by
+    /// construction (`Instant`), so a wall-clock step never yields a
+    /// negative or absurd uptime.
     started: Instant,
+    /// Bounded structured event log (queue_full, panics, drain), served
+    /// by the `metrics` request and tailed by `regless obs --tail`.
+    log: EventLog,
 }
 
 impl Shared {
@@ -293,10 +319,121 @@ impl Shared {
     }
 
     fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::Release);
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
+            self.log
+                .log(LogLevel::Info, OBS_PROCESS, "drain requested", None, &[]);
+        }
         let mut stopped = self.stop.lock().expect("stop poisoned");
         *stopped = true;
         self.stop_cv.notify_all();
+    }
+
+    /// The `metrics` response payload: a [`MetricsSnapshot`] of every
+    /// serve counter/gauge/latency histogram plus the retained event log.
+    fn metrics_json(&self) -> Json {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut snap = MetricsSnapshot::new(OBS_PROCESS);
+        snap.counter(
+            "regless_serve_submitted_total",
+            "Simulation requests received",
+            load(&c.submitted),
+        );
+        snap.counter(
+            "regless_serve_completed_total",
+            "Simulation requests answered successfully",
+            load(&c.completed),
+        );
+        snap.counter(
+            "regless_serve_rejected_queue_full_total",
+            "Requests refused by admission control",
+            load(&c.rejected_queue_full),
+        );
+        snap.counter(
+            "regless_serve_coalesce_hits_total",
+            "Requests coalesced onto an in-flight job",
+            load(&c.coalesce_hits),
+        );
+        snap.counter(
+            "regless_serve_cache_hits_total",
+            "Requests answered from the sweep cache",
+            load(&c.cache_hits),
+        );
+        snap.counter(
+            "regless_serve_simulations_total",
+            "Simulations actually executed",
+            load(&c.simulations),
+        );
+        snap.counter(
+            "regless_serve_timeouts_total",
+            "Requests whose deadline expired",
+            load(&c.timeouts),
+        );
+        snap.counter(
+            "regless_serve_cancelled_total",
+            "Simulations cancelled cooperatively",
+            load(&c.cancelled),
+        );
+        snap.counter(
+            "regless_serve_panics_total",
+            "Simulation panics isolated by catch_unwind",
+            load(&c.panics),
+        );
+        snap.counter(
+            "regless_serve_sim_errors_total",
+            "Simulations that returned an error",
+            load(&c.sim_errors),
+        );
+        snap.gauge(
+            "regless_serve_in_flight",
+            "Jobs admitted but not yet finished",
+            load(&c.in_flight) as f64,
+        );
+        snap.gauge(
+            "regless_serve_queue_depth",
+            "Jobs queued and not yet running",
+            self.queue.lock().expect("queue poisoned").jobs.len() as f64,
+        );
+        snap.gauge(
+            "regless_serve_queue_capacity",
+            "Admission-control queue bound",
+            self.config.queue_capacity as f64,
+        );
+        snap.gauge(
+            "regless_serve_uptime_seconds",
+            "Seconds since the server started (monotonic clock)",
+            self.started.elapsed().as_secs_f64(),
+        );
+        {
+            let l = self.latency.lock().expect("latency poisoned");
+            snap.summary(
+                "regless_serve_run_latency_ms",
+                "run request latency in milliseconds",
+                &l.run,
+            );
+            snap.summary(
+                "regless_serve_profile_latency_ms",
+                "profile request latency in milliseconds",
+                &l.profile,
+            );
+            snap.summary(
+                "regless_serve_report_latency_ms",
+                "report request latency in milliseconds",
+                &l.report,
+            );
+        }
+        let log = self
+            .log
+            .snapshot_since(None)
+            .iter()
+            .map(|e| e.to_json())
+            .collect();
+        Json::Obj(vec![
+            ("kind".to_string(), Json::Str("metrics".to_string())),
+            ("metrics".to_string(), snap.to_json()),
+            ("log".to_string(), Json::Arr(log)),
+            ("log_total".to_string(), ToJson::to_json(&self.log.total())),
+        ])
     }
 }
 
@@ -350,6 +487,7 @@ impl Server {
             live_workers: Mutex::new(workers),
             workers_cv: Condvar::new(),
             started: Instant::now(),
+            log: EventLog::new(DEFAULT_LOG_CAPACITY),
         });
         let worker_handles = (0..workers)
             .map(|i| {
@@ -518,6 +656,7 @@ fn resolve_kernel(spec: &str) -> Result<(Kernel, Option<String>), ErrorBody> {
 fn handle_request(shared: &Arc<Shared>, req: &Request) -> Response {
     match req.kind {
         RequestKind::Stats => Response::success(req.id, shared.stats_json()),
+        RequestKind::Metrics => Response::success(req.id, shared.metrics_json()),
         RequestKind::Shutdown => {
             shared.request_shutdown();
             Response::success(
@@ -560,17 +699,55 @@ fn handle_simulation(shared: &Arc<Shared>, req: &Request) -> Response {
             ErrorBody::new(ErrorCode::BadRequest, "missing `kernel`"),
         );
     };
+    // Trace context, when the client stamped a parseable trace_id. All
+    // span bookkeeping is gated on it: untraced requests take the exact
+    // pre-tracing path (and traced ones only ever read wall clocks the
+    // simulation never sees).
+    let mut trace = req
+        .trace_id
+        .as_deref()
+        .and_then(parse_trace_id)
+        .map(|id| TraceCtx {
+            id,
+            spans: Vec::new(),
+        });
+    let t_entry = if trace.is_some() { epoch_us() } else { 0 };
     let (kernel, bench_id) = match resolve_kernel(spec) {
         Ok(r) => r,
         Err(e) => return Response::failure(req.id, e),
     };
+    if let Some(t) = trace.as_mut() {
+        t.spans.push(Span::new(
+            t.id,
+            "admission",
+            OBS_PROCESS,
+            t_entry,
+            epoch_us().saturating_sub(t_entry),
+        ));
+    }
     let started = Instant::now();
 
     // Fast path: a benchmark already in the shared cache never queues.
     if let Some(bench) = &bench_id {
-        if let Some(report) = shared.engine.lookup(bench, design.variant()) {
+        let t_cache = if trace.is_some() { epoch_us() } else { 0 };
+        let hit = shared.engine.lookup(bench, design.variant());
+        if let Some(t) = trace.as_mut() {
+            t.spans.push(
+                Span::new(
+                    t.id,
+                    "cache",
+                    OBS_PROCESS,
+                    t_cache,
+                    epoch_us().saturating_sub(t_cache),
+                )
+                .arg("hit", if hit.is_some() { "true" } else { "false" }),
+            );
+        }
+        if let Some(report) = hit {
             shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return finish_ok(shared, req, design, &kernel, &report, "cache", started);
+            return finish_ok(
+                shared, req, design, &kernel, &report, "cache", started, trace,
+            );
         }
     }
 
@@ -578,8 +755,15 @@ fn handle_simulation(shared: &Arc<Shared>, req: &Request) -> Response {
         Ok(job) => job,
         Err(e) => return Response::failure(req.id, e),
     };
-    let source = if job.1 { "coalesced" } else { "simulated" };
+    let coalesced = job.1;
+    let source = if coalesced { "coalesced" } else { "simulated" };
     let job = job.0;
+    if let Some(t) = trace.as_mut() {
+        if coalesced {
+            t.spans
+                .push(Span::new(t.id, "coalesce", OBS_PROCESS, epoch_us(), 0));
+        }
+    }
 
     // Wait for the worker (or an already-published result), enforcing
     // this waiter's own deadline.
@@ -590,8 +774,38 @@ fn handle_simulation(shared: &Arc<Shared>, req: &Request) -> Response {
             let outcome = outcome.clone();
             drop(result);
             job.waiters.fetch_sub(1, Ordering::AcqRel);
+            if let Some(t) = trace.as_mut() {
+                // The job's stamps cover the *shared* simulation this
+                // waiter rode, whether it admitted the job or coalesced.
+                let picked = job.picked_us.load(Ordering::Acquire);
+                let sim_done = job.sim_done_us.load(Ordering::Acquire);
+                if picked >= job.enqueued_us && picked > 0 {
+                    t.spans.push(Span::new(
+                        t.id,
+                        "queue",
+                        OBS_PROCESS,
+                        job.enqueued_us,
+                        picked - job.enqueued_us,
+                    ));
+                }
+                if picked > 0 && sim_done >= picked {
+                    t.spans.push(
+                        Span::new(t.id, "sim", OBS_PROCESS, picked, sim_done - picked)
+                            .arg("source", source),
+                    );
+                }
+            }
             return match outcome {
-                Ok(report) => finish_ok(shared, req, design, &job.kernel, &report, source, started),
+                Ok(report) => finish_ok(
+                    shared,
+                    req,
+                    design,
+                    &job.kernel,
+                    &report,
+                    source,
+                    started,
+                    trace,
+                ),
                 Err(e) => Response::failure(req.id, e),
             };
         }
@@ -656,6 +870,17 @@ fn admit(
             .counters
             .rejected_queue_full
             .fetch_add(1, Ordering::Relaxed);
+        shared.log.log(
+            LogLevel::Warn,
+            OBS_PROCESS,
+            "queue_full: request rejected by admission control",
+            req.trace_id.as_deref().and_then(parse_trace_id),
+            &[
+                ("queued", queue.jobs.len().to_string()),
+                ("capacity", shared.config.queue_capacity.to_string()),
+                ("kernel", key.kernel.clone()),
+            ],
+        );
         let mut e = ErrorBody::new(
             ErrorCode::QueueFull,
             format!(
@@ -675,6 +900,9 @@ fn admit(
         waiters: AtomicUsize::new(1),
         result: Mutex::new(None),
         done: Condvar::new(),
+        enqueued_us: epoch_us(),
+        picked_us: AtomicU64::new(0),
+        sim_done_us: AtomicU64::new(0),
     });
     queue.jobs.push_back(Arc::clone(&job));
     shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -706,6 +934,10 @@ fn abandon(shared: &Arc<Shared>, req: &Request, job: &Arc<Job>, elapsed: Duratio
 }
 
 /// Render a successful result for the request's kind and record latency.
+/// A traced request gets a `serialize` span covering the payload render,
+/// then its whole span collection back as the `trace` payload field —
+/// appended *after* the report so the report bytes are untouched.
+#[allow(clippy::too_many_arguments)]
 fn finish_ok(
     shared: &Arc<Shared>,
     req: &Request,
@@ -714,6 +946,7 @@ fn finish_ok(
     report: &Arc<RunReport>,
     source: &str,
     started: Instant,
+    trace: Option<TraceCtx>,
 ) -> Response {
     let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
     {
@@ -725,6 +958,7 @@ fn finish_ok(
         }
     }
     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    let t_serialize = if trace.is_some() { epoch_us() } else { 0 };
     let mut payload = vec![
         ("kind".to_string(), Json::Str(req.kind.as_str().to_string())),
         ("kernel".to_string(), Json::Str(kernel.name().to_string())),
@@ -750,6 +984,20 @@ fn finish_ok(
             let full = report_collect(report, kernel.name(), design.label(), design.osu_capacity());
             payload.push(("summary".to_string(), full.summary().to_json()));
         }
+    }
+    if let Some(mut t) = trace {
+        t.spans.push(Span::new(
+            t.id,
+            "serialize",
+            OBS_PROCESS,
+            t_serialize,
+            epoch_us().saturating_sub(t_serialize),
+        ));
+        payload.push(("trace_id".to_string(), Json::Str(format_trace_id(t.id))));
+        payload.push((
+            "trace".to_string(),
+            Json::Arr(t.spans.iter().map(Span::to_json).collect()),
+        ));
     }
     Response::success(req.id, Json::Obj(payload))
 }
@@ -777,6 +1025,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
+    job.picked_us.store(epoch_us(), Ordering::Release);
     // Every waiter already gave up and tripped the token: skip the
     // simulation entirely.
     let outcome = if job.token.is_cancelled() && job.waiters.load(Ordering::Acquire) == 0 {
@@ -799,8 +1048,19 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
             }
             Ok(Err(e)) => {
                 match e.code {
-                    ErrorCode::Timeout => shared.counters.cancelled.fetch_add(1, Ordering::Relaxed),
-                    _ => shared.counters.sim_errors.fetch_add(1, Ordering::Relaxed),
+                    ErrorCode::Timeout => {
+                        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        shared.counters.sim_errors.fetch_add(1, Ordering::Relaxed);
+                        shared.log.log(
+                            LogLevel::Error,
+                            OBS_PROCESS,
+                            format!("simulation failed: {}", e.message),
+                            None,
+                            &[("kernel", job.key.kernel.clone())],
+                        );
+                    }
                 };
                 Err(e)
             }
@@ -811,6 +1071,13 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
                     .map(|s| (*s).to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "unknown panic".to_string());
+                shared.log.log(
+                    LogLevel::Error,
+                    OBS_PROCESS,
+                    format!("simulation panicked (worker survived): {msg}"),
+                    None,
+                    &[("kernel", job.key.kernel.clone())],
+                );
                 Err(ErrorBody::new(
                     ErrorCode::SimPanic,
                     format!("simulation panicked: {msg}"),
@@ -818,6 +1085,7 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
             }
         }
     };
+    job.sim_done_us.store(epoch_us(), Ordering::Release);
     // Publish: remove from pending first so new arrivals go through the
     // cache (populated above) rather than coalescing onto a dead job.
     shared
@@ -965,6 +1233,115 @@ mod tests {
         assert_eq!(r.error_code(), Some("bad_request"), "{r:?}");
 
         handle.shutdown();
+        handle.drain().expect("drain");
+    }
+
+    #[test]
+    fn traced_requests_return_spans_and_untraced_reports_are_byte_identical() {
+        // Two fresh servers, same kernel: one request traced, one not.
+        // The *reports* must be byte-identical — tracing is pure overlay.
+        let traced_handle = test_server(1, 4);
+        let plain_handle = test_server(1, 4);
+        let mut traced_client = Client::connect(&traced_handle.addr().to_string()).unwrap();
+        let mut plain_client = Client::connect(&plain_handle.addr().to_string()).unwrap();
+
+        let traced_req = Request::run(1, "rodinia/nn").with_trace_id("00000000000abc12");
+        let traced = traced_client.request(&traced_req).unwrap();
+        assert!(traced.ok, "{traced:?}");
+        let plain = plain_client
+            .request(&Request::run(1, "rodinia/nn"))
+            .unwrap();
+        assert!(plain.ok, "{plain:?}");
+
+        assert_eq!(
+            traced.payload_field("report").unwrap().to_string_compact(),
+            plain.payload_field("report").unwrap().to_string_compact(),
+            "tracing must not perturb the report"
+        );
+
+        // The traced response carries spans covering the whole pipeline.
+        assert_eq!(
+            traced.payload_field("trace_id"),
+            Some(&Json::Str("00000000000abc12".to_string()))
+        );
+        let Some(Json::Arr(spans)) = traced.payload_field("trace") else {
+            panic!("traced response carries a trace array: {traced:?}");
+        };
+        let parsed: Vec<regless_telemetry::Span> = spans
+            .iter()
+            .map(|s| regless_telemetry::Span::from_json(s).expect("span parses"))
+            .collect();
+        let names: Vec<&str> = parsed.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["admission", "cache", "queue", "sim", "serialize"] {
+            assert!(
+                names.contains(&expected),
+                "missing span {expected}: {names:?}"
+            );
+        }
+        assert!(
+            parsed.iter().all(|s| s.trace_id == 0xabc12),
+            "one trace id joins every span"
+        );
+        assert!(
+            parsed.iter().all(|s| s.process == "serve"),
+            "serve-side spans carry the serve process label"
+        );
+
+        // The untraced response has no trace fields at all.
+        assert_eq!(plain.payload_field("trace"), None);
+        assert_eq!(plain.payload_field("trace_id"), None);
+
+        traced_handle.shutdown();
+        plain_handle.shutdown();
+        traced_handle.drain().expect("drain");
+        plain_handle.drain().expect("drain");
+    }
+
+    #[test]
+    fn metrics_request_exposes_counters_log_and_valid_prometheus() {
+        let handle = test_server(1, 4);
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        let run = client.request(&Request::run(1, "rodinia/nn")).unwrap();
+        assert!(run.ok, "{run:?}");
+
+        let resp = client
+            .request(&Request::control(2, RequestKind::Metrics))
+            .unwrap();
+        assert!(resp.ok, "{resp:?}");
+        let snap = MetricsSnapshot::from_json(resp.payload_field("metrics").unwrap())
+            .expect("metrics parse");
+        assert_eq!(snap.process, "serve");
+        let submitted = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "regless_serve_submitted_total")
+            .expect("submitted counter present");
+        assert!(
+            matches!(submitted.value, regless_telemetry::MetricValue::Counter(n) if n >= 1),
+            "{submitted:?}"
+        );
+
+        // The exposition round-trips the line-format validity check.
+        let prom = snap.render_prom();
+        let samples = regless_telemetry::check_prom_format(&prom).expect("valid prom");
+        assert!(samples >= snap.metrics.len(), "{prom}");
+
+        // Drain shows up in the structured log.
+        handle.shutdown();
+        let resp = client
+            .request(&Request::control(3, RequestKind::Metrics))
+            .unwrap();
+        let Some(Json::Arr(log)) = resp.payload_field("log") else {
+            panic!("metrics payload carries a log array: {resp:?}");
+        };
+        let events: Vec<regless_telemetry::LogEvent> = log
+            .iter()
+            .map(|e| regless_telemetry::LogEvent::from_json(e).expect("log event parses"))
+            .collect();
+        assert!(
+            events.iter().any(|e| e.message.contains("drain")),
+            "{events:?}"
+        );
         handle.drain().expect("drain");
     }
 

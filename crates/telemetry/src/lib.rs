@@ -37,15 +37,21 @@ mod cpi;
 mod event;
 mod evict;
 mod hist;
+pub mod obs;
 mod recorder;
 mod report;
 mod summary;
 
-pub use chrome::{chrome_trace, chrome_trace_string};
+pub use chrome::{chrome_spans, chrome_trace, chrome_trace_string};
 pub use cpi::{IssueStack, StallReason, NUM_STALL_REASONS};
 pub use event::{ArgValue, Event, Lane, Phase, Structure, Track, Ts, STRUCTURE_TID_BASE};
 pub use evict::{EvictionReason, EvictionStack, NUM_EVICTION_REASONS};
 pub use hist::{Log2Histogram, NUM_BUCKETS};
+pub use obs::{
+    check_prom_format, epoch_us, format_bytes, format_trace_id, gen_trace_id, parse_trace_id,
+    EventLog, LogEvent, LogLevel, Metric, MetricValue, MetricsSnapshot, Span, SpanLog,
+    DEFAULT_LOG_CAPACITY,
+};
 pub use recorder::{MemoryRecorder, NullRecorder, Recorder, Telemetry};
 pub use report::{
     parse_history, round4, trend_table, CompressorReport, OccupancyReport, Report, RunSummary,

@@ -42,7 +42,15 @@
 //!     --capacity <entries>                OSU entries/SM (default 512)
 //!     --no-compressor                     disable the compressor
 //!     --timeout-ms <ms>                   per-request deadline
+//!     --trace                             stamp a trace id and collect spans
+//!     --trace-id <hex>                    use this trace id instead of a fresh one
+//!     --trace-out <path>                  write the Chrome trace there
+//!                                         (default results/serve-trace.json)
 //! regless submit --stats|--shutdown   server statistics / graceful shutdown
+//! regless obs [<addr>] [options]      server metrics / structured log
+//!     --format json|prom|table            rendering (default table)
+//!     --watch <secs>                      re-poll and re-print every <secs>
+//!     --tail                              follow the structured event log
 //! regless cluster [options]           coordinator: shard a sweep across workers
 //!     --addr <host:port>                  listen address (default 127.0.0.1:7118; port 0 = ephemeral)
 //!     --workers <n>                       workers to spawn with --spawn (default 2)
@@ -55,6 +63,7 @@
 //!     --digest <path>                     write the merged-result digest there
 //!     --local                             run the same sweep single-process instead
 //!     --json                              print the run summary as JSON on stdout
+//!     --trace-out <path>                  write claim→result spans as a Chrome trace
 //! regless worker [options]            worker: claim and simulate cluster units
 //!     --connect <host:port>               coordinator address (default 127.0.0.1:7118)
 //!     --name <s>                          worker name on the ring (default w<pid>)
@@ -99,6 +108,7 @@ fn main() {
         Some("diff") => cmd_diff(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         Some("cluster") => cmd_cluster(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
         Some("help") | None => {
@@ -139,12 +149,15 @@ fn print_usage() {
          \u{20}                            --workers <n>, --queue <n>, --drain-timeout <secs>)\n\
          \u{20}  submit <kernel> [opts]    send one request (options: --addr <host:port>,\n\
          \u{20}                            --kind run|profile|report, --design baseline|regless,\n\
-         \u{20}                            --capacity <entries>, --no-compressor, --timeout-ms <ms>)\n\
+         \u{20}                            --capacity <entries>, --no-compressor, --timeout-ms <ms>,\n\
+         \u{20}                            --trace, --trace-id <hex>, --trace-out <path>)\n\
          \u{20}  submit --stats|--shutdown server statistics / graceful shutdown\n\
+         \u{20}  obs [<addr>] [options]    server metrics / log (options: --format json|prom|table,\n\
+         \u{20}                            --watch <secs>, --tail)\n\
          \u{20}  cluster [options]         shard a sweep across workers (options: --addr <host:port>,\n\
          \u{20}                            --workers <n>, --spawn, --benches <csv>, --designs <csv>,\n\
          \u{20}                            --capacity <entries>, --liveness-ms <ms>, --timeout-secs <s>,\n\
-         \u{20}                            --digest <path>, --local, --json)\n\
+         \u{20}                            --digest <path>, --local, --json, --trace-out <path>)\n\
          \u{20}  worker [options]          cluster worker (options: --connect <host:port>, --name <s>,\n\
          \u{20}                            --fail-after <n>)\n\n\
          <kernel> is a benchmark name or a path to a .asm file\n\
@@ -591,8 +604,12 @@ fn cmd_serve(args: &[String]) -> CmdResult {
 /// Submit one request to a running server (`regless submit`).
 fn cmd_submit(args: &[String]) -> CmdResult {
     use regless::serve::{Client, Request, RequestKind};
+    use regless::telemetry::obs::{epoch_us, format_trace_id, gen_trace_id, parse_trace_id, Span};
     let mut addr = regless::serve::DEFAULT_ADDR.to_string();
     let mut req = Request::control(1, RequestKind::Run);
+    let mut trace = false;
+    let mut trace_id: Option<u64> = None;
+    let mut trace_out = "results/serve-trace.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -611,6 +628,19 @@ fn cmd_submit(args: &[String]) -> CmdResult {
             "--timeout-ms" => {
                 req.timeout_ms = Some(it.next().ok_or("--timeout-ms needs a value")?.parse()?);
             }
+            "--trace" => trace = true,
+            "--trace-id" => {
+                let raw = it.next().ok_or("--trace-id needs a value")?;
+                trace = true;
+                trace_id = Some(
+                    parse_trace_id(raw)
+                        .ok_or_else(|| format!("--trace-id {raw:?} is not 1-16 hex digits"))?,
+                );
+            }
+            "--trace-out" => {
+                trace = true;
+                trace_out = it.next().ok_or("--trace-out needs a value")?.clone();
+            }
             other if !other.starts_with("--") && req.kernel.is_none() => {
                 req.kernel = Some(other.to_string());
             }
@@ -620,13 +650,103 @@ fn cmd_submit(args: &[String]) -> CmdResult {
     if req.kind.is_simulation() && req.kernel.is_none() {
         return Err("submit: missing kernel (or use --stats / --shutdown)".into());
     }
+    let trace_id = trace_id.unwrap_or_else(gen_trace_id);
+    if trace {
+        req.trace_id = Some(format_trace_id(trace_id));
+    }
     let mut client = Client::connect(&addr)?;
+    let t0 = epoch_us();
     let resp = client.request(&req)?;
+    let rpc_dur = epoch_us().saturating_sub(t0);
     println!("{}", resp.to_json().to_string_pretty());
+    if trace {
+        // The client-side rpc span wraps everything the server reported;
+        // merging them into one Chrome trace shows the request's whole
+        // life across both processes on the trace id's timeline.
+        let mut spans = vec![Span::new(trace_id, "rpc", "client", t0, rpc_dur)
+            .arg("addr", addr)
+            .arg("kind", req.kind.as_str())];
+        if let Some(regless_json::Json::Arr(wire)) = resp.payload_field("trace") {
+            spans.extend(wire.iter().filter_map(Span::from_json));
+        }
+        write_output(
+            &trace_out,
+            &regless::telemetry::chrome_spans(&spans).to_string_compact(),
+        )?;
+        eprintln!(
+            "wrote {} spans for trace {} to {trace_out}",
+            spans.len(),
+            format_trace_id(trace_id)
+        );
+    }
     if !resp.ok {
         std::process::exit(1);
     }
     Ok(())
+}
+
+/// Poll a server's metrics and structured log (`regless obs`).
+fn cmd_obs(args: &[String]) -> CmdResult {
+    use regless::serve::{Client, Request, RequestKind};
+    use regless::telemetry::obs::{LogEvent, MetricsSnapshot};
+    let mut addr = regless::serve::DEFAULT_ADDR.to_string();
+    let mut format = "table".to_string();
+    let mut watch: Option<u64> = None;
+    let mut tail = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            "--watch" => watch = Some(it.next().ok_or("--watch needs a value")?.parse()?),
+            "--tail" => tail = true,
+            other if !other.starts_with("--") => addr = other.to_string(),
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    if !matches!(format.as_str(), "json" | "prom" | "table") {
+        return Err(format!("unknown format {format:?} (json|prom|table)").into());
+    }
+    // --tail follows continuously; --watch re-prints on its cadence; a
+    // plain `regless obs` prints once.
+    let interval = std::time::Duration::from_secs(watch.unwrap_or(1).max(1));
+    let mut client = Client::connect(&addr)?;
+    let mut id = 1u64;
+    let mut last_seq: Option<u64> = None;
+    loop {
+        let resp = client.request(&Request::control(id, RequestKind::Metrics))?;
+        id += 1;
+        if !resp.ok {
+            let detail = resp
+                .error
+                .map(|e| e.message)
+                .unwrap_or_else(|| "metrics request refused".to_string());
+            return Err(detail.into());
+        }
+        if tail {
+            if let Some(regless_json::Json::Arr(events)) = resp.payload_field("log") {
+                for ev in events.iter().filter_map(LogEvent::from_json) {
+                    if last_seq.is_none_or(|s| ev.seq > s) {
+                        last_seq = Some(ev.seq);
+                        println!("{}", ev.render());
+                    }
+                }
+            }
+        } else {
+            let snap = resp
+                .payload_field("metrics")
+                .and_then(MetricsSnapshot::from_json)
+                .ok_or("response carries no parseable metrics")?;
+            match format.as_str() {
+                "json" => println!("{}", resp.payload.to_string_pretty()),
+                "prom" => print!("{}", snap.render_prom()),
+                _ => print!("{}", snap.render_table()),
+            }
+        }
+        if !tail && watch.is_none() {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// Parse `--benches`/`--designs` into cluster work units.
@@ -689,6 +809,7 @@ fn cmd_cluster(args: &[String]) -> CmdResult {
     let mut digest_path: Option<String> = None;
     let mut local = false;
     let mut json = false;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -708,8 +829,14 @@ fn cmd_cluster(args: &[String]) -> CmdResult {
             "--digest" => digest_path = Some(it.next().ok_or("--digest needs a value")?.clone()),
             "--local" => local = true,
             "--json" => json = true,
+            "--trace-out" => {
+                trace_out = Some(it.next().ok_or("--trace-out needs a value")?.clone());
+            }
             other => return Err(format!("unknown option {other:?}").into()),
         }
+    }
+    if local && trace_out.is_some() {
+        return Err("--trace-out needs the coordinator (drop --local)".into());
     }
     let units = cluster_units(&benches, &designs, capacity)?;
     if units.is_empty() {
@@ -768,6 +895,16 @@ fn cmd_cluster(args: &[String]) -> CmdResult {
     }
     let mut summary = handle.summary();
     summary.wall_seconds = wall_seconds;
+    if let Some(path) = &trace_out {
+        // One claim→result span per merged unit, every worker process on
+        // one timeline — loadable in Perfetto next to a serve trace.
+        let spans = handle.spans();
+        write_output(
+            path,
+            &regless::telemetry::chrome_spans(&spans).to_string_compact(),
+        )?;
+        eprintln!("wrote {} claim\u{2192}result spans to {path}", spans.len());
+    }
     handle.stop();
     if !complete {
         eprint!("{}", summary.render());
@@ -825,9 +962,10 @@ fn cmd_worker(args: &[String]) -> CmdResult {
     let engine = regless::bench::sweep::SweepEngine::from_env();
     let summary = regless::cluster::run_worker(&config, &engine)?;
     eprintln!(
-        "worker {} done: {} units completed{}",
+        "worker {} done: {} units completed, {} reconnect attempt(s){}",
         summary.name,
         summary.completed,
+        summary.reconnects,
         if summary.injected_failure {
             " (injected failure)"
         } else {
@@ -872,14 +1010,17 @@ fn cmd_sweep_gc(dry_run: bool) -> CmdResult {
             let mut bytes = 0u64;
             for o in &orphans {
                 println!(
-                    "would remove orphan {} ({} entries, {} bytes)",
-                    o.name, o.entries, o.bytes
+                    "would remove orphan {} ({} entries, {})",
+                    o.name,
+                    o.entries,
+                    regless::telemetry::format_bytes(o.bytes)
                 );
                 bytes += o.bytes;
             }
             println!(
-                "dry run: {} directories, {bytes} bytes reclaimable (run `regless sweep --gc` to delete)",
-                orphans.len()
+                "dry run: {} directories, {} reclaimable (run `regless sweep --gc` to delete)",
+                orphans.len(),
+                regless::telemetry::format_bytes(bytes)
             );
         }
         return Ok(());
@@ -892,8 +1033,8 @@ fn cmd_sweep_gc(dry_run: bool) -> CmdResult {
             println!("removed orphan {name}");
         }
         println!(
-            "freed {} bytes across {} directories",
-            gc.bytes_freed,
+            "freed {} across {} directories",
+            regless::telemetry::format_bytes(gc.bytes_freed),
             gc.removed.len()
         );
     }

@@ -1,0 +1,187 @@
+//! Observability contract tests (ISSUE 8).
+//!
+//! Tracing must be a pure overlay: stamping a `trace_id` on a serve
+//! request may add `trace`/`trace_id` payload fields, but the `report`
+//! bytes must stay identical to an untraced request's — the simulation
+//! never sees a wall clock. The property test drives a real server over
+//! real TCP with arbitrary trace-id strings (canonical, short, upper,
+//! empty, garbage, absent) and checks byte-identity plus the
+//! traced/untraced payload contract; the deterministic test merges the
+//! client-side rpc span with the server's spans and checks the Chrome
+//! export joins both processes on one trace.
+
+use proptest::prelude::*;
+use regless::bench::sweep::{SweepEngine, SweepMode};
+use regless::serve::{Client, Request, ServeConfig, Server, ServerHandle};
+use regless::telemetry::chrome_spans;
+use regless::telemetry::obs::{epoch_us, format_trace_id, parse_trace_id, Span};
+use regless_json::Json;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One shared server (and the untraced reference report bytes) for the
+/// whole test process: the property test's cases then exercise the warm
+/// cache path as well as the first-simulation path.
+static SERVER: OnceLock<(ServerHandle, String)> = OnceLock::new();
+
+fn server() -> &'static (ServerHandle, String) {
+    SERVER.get_or_init(|| {
+        let engine = Arc::new(SweepEngine::with_config(None, SweepMode::Normal));
+        let handle = Server::start(
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                queue_capacity: 8,
+                drain_timeout: Duration::from_secs(60),
+            },
+            engine,
+        )
+        .expect("start server");
+        let mut client =
+            Client::connect(&handle.addr().to_string()).expect("connect for reference");
+        let resp = client
+            .request(&Request::run(0, "rodinia/nn"))
+            .expect("untraced reference response");
+        assert!(resp.ok, "{resp:?}");
+        let reference = resp
+            .payload_field("report")
+            .expect("reference report")
+            .to_string_compact();
+        (handle, reference)
+    })
+}
+
+/// Trace-id strings a client could plausibly send: canonical 16-hex,
+/// short and uppercase hex (both parseable), and unparseable shapes
+/// (non-hex, over-long, empty) plus the absent case — the latter four
+/// must all take the exact untraced path.
+fn trace_id_strategy() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        any::<u64>().prop_map(|n| Some(format!("{n:016x}"))),
+        any::<u32>().prop_map(|n| Some(format!("{n:x}"))),
+        any::<u16>().prop_map(|n| Some(format!("{n:X}"))),
+        any::<u64>().prop_map(|n| Some(format!("zz{n}"))),
+        any::<u64>().prop_map(|n| Some(format!("{n:017x}"))),
+        Just(Some(String::new())),
+        Just(None),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    fn traced_reports_stay_byte_identical(id in trace_id_strategy()) {
+        let (handle, reference) = server();
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        let mut req = Request::run(1, "rodinia/nn");
+        req.trace_id = id.clone();
+        let resp = client.request(&req).expect("response");
+        prop_assert!(resp.ok, "{resp:?}");
+        let report = resp
+            .payload_field("report")
+            .expect("report payload")
+            .to_string_compact();
+        prop_assert_eq!(
+            report.as_str(),
+            reference.as_str(),
+            "trace_id {:?} changed the report bytes",
+            id
+        );
+
+        match id.as_deref().and_then(parse_trace_id) {
+            Some(parsed) => {
+                // A parseable id: the payload carries the canonical form
+                // and a non-empty span list, every span on this trace.
+                prop_assert_eq!(
+                    resp.payload_field("trace_id"),
+                    Some(&Json::Str(format_trace_id(parsed)))
+                );
+                let Some(Json::Arr(raw)) = resp.payload_field("trace") else {
+                    panic!("traced response missing `trace` array: {resp:?}");
+                };
+                prop_assert!(!raw.is_empty(), "traced response has no spans");
+                for v in raw {
+                    let span = Span::from_json(v).expect("span parses");
+                    prop_assert_eq!(span.trace_id, parsed, "foreign span {:?}", span.name);
+                }
+            }
+            None => {
+                // Unparseable or absent: byte-for-byte the untraced
+                // payload — no trace fields at all.
+                prop_assert_eq!(resp.payload_field("trace"), None);
+                prop_assert_eq!(resp.payload_field("trace_id"), None);
+            }
+        }
+    }
+}
+
+/// The `regless submit --trace` shape end-to-end: merge the client rpc
+/// span with the server's returned spans and export one Chrome trace.
+/// Both process lanes must appear, every complete event must carry the
+/// same trace id, and the span taxonomy must cover the request's life.
+#[test]
+fn chrome_export_joins_client_and_server_on_one_trace() {
+    let (handle, _) = server();
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let req = Request::run(2, "rodinia/nn").with_trace_id("00000000deadbeef");
+    let t0 = epoch_us();
+    let resp = client.request(&req).expect("response");
+    let rpc_dur = epoch_us().saturating_sub(t0);
+    assert!(resp.ok, "{resp:?}");
+
+    let mut spans = vec![Span::new(0xdead_beef, "rpc", "client", t0, rpc_dur)];
+    let Some(Json::Arr(raw)) = resp.payload_field("trace") else {
+        panic!("traced response missing `trace` array: {resp:?}");
+    };
+    spans.extend(raw.iter().filter_map(Span::from_json));
+
+    let doc = chrome_spans(&spans);
+    let Ok(Json::Arr(events)) = doc.field("traceEvents").cloned() else {
+        panic!("chrome export missing traceEvents: {doc:?}");
+    };
+
+    let str_field = |e: &Json, name: &str| match e.field_opt(name) {
+        Ok(Some(Json::Str(s))) => Some(s.clone()),
+        _ => None,
+    };
+    // Process metadata names both lanes.
+    let named: Vec<String> = events
+        .iter()
+        .filter(|e| str_field(e, "ph").as_deref() == Some("M"))
+        .filter_map(|e| {
+            e.field_opt("args")
+                .ok()
+                .flatten()
+                .and_then(|a| str_field(a, "name"))
+        })
+        .collect();
+    assert!(named.contains(&"client".to_string()), "{named:?}");
+    assert!(named.contains(&"serve".to_string()), "{named:?}");
+
+    // Every complete event carries the one trace id, and the taxonomy
+    // covers the request's life on the server plus the client rpc.
+    let complete: Vec<&Json> = events
+        .iter()
+        .filter(|e| str_field(e, "ph").as_deref() == Some("X"))
+        .collect();
+    assert_eq!(complete.len(), spans.len());
+    let mut names: Vec<String> = Vec::new();
+    for e in &complete {
+        let args = e.field("args").expect("event args");
+        assert_eq!(
+            str_field(args, "trace_id").as_deref(),
+            Some("00000000deadbeef"),
+            "{e:?}"
+        );
+        names.push(str_field(e, "name").expect("event name"));
+    }
+    assert!(names.contains(&"rpc".to_string()), "{names:?}");
+    assert!(names.contains(&"admission".to_string()), "{names:?}");
+    assert!(names.contains(&"serialize".to_string()), "{names:?}");
+    // The body is either freshly simulated (queue + sim) or a cache hit,
+    // depending on whether the property test warmed the engine first.
+    assert!(
+        names.contains(&"sim".to_string()) || names.contains(&"cache".to_string()),
+        "{names:?}"
+    );
+}
