@@ -34,7 +34,7 @@
 
 use crate::{eval_gpu, run_design, run_regless_opts, DesignKind, ReglessRunOpts};
 use regless_sim::{run_baseline, GpuConfig, Machine, OccupancyLimitedRf, RunReport, SchedulerKind};
-use regless_telemetry::Log2Histogram;
+use regless_telemetry::{Log2Histogram, ProgressMeter, SelfProfiler};
 use regless_workloads::{high_pressure_kernel, micro, rodinia};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -303,6 +303,11 @@ pub struct SweepEngine {
     /// Directory for persisted reports (`None` disables persistence).
     disk_dir: Option<PathBuf>,
     mode: SweepMode,
+    /// Host-side self profiler for the engine's own pipeline phases
+    /// (canonicalize, cache probe, simulate, persist). Enabled by
+    /// `REGLESS_SELFPROF`; a disabled profiler's scopes never read the
+    /// clock, keeping the hot path free.
+    selfprof: SelfProfiler,
 }
 
 impl SweepEngine {
@@ -316,7 +321,15 @@ impl SweepEngine {
             sim_hist: Mutex::new(Log2Histogram::new()),
             disk_dir,
             mode,
+            selfprof: SelfProfiler::from_env(),
         }
+    }
+
+    /// The engine's host-side self profiler — callers fold it into a
+    /// metrics snapshot or render its table after a sweep. Empty (and
+    /// free) unless `REGLESS_SELFPROF` is set.
+    pub fn self_profiler(&self) -> &SelfProfiler {
+        &self.selfprof
     }
 
     /// An engine configured from the environment (`REGLESS_SWEEP`,
@@ -353,10 +366,16 @@ impl SweepEngine {
 
     /// Run (or recall) one simulation.
     pub fn run(&self, bench: &str, variant: RunVariant) -> Arc<RunReport> {
-        let variant = variant.canonical();
+        let variant = {
+            let _g = self.selfprof.scope("canonicalize");
+            variant.canonical()
+        };
         if self.mode == SweepMode::Off {
             self.counters.misses.fetch_add(1, Ordering::Relaxed);
-            let report = simulate(bench, variant);
+            let report = {
+                let _g = self.selfprof.scope("simulate");
+                simulate(bench, variant)
+            };
             self.note_sim(&report);
             self.note_run(bench, variant, RunSource::Simulated, report.wall_seconds);
             eprintln!(
@@ -365,6 +384,7 @@ impl SweepEngine {
             );
             return Arc::new(report);
         }
+        let probe_guard = self.selfprof.scope("cache_probe");
         let cell = {
             let mut map = self.cache.lock().expect("sweep cache poisoned");
             Arc::clone(
@@ -377,6 +397,7 @@ impl SweepEngine {
             self.note_run(bench, variant, RunSource::MemoryCache, hit.wall_seconds);
             return Arc::clone(hit);
         }
+        drop(probe_guard);
         // `get_or_init` blocks concurrent initializers of the same key, so
         // racing threads wait for the one in-flight simulation instead of
         // duplicating it.
@@ -451,6 +472,7 @@ impl SweepEngine {
     fn load_or_simulate(&self, bench: &str, variant: RunVariant) -> RunReport {
         let path = self.entry_path(bench, variant);
         if self.mode == SweepMode::Normal {
+            let _g = self.selfprof.scope("cache_probe");
             if let Some(report) = path.as_deref().and_then(|p| load_entry(p, bench, variant)) {
                 self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.note_run(bench, variant, RunSource::DiskCache, report.wall_seconds);
@@ -459,7 +481,10 @@ impl SweepEngine {
             }
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
-        let report = simulate(bench, variant);
+        let report = {
+            let _g = self.selfprof.scope("simulate");
+            simulate(bench, variant)
+        };
         self.note_sim(&report);
         self.note_run(bench, variant, RunSource::Simulated, report.wall_seconds);
         eprintln!(
@@ -467,6 +492,7 @@ impl SweepEngine {
             report.cycles, report.wall_seconds
         );
         if let Some(p) = path {
+            let _g = self.selfprof.scope("persist");
             store_entry(&p, bench, variant, &report);
         }
         report
@@ -774,12 +800,31 @@ impl SweepEngine {
     /// cost nothing, so callers list everything a report needs without
     /// worrying about overlap with earlier reports.
     pub fn prefetch(&self, jobs: &[(String, RunVariant)]) {
+        self.prefetch_with_progress(jobs, None);
+    }
+
+    /// [`SweepEngine::prefetch`] with an optional live progress stream:
+    /// when a [`ProgressMeter`] is supplied, every completed unit notes
+    /// its simulated cycles and prints the meter's one-line snapshot
+    /// (done/total, units/s, Mcycles/s, ETA) to stderr — stdout stays
+    /// clean for JSON pipelines.
+    pub fn prefetch_with_progress(
+        &self,
+        jobs: &[(String, RunVariant)],
+        progress: Option<&ProgressMeter>,
+    ) {
+        let note = |report: &RunReport| {
+            if let Some(meter) = progress {
+                meter.note(report.cycles);
+                eprintln!("[sweep] {}", meter.snapshot().render());
+            }
+        };
         let workers = std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get)
             .min(jobs.len().max(1));
         if workers <= 1 {
             for (bench, variant) in jobs {
-                self.run(bench, *variant);
+                note(&self.run(bench, *variant));
             }
             return;
         }
@@ -791,7 +836,7 @@ impl SweepEngine {
                     let Some((bench, variant)) = jobs.get(i) else {
                         break;
                     };
-                    self.run(bench, *variant);
+                    note(&self.run(bench, *variant));
                 });
             }
         });

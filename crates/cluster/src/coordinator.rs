@@ -31,7 +31,7 @@ use regless_serve::proto::{
 use regless_sim::RunReport;
 use regless_telemetry::obs::{
     epoch_us, format_bytes, format_trace_id, gen_trace_id, parse_trace_id, EventLog, LogLevel,
-    MetricsSnapshot, Span, SpanLog, DEFAULT_LOG_CAPACITY,
+    MetricsSnapshot, ProgressSnapshot, Span, SpanLog, DEFAULT_LOG_CAPACITY,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufReader, BufWriter};
@@ -48,6 +48,9 @@ pub struct CoordinatorConfig {
     /// Silence after which a worker is declared dead and its in-flight
     /// units are reassigned.
     pub liveness_timeout: Duration,
+    /// Stream a per-wake progress line (done/total, units/s, cycles/s,
+    /// ETA) to stderr while [`CoordinatorHandle::wait`] blocks.
+    pub progress: bool,
 }
 
 impl Default for CoordinatorConfig {
@@ -55,6 +58,7 @@ impl Default for CoordinatorConfig {
         CoordinatorConfig {
             addr: crate::DEFAULT_CLUSTER_ADDR.to_string(),
             liveness_timeout: Duration::from_secs(60),
+            progress: false,
         }
     }
 }
@@ -91,6 +95,9 @@ struct Counters {
     reassignments: u64,
     heartbeats: u64,
     version_rejects: u64,
+    /// Simulated cycles across merged results — the numerator of the
+    /// cluster-wide simulated-cycles/sec progress rate.
+    cycles_done: u64,
 }
 
 /// Book-keeping for one unit currently assigned to a worker: who holds
@@ -210,7 +217,19 @@ impl Board {
             reassignments: self.counters.reassignments,
             heartbeats: self.counters.heartbeats,
             version_rejects: self.counters.version_rejects,
+            cycles_done: self.counters.cycles_done,
             wall_seconds: 0.0,
+        }
+    }
+
+    /// The live progress view over this board, for the `--progress`
+    /// stream and the metrics surface.
+    fn progress(&self, elapsed_secs: f64) -> ProgressSnapshot {
+        ProgressSnapshot {
+            done: self.done.len() as u64,
+            total: self.units.len() as u64,
+            cycles: self.counters.cycles_done,
+            elapsed_secs,
         }
     }
 }
@@ -323,10 +342,14 @@ impl CoordinatorHandle {
             };
             // Wake periodically: a fully-dead cluster sends no request to
             // trigger the reap-on-traffic path, and `wait` is where the
-            // front door would otherwise hang forever.
-            let tick = remaining
+            // front door would otherwise hang forever. With `--progress`
+            // the wake doubles as the stream cadence, so cap it at 1 s.
+            let mut tick = remaining
                 .min(self.shared.config.liveness_timeout / 2)
                 .max(Duration::from_millis(10));
+            if self.shared.config.progress {
+                tick = tick.min(Duration::from_secs(1));
+            }
             let (guard, _) = self
                 .shared
                 .done_cv
@@ -334,6 +357,10 @@ impl CoordinatorHandle {
                 .expect("done cv poisoned");
             board = guard;
             board.reap_dead(Instant::now());
+            if self.shared.config.progress {
+                let snap = board.progress(self.shared.started.elapsed().as_secs_f64());
+                eprintln!("[cluster] {}", snap.render());
+            }
         }
     }
 
@@ -565,6 +592,7 @@ fn handle_result(req: &Request, shared: &Arc<Shared>) -> Response {
     // disk, and holding the lock across it would serialize every result
     // delivery (and block claims) cluster-wide. The write is idempotent
     // and atomic, so a concurrent duplicate delivery is harmless.
+    let cycles = report.cycles;
     shared.engine.insert(&unit.bench, unit.variant(), report);
     let mut board = shared.board.lock().expect("board poisoned");
     if board.done.contains(&unit_id) {
@@ -578,6 +606,7 @@ fn handle_result(req: &Request, shared: &Arc<Shared>) -> Response {
     board.pending.retain(|&id| id != unit_id);
     board.done.insert(unit_id);
     board.counters.results += 1;
+    board.counters.cycles_done += cycles;
     if let Some(entry) = entry {
         // The claim→result interval as one span, attributed to the
         // delivering worker. A result echoing the claim's trace_id keeps
@@ -679,6 +708,10 @@ fn handle_stats(req: &Request, shared: &Arc<Shared>) -> Response {
         ("waits".into(), ToJson::to_json(&board.counters.waits)),
         ("results".into(), ToJson::to_json(&board.counters.results)),
         (
+            "cycles_done".into(),
+            ToJson::to_json(&board.counters.cycles_done),
+        ),
+        (
             "duplicate_results".into(),
             ToJson::to_json(&board.counters.duplicate_results),
         ),
@@ -749,6 +782,16 @@ fn handle_metrics(req: &Request, shared: &Arc<Shared>) -> Response {
         "Workers declared dead after heartbeat silence",
         board.live.reaped_total(),
     );
+    snap.counter(
+        "regless_coord_cycles_done_total",
+        "Simulated cycles across merged results",
+        c.cycles_done,
+    );
+    snap.counter(
+        "regless_coord_log_dropped_total",
+        "Log events evicted from the bounded ring before export",
+        board.log.dropped(),
+    );
     snap.gauge(
         "regless_coord_workers_alive",
         "Workers inside their liveness window",
@@ -791,6 +834,9 @@ fn handle_metrics(req: &Request, shared: &Arc<Shared>) -> Response {
             bytes as f64,
         );
     }
+    // Host-side self-profile of the merge engine's pipeline (empty, and
+    // free, unless REGLESS_SELFPROF is set).
+    shared.engine.self_profiler().fold_into(&mut snap, "sweep");
     let events: Vec<Json> = board
         .log
         .snapshot_since(None)
@@ -850,6 +896,7 @@ mod tests {
             CoordinatorConfig {
                 addr: "127.0.0.1:0".to_string(),
                 liveness_timeout: timeout,
+                progress: false,
             },
             Arc::clone(&engine),
             test_units(),

@@ -30,6 +30,9 @@ pub struct ClusterSummary {
     pub heartbeats: u64,
     /// Cluster requests refused for a protocol-version mismatch.
     pub version_rejects: u64,
+    /// Simulated cycles across merged results (the cluster-wide
+    /// simulated-cycles/sec numerator).
+    pub cycles_done: u64,
     /// Coordinator wall-clock for the sweep, filled in by the front door.
     pub wall_seconds: f64,
 }
@@ -63,6 +66,7 @@ impl ClusterSummary {
                 "version_rejects".into(),
                 ToJson::to_json(&self.version_rejects),
             ),
+            ("cycles_done".into(), ToJson::to_json(&self.cycles_done)),
             ("wall_seconds".into(), ToJson::to_json(&self.wall_seconds)),
             ("complete".into(), Json::Bool(self.complete())),
         ])
@@ -119,6 +123,7 @@ mod tests {
             reassignments: 2,
             heartbeats: 40,
             version_rejects: 0,
+            cycles_done: 123_456,
             wall_seconds: 1.5,
         };
         assert!(s.complete());

@@ -108,6 +108,14 @@ impl RegLessSim {
     pub fn set_stepped(&mut self, stepped: bool) {
         self.machine.set_stepped(stepped);
     }
+
+    /// Attach a shared host-side self profiler (see
+    /// [`Machine::attach_self_profiler`]): the run loop records where its
+    /// own wall time goes, and the caller keeps the handle to render the
+    /// breakdown. Simulated results are byte-identical either way.
+    pub fn attach_self_profiler(&mut self, prof: std::sync::Arc<regless_telemetry::SelfProfiler>) {
+        self.machine.attach_self_profiler(prof);
+    }
 }
 
 /// Compile a kernel with limits matched to `config` and run it under

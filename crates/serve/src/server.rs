@@ -404,6 +404,14 @@ impl Shared {
             "Seconds since the server started (monotonic clock)",
             self.started.elapsed().as_secs_f64(),
         );
+        snap.counter(
+            "regless_serve_log_dropped_total",
+            "Log events evicted from the bounded ring before export",
+            self.log.dropped(),
+        );
+        // Host-side self-profile of the shared sweep engine (empty, and
+        // free, unless REGLESS_SELFPROF is set).
+        self.engine.self_profiler().fold_into(&mut snap, "sweep");
         {
             let l = self.latency.lock().expect("latency poisoned");
             snap.summary(

@@ -30,7 +30,7 @@ use crate::stats::{MemStats, SmStats};
 use crate::warp::{WarpBlock, WarpState};
 use regless_compiler::CompiledKernel;
 use regless_isa::{InsnRef, LaneVec, OpClass, Opcode, Reg, WarpId};
-use regless_telemetry::{IssueStack, StallReason};
+use regless_telemetry::{IssueStack, SelfProfiler, StallReason};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -227,10 +227,19 @@ impl<B: OperandBackend> Sm<B> {
         self.live_warps == 0 && self.events.is_empty() && self.backend.quiesced()
     }
 
-    /// Advance one cycle.
-    fn tick(&mut self, now: Cycle, mem: &mut MemSystem) -> TickOutcome {
+    /// Advance one cycle. `prof` is the machine's host-side self profiler
+    /// (`None` when disabled): the phase guards below time host wall
+    /// clock only and never touch simulated state, so profiled and
+    /// unprofiled runs stay byte-identical.
+    fn tick(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemSystem,
+        prof: Option<&SelfProfiler>,
+    ) -> TickOutcome {
         // 1. Retire writebacks due now. The payload lives in the heap
         // entry itself, so a popped event always has its data with it.
+        let wb_guard = SelfProfiler::scope_opt(prof, "writeback");
         while self.events.peek().is_some_and(|Reverse(e)| e.due <= now) {
             let Reverse(e) = self.events.pop().expect("peeked above");
             self.warps[e.warp].pending.remove(&e.reg);
@@ -252,8 +261,11 @@ impl<B: OperandBackend> Sm<B> {
                 .on_writeback(e.warp, e.at, e.reg, e.value, &mut ctx);
         }
 
+        drop(wb_guard);
+
         // 2. Backend housekeeping (CM activation, preload pipeline).
         {
+            let _g = SelfProfiler::scope_opt(prof, "backend_tick");
             let mut ctx = BackendCtx {
                 sm: self.id,
                 now,
@@ -295,6 +307,7 @@ impl<B: OperandBackend> Sm<B> {
         // (the conservation law behind the CPI stacks): `Issued` when an
         // instruction or metadata bubble goes out, otherwise the
         // highest-priority reason among the warps that could not.
+        let issue_guard = SelfProfiler::scope_opt(prof, "issue");
         let num_scheds = self.scheds.len();
         let per_sched = self.config.warps_per_scheduler();
         let mut issued_any = false;
@@ -363,14 +376,19 @@ impl<B: OperandBackend> Sm<B> {
             }
         }
 
+        drop(issue_guard);
+
         // 5. Roll statistics windows.
-        self.stats.working_set.roll(now);
-        self.stats.backing_series.roll(now);
-        self.stats.osu_occupancy.roll(now);
-        self.stats.osu_reserved_series.roll(now);
-        self.stats.osu_free_series.roll(now);
-        self.stats.cm_queue_series.roll(now);
-        self.stats.cycles = now + 1;
+        {
+            let _g = SelfProfiler::scope_opt(prof, "stats_windows");
+            self.stats.working_set.roll(now);
+            self.stats.backing_series.roll(now);
+            self.stats.osu_occupancy.roll(now);
+            self.stats.osu_reserved_series.roll(now);
+            self.stats.osu_free_series.roll(now);
+            self.stats.cm_queue_series.roll(now);
+            self.stats.cycles = now + 1;
+        }
 
         // 6. Prove (or refuse) skippability for the cycles ahead. A barrier
         // about to release would change warp state on the very next tick,
@@ -813,6 +831,15 @@ pub struct Machine<B> {
     /// differential-testing reference; both paths produce byte-identical
     /// reports.
     stepped: bool,
+    /// Host-side self profiler timing where the simulator's own wall time
+    /// goes (issue vs writeback vs backend vs skip-ahead). `None` unless
+    /// `REGLESS_SELFPROF` is set or a caller attached one; purely a
+    /// host-clock observer, so reports stay byte-identical either way.
+    selfprof: Option<Arc<SelfProfiler>>,
+    /// Whether the profiler was auto-created from the environment (then
+    /// the run loop prints its table to stderr at the end, since nobody
+    /// else holds a handle to it).
+    selfprof_auto: bool,
 }
 
 impl<B: OperandBackend> Machine<B> {
@@ -827,13 +854,25 @@ impl<B: OperandBackend> Machine<B> {
         let sms = (0..config.num_sms)
             .map(|i| Sm::new(i, &config, Arc::clone(&compiled), make_backend(i)))
             .collect();
+        let selfprof_auto = SelfProfiler::env_enabled();
         Machine {
             mem,
             sms,
             config,
             cancel: None,
             stepped: std::env::var_os("REGLESS_SIM").is_some_and(|v| v == "stepped"),
+            selfprof: selfprof_auto.then(|| Arc::new(SelfProfiler::new(true))),
+            selfprof_auto,
         }
+    }
+
+    /// Attach a shared [`SelfProfiler`]: the run loop records host time
+    /// per phase into it, and the caller keeps the handle to render or
+    /// export afterwards. Overrides the `REGLESS_SELFPROF` auto-profiler
+    /// (and its end-of-run stderr table).
+    pub fn attach_self_profiler(&mut self, prof: Arc<SelfProfiler>) {
+        self.selfprof = Some(prof);
+        self.selfprof_auto = false;
     }
 
     /// Force (`true`) or disable (`false`) the stepped cycle-by-cycle loop,
@@ -860,6 +899,7 @@ impl<B: OperandBackend> Machine<B> {
     /// limit is hit first.
     pub fn run(mut self) -> Result<RunReport, SimError> {
         let started = std::time::Instant::now();
+        let prof = self.selfprof.clone();
         let mut now: Cycle = 0;
         while !self.sms.iter().all(Sm::all_done) {
             if let Some(token) = &self.cancel {
@@ -882,7 +922,7 @@ impl<B: OperandBackend> Machine<B> {
             let mut skippable = !self.stepped;
             let mut wakeup: Option<Cycle> = None;
             for sm in &mut self.sms {
-                let out = sm.tick(now, &mut self.mem);
+                let out = sm.tick(now, &mut self.mem, prof.as_deref());
                 skippable &= out.skippable;
                 if let Some(due) = out.next_wakeup {
                     wakeup = Some(wakeup.map_or(due, |w| w.min(due)));
@@ -906,6 +946,7 @@ impl<B: OperandBackend> Machine<B> {
                     target = target.min(w);
                 }
                 if target > now + 1 {
+                    let _g = SelfProfiler::scope_opt(prof.as_deref(), "event_jump");
                     for sm in &mut self.sms {
                         sm.skip_to(now + 1, target, &self.mem);
                     }
@@ -934,6 +975,17 @@ impl<B: OperandBackend> Machine<B> {
             })
             .collect();
         let telemetry = collect_telemetry(&mut sm_stats, &self.mem.stats, now);
+        if self.selfprof_auto {
+            // Env-activated profiler: nobody else holds the handle, so the
+            // run loop itself surfaces the breakdown (stderr keeps stdout
+            // JSON pipelines clean).
+            if let Some(p) = &prof {
+                let table = p.render_table("sim");
+                if !table.is_empty() {
+                    eprintln!("{table}");
+                }
+            }
+        }
         Ok(RunReport {
             cycles: now,
             sm_stats,

@@ -41,6 +41,7 @@ pub mod obs;
 mod recorder;
 mod report;
 mod summary;
+mod trends;
 
 pub use chrome::{chrome_spans, chrome_trace, chrome_trace_string};
 pub use cpi::{IssueStack, StallReason, NUM_STALL_REASONS};
@@ -49,11 +50,15 @@ pub use evict::{EvictionReason, EvictionStack, NUM_EVICTION_REASONS};
 pub use hist::{Log2Histogram, NUM_BUCKETS};
 pub use obs::{
     check_prom_format, epoch_us, format_bytes, format_trace_id, gen_trace_id, parse_trace_id,
-    EventLog, LogEvent, LogLevel, Metric, MetricValue, MetricsSnapshot, Span, SpanLog,
-    DEFAULT_LOG_CAPACITY,
+    EventLog, LogEvent, LogLevel, Metric, MetricValue, MetricsSnapshot, PhaseGuard, PhaseTotal,
+    ProgressMeter, ProgressSnapshot, SelfProfiler, Span, SpanLog, DEFAULT_LOG_CAPACITY,
 };
 pub use recorder::{MemoryRecorder, NullRecorder, Recorder, Telemetry};
 pub use report::{
     parse_history, round4, trend_table, CompressorReport, OccupancyReport, Report, RunSummary,
 };
 pub use summary::{summary_csv, HistogramSummary, TelemetrySummary};
+pub use trends::{
+    detect_regressions, higher_is_better, ingest, parse_trends, render_trends_html, trends_table,
+    Regression, TrendPoint,
+};

@@ -227,6 +227,14 @@ impl EventLog {
         self.inner.lock().unwrap().next_seq
     }
 
+    /// Events evicted from the ring before anyone read them — the gap a
+    /// tailing client sees, exported as a Prometheus counter so silent
+    /// log loss is visible on a dashboard.
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.next_seq - inner.events.len() as u64
+    }
+
     /// Retained event count.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().events.len()
@@ -283,6 +291,7 @@ mod tests {
         }
         assert_eq!(log.len(), 3);
         assert_eq!(log.total(), 5);
+        assert_eq!(log.dropped(), 2, "two events fell off the ring");
         let seqs: Vec<u64> = log.snapshot_since(None).iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4], "oldest evicted, seqs preserved");
         let since: Vec<u64> = log.snapshot_since(Some(3)).iter().map(|e| e.seq).collect();

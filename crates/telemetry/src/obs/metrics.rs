@@ -293,10 +293,28 @@ pub fn check_prom_format(text: &str) -> Result<usize, String> {
             continue;
         }
         let err = |what: &str| Err(format!("line {}: {what}: {line:?}", idx + 1));
-        // Split the name (with optional {labels}) from the value.
+        // Split the name (with optional {labels}) from the value. The
+        // closing brace is found with a quote-aware scan: label values
+        // are quoted strings with `\"` / `\\` escaping, so a `}` (or an
+        // escaped quote) inside a value must not end the label block.
         let (name_part, value_part) = match line.find('{') {
             Some(open) => {
-                let Some(close) = line[open..].find('}') else {
+                let mut close = None;
+                let mut in_quotes = false;
+                let mut escaped = false;
+                for (i, c) in line[open..].char_indices() {
+                    match c {
+                        _ if escaped => escaped = false,
+                        '\\' if in_quotes => escaped = true,
+                        '"' => in_quotes = !in_quotes,
+                        '}' if !in_quotes => {
+                            close = Some(i);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                let Some(close) = close else {
                     return err("unclosed label braces");
                 };
                 (&line[..open], line[open + close + 1..].trim_start())
@@ -394,5 +412,39 @@ mod tests {
         assert_eq!(format_bytes(1024), "1.0 KiB");
         assert_eq!(format_bytes(1536), "1.5 KiB");
         assert_eq!(format_bytes(5 * 1024 * 1024), "5.0 MiB");
+    }
+
+    #[test]
+    fn byte_formatting_boundaries_at_exact_powers_of_1024() {
+        // Both sides of each tier edge.
+        assert_eq!(format_bytes(1), "1 B");
+        assert_eq!(format_bytes(1024 * 1024 - 1), "1024.0 KiB");
+        assert_eq!(format_bytes(1024 * 1024), "1.0 MiB");
+        // MiB is the top tier: 1024^3 stays in MiB rather than inventing
+        // a GiB unit no cache report currently reaches.
+        assert_eq!(format_bytes(1024 * 1024 * 1024), "1024.0 MiB");
+        assert!(format_bytes(u64::MAX).ends_with(" MiB"), "no overflow");
+    }
+
+    #[test]
+    fn format_check_handles_names_and_labels_needing_escaping() {
+        // Colons are legal anywhere in a metric name; a single colon or
+        // underscore is a legal whole name.
+        assert_eq!(check_prom_format("ns:sub:metric_total 1\n"), Ok(1));
+        assert_eq!(check_prom_format(": 0\n_ 0\n"), Ok(2));
+        // Label values may contain Prometheus-escaped quotes and
+        // backslashes; neither may end the label block early.
+        assert_eq!(check_prom_format("x{msg=\"say \\\"hi\\\"\"} 1\n"), Ok(1));
+        assert_eq!(check_prom_format("x{path=\"C:\\\\tmp\"} 2\n"), Ok(1));
+        // A close brace inside a quoted value is part of the value, not
+        // the end of the labels (the quote-aware scan).
+        assert_eq!(check_prom_format("x{expr=\"a}b\"} 3\n"), Ok(1));
+        // A brace opened inside a value but never closed outside one is
+        // still an error.
+        assert!(check_prom_format("x{expr=\"a}b\" 3\n").is_err());
+        // Names that need escaping are rejected, not mangled.
+        assert!(check_prom_format("bad-name 1\n").is_err(), "dash");
+        assert!(check_prom_format("bad.name 1\n").is_err(), "dot");
+        assert!(check_prom_format("b\u{e9}zier 1\n").is_err(), "non-ascii");
     }
 }

@@ -18,8 +18,12 @@
 
 mod log;
 mod metrics;
+mod progress;
+mod selfprof;
 mod trace;
 
 pub use self::log::{EventLog, LogEvent, LogLevel, DEFAULT_LOG_CAPACITY};
 pub use self::metrics::{check_prom_format, format_bytes, Metric, MetricValue, MetricsSnapshot};
+pub use self::progress::{ProgressMeter, ProgressSnapshot};
+pub use self::selfprof::{PhaseGuard, PhaseTotal, SelfProfiler};
 pub use self::trace::{epoch_us, format_trace_id, gen_trace_id, parse_trace_id, Span, SpanLog};

@@ -519,8 +519,9 @@ fn bar(frac: f64) -> String {
     )
 }
 
-/// One SVG polyline over the shared 640x120 viewport.
-fn polyline(series: &[u64], ceiling: u64, color: &str, extra: &str) -> String {
+/// One SVG polyline over the shared 640x120 viewport (shared with the
+/// trends dashboard, which plots metric histories on the same canvas).
+pub(crate) fn polyline(series: &[u64], ceiling: u64, color: &str, extra: &str) -> String {
     if series.is_empty() {
         return String::new();
     }
@@ -545,14 +546,14 @@ fn polyline(series: &[u64], ceiling: u64, color: &str, extra: &str) -> String {
 }
 
 /// Minimal HTML escaping for text nodes and attribute values.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")
         .replace('"', "&quot;")
 }
 
-const STYLE: &str = "<style>\n\
+pub(crate) const STYLE: &str = "<style>\n\
     body{font-family:system-ui,sans-serif;margin:2em auto;max-width:60em;color:#222}\n\
     h1{font-size:1.3em}h2{font-size:1.1em;margin-top:1.6em}\n\
     table{border-collapse:collapse;margin:0.5em 0}\n\

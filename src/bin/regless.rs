@@ -6,9 +6,13 @@
 //!     --design baseline|regless|rfh|rfv   storage design (default regless)
 //!     --capacity <entries>                OSU entries/SM (default 512)
 //!     --no-compressor                     disable the compressor
+//!     --self-profile                      time the simulator's own phases (host
+//!                                         wall clock; results stay byte-identical)
+//!     --self-profile-out <path>           also write the phases as a Chrome trace
 //! regless inspect <kernel>            regions, annotations, metadata
 //! regless asm <kernel>                dump the kernel as assembly text
-//! regless sweep <kernel>              OSU capacity sweep
+//! regless sweep <kernel> [--progress] OSU capacity sweep (--progress streams
+//!                                     done/total, units/s, Mcycles/s, ETA)
 //! regless sweep --stats [--format text|json] | --gc   cache report / pruning
 //! regless trace <kernel> [options]    telemetry export for one run
 //!     --design baseline|regless           backend to trace (default regless)
@@ -30,6 +34,14 @@
 //!     --history <path>                    history file (default results/history.jsonl)
 //! regless diff <a.json> <b.json>      compare two saved profiles
 //!     --fail-above <pct>                  exit non-zero past this regression
+//! regless trends [options]            perf-trend observatory over BENCH_*.json
+//!     --results <dir>                     artifact directory (default results)
+//!     --history <path>                    trend history (default results/trends.jsonl)
+//!     --no-ingest                         gate/render only; append nothing
+//!     --window <n>                        rolling-median window (default 8)
+//!     --fail-above <pct>                  exit non-zero when the newest value is
+//!                                         this % worse than its rolling median
+//!     --html <path>                       write the trend dashboard there
 //! regless serve [options]             long-lived simulation server (JSONL/TCP)
 //!     --addr <host:port>                  listen address (default 127.0.0.1:7117; port 0 = ephemeral)
 //!     --workers <n>                       worker threads (default cores − 1)
@@ -64,6 +76,8 @@
 //!     --local                             run the same sweep single-process instead
 //!     --json                              print the run summary as JSON on stdout
 //!     --trace-out <path>                  write claim→result spans as a Chrome trace
+//!     --progress                          stream done/total, units/s, cycles/s, ETA
+//!                                         to stderr while waiting
 //! regless worker [options]            worker: claim and simulate cluster units
 //!     --connect <host:port>               coordinator address (default 127.0.0.1:7118)
 //!     --name <s>                          worker name on the ring (default w<pid>)
@@ -78,6 +92,12 @@
 //! reference run loop instead of the event-driven fast path. Both loops
 //! produce byte-identical reports (CI diffs them); the variable exists
 //! for differential debugging and for measuring fast-path speedup.
+//!
+//! `REGLESS_SELFPROF=1` turns on the simulator's host-side self profiler
+//! everywhere (run loop phases, sweep-engine pipeline): tables land on
+//! stderr and the phase counters join the serve/cluster metrics surface.
+//! Simulated results are byte-identical with it on or off (CI asserts
+//! this property); with it off the instrumentation never reads a clock.
 
 use regless::baselines::{run_rfh, run_rfv};
 use regless::bench::profile::{diff as profile_diff, ProfileReport};
@@ -106,6 +126,7 @@ fn main() {
         Some("profile") => cmd_profile(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("trends") => cmd_trends(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),
@@ -131,10 +152,11 @@ fn print_usage() {
          commands:\n\
          \u{20}  list                      built-in benchmark kernels\n\
          \u{20}  run <kernel> [options]    simulate (options: --design baseline|regless|rfh|rfv,\n\
-         \u{20}                            --capacity <entries>, --no-compressor)\n\
+         \u{20}                            --capacity <entries>, --no-compressor,\n\
+         \u{20}                            --self-profile, --self-profile-out <path>)\n\
          \u{20}  inspect <kernel>          regions, annotations, metadata\n\
          \u{20}  asm <kernel>              dump assembly text\n\
-         \u{20}  sweep <kernel>            OSU capacity sweep\n\
+         \u{20}  sweep <kernel> [--progress]  OSU capacity sweep (--progress streams ETA)\n\
          \u{20}  sweep --stats | --gc      sweep-engine cache report / orphan pruning\n\
          \u{20}  sweep --gc --dry-run      list orphaned cache directories without deleting\n\
          \u{20}  trace <kernel> [options]  telemetry export (options: --design baseline|regless,\n\
@@ -145,6 +167,9 @@ fn print_usage() {
          \u{20}                            --capacity <entries>, --format html|json, --out <path>,\n\
          \u{20}                            --trend, --history <path>)\n\
          \u{20}  diff <a.json> <b.json>    compare two saved profiles (--fail-above <pct> gates)\n\
+         \u{20}  trends [options]          perf-trend observatory (options: --results <dir>,\n\
+         \u{20}                            --history <path>, --no-ingest, --window <n>,\n\
+         \u{20}                            --fail-above <pct>, --html <path>)\n\
          \u{20}  serve [options]           simulation server (options: --addr <host:port>,\n\
          \u{20}                            --workers <n>, --queue <n>, --drain-timeout <secs>)\n\
          \u{20}  submit <kernel> [opts]    send one request (options: --addr <host:port>,\n\
@@ -157,12 +182,15 @@ fn print_usage() {
          \u{20}  cluster [options]         shard a sweep across workers (options: --addr <host:port>,\n\
          \u{20}                            --workers <n>, --spawn, --benches <csv>, --designs <csv>,\n\
          \u{20}                            --capacity <entries>, --liveness-ms <ms>, --timeout-secs <s>,\n\
-         \u{20}                            --digest <path>, --local, --json, --trace-out <path>)\n\
+         \u{20}                            --digest <path>, --local, --json, --trace-out <path>,\n\
+         \u{20}                            --progress)\n\
          \u{20}  worker [options]          cluster worker (options: --connect <host:port>, --name <s>,\n\
          \u{20}                            --fail-after <n>)\n\n\
          <kernel> is a benchmark name or a path to a .asm file\n\
          REGLESS_SIM=stepped forces the cycle-by-cycle reference run loop\n\
-         (byte-identical reports; for differential debugging and speed bench)"
+         (byte-identical reports; for differential debugging and speed bench)\n\
+         REGLESS_SELFPROF=1 times the simulator's own phases everywhere\n\
+         (host wall clock only; simulated results stay byte-identical)"
     );
 }
 
@@ -202,6 +230,8 @@ fn cmd_run(args: &[String]) -> CmdResult {
     let mut design = "regless".to_string();
     let mut capacity = 512usize;
     let mut compressor = true;
+    let mut self_profile = false;
+    let mut self_profile_out: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -210,15 +240,35 @@ fn cmd_run(args: &[String]) -> CmdResult {
                 capacity = it.next().ok_or("--capacity needs a value")?.parse()?;
             }
             "--no-compressor" => compressor = false,
+            "--self-profile" => self_profile = true,
+            "--self-profile-out" => {
+                self_profile = true;
+                self_profile_out =
+                    Some(it.next().ok_or("--self-profile-out needs a value")?.clone());
+            }
             other => return Err(format!("unknown option {other:?}").into()),
         }
     }
+    if self_profile && matches!(design.as_str(), "rfh" | "rfv") {
+        return Err("--self-profile supports the baseline and regless designs".into());
+    }
+    // Force-enabled regardless of REGLESS_SELFPROF: the flag is the
+    // explicit opt-in. Host wall clock only — the report is byte-identical
+    // with or without it.
+    let prof = self_profile.then(|| Arc::new(regless::telemetry::SelfProfiler::new(true)));
 
     let gpu = GpuConfig::gtx980_single_sm();
     let (report, edesign): (RunReport, Design) = match design.as_str() {
         "baseline" => {
             let compiled = compile(&kernel, &RegionConfig::default())?;
-            (run_baseline(gpu, Arc::new(compiled))?, Design::Baseline)
+            let report = if let Some(p) = &prof {
+                let mut machine = Machine::new(gpu, Arc::new(compiled), |_| BaselineRf::new());
+                machine.attach_self_profiler(Arc::clone(p));
+                machine.run()?
+            } else {
+                run_baseline(gpu, Arc::new(compiled))?
+            };
+            (report, Design::Baseline)
         }
         "rfh" => {
             let compiled = compile(&kernel, &RegionConfig::default())?;
@@ -234,8 +284,12 @@ fn cmd_run(args: &[String]) -> CmdResult {
                 ..RegLessConfig::with_capacity(capacity)
             };
             let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
+            let mut sim = RegLessSim::new(gpu, cfg, compiled);
+            if let Some(p) = &prof {
+                sim.attach_self_profiler(Arc::clone(p));
+            }
             (
-                RegLessSim::new(gpu, cfg, compiled).run()?,
+                sim.run()?,
                 Design::RegLess {
                     osu_entries_per_sm: capacity,
                 },
@@ -243,6 +297,19 @@ fn cmd_run(args: &[String]) -> CmdResult {
         }
         other => return Err(format!("unknown design {other:?}").into()),
     };
+    if let Some(p) = &prof {
+        // The breakdown goes to stderr so stdout stays the run summary.
+        eprint!("{}", p.render_table("sim"));
+        if let Some(path) = &self_profile_out {
+            use regless::telemetry::obs::gen_trace_id;
+            let spans = p.to_spans(gen_trace_id(), "sim");
+            write_output(
+                path,
+                &regless::telemetry::chrome_spans(&spans).to_string_compact(),
+            )?;
+            eprintln!("wrote {} self-profile phase spans to {path}", spans.len());
+        }
+    }
 
     let t = report.total();
     let e = energy(&report, edesign, &gpu);
@@ -712,8 +779,21 @@ fn cmd_obs(args: &[String]) -> CmdResult {
     let mut client = Client::connect(&addr)?;
     let mut id = 1u64;
     let mut last_seq: Option<u64> = None;
+    let mut polls = 0u64;
     loop {
-        let resp = client.request(&Request::control(id, RequestKind::Metrics))?;
+        let resp = match client.request(&Request::control(id, RequestKind::Metrics)) {
+            Ok(resp) => resp,
+            // Mid-watch hangup after at least one good poll is the normal
+            // end of a drain, not a failure: say so and exit clean. A
+            // first-poll error still reports (nothing was ever watched).
+            Err(e) if polls > 0 && (tail || watch.is_some()) => {
+                let _ = e;
+                println!("server drained; stopping after {polls} poll(s)");
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        polls += 1;
         id += 1;
         if !resp.ok {
             let detail = resp
@@ -832,6 +912,7 @@ fn cmd_cluster(args: &[String]) -> CmdResult {
             "--trace-out" => {
                 trace_out = Some(it.next().ok_or("--trace-out needs a value")?.clone());
             }
+            "--progress" => config.progress = true,
             other => return Err(format!("unknown option {other:?}").into()),
         }
     }
@@ -852,7 +933,12 @@ fn cmd_cluster(args: &[String]) -> CmdResult {
             .iter()
             .map(|u| (u.bench.clone(), u.variant()))
             .collect();
-        engine.prefetch(&jobs);
+        if config.progress {
+            let meter = regless::telemetry::ProgressMeter::new(jobs.len() as u64);
+            engine.prefetch_with_progress(&jobs, Some(&meter));
+        } else {
+            engine.prefetch(&jobs);
+        }
         let mut summary = regless::cluster::ClusterSummary {
             units_total: units.len() as u64,
             units_done: units.len() as u64,
@@ -1053,9 +1139,24 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
     let spec = args
         .first()
         .ok_or("sweep: missing kernel (or --stats/--gc)")?;
+    let mut progress = false;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--progress" => progress = true,
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
     let kernel = load_kernel(spec)?;
     let gpu = GpuConfig::gtx980_single_sm();
+    // The sweep is 8 units: the baseline plus seven OSU capacities.
+    let meter = progress.then(|| regless::telemetry::ProgressMeter::new(8));
+    let note = |meter: &Option<regless::telemetry::ProgressMeter>, cycles: u64| {
+        if let Some(m) = meter {
+            eprintln!("[sweep] {}", m.note(cycles).render());
+        }
+    };
     let base = run_baseline(gpu, Arc::new(compile(&kernel, &RegionConfig::default())?))?;
+    note(&meter, base.cycles);
     println!(
         "kernel `{}`: baseline {} cycles\n{:>10} {:>11} {:>12}",
         kernel.name(),
@@ -1069,6 +1170,7 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
         let cfg = RegLessConfig::with_capacity(entries);
         let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
         let r = RegLessSim::new(gpu, cfg, compiled).run()?;
+        note(&meter, r.cycles);
         let e = energy(
             &r,
             Design::RegLess {
@@ -1082,6 +1184,104 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
             r.cycles as f64 / base.cycles as f64,
             e.total_pj() / base_e
         );
+    }
+    Ok(())
+}
+
+/// The perf-trend observatory (`regless trends`): distill the benchmark
+/// artifacts into append-only trend rows, gate on rolling-median
+/// regressions, and render the HTML dashboard. The gate runs *after* the
+/// dashboard is written so a failing CI job still uploads the artifact
+/// that explains the failure.
+fn cmd_trends(args: &[String]) -> CmdResult {
+    use regless::telemetry::{
+        detect_regressions, ingest, parse_trends, render_trends_html, trends_table,
+    };
+    let mut results_dir = "results".to_string();
+    let mut history = "results/trends.jsonl".to_string();
+    let mut fail_above: Option<f64> = None;
+    let mut html_out: Option<String> = None;
+    let mut no_ingest = false;
+    let mut window = 8usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--results" => results_dir = it.next().ok_or("--results needs a value")?.clone(),
+            "--history" => history = it.next().ok_or("--history needs a value")?.clone(),
+            "--fail-above" => {
+                fail_above = Some(it.next().ok_or("--fail-above needs a value")?.parse()?);
+            }
+            "--html" => html_out = Some(it.next().ok_or("--html needs a value")?.clone()),
+            "--no-ingest" => no_ingest = true,
+            "--window" => {
+                window = it.next().ok_or("--window needs a value")?.parse()?;
+                if window < 2 {
+                    return Err("--window must be at least 2".into());
+                }
+            }
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+
+    if !no_ingest {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let sources = [
+            ("profile", "BENCH_profile.json"),
+            ("sim_speed", "BENCH_sim_speed.json"),
+            ("serve", "BENCH_serve.json"),
+            ("cluster", "BENCH_cluster.json"),
+        ];
+        let mut lines = String::new();
+        let mut appended = 0usize;
+        for (source, file) in sources {
+            let path = std::path::Path::new(&results_dir).join(file);
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue; // absent artifacts are normal: ingest what exists
+            };
+            let Ok(json) = regless_json::Json::parse(&text) else {
+                eprintln!("warning: {} is not valid JSON; skipped", path.display());
+                continue;
+            };
+            for mut point in ingest(source, &json) {
+                point.ts = ts;
+                lines.push_str(&point.to_jsonl_line());
+                lines.push('\n');
+                appended += 1;
+            }
+        }
+        if appended > 0 {
+            if let Some(parent) = std::path::Path::new(&history).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            use std::io::Write as _;
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&history)?
+                .write_all(lines.as_bytes())?;
+        }
+        eprintln!("ingested {appended} metric rows into {history}");
+    }
+
+    let points = parse_trends(&std::fs::read_to_string(&history).unwrap_or_default());
+    print!("{}", trends_table(&points, window));
+    if let Some(path) = &html_out {
+        write_output(path, &render_trends_html(&points, window))?;
+        eprintln!("wrote trend dashboard to {path}");
+    }
+    if let Some(threshold) = fail_above {
+        let regressions = detect_regressions(&points, window, threshold);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("{}", r.render(threshold));
+            }
+            std::process::exit(1);
+        }
+        eprintln!("trend gate: no metric is {threshold}% worse than its rolling median");
     }
     Ok(())
 }

@@ -41,6 +41,7 @@ fn sweep_survives_a_worker_killed_mid_sweep() {
         CoordinatorConfig {
             addr: "127.0.0.1:0".to_string(),
             liveness_timeout: Duration::from_millis(300),
+            progress: false,
         },
         Arc::clone(&engine),
         units.clone(),
@@ -128,6 +129,7 @@ fn two_healthy_workers_split_the_sweep() {
         CoordinatorConfig {
             addr: "127.0.0.1:0".to_string(),
             liveness_timeout: Duration::from_secs(60),
+            progress: false,
         },
         Arc::clone(&engine),
         units.clone(),
