@@ -3,9 +3,15 @@
 //! * [`RfhBackend`] — the compile-time managed register-file **hierarchy**
 //!   of Gebhart et al. (LRF / RFC / MRF levels, two-level scheduler);
 //! * [`RfvBackend`] — the register-file **virtualization** of Jeon et al.
-//!   (half-size renamed register file, throttling under pressure).
+//!   (half-size renamed register file, throttling under pressure);
+//! * [`RegDemBackend`] — the compiler-directed **register demotion** of
+//!   Sakdhnagool et al. (cold registers spilled to a shared-memory
+//!   scratch partition);
+//! * [`CompressRfBackend`] — the **statically-compressed** register file
+//!   of Angerd et al. (affine values stored compressed in a half-size
+//!   file).
 //!
-//! Both plug into the same [`regless_sim::Machine`] pipeline as the
+//! All plug into the same [`regless_sim::Machine`] pipeline as the
 //! baseline and RegLess, so run-time and event counts are directly
 //! comparable.
 //!
@@ -30,9 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod comprf;
+mod regdem;
 mod rfh;
 mod rfv;
 
+pub use comprf::CompressRfBackend;
+pub use regdem::{RegDemBackend, SCRATCH_BYTES_PER_SM};
 pub use rfh::{RfhBackend, RfhLevel, RfhPlacement};
 pub use rfv::RfvBackend;
 
@@ -106,6 +116,70 @@ pub fn run_rfv_with(
     machine.run()
 }
 
+/// Run a kernel under the RegDem design (cold registers demoted to a
+/// shared-memory scratch partition; baseline scheduler).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the cycle limit is exceeded.
+pub fn run_regdem(gpu: GpuConfig, compiled: CompiledKernel) -> Result<RunReport, SimError> {
+    run_regdem_with(gpu, compiled, false)
+}
+
+/// [`run_regdem`] with an explicit run-loop mode: `stepped` forces the
+/// cycle-by-cycle reference loop instead of the event-driven fast path
+/// (see [`Machine::set_stepped`]).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the cycle limit is exceeded.
+pub fn run_regdem_with(
+    gpu: GpuConfig,
+    compiled: CompiledKernel,
+    stepped: bool,
+) -> Result<RunReport, SimError> {
+    let compiled = Arc::new(compiled);
+    let mut machine = Machine::new(gpu, Arc::clone(&compiled), |_| {
+        RegDemBackend::new(&gpu, Arc::clone(&compiled))
+    });
+    machine.set_stepped(stepped);
+    machine.run()
+}
+
+/// Run a kernel under the compressed-RF design (two-level scheduler,
+/// half-size statically-compressed register file).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the cycle limit is exceeded.
+pub fn run_compress_rf(gpu: GpuConfig, compiled: CompiledKernel) -> Result<RunReport, SimError> {
+    run_compress_rf_with(gpu, compiled, false)
+}
+
+/// [`run_compress_rf`] with an explicit run-loop mode: `stepped` forces
+/// the cycle-by-cycle reference loop instead of the event-driven fast
+/// path (see [`Machine::set_stepped`]).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the cycle limit is exceeded.
+pub fn run_compress_rf_with(
+    gpu: GpuConfig,
+    compiled: CompiledKernel,
+    stepped: bool,
+) -> Result<RunReport, SimError> {
+    let gpu = GpuConfig {
+        scheduler: CompressRfBackend::scheduler(),
+        ..gpu
+    };
+    let compiled = Arc::new(compiled);
+    let mut machine = Machine::new(gpu, Arc::clone(&compiled), |_| {
+        CompressRfBackend::new(&gpu, Arc::clone(&compiled))
+    });
+    machine.set_stepped(stepped);
+    machine.run()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,13 +227,47 @@ mod tests {
     }
 
     #[test]
+    fn regdem_runs_and_counts_spills() {
+        // Shrink the RF so the loop kernel's registers overflow the
+        // per-warp hot budget and some traffic demotes.
+        let gpu = GpuConfig {
+            rf_bytes_per_sm: 8 * 1024,
+            ..GpuConfig::test_small()
+        };
+        let report = run_regdem(gpu, loop_kernel()).unwrap();
+        let t = report.total();
+        assert!(t.insns > 0);
+        assert!(
+            t.spill_fills + t.spill_stores > 0,
+            "demoted registers must produce scratch traffic"
+        );
+        assert!(t.rf_reads > 0, "hot registers still hit the RF");
+    }
+
+    #[test]
+    fn compress_rf_runs_and_matches_patterns() {
+        let report = run_compress_rf(GpuConfig::test_small(), loop_kernel()).unwrap();
+        let t = report.total();
+        assert!(t.insns > 0);
+        assert!(
+            t.compressor_matches > 0,
+            "affine operands must pattern-match"
+        );
+        assert!(t.rf_reads + t.rf_writes >= t.compressor_matches);
+    }
+
+    #[test]
     fn all_designs_execute_same_instruction_count() {
         let compiled = loop_kernel();
         let base =
             regless_sim::run_baseline(GpuConfig::test_small(), Arc::new(compiled.clone())).unwrap();
         let rfh = run_rfh(GpuConfig::test_small(), compiled.clone()).unwrap();
-        let rfv = run_rfv(GpuConfig::test_small(), compiled).unwrap();
+        let rfv = run_rfv(GpuConfig::test_small(), compiled.clone()).unwrap();
+        let regdem = run_regdem(GpuConfig::test_small(), compiled.clone()).unwrap();
+        let comprf = run_compress_rf(GpuConfig::test_small(), compiled).unwrap();
         assert_eq!(base.total().insns, rfh.total().insns);
         assert_eq!(base.total().insns, rfv.total().insns);
+        assert_eq!(base.total().insns, regdem.total().insns);
+        assert_eq!(base.total().insns, comprf.total().insns);
     }
 }

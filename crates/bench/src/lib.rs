@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use regless_baselines::{run_rfh_with, run_rfv_with};
+use regless_baselines::{run_compress_rf_with, run_regdem_with, run_rfh_with, run_rfv_with};
 use regless_compiler::{compile, CompiledKernel, RegionConfig};
 use regless_core::{RegLessConfig, RegLessSim};
 use regless_energy::{energy, Design, EnergyBreakdown};
@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 pub mod figs;
 pub mod profile;
+pub mod registry;
 pub mod report;
 pub mod sim_speed;
 pub mod sweep;
@@ -50,6 +51,11 @@ pub enum DesignKind {
     Rfh,
     /// Register-file virtualization baseline.
     Rfv,
+    /// RegDem: cold registers demoted to a shared-memory scratch
+    /// partition.
+    RegDem,
+    /// Statically-compressed register file (Angerd et al.).
+    CompressRf,
 }
 
 impl DesignKind {
@@ -69,6 +75,8 @@ impl DesignKind {
             }
             DesignKind::Rfh => Design::Rfh,
             DesignKind::Rfv => Design::Rfv,
+            DesignKind::RegDem => Design::RegDem,
+            DesignKind::CompressRf => Design::CompressRf,
         }
     }
 }
@@ -122,6 +130,14 @@ pub fn run_design_with(kernel: &Kernel, design: DesignKind, stepped: bool) -> Ru
         DesignKind::Rfv => {
             let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
             run_rfv_with(gpu, compiled, stepped).expect("rfv run")
+        }
+        DesignKind::RegDem => {
+            let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
+            run_regdem_with(gpu, compiled, stepped).expect("regdem run")
+        }
+        DesignKind::CompressRf => {
+            let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
+            run_compress_rf_with(gpu, compiled, stepped).expect("compress-rf run")
         }
     }
 }
@@ -321,6 +337,8 @@ mod tests {
             DesignKind::RegLessNoCompressor { entries: 512 },
             DesignKind::Rfh,
             DesignKind::Rfv,
+            DesignKind::RegDem,
+            DesignKind::CompressRf,
         ] {
             let r = run_design(&kernel, d);
             assert_eq!(r.total().insns, base.total().insns, "{d:?}");

@@ -50,7 +50,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// `osu_free_series`, `cm_queue_series`).
 /// v4: `SmStats::idle_cycles` became `idle_slots` (per-slot counting; the
 /// telemetry key renamed with it).
-const CACHE_FORMAT_VERSION: u32 = 4;
+/// v5: `SmStats` gained the RegDem spill counters (`spill_stores`,
+/// `spill_fills`, `spill_throttled_warp_cycles`) and the compressed-RF
+/// throttle counter (`comprf_throttled_warp_cycles`); design ids are now
+/// canonicalized through the registry (`crate::registry`).
+const CACHE_FORMAT_VERSION: u32 = 5;
 
 /// One simulation the engine knows how to run and key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -1368,6 +1372,33 @@ mod tests {
             unit_slug("rodinia/nn", RunVariant::Opts(ReglessRunOpts::default())),
             entry_slug("rodinia/nn", RunVariant::Design(DesignKind::regless_512()))
         );
+    }
+
+    #[test]
+    fn every_registered_design_fingerprints_distinct_and_stable() {
+        // Registry satellite: each registry id's default design must key a
+        // distinct work unit, and the hash must be stable across calls
+        // (it names disk-cache entries and cluster idempotency keys).
+        let designs: Vec<(&str, DesignKind)> = crate::registry::all()
+            .iter()
+            .map(|e| (e.id, e.default_design()))
+            .collect();
+        let bench = rodinia_id("nn");
+        for (i, (id_a, a)) in designs.iter().enumerate() {
+            let h = unit_hash(&bench, RunVariant::Design(*a));
+            assert_eq!(
+                h,
+                unit_hash(&bench, RunVariant::Design(*a)),
+                "{id_a}: unit_hash must be deterministic"
+            );
+            for (id_b, b) in &designs[i + 1..] {
+                assert_ne!(
+                    h,
+                    unit_hash(&bench, RunVariant::Design(*b)),
+                    "{id_a} and {id_b} must fingerprint apart"
+                );
+            }
+        }
     }
 
     #[test]

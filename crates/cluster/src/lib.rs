@@ -120,6 +120,8 @@ impl WorkUnit {
             ("baseline", _) => DesignKind::Baseline,
             ("regless", true) => DesignKind::RegLess { entries: capacity },
             ("regless", false) => DesignKind::RegLessNoCompressor { entries: capacity },
+            ("regdem", _) => DesignKind::RegDem,
+            ("compress-rf", _) => DesignKind::CompressRf,
             _ => return None,
         };
         WorkUnit::new(bench, design)
@@ -132,6 +134,8 @@ fn wire_design(design: DesignKind) -> Option<(&'static str, usize, bool)> {
         DesignKind::Baseline => Some(("baseline", 0, true)),
         DesignKind::RegLess { entries } => Some(("regless", entries, true)),
         DesignKind::RegLessNoCompressor { entries } => Some(("regless", entries, false)),
+        DesignKind::RegDem => Some(("regdem", 0, true)),
+        DesignKind::CompressRf => Some(("compress-rf", 0, true)),
         DesignKind::Rfh | DesignKind::Rfv => None,
     }
 }
@@ -160,6 +164,8 @@ mod tests {
             DesignKind::Baseline,
             DesignKind::regless_512(),
             DesignKind::RegLessNoCompressor { entries: 256 },
+            DesignKind::RegDem,
+            DesignKind::CompressRf,
         ] {
             let unit = WorkUnit::new("rodinia/nn", design).unwrap();
             let (d, cap, comp) = unit.wire();

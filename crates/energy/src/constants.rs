@@ -37,6 +37,10 @@ pub const RFV_ACCESS_SCALE: f64 = 0.52;
 pub const LRF_ACCESS_PJ: f64 = 3.0;
 /// One RFH register-file-cache access.
 pub const RFC_ACCESS_PJ: f64 = 8.0;
+/// One RegDem spill or fill against the shared-memory scratch partition
+/// (a shared-memory bank access plus its addressing logic — roughly half
+/// an RF access, the saving that motivates demotion).
+pub const SMEM_SPILL_PJ: f64 = 13.0;
 
 /// Leakage of register-storage structures, pJ per cycle per KB per SM.
 pub const LEAK_PJ_PER_CYCLE_PER_KB: f64 = 0.15;

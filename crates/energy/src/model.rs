@@ -17,6 +17,12 @@ pub enum Design {
     Rfh,
     /// Register-file virtualization (Jeon et al.), half-size RF.
     Rfv,
+    /// RegDem (Sakdhnagool et al.): half-size RF plus shared-memory
+    /// spill/fill traffic for demoted registers.
+    RegDem,
+    /// Statically-compressed register file (Angerd et al.): half-size RF
+    /// plus a pattern compressor on every compressible access.
+    CompressRf,
     /// Upper bound: the baseline's performance with a register file that
     /// consumes no energy (§6.3's "No RF" bar).
     NoRf,
@@ -93,6 +99,22 @@ pub fn energy(report: &RunReport, design: Design, gpu: &GpuConfig) -> EnergyBrea
             (t.rf_reads + t.rf_writes) as f64 * e_half
                 + t.rename_lookups as f64 * RENAME_LOOKUP_PJ
                 + leak(RF_BYTES_PER_SM / 2)
+        }
+        Design::RegDem => {
+            // Hot registers live in a half-size RF (half-size banks);
+            // demoted traffic pays shared-memory accesses instead.
+            let e_half = sram_access_pj(RF_BANK_BYTES / 2) + RF_CROSSBAR_PJ;
+            (t.rf_reads + t.rf_writes) as f64 * e_half
+                + (t.spill_stores + t.spill_fills) as f64 * SMEM_SPILL_PJ
+                + leak(RF_BYTES_PER_SM / 2)
+        }
+        Design::CompressRf => {
+            // Half the SRAM, plus a compressor match per compressible
+            // access (the same pattern-matcher RegLess prices).
+            let e_half = sram_access_pj(RF_BANK_BYTES / 2) + RF_CROSSBAR_PJ;
+            (t.rf_reads + t.rf_writes) as f64 * e_half
+                + t.compressor_matches as f64 * COMPRESSOR_MATCH_PJ
+                + leak(RF_BYTES_PER_SM / 2 + COMPRESSOR_BYTES_PER_SM)
         }
         Design::NoRf => 0.0,
     };
@@ -177,6 +199,8 @@ mod tests {
             },
             Design::Rfh,
             Design::Rfv,
+            Design::RegDem,
+            Design::CompressRf,
             Design::NoRf,
         ] {
             let e = energy(&r, d, &gpu);

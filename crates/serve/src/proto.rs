@@ -345,8 +345,11 @@ pub enum ErrorCode {
     /// The request's deadline expired; the simulation was cooperatively
     /// cancelled (unless another waiter still wants it).
     Timeout,
-    /// The request itself is malformed (unknown kernel/design/kind …).
+    /// The request itself is malformed (unknown kernel/kind …).
     BadRequest,
+    /// The request names a design id the registry does not know. The
+    /// error message names the id and lists every valid id.
+    UnknownDesign,
     /// The simulation panicked; the worker survived via `catch_unwind`.
     SimPanic,
     /// The simulation returned an error (cycle limit, compile failure).
@@ -365,6 +368,7 @@ impl ErrorCode {
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::Timeout => "timeout",
             ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownDesign => "unknown_design",
             ErrorCode::SimPanic => "sim_panic",
             ErrorCode::SimFailed => "sim_failed",
             ErrorCode::ShuttingDown => "shutting_down",
@@ -494,6 +498,7 @@ impl Response {
                             "queue_full" => ErrorCode::QueueFull,
                             "timeout" => ErrorCode::Timeout,
                             "bad_request" => ErrorCode::BadRequest,
+                            "unknown_design" => ErrorCode::UnknownDesign,
                             "sim_panic" => ErrorCode::SimPanic,
                             "sim_failed" => ErrorCode::SimFailed,
                             "shutting_down" => ErrorCode::ShuttingDown,
@@ -734,6 +739,26 @@ mod tests {
         assert!(wire.contains(r#""code":"version_mismatch""#), "{wire}");
         let parsed = Response::from_json(&Json::parse(&wire).unwrap()).unwrap();
         assert_eq!(parsed.error_code(), Some("version_mismatch"));
+    }
+
+    #[test]
+    fn unknown_design_is_a_structured_error() {
+        // Registry satellite: an unrecognized design id comes back as a
+        // structured `unknown_design` error that names the offending id
+        // and lists the valid ones — and the code round-trips the wire.
+        let err = ErrorBody::new(
+            ErrorCode::UnknownDesign,
+            "unknown design \"frobnicate\"; valid designs: baseline, regless",
+        );
+        assert_eq!(ErrorCode::UnknownDesign.as_str(), "unknown_design");
+        let resp = Response::failure(21, err);
+        let wire = resp.to_json().to_string_compact();
+        assert!(wire.contains(r#""code":"unknown_design""#), "{wire}");
+        assert!(wire.contains("frobnicate"), "{wire}");
+        assert!(wire.contains("valid designs"), "{wire}");
+        let parsed = Response::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed.error_code(), Some("unknown_design"));
+        assert_eq!(parsed, resp);
     }
 
     #[test]

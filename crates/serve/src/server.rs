@@ -11,6 +11,7 @@
 use crate::proto::{
     read_json_line, write_json_line, ErrorBody, ErrorCode, Request, RequestKind, Response,
 };
+use regless_baselines::{CompressRfBackend, RegDemBackend};
 use regless_bench::profile::ProfileReport;
 use regless_bench::report::collect as report_collect;
 use regless_bench::sweep::{bench_kernel, rodinia_id, RunVariant, SweepEngine};
@@ -20,7 +21,7 @@ use regless_core::{RegLessConfig, RegLessSim};
 use regless_isa::text::parse_kernel;
 use regless_isa::Kernel;
 use regless_json::{Json, ToJson};
-use regless_sim::{BaselineRf, CancelToken, Machine, RunReport, SimError};
+use regless_sim::{BaselineRf, CancelToken, GpuConfig, Machine, RunReport, SimError};
 use regless_telemetry::obs::{
     epoch_us, format_trace_id, parse_trace_id, EventLog, LogLevel, MetricsSnapshot, Span,
     DEFAULT_LOG_CAPACITY,
@@ -61,10 +62,10 @@ impl Default for ServeConfig {
     }
 }
 
-/// The storage designs the server runs. Restricted to the two backends
-/// whose simulators accept a [`CancelToken`] — `rfh`/`rfv` runners have
-/// no cancellation hook, and a job that cannot be cancelled would defeat
-/// the deadline contract.
+/// The storage designs the server runs: every registry entry whose
+/// simulator accepts a [`CancelToken`]. The `rfh`/`rfv` runners have no
+/// cancellation hook, and a job that cannot be cancelled would defeat
+/// the deadline contract — they are registered but not servable.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DesignSpec {
     /// Full register file, GTO scheduler.
@@ -76,15 +77,21 @@ pub enum DesignSpec {
         /// Compressor present.
         compressor: bool,
     },
+    /// RegDem-style compiler-directed spilling to shared memory.
+    RegDem,
+    /// Statically-compressed half-size register file.
+    CompressRf,
 }
 
 impl DesignSpec {
-    /// Resolve a request's design fields.
+    /// Resolve a request's design fields against the design registry.
     ///
     /// # Errors
     ///
-    /// Returns a `bad_request` [`ErrorBody`] for designs the server does
-    /// not run.
+    /// Returns a `bad_request` [`ErrorBody`] for registered designs the
+    /// server cannot cancel (`rfh`/`rfv`), and an `unknown_design` one —
+    /// naming the id and listing every valid id — for ids the registry
+    /// has never heard of.
     pub fn from_request(req: &Request) -> Result<DesignSpec, ErrorBody> {
         match req.design.as_str() {
             "baseline" => Ok(DesignSpec::Baseline),
@@ -92,10 +99,22 @@ impl DesignSpec {
                 capacity: req.capacity,
                 compressor: req.compressor,
             }),
-            other => Err(ErrorBody::new(
-                ErrorCode::BadRequest,
-                format!("design {other:?} is not servable (baseline|regless — rfh/rfv runners have no cancellation hook)"),
-            )),
+            "regless-nc" => Ok(DesignSpec::Regless {
+                capacity: req.capacity,
+                compressor: false,
+            }),
+            "regdem" => Ok(DesignSpec::RegDem),
+            "compress-rf" => Ok(DesignSpec::CompressRf),
+            other => match regless_bench::registry::lookup(other) {
+                Some(_) => Err(ErrorBody::new(
+                    ErrorCode::BadRequest,
+                    format!("design {other:?} is registered but not servable (its runner has no cancellation hook)"),
+                )),
+                None => Err(ErrorBody::new(
+                    ErrorCode::UnknownDesign,
+                    regless_bench::registry::unknown_design_message(other),
+                )),
+            },
         }
     }
 
@@ -111,6 +130,8 @@ impl DesignSpec {
                 capacity,
                 compressor: false,
             } => DesignKind::RegLessNoCompressor { entries: capacity },
+            DesignSpec::RegDem => DesignKind::RegDem,
+            DesignSpec::CompressRf => DesignKind::CompressRf,
         })
     }
 
@@ -120,6 +141,8 @@ impl DesignSpec {
         match self {
             DesignSpec::Baseline => "baseline",
             DesignSpec::Regless { .. } => "regless",
+            DesignSpec::RegDem => "regdem",
+            DesignSpec::CompressRf => "compress-rf",
         }
     }
 
@@ -127,7 +150,7 @@ impl DesignSpec {
     /// OSU, mirroring the CLI).
     fn osu_capacity(self) -> usize {
         match self {
-            DesignSpec::Baseline => 0,
+            DesignSpec::Baseline | DesignSpec::RegDem | DesignSpec::CompressRf => 0,
             DesignSpec::Regless { capacity, .. } => capacity,
         }
     }
@@ -1142,6 +1165,30 @@ fn execute(job: &Arc<Job>) -> Result<RunReport, ErrorBody> {
             sim.set_cancel_token(job.token.clone());
             sim.run().map_err(map_sim)
         }
+        DesignSpec::RegDem => {
+            let compiled = compile(&job.kernel, &regless_compiler::RegionConfig::default())
+                .map_err(|e| ErrorBody::new(ErrorCode::SimFailed, format!("compile: {e}")))?;
+            let compiled = Arc::new(compiled);
+            let mut machine = Machine::new(gpu, Arc::clone(&compiled), |_| {
+                RegDemBackend::new(&gpu, Arc::clone(&compiled))
+            });
+            machine.set_cancel_token(job.token.clone());
+            machine.run().map_err(map_sim)
+        }
+        DesignSpec::CompressRf => {
+            let compiled = compile(&job.kernel, &regless_compiler::RegionConfig::default())
+                .map_err(|e| ErrorBody::new(ErrorCode::SimFailed, format!("compile: {e}")))?;
+            let gpu = GpuConfig {
+                scheduler: CompressRfBackend::scheduler(),
+                ..gpu
+            };
+            let compiled = Arc::new(compiled);
+            let mut machine = Machine::new(gpu, Arc::clone(&compiled), |_| {
+                CompressRfBackend::new(&gpu, Arc::clone(&compiled))
+            });
+            machine.set_cancel_token(job.token.clone());
+            machine.run().map_err(map_sim)
+        }
     }
 }
 
@@ -1231,6 +1278,23 @@ mod tests {
         let r = client.request(&rfh).unwrap();
         assert_eq!(r.error_code(), Some("bad_request"), "{r:?}");
 
+        // Unregistered ids get the structured `unknown_design` error that
+        // names the offender and lists every valid id.
+        let mut bogus = Request::run(5, "rodinia/nn");
+        bogus.design = "no-such-design".to_string();
+        let r = client.request(&bogus).unwrap();
+        assert_eq!(r.error_code(), Some("unknown_design"), "{r:?}");
+        let msg = r
+            .error
+            .as_ref()
+            .map(|e| e.message.clone())
+            .unwrap_or_default();
+        assert!(msg.contains("no-such-design"), "{msg}");
+        assert!(
+            msg.contains("regdem") && msg.contains("compress-rf"),
+            "{msg}"
+        );
+
         let mut no_kernel = Request::control(3, RequestKind::Run);
         no_kernel.kernel = None;
         let r = client.request(&no_kernel).unwrap();
@@ -1240,6 +1304,25 @@ mod tests {
         let r = client.request(&Request::claim(4, "w0")).unwrap();
         assert_eq!(r.error_code(), Some("bad_request"), "{r:?}");
 
+        handle.shutdown();
+        handle.drain().expect("drain");
+    }
+
+    #[test]
+    fn related_work_designs_are_servable() {
+        let handle = test_server(2, 8);
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        for (id, design) in [(1u64, "regdem"), (2, "compress-rf")] {
+            let mut req = Request::run(id, "rodinia/nn");
+            req.design = design.to_string();
+            let r = client.request(&req).unwrap();
+            assert!(r.ok, "{design}: {r:?}");
+            assert_eq!(
+                r.payload_field("design"),
+                Some(&Json::Str(design.to_string()))
+            );
+            assert!(r.payload_field("report").is_some(), "{design}");
+        }
         handle.shutdown();
         handle.drain().expect("drain");
     }

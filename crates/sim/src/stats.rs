@@ -145,6 +145,16 @@ pub struct SmStats {
     pub rename_lookups: u64,
     /// RFV cycles in which warps were throttled for physical registers.
     pub rfv_throttled_warp_cycles: u64,
+    /// RegDem stores of cold registers into the shared-memory scratch
+    /// partition (one per cold destination writeback).
+    pub spill_stores: u64,
+    /// RegDem fills of cold registers from the shared-memory scratch
+    /// partition (one per cold source operand read).
+    pub spill_fills: u64,
+    /// RegDem warp-cycles throttled for shared-memory scratch capacity.
+    pub spill_throttled_warp_cycles: u64,
+    /// Compressed-RF warp-cycles throttled for physical-entry capacity.
+    pub comprf_throttled_warp_cycles: u64,
     /// Extra operand-collector cycles from baseline RF bank conflicts.
     pub rf_bank_conflicts: u64,
 
@@ -354,6 +364,10 @@ impl SmStats {
         self.rfc_writes += other.rfc_writes;
         self.rename_lookups += other.rename_lookups;
         self.rfv_throttled_warp_cycles += other.rfv_throttled_warp_cycles;
+        self.spill_stores += other.spill_stores;
+        self.spill_fills += other.spill_fills;
+        self.spill_throttled_warp_cycles += other.spill_throttled_warp_cycles;
+        self.comprf_throttled_warp_cycles += other.comprf_throttled_warp_cycles;
         self.rf_bank_conflicts += other.rf_bank_conflicts;
         self.osu_reads += other.osu_reads;
         self.osu_writes += other.osu_writes;
@@ -468,6 +482,10 @@ macro_rules! for_each_sm_counter {
             rfc_writes,
             rename_lookups,
             rfv_throttled_warp_cycles,
+            spill_stores,
+            spill_fills,
+            spill_throttled_warp_cycles,
+            comprf_throttled_warp_cycles,
             rf_bank_conflicts,
             osu_reads,
             osu_writes,

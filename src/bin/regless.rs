@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! regless list                         all built-in benchmark kernels
+//! regless designs [--format table|json]  the design registry: every storage
+//!                                     design id with citation, stability tier,
+//!                                     and tunable-parameter defaults
 //! regless run <kernel> [options]      simulate a kernel
-//!     --design baseline|regless|rfh|rfv   storage design (default regless)
+//!     --design <id>                       storage design (default regless;
+//!                                         ids come from `regless designs`)
 //!     --capacity <entries>                OSU entries/SM (default 512)
 //!     --no-compressor                     disable the compressor
 //!     --self-profile                      time the simulator's own phases (host
@@ -20,12 +24,12 @@
 //!     --format chrome|csv                 Chrome trace JSON or CSV summary
 //!     --out <path>                        write there instead of stdout
 //! regless profile <kernel> [options]  CPI-stack profile for one run
-//!     --design baseline|regless|rfh|rfv   storage design (default regless)
+//!     --design <id>                       storage design (default regless)
 //!     --capacity <entries>                OSU entries/SM (default 512)
 //!     --format table|json|csv             rendering (default table)
 //!     --out <path>                        write there instead of stdout
 //! regless report <kernel> [options]   unified dashboard for one run
-//!     --design baseline|regless|rfh|rfv   storage design (default regless)
+//!     --design <id>                       storage design (default regless)
 //!     --capacity <entries>                OSU entries/SM (default 512)
 //!     --format html|json                  rendering (default html)
 //!     --out <path>                        write there instead of stdout
@@ -68,7 +72,8 @@
 //!     --workers <n>                       workers to spawn with --spawn (default 2)
 //!     --spawn                             self-spawn local worker processes
 //!     --benches <csv>                     benchmark ids (default all rodinia)
-//!     --designs <csv>                     designs to sweep (default baseline,regless)
+//!     --designs <csv>                     designs to sweep (default baseline,regless;
+//!                                         any servable registry id works)
 //!     --capacity <entries>                OSU entries/SM for regless designs (default 512)
 //!     --liveness-ms <ms>                  worker liveness timeout (default 60000)
 //!     --timeout-secs <s>                  overall sweep deadline (default 3600)
@@ -99,8 +104,9 @@
 //! Simulated results are byte-identical with it on or off (CI asserts
 //! this property); with it off the instrumentation never reads a clock.
 
-use regless::baselines::{run_rfh, run_rfv};
+use regless::baselines::{run_compress_rf, run_regdem, run_rfh, run_rfv};
 use regless::bench::profile::{diff as profile_diff, ProfileReport};
+use regless::bench::registry;
 use regless::bench::report::collect as report_collect;
 use regless::compiler::{compile, RegionConfig};
 use regless::core::{RegLessConfig, RegLessSim};
@@ -118,6 +124,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
+        Some("designs") => cmd_designs(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
@@ -151,7 +158,9 @@ fn print_usage() {
         "regless — just-in-time operand staging for GPUs (MICRO 2017 reproduction)\n\n\
          commands:\n\
          \u{20}  list                      built-in benchmark kernels\n\
-         \u{20}  run <kernel> [options]    simulate (options: --design baseline|regless|rfh|rfv,\n\
+         \u{20}  designs [--format table|json]  the design registry (ids, citations, tiers,\n\
+         \u{20}                            tunable defaults) — every `--design` value\n\
+         \u{20}  run <kernel> [options]    simulate (options: --design <id from `regless designs`>,\n\
          \u{20}                            --capacity <entries>, --no-compressor,\n\
          \u{20}                            --self-profile, --self-profile-out <path>)\n\
          \u{20}  inspect <kernel>          regions, annotations, metadata\n\
@@ -161,9 +170,9 @@ fn print_usage() {
          \u{20}  sweep --gc --dry-run      list orphaned cache directories without deleting\n\
          \u{20}  trace <kernel> [options]  telemetry export (options: --design baseline|regless,\n\
          \u{20}                            --capacity <entries>, --format chrome|csv, --out <path>)\n\
-         \u{20}  profile <kernel> [opts]   CPI-stack profile (options: --design baseline|regless|rfh|rfv,\n\
+         \u{20}  profile <kernel> [opts]   CPI-stack profile (options: --design <id>,\n\
          \u{20}                            --capacity <entries>, --format table|json|csv, --out <path>)\n\
-         \u{20}  report <kernel> [opts]    unified dashboard (options: --design baseline|regless|rfh|rfv,\n\
+         \u{20}  report <kernel> [opts]    unified dashboard (options: --design <id>,\n\
          \u{20}                            --capacity <entries>, --format html|json, --out <path>,\n\
          \u{20}                            --trend, --history <path>)\n\
          \u{20}  diff <a.json> <b.json>    compare two saved profiles (--fail-above <pct> gates)\n\
@@ -224,6 +233,26 @@ fn cmd_list() -> CmdResult {
     Ok(())
 }
 
+/// List the design registry (`regless designs`): every storage design the
+/// tool can simulate, with citation, stability tier, and tunable-parameter
+/// defaults.
+fn cmd_designs(args: &[String]) -> CmdResult {
+    let mut format = "table".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    match format.as_str() {
+        "table" => print!("{}", registry::render_table()),
+        "json" => println!("{}", registry::render_json().to_string_pretty()),
+        other => return Err(format!("unknown format {other:?} (table|json)").into()),
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> CmdResult {
     let spec = args.first().ok_or("run: missing kernel")?;
     let kernel = load_kernel(spec)?;
@@ -249,7 +278,7 @@ fn cmd_run(args: &[String]) -> CmdResult {
             other => return Err(format!("unknown option {other:?}").into()),
         }
     }
-    if self_profile && matches!(design.as_str(), "rfh" | "rfv") {
+    if self_profile && !matches!(design.as_str(), "baseline" | "regless") {
         return Err("--self-profile supports the baseline and regless designs".into());
     }
     // Force-enabled regardless of REGLESS_SELFPROF: the flag is the
@@ -278,9 +307,17 @@ fn cmd_run(args: &[String]) -> CmdResult {
             let compiled = compile(&kernel, &RegionConfig::default())?;
             (run_rfv(gpu, compiled)?, Design::Rfv)
         }
-        "regless" => {
+        "regdem" => {
+            let compiled = compile(&kernel, &RegionConfig::default())?;
+            (run_regdem(gpu, compiled)?, Design::RegDem)
+        }
+        "compress-rf" => {
+            let compiled = compile(&kernel, &RegionConfig::default())?;
+            (run_compress_rf(gpu, compiled)?, Design::CompressRf)
+        }
+        "regless" | "regless-nc" => {
             let cfg = RegLessConfig {
-                compressor_enabled: compressor,
+                compressor_enabled: compressor && design != "regless-nc",
                 ..RegLessConfig::with_capacity(capacity)
             };
             let compiled = compile(&kernel, &cfg.region_config(&gpu))?;
@@ -295,7 +332,7 @@ fn cmd_run(args: &[String]) -> CmdResult {
                 },
             )
         }
-        other => return Err(format!("unknown design {other:?}").into()),
+        other => return Err(registry::unknown_design_message(other).into()),
     };
     if let Some(p) = &prof {
         // The breakdown goes to stderr so stdout stays the run summary.
@@ -469,12 +506,23 @@ fn run_for_design(
             let compiled = compile(kernel, &RegionConfig::default())?;
             Ok(run_rfv(gpu, compiled)?)
         }
-        "regless" => {
-            let cfg = RegLessConfig::with_capacity(capacity);
+        "regdem" => {
+            let compiled = compile(kernel, &RegionConfig::default())?;
+            Ok(run_regdem(gpu, compiled)?)
+        }
+        "compress-rf" => {
+            let compiled = compile(kernel, &RegionConfig::default())?;
+            Ok(run_compress_rf(gpu, compiled)?)
+        }
+        "regless" | "regless-nc" => {
+            let cfg = RegLessConfig {
+                compressor_enabled: design != "regless-nc",
+                ..RegLessConfig::with_capacity(capacity)
+            };
             let compiled = compile(kernel, &cfg.region_config(&gpu))?;
             Ok(RegLessSim::new(gpu, cfg, compiled).run()?)
         }
-        other => Err(format!("unknown design {other:?}").into()),
+        other => Err(registry::unknown_design_message(other).into()),
     }
 }
 
@@ -499,7 +547,11 @@ fn cmd_profile(args: &[String]) -> CmdResult {
         }
     }
     let report = run_for_design(&kernel, &design, capacity)?;
-    let osu_capacity = if design == "regless" { capacity } else { 0 };
+    let osu_capacity = if design.starts_with("regless") {
+        capacity
+    } else {
+        0
+    };
     let profile = ProfileReport::collect(&report, kernel.name(), &design, osu_capacity);
     let rendered = match format.as_str() {
         "table" => profile.render_table(),
@@ -566,7 +618,11 @@ fn cmd_report(args: &[String]) -> CmdResult {
         }
         _ => run_for_design(&kernel, &design, capacity)?,
     };
-    let osu_capacity = if design == "regless" { capacity } else { 0 };
+    let osu_capacity = if design.starts_with("regless") {
+        capacity
+    } else {
+        0
+    };
     let report = report_collect(&run, kernel.name(), &design, osu_capacity);
 
     // --trend: append this run's summary row, then render the whole
@@ -861,17 +917,20 @@ fn cluster_units(
     }
     let mut kinds = Vec::new();
     for d in designs.split(',') {
-        kinds.push(match d.trim() {
-            "baseline" => DesignKind::Baseline,
-            "regless" => DesignKind::RegLess { entries: capacity },
-            "regless-nc" => DesignKind::RegLessNoCompressor { entries: capacity },
-            other => {
-                return Err(format!(
-                    "cluster designs are baseline|regless|regless-nc, not {other:?}"
-                )
-                .into())
-            }
-        });
+        let id = d.trim();
+        let params = registry::DesignParams {
+            capacity,
+            ..registry::DesignParams::default()
+        };
+        let kind: DesignKind =
+            registry::resolve(id, &params).map_err(|e| format!("cluster: {e}"))?;
+        if regless::cluster::WorkUnit::new("rodinia/nn", kind).is_none() {
+            return Err(format!(
+                "cluster: design {id:?} is registered but not servable over the cluster wire"
+            )
+            .into());
+        }
+        kinds.push(kind);
     }
     Ok(regless::cluster::units_for(&bench_ids, &kinds))
 }

@@ -6,7 +6,7 @@
 //! stall-slot attribution fails here, not in a downstream figure.
 
 use proptest::prelude::*;
-use regless::baselines::{run_rfh_with, run_rfv_with};
+use regless::baselines::{run_compress_rf_with, run_regdem_with, run_rfh_with, run_rfv_with};
 use regless::compiler::{compile, RegionConfig};
 use regless::core::{RegLessConfig, RegLessSim};
 use regless::isa::Kernel;
@@ -33,7 +33,7 @@ fn test_kernel(idx: usize) -> Kernel {
 /// Run one design in the requested loop mode on the small test machine.
 fn run_mode(kernel: &Kernel, design: usize, capacity: usize, stepped: bool) -> RunReport {
     let gpu = GpuConfig::test_small();
-    match design % 4 {
+    match design % 6 {
         0 => {
             let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
             run_baseline_with(gpu, Arc::new(compiled), stepped).expect("baseline run")
@@ -49,9 +49,17 @@ fn run_mode(kernel: &Kernel, design: usize, capacity: usize, stepped: bool) -> R
             let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
             run_rfh_with(gpu, compiled, stepped).expect("rfh run")
         }
-        _ => {
+        3 => {
             let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
             run_rfv_with(gpu, compiled, stepped).expect("rfv run")
+        }
+        4 => {
+            let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
+            run_regdem_with(gpu, compiled, stepped).expect("regdem run")
+        }
+        _ => {
+            let compiled = compile(kernel, &RegionConfig::default()).expect("compile");
+            run_compress_rf_with(gpu, compiled, stepped).expect("compress-rf run")
         }
     }
 }
@@ -63,7 +71,7 @@ proptest! {
     #[test]
     fn event_and_stepped_reports_are_byte_identical(
         kernel_idx in 0usize..7,
-        design in 0usize..4,
+        design in 0usize..6,
         capacity_idx in 0usize..4,
     ) {
         let capacity = [64usize, 128, 256, 512][capacity_idx];
